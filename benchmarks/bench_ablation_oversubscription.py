@@ -1,0 +1,51 @@
+"""Ablation — switch oversubscription under the IOR workload.
+
+A non-blocking fabric vs a backplane capped at 2 server-links' worth:
+with 8 servers and 8 clients moving data concurrently, the
+oversubscribed fabric caps aggregate throughput regardless of how many
+servers are added — a dimension of "storage configuration" the paper's
+testbed (one GigE switch) could not isolate.
+"""
+
+import pytest
+
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORWorkload
+
+from conftest import run_once
+
+FABRICS = {
+    "non-blocking": None,
+    "oversubscribed-2x": 250 * MiB,   # 2 x GigE across 8 servers
+}
+
+
+def run_ior(backplane):
+    config = SystemConfig(
+        kind="pfs", n_servers=8, backplane_bandwidth=backplane,
+        device_overrides={"cache_segments": 32},
+    )
+    workload = IORWorkload(file_size=32 * MiB, transfer_size=256 * KiB,
+                           nproc=8)
+    return workload.run(config)
+
+
+@pytest.mark.parametrize("fabric", sorted(FABRICS))
+def test_fabric(benchmark, fabric):
+    measurement = run_once(benchmark, lambda: run_ior(FABRICS[fabric]))
+    assert measurement.exec_time > 0
+
+
+def test_oversubscription_caps_aggregate(artifact):
+    free = run_ior(None)
+    capped = run_ior(250 * MiB)
+    assert capped.exec_time > free.exec_time * 1.3
+    free_rate = free.trace.total_bytes() / free.exec_time
+    capped_rate = capped.trace.total_bytes() / capped.exec_time
+    assert capped_rate < 300 * MiB  # near the 250 MiB/s fabric cap
+    artifact("ablation_oversubscription",
+             f"8 ranks x 8 servers, 32MiB: non-blocking "
+             f"{free.exec_time:.4f}s ({free_rate / MiB:.0f} MiB/s) vs "
+             f"2x-oversubscribed {capped.exec_time:.4f}s "
+             f"({capped_rate / MiB:.0f} MiB/s)")

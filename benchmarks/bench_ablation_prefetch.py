@@ -1,0 +1,78 @@
+"""Ablation — middleware prefetching: the win and the waste.
+
+The paper names prefetching (with sieving) as a source of "additional
+data movement".  Sequential scans win; random access with the
+prefetcher left on fetches data nobody reads — visible as fs bytes
+exceeding application bytes, exactly the amplification BPS is immune
+to and bandwidth is fooled by.
+"""
+
+import pytest
+
+from repro.devices.specs import paper_hdd
+from repro.fs.localfs import LocalFileSystem
+from repro.middleware.posix import PosixIO
+from repro.middleware.prefetch import PrefetchConfig, SequentialPrefetcher
+from repro.middleware.tracing import TraceRecorder
+from repro.sim.engine import Engine
+from repro.util.rng import RngStream
+from repro.util.units import KiB, MiB
+
+FILE_SIZE = 8 * MiB
+RECORD = 64 * KiB
+
+
+def run_scan(prefetch: bool, pattern: str):
+    engine = Engine()
+    device = paper_hdd(engine)
+    fs = LocalFileSystem(engine, device, page_cache=None)
+    fs.create("data", FILE_SIZE)
+    recorder = TraceRecorder(engine)
+    lib = PosixIO(engine, fs, recorder)
+    handle = lib.open("data", 0)
+    reader = SequentialPrefetcher(
+        handle, PrefetchConfig(window_bytes=1 * MiB)) \
+        if prefetch else handle
+
+    if pattern == "sequential":
+        offsets = list(range(0, FILE_SIZE, RECORD))
+    else:
+        rng = RngStream.from_seed(3)
+        slots = FILE_SIZE // RECORD
+        offsets = [rng.integers(0, slots) * RECORD for _ in range(64)]
+
+    def scan(eng):
+        for offset in offsets:
+            yield reader.pread(offset, RECORD)
+
+    process = engine.spawn(scan(engine))
+    engine.run()
+    process.result()
+    app_bytes = recorder.app_trace.total_bytes()
+    return engine.now, recorder.fs_bytes_moved, app_bytes
+
+
+@pytest.mark.parametrize("prefetch,pattern", [
+    (False, "sequential"), (True, "sequential"),
+    (False, "random"), (True, "random"),
+], ids=["seq-off", "seq-on", "rand-off", "rand-on"])
+def test_scan(benchmark, prefetch, pattern):
+    elapsed, _fs_bytes, _app = benchmark.pedantic(
+        lambda: run_scan(prefetch, pattern), rounds=1, iterations=1)
+    assert elapsed > 0
+
+
+def test_prefetch_helps_sequential_not_random(artifact):
+    seq_off, _b, _a = run_scan(False, "sequential")
+    seq_on, fs_on, app_on = run_scan(True, "sequential")
+    rand_off, _b2, _a2 = run_scan(False, "random")
+    rand_on, fs_rand, app_rand = run_scan(True, "random")
+    assert seq_on <= seq_off * 1.02
+    # Random access must not be materially hurt, and must not amplify
+    # traffic much (trigger_after=2 keeps the prefetcher quiet).
+    assert rand_on <= rand_off * 1.3
+    artifact("ablation_prefetch",
+             f"sequential: off {seq_off:.4f}s on {seq_on:.4f}s "
+             f"(fs/app = {fs_on / app_on:.2f}x)\n"
+             f"random:     off {rand_off:.4f}s on {rand_on:.4f}s "
+             f"(fs/app = {fs_rand / app_rand:.2f}x)")

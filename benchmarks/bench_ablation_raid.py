@@ -1,0 +1,38 @@
+"""Ablation — RAID arrays as another storage-configuration axis.
+
+Extends Set 1's device variety: a single HDD, a 4-disk RAID-0, and a
+2-disk mirror, under the same sequential read.  RAID-0 should approach
+4x the single-disk rate for large records; RAID-1 reads land on one
+mirror at a time (no striping win for a single stream).
+"""
+
+import pytest
+
+from repro.system import SystemConfig
+from repro.util.units import MiB
+from repro.workloads.iozone import IOzoneWorkload
+
+from conftest import run_once
+
+SPECS = ("sata-hdd-7200", "raid0-hdd-4", "raid1-hdd-2")
+
+
+def run_read(device_spec: str):
+    workload = IOzoneWorkload(file_size=32 * MiB, record_size=4 * MiB)
+    config = SystemConfig(kind="local", device_spec=device_spec)
+    return workload.run(config)
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_sequential_read(benchmark, spec):
+    measurement = run_once(benchmark, lambda: run_read(spec))
+    assert measurement.exec_time > 0
+
+
+def test_raid0_scales_raid1_does_not(artifact):
+    times = {spec: run_read(spec).exec_time for spec in SPECS}
+    assert times["raid0-hdd-4"] < times["sata-hdd-7200"] / 2.5
+    # A mirror serves a single stream from one member: no speedup.
+    assert times["raid1-hdd-2"] > times["raid0-hdd-4"]
+    artifact("ablation_raid", "\n".join(
+        f"{spec:>15}: {elapsed:.4f}s" for spec, elapsed in times.items()))

@@ -1,0 +1,53 @@
+"""Ablation — data sieving on vs off under the Hpio workload.
+
+Sieving is the Set 4 mechanism; this ablation shows both of its faces:
+with small holes it *wins* (fewer, larger requests), and in both cases
+bandwidth measured at the file system diverges from what the
+application experiences.
+"""
+
+import pytest
+
+from repro.middleware.sieving import SievingConfig
+from repro.system import SystemConfig
+from repro.util.units import KiB
+from repro.workloads.hpio import HpioWorkload
+
+from conftest import run_once
+
+CONFIG = SystemConfig(kind="pfs", n_servers=4)
+
+
+def run_hpio(enabled: bool, spacing: int):
+    workload = HpioWorkload(
+        region_count=1024, region_size=256, region_spacing=spacing,
+        nproc=2,
+        sieving=SievingConfig(enabled=enabled, max_hole=64 * KiB),
+    )
+    return workload.run(CONFIG)
+
+
+@pytest.mark.parametrize("enabled", [True, False],
+                         ids=["sieving-on", "sieving-off"])
+def test_hpio_small_holes(benchmark, enabled):
+    measurement = run_once(benchmark, lambda: run_hpio(enabled, 64))
+    assert measurement.exec_time > 0
+
+
+def test_sieving_wins_with_small_holes(artifact):
+    on = run_hpio(True, 64)
+    off = run_hpio(False, 64)
+    assert on.exec_time < off.exec_time, \
+        "sieving should win when holes are small"
+    artifact("ablation_sieving",
+             f"spacing=64B: sieving on {on.exec_time:.4f}s "
+             f"(amplification {on.metrics().fs_amplification:.2f}x) vs "
+             f"off {off.exec_time:.4f}s — "
+             f"speedup {off.exec_time / on.exec_time:.2f}x")
+
+
+def test_amplification_only_with_sieving():
+    on = run_hpio(True, 1024)
+    off = run_hpio(False, 1024)
+    assert on.metrics().fs_amplification > 3.0
+    assert off.metrics().fs_amplification == pytest.approx(1.0)

@@ -1,0 +1,43 @@
+"""Ablation — stripe size under the IOR workload.
+
+PVFS2's default 64 KiB stripe matches IOR's 64 KiB transfers one-to-one
+(each request hits one server).  Larger and smaller stripes shift the
+parallelism-per-request / requests-per-server balance; this bench maps
+the curve.
+"""
+
+import pytest
+
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORWorkload
+
+from conftest import run_once
+
+STRIPES = (16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB)
+
+
+def run_ior(stripe_size: int):
+    config = SystemConfig(kind="pfs", n_servers=4,
+                          stripe_size=stripe_size,
+                          device_overrides={"cache_segments": 32})
+    workload = IORWorkload(file_size=8 * MiB, transfer_size=256 * KiB,
+                           nproc=4)
+    return workload.run(config)
+
+
+@pytest.mark.parametrize("stripe", STRIPES,
+                         ids=[f"stripe-{s // 1024}KiB" for s in STRIPES])
+def test_stripe_sweep(benchmark, stripe):
+    measurement = run_once(benchmark, lambda: run_ior(stripe))
+    assert measurement.exec_time > 0
+
+
+def test_striping_beats_no_striping(artifact):
+    results = {stripe: run_ior(stripe).exec_time for stripe in STRIPES}
+    # A 1 MiB stripe serialises each 256 KiB transfer onto one server;
+    # 64 KiB spreads each transfer over all four.
+    assert results[64 * KiB] < results[1 * MiB]
+    lines = [f"stripe {stripe // 1024:4d}KiB: {elapsed:.4f}s"
+             for stripe, elapsed in results.items()]
+    artifact("ablation_stripe", "\n".join(lines))

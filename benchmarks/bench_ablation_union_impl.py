@@ -1,0 +1,37 @@
+"""Ablation — NumPy-vectorised vs paper-faithful union-time.
+
+DESIGN.md keeps both implementations: the pure-Python port for
+auditability, the vectorised one for hot paths.  This bench quantifies
+the speedup that justifies maintaining two.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import union_time, union_time_paper
+
+N = 50_000
+
+
+@pytest.fixture(scope="module")
+def intervals():
+    rng = np.random.default_rng(1)
+    starts = rng.uniform(0, 1000.0, N)
+    return np.column_stack((starts, starts + rng.exponential(0.01, N)))
+
+
+def test_numpy_impl(benchmark, intervals):
+    result = benchmark(union_time, intervals)
+    assert result > 0
+
+
+def test_paper_impl(benchmark, intervals):
+    result = benchmark(union_time_paper, intervals)
+    assert result == pytest.approx(union_time(intervals))
+
+
+def test_speedup_report(intervals, capsys):
+    """Not a timing assertion (machines vary) — just records that both
+    agree; the two benches above carry the numbers."""
+    assert union_time(intervals) == pytest.approx(
+        union_time_paper(intervals))

@@ -1,0 +1,38 @@
+"""Ext. 1 — async queue-depth sweep (extension beyond the paper).
+
+One process, random 4 KiB SSD reads, windowed async submission, queue
+depth 1 → 32.  ARPT flips (deeper queues mean longer per-request waits
+while the run completes sooner); IOPS/BW/BPS track overall performance.
+BPS's union-time rule never asked where the overlap came from, so it
+generalises from the paper's multi-process concurrency to asynchronous
+single-process concurrency unchanged.
+"""
+
+from repro.experiments.set5 import run_set5
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_ext1(benchmark, artifact):
+    sweep = run_once(benchmark, lambda: run_set5(BENCH_SCALE))
+    table = sweep.correlations()
+
+    for name in ("IOPS", "BW", "BPS"):
+        assert table[name].direction_correct, f"{name} flipped"
+        assert table[name].normalized > 0.8
+    assert not table["ARPT"].direction_correct
+
+    times = sweep.series("exec_time")
+    arpts = sweep.series("ARPT")
+    assert times[-1] < times[0] / 3     # depth helps a lot
+    assert arpts[-1] > 2 * arpts[0]     # ... while ARPT degrades
+
+    artifact("ext1",
+             sweep.render_cc_figure(
+                 "Ext.1 — CC by metric, async queue-depth sweep")
+             + "\n\n" + sweep.render_cc_table()
+             + "\n\nextension (not in paper): BPS = "
+             + f"{table['BPS'].normalized:+.3f}, "
+             + f"ARPT = {table['ARPT'].normalized:+.3f}; exec time "
+             + f"x{times[0] / times[-1]:.1f} down while ARPT "
+             + f"x{arpts[-1] / arpts[0]:.1f} up")

@@ -1,0 +1,28 @@
+"""Fig. 10 — ARPT vs execution time across concurrency (Set 3a detail).
+
+Paper: execution time collapses 35 s → ~5 s from 1 to 8 processes while
+ARPT barely moves (slight rise) — ARPT misses the whole story.
+"""
+
+from repro.experiments.set3 import run_set3_pure
+from repro.util.tables import render_series
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_fig10(benchmark, artifact):
+    sweep = run_once(benchmark, lambda: run_set3_pure(BENCH_SCALE))
+    times = sweep.series("exec_time")
+    arpts = sweep.series("ARPT")
+
+    # Near-linear scaling: n=8 at least 4x faster than n=1.
+    assert times[-1] < times[0] / 4
+    # ARPT variation stays small relative to the exec-time collapse.
+    assert max(arpts) / min(arpts) < 1.5
+
+    artifact("fig10",
+             render_series("concurrency", sweep.labels,
+                           {"exec_time_s": times, "ARPT_s": arpts})
+             + "\n\npaper: exec time 35s -> ~5s (7x) with near-flat "
+             + f"ARPT; measured {times[0] / times[-1]:.1f}x with ARPT "
+             + f"spread {max(arpts) / min(arpts):.2f}x")

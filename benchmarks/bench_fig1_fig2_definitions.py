@@ -1,0 +1,26 @@
+"""Figs. 1-2 — the paper's definitional figures, regenerated.
+
+These are concept figures (no testbed behind them in the paper either);
+the bench recomputes them from the metric definitions and checks the
+discriminations they illustrate.
+"""
+
+from repro.experiments.figures import FIGURES
+
+from conftest import run_once
+
+
+def test_fig1(benchmark, artifact):
+    text = run_once(benchmark, lambda: FIGURES["fig1"].produce(None))
+    # The three discriminations of Fig. 1:
+    assert "IOPS ties them" in text
+    assert "BW doubles" in text
+    assert "ARPT ties them" in text
+    artifact("fig1", text)
+
+
+def test_fig2(benchmark, artifact):
+    text = run_once(benchmark, lambda: FIGURES["fig2"].produce(None))
+    assert "7.0" in text   # T = dt1 + dt2
+    assert "11.0" in text  # the sum BPS does NOT use
+    artifact("fig2", text)

@@ -1,0 +1,26 @@
+"""Fig. 5 — CC bars across I/O sizes on HDD (Set 2).
+
+Paper result: BW and BPS correct and strong (~0.90); IOPS and ARPT flip
+direction because they ignore how much data a request carries.
+"""
+
+from repro.experiments.set2 import run_set2
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_fig5(benchmark, artifact):
+    sweep = run_once(benchmark, lambda: run_set2("hdd", BENCH_SCALE))
+    table = sweep.correlations()
+
+    assert not table["IOPS"].direction_correct
+    assert not table["ARPT"].direction_correct
+    assert table["BW"].direction_correct and table["BW"].normalized > 0.8
+    assert table["BPS"].direction_correct and table["BPS"].normalized > 0.8
+
+    artifact("fig5",
+             sweep.render_cc_figure(
+                 "Fig.5 — CC by metric, record-size sweep (HDD)")
+             + "\n\n" + sweep.render_cc_table()
+             + "\n\npaper: BW/BPS ~ +0.90, IOPS & ARPT negative; "
+             + f"measured BPS = {table['BPS'].normalized:+.3f}")

@@ -1,0 +1,31 @@
+"""Fig. 8 — ARPT vs execution time detail, SSD (Set 2 detail).
+
+Paper: from 4 KB to 4 MB records ARPT grows 0.14 ms → 22.35 ms (160x)
+while the application only gets *faster* — ARPT inverts reality.
+"""
+
+from repro.experiments.set2 import RECORD_SIZES, run_set2
+from repro.util.tables import render_series
+from repro.util.units import format_size
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_fig8(benchmark, artifact):
+    sweep = run_once(benchmark, lambda: run_set2("ssd", BENCH_SCALE))
+    labels = sweep.labels
+    arpt_series = sweep.series("ARPT")
+    time_series = sweep.series("exec_time")
+
+    i4k = labels.index("4.0KiB")
+    i4m = labels.index(format_size(4 * 1024 * 1024))
+    assert arpt_series[i4m] > 10 * arpt_series[i4k]
+    assert time_series[i4m] < time_series[i4k]
+
+    artifact("fig8",
+             render_series("I/O size", labels,
+                           {"ARPT_s": arpt_series,
+                            "exec_time_s": time_series})
+             + "\n\npaper: ARPT x160 up, exec time down; measured ARPT "
+             + f"x{arpt_series[i4m] / arpt_series[i4k]:.0f} up, exec "
+             + f"time x{time_series[i4k] / time_series[i4m]:.1f} down")

@@ -1,0 +1,47 @@
+"""Reproduction-quality check: conclusions are stable across scale.
+
+The data sizes here are ~1000x smaller than the paper's; this bench
+runs a representative sweep (Set 2 on HDD — the one with two metric
+flips) at several scale factors and asserts the *qualitative pattern*
+(who flips, who holds) never changes.  If conclusions depended on the
+simulation scale, the whole reproduction would be suspect.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.set2 import run_set2
+from repro.experiments.set4 import run_set4
+
+from conftest import run_once
+
+FACTORS = (0.25, 0.5, 1.0, 2.0)
+
+
+def pattern_set2(factor):
+    sweep = run_set2("hdd", ExperimentScale(factor=factor,
+                                            repetitions=2))
+    table = sweep.correlations()
+    return {name: result.direction_correct
+            for name, result in table.items()}
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+def test_set2_at_scale(benchmark, factor):
+    flips = run_once(benchmark, lambda: pattern_set2(factor))
+    assert flips == {"IOPS": False, "BW": True,
+                     "ARPT": False, "BPS": True}
+
+
+def test_set4_bw_flip_is_scale_free(artifact):
+    lines = []
+    for factor in (0.25, 0.5, 1.0):
+        sweep = run_set4(ExperimentScale(factor=factor, repetitions=2))
+        table = sweep.correlations()
+        assert not table["BW"].direction_correct, \
+            f"BW flip vanished at factor {factor}"
+        assert table["BPS"].direction_correct
+        lines.append(
+            f"factor {factor}: BW {table['BW'].normalized:+.3f}, "
+            f"BPS {table['BPS'].normalized:+.3f}")
+    artifact("scaling_stability", "\n".join(lines))

@@ -1,0 +1,28 @@
+"""Section IV.C.5 headline — BPS is the only metric right everywhere.
+
+Runs all six CC sweeps (Figs. 4-6, 9, 11, 12) and checks the paper's
+two headline claims:
+
+- BPS keeps the Table 1 direction in every sweep, with high |CC|
+  (the paper quotes an overall 0.91);
+- every conventional metric flips in at least one sweep.
+"""
+
+from repro.experiments.summary import run_summary
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_summary_headline(benchmark, artifact):
+    summary = run_once(benchmark, lambda: run_summary(BENCH_SCALE))
+
+    assert summary.bps_always_correct()
+    assert summary.only_bps_always_correct()
+
+    means = summary.mean_normalized()
+    assert means["BPS"] > 0.75  # paper: ~0.91
+
+    artifact("summary",
+             summary.render()
+             + "\n\npaper: BPS overall |CC| ~ 0.91, only metric correct "
+             + f"in all sets; measured mean BPS CC = {means['BPS']:+.3f}")

@@ -1,0 +1,35 @@
+"""Table 1 — expected correlation directions of each I/O metric.
+
+Regenerates the table and benchmarks the correlation-table computation
+itself on a representative sweep-sized input.
+"""
+
+from dataclasses import replace
+
+from repro.core.correlation import correlation_table
+from repro.core.metrics import compute_metrics
+from repro.core.records import IORecord, TraceCollection
+from repro.experiments.figures import FIGURES
+
+from conftest import run_once
+
+
+def _sweep_points(n_points: int = 64):
+    trace = TraceCollection([IORecord(0, "read", 512, 0.0, 1.0)])
+    base = compute_metrics(trace, exec_time=1.0)
+    points = []
+    for i in range(1, n_points + 1):
+        points.append(replace(
+            base,
+            iops=1000.0 / i, bandwidth=5e8 / i, arpt=0.001 * i,
+            bps=1e6 / i, exec_time=float(i),
+        ))
+    return points
+
+
+def test_table1(benchmark, artifact):
+    points = _sweep_points()
+    table = run_once(benchmark, lambda: correlation_table(points))
+    # The synthetic sweep is perfectly well-behaved: all four correct.
+    assert all(r.direction_correct for r in table.values())
+    artifact("table1", FIGURES["table1"].produce(None))

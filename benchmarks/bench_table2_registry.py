@@ -1,0 +1,40 @@
+"""Table 2 — the four I/O access case sets.
+
+Regenerates the experiment registry table and benchmarks one minimal
+run of each registered workload family (the registry's claim is that
+each row is executable).
+"""
+
+from repro.experiments.figures import FIGURES
+from repro.middleware.sieving import SievingConfig
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads import HpioWorkload, IORWorkload, IOzoneWorkload
+
+from conftest import run_once
+
+
+def _one_run_of_each():
+    results = []
+    results.append(IOzoneWorkload(
+        file_size=2 * MiB, record_size=64 * KiB,
+    ).run(SystemConfig(kind="local")))
+    results.append(IOzoneWorkload(
+        file_size=2 * MiB, record_size=64 * KiB, nproc=2,
+        mode="throughput", pin_files_to_servers=True,
+    ).run(SystemConfig(kind="pfs", n_servers=2)))
+    results.append(IORWorkload(
+        file_size=2 * MiB, transfer_size=64 * KiB, nproc=2,
+    ).run(SystemConfig(kind="pfs", n_servers=2)))
+    results.append(HpioWorkload(
+        region_count=256, region_size=256, region_spacing=256, nproc=2,
+        sieving=SievingConfig(),
+    ).run(SystemConfig(kind="pfs", n_servers=2)))
+    return results
+
+
+def test_table2(benchmark, artifact):
+    results = run_once(benchmark, _one_run_of_each)
+    assert len(results) == 4
+    assert all(r.exec_time > 0 for r in results)
+    artifact("table2", FIGURES["table2"].produce(None))

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_figN_*.py`` regenerates one paper artifact: it runs the
+sweep under pytest-benchmark (one round — a sweep is already 5+
+repetitions internally), asserts the paper's qualitative shape, prints
+the artifact, and writes it to ``benchmarks/output/<name>.txt`` so the
+text survives pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale
+
+#: Default scale for figure benches: full data-size scale, 3 repetitions
+#: (the paper uses 5; 3 keeps the full harness under a minute while the
+#: CC values remain stable to +-0.02).
+BENCH_SCALE = ExperimentScale(factor=1.0, repetitions=3)
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def artifact():
+    """Writer: artifact('fig4', text) → benchmarks/output/fig4.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also print for -s runs / the tee'd bench log.
+        print(f"\n=== {name} ===\n{text}")
+
+    return write
+
+
+def run_once(benchmark, func):
+    """Benchmark a sweep exactly once (it's internally repeated)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

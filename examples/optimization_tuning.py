@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Using BPS to steer I/O optimisation choices.
+
+The paper's closing ambition: "we will adopt and evaluate different I/O
+optimization mechanisms and their combinations in terms of overall I/O
+system performance."  This example tunes ROMIO-style data sieving for a
+noncontiguous pattern with *heterogeneous* holes — clusters of regions
+separated small gaps, clusters themselves far apart:
+
+- sieving off: every region is its own request (request-count bound);
+- max_hole = 1 KiB: sieve within clusters only (the sweet spot);
+- max_hole = 4 MiB: sieve across the 1 MiB inter-cluster gaps too —
+  the file system streams vast hole regions nobody asked for.
+
+Picking the setting by file-system bandwidth chooses the last one (it
+moves the most bytes per second!); picking by BPS chooses the setting
+that actually minimises execution time.
+
+Run:  python examples/optimization_tuning.py
+"""
+
+from repro.middleware.mpiio import MPIIO, MPIIOHints
+from repro.middleware.sieving import SievingConfig
+from repro.system import SystemConfig, build_system
+from repro.util.tables import TextTable
+from repro.util.units import KiB, MiB, format_seconds
+
+N_CLUSTERS = 64
+REGIONS_PER_CLUSTER = 16
+REGION = 256          # bytes
+SMALL_HOLE = 256      # inside a cluster
+BIG_HOLE = 1 * MiB    # between clusters: costlier to read than to seek
+
+
+def build_regions():
+    regions = []
+    cursor = 0
+    for _cluster in range(N_CLUSTERS):
+        for _region in range(REGIONS_PER_CLUSTER):
+            regions.append((cursor, REGION))
+            cursor += REGION + SMALL_HOLE
+        cursor += BIG_HOLE
+    return regions, cursor
+
+
+def run_with(sieving: SievingConfig):
+    regions, extent = build_regions()
+    config = SystemConfig(kind="pfs", n_servers=4, seed=5)
+    system = build_system(config)
+    system.shared_mount().create("noncontig", extent)
+    system.drop_caches()
+    mpi = system.mpiio(1)
+    handle = mpi.open(system.mount_for(0), "noncontig", 0,
+                      MPIIOHints(sieving=sieving))
+
+    def app(engine):
+        yield handle.read_regions(regions)
+
+    start = system.engine.now
+    process = system.engine.spawn(app(system.engine))
+    system.engine.run()
+    process.result()
+    exec_time = system.engine.now - start
+    from repro.core.metrics import compute_metrics
+    return compute_metrics(system.recorder.trace, exec_time=exec_time,
+                           fs_bytes=system.recorder.fs_bytes_moved)
+
+
+def main() -> None:
+    settings = {
+        "off": SievingConfig(enabled=False),
+        "max_hole=1KiB": SievingConfig(max_hole=1 * KiB,
+                                       buffer_size=4 * MiB),
+        "max_hole=4MiB": SievingConfig(max_hole=4 * MiB,
+                                       buffer_size=128 * MiB),
+    }
+    table = TextTable(["sieving setting", "exec time", "BPS (blocks/s)",
+                       "fs bandwidth (MiB/s)", "amplification"])
+    results = {}
+    for name, sieving in settings.items():
+        metrics = run_with(sieving)
+        results[name] = metrics
+        table.add_row([
+            name,
+            format_seconds(metrics.exec_time),
+            f"{metrics.bps:,.0f}",
+            f"{metrics.bandwidth / (1024 * 1024):.1f}",
+            f"{metrics.fs_amplification:.2f}x",
+        ])
+    print("Tuning data sieving: 64 clusters x 16 x 256B regions,")
+    print("256B holes inside clusters, 1MiB gaps between clusters\n")
+    print(table.render())
+
+    by_bps = max(results, key=lambda k: results[k].bps)
+    by_bw = max(results, key=lambda k: results[k].bandwidth)
+    by_time = min(results, key=lambda k: results[k].exec_time)
+    print()
+    print(f"fastest setting (ground truth) : {by_time}")
+    print(f"chosen by BPS                  : {by_bps}")
+    print(f"chosen by fs bandwidth         : {by_bw}")
+    if by_bps == by_time and by_bw != by_time:
+        print()
+        print("BPS picked the genuinely fastest configuration; bandwidth")
+        print("was seduced by the huge sieve reads full of hole bytes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment lacks the ``wheel`` package, so PEP 517 editable installs
+(`pip install -e .` with a [build-system] table) fail with
+``invalid command 'bdist_wheel'``.  Keeping a setup.py and omitting the
+[build-system] table lets pip use the legacy editable path, which needs
+only setuptools.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

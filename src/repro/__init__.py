@@ -1,0 +1,89 @@
+"""repro — a full reproduction of "BPS: A Performance Metric of I/O System".
+
+He, Sun, Yin.  IEEE IPDPSW 2013.  DOI 10.1109/IPDPSW.2013.64.
+
+The package provides, from the bottom up:
+
+- a deterministic discrete-event simulator (:mod:`repro.sim`);
+- device, network, local-FS, and parallel-FS substrates
+  (:mod:`repro.devices`, :mod:`repro.net`, :mod:`repro.fs`,
+  :mod:`repro.pfs`);
+- the instrumented I/O middleware where BPS measures
+  (:mod:`repro.middleware`);
+- **the paper's contribution** — BPS, its measurement methodology, and
+  the correlation-based evaluation (:mod:`repro.core`);
+- workloads shaped after IOzone/IOR/Hpio (:mod:`repro.workloads`);
+- the complete evaluation-section reproduction
+  (:mod:`repro.experiments`);
+- an offline toolkit for real traces (:mod:`repro.trace_io`,
+  :mod:`repro.cli`).
+
+Quick taste::
+
+    from repro import IOzoneWorkload, SystemConfig
+    measurement = IOzoneWorkload().run(SystemConfig(kind="local"))
+    print(measurement.metrics().bps)
+"""
+
+from repro.core import (
+    IORecord,
+    TraceCollection,
+    MetricSet,
+    bps,
+    iops,
+    bandwidth,
+    arpt,
+    union_io_time,
+    union_time,
+    union_time_paper,
+    compute_metrics,
+    EXPECTED_DIRECTIONS,
+    normalized_cc,
+    correlation_table,
+    RunMeasurement,
+    SweepAnalysis,
+)
+from repro.system import System, SystemConfig, build_system
+from repro.workloads import (
+    IOzoneWorkload,
+    IORWorkload,
+    HpioWorkload,
+    RandomAccessWorkload,
+    MixedReadWriteWorkload,
+    ReplayWorkload,
+    ReplayOp,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IORecord",
+    "TraceCollection",
+    "MetricSet",
+    "bps",
+    "iops",
+    "bandwidth",
+    "arpt",
+    "union_io_time",
+    "union_time",
+    "union_time_paper",
+    "compute_metrics",
+    "EXPECTED_DIRECTIONS",
+    "normalized_cc",
+    "correlation_table",
+    "RunMeasurement",
+    "SweepAnalysis",
+    "System",
+    "SystemConfig",
+    "build_system",
+    "IOzoneWorkload",
+    "IORWorkload",
+    "HpioWorkload",
+    "RandomAccessWorkload",
+    "MixedReadWriteWorkload",
+    "ReplayWorkload",
+    "ReplayOp",
+    "ReproError",
+    "__version__",
+]

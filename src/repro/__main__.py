@@ -1,0 +1,5 @@
+"""``python -m repro`` — the BPS toolkit entry point."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,451 @@
+"""Command-line toolkit: ``bps`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``analyze`` — compute BPS/IOPS/BW/ARPT from a recorded trace file
+  (CSV, JSONL, blkparse text, or fio JSON) — the paper's promised
+  easy-to-use toolkit.
+- ``figures`` — regenerate a paper figure/table by id (fig4..fig12,
+  table1, table2, summary).
+- ``experiments`` — list the Table 2 experiment registry.
+- ``simulate`` — run one workload on one simulated platform and print
+  its metric set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.correlation import METRIC_ORDER
+from repro.core.metrics import MetricSet, compute_metrics
+from repro.errors import ReproError
+from repro.experiments.figures import FIGURES, regenerate
+from repro.experiments.registry import EXPERIMENT_SETS
+from repro.experiments.runner import ExperimentScale
+from repro.system import SystemConfig
+from repro.trace_io import (
+    read_blkparse,
+    read_csv_trace,
+    read_darshan,
+    read_fio_json,
+    read_jsonl_trace,
+)
+from repro.util.tables import TextTable
+from repro.util.units import format_rate, format_seconds, parse_size
+from repro.workloads import HpioWorkload, IORWorkload, IOzoneWorkload
+
+_READERS = {
+    "csv": read_csv_trace,
+    "jsonl": read_jsonl_trace,
+    "blkparse": read_blkparse,
+    "fio": read_fio_json,
+    "darshan": read_darshan,
+}
+
+
+def _guess_format(path: str) -> str:
+    lowered = path.lower()
+    if lowered.endswith(".csv"):
+        return "csv"
+    if lowered.endswith((".jsonl", ".ndjson")):
+        return "jsonl"
+    if lowered.endswith(".json"):
+        return "fio"
+    return "blkparse"
+
+
+def _render_metrics(metrics: MetricSet) -> str:
+    table = TextTable(["metric", "value"])
+    table.add_row(["BPS (blocks/s)", f"{metrics.bps:,.1f}"])
+    table.add_row(["IOPS (ops/s)", f"{metrics.iops:,.1f}"])
+    table.add_row(["bandwidth", format_rate(metrics.bandwidth)])
+    table.add_row(["ARPT", format_seconds(metrics.arpt)])
+    table.add_row(["union I/O time", format_seconds(metrics.union_io_time)])
+    table.add_row(["execution time", format_seconds(metrics.exec_time)])
+    table.add_row(["application ops", f"{metrics.app_ops:,}"])
+    table.add_row(["application blocks (B)", f"{metrics.app_blocks:,}"])
+    table.add_row(["fs bytes moved", f"{metrics.fs_bytes:,}"])
+    table.add_row(["fs amplification", f"{metrics.fs_amplification:.3f}x"])
+    return table.render()
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    fmt = args.format or _guess_format(args.trace)
+    reader = _READERS[fmt]
+    trace = reader(args.trace)
+    first, last = trace.span()
+    exec_time = args.exec_time if args.exec_time else (last - first)
+    metrics = compute_metrics(trace, exec_time=exec_time,
+                              block_size=args.block_size)
+    print(f"trace: {args.trace} ({fmt}, {len(trace)} records, "
+          f"{len(trace.pids())} processes)")
+    print(_render_metrics(metrics))
+    if args.bins:
+        from repro.core.timeline import binned_bps
+        edges, values = binned_bps(trace, bins=args.bins,
+                                   block_size=args.block_size)
+        print("\nBPS over time:")
+        table = TextTable(["window", "BPS (blocks/s)"])
+        for index, value in enumerate(values):
+            table.add_row([
+                f"[{edges[index]:.6g}, {edges[index + 1]:.6g})",
+                f"{value:,.0f}",
+            ])
+        print(table.render())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.list or not args.figure_id:
+        table = TextTable(["id", "title", "paper expectation"])
+        for spec in FIGURES.values():
+            table.add_row([spec.figure_id, spec.title,
+                           spec.paper_expectation])
+        print(table.render())
+        return 0
+    scale = ExperimentScale(factor=args.scale, repetitions=args.reps)
+    print(regenerate(args.figure_id, scale))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    traces = {}
+    for path in (args.trace_a, args.trace_b):
+        fmt = args.format or _guess_format(path)
+        traces[path] = _READERS[fmt](path)
+    metrics = {}
+    for path, trace in traces.items():
+        first, last = trace.span()
+        metrics[path] = compute_metrics(trace, exec_time=last - first,
+                                        block_size=args.block_size)
+    a, b = metrics[args.trace_a], metrics[args.trace_b]
+    table = TextTable(["metric", "A", "B", "B/A"])
+
+    def row(name, va, vb, render=lambda v: f"{v:,.1f}"):
+        ratio = vb / va if va else float("inf")
+        table.add_row([name, render(va), render(vb), f"{ratio:.3f}x"])
+
+    row("BPS (blocks/s)", a.bps, b.bps)
+    row("IOPS", a.iops, b.iops)
+    row("bandwidth", a.bandwidth, b.bandwidth, format_rate)
+    row("ARPT", a.arpt, b.arpt, format_seconds)
+    row("union I/O time", a.union_io_time, b.union_io_time,
+        format_seconds)
+    row("execution time", a.exec_time, b.exec_time, format_seconds)
+    print(f"A = {args.trace_a} ({len(traces[args.trace_a])} records)")
+    print(f"B = {args.trace_b} ({len(traces[args.trace_b])} records)")
+    print(table.render())
+    faster = "B" if b.exec_time < a.exec_time else "A"
+    print(f"\noverall: {faster} completed its I/O faster; BPS agrees: "
+          f"{'yes' if (b.bps > a.bps) == (faster == 'B') else 'NO'}")
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.core.timeline import (
+        overlap_surplus,
+        per_process_breakdown,
+        render_gantt,
+    )
+    fmt = args.format or _guess_format(args.trace)
+    trace = _READERS[fmt](args.trace)
+    print(render_gantt(trace, width=args.width))
+    print()
+    table = TextTable(["pid", "ops", "blocks", "union T",
+                       "BPS (blocks/s)", "mean response"])
+    for summary in per_process_breakdown(trace):
+        table.add_row([
+            summary.pid, summary.ops, f"{summary.blocks:,}",
+            format_seconds(summary.union_time),
+            f"{summary.bps:,.0f}",
+            format_seconds(summary.mean_response),
+        ])
+    print(table.render())
+    print(f"\ncross-process overlap surplus: "
+          f"{format_seconds(overlap_surplus(trace))} "
+          f"(per-process T summed minus global union T)")
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    table = TextTable(["set", "knob", "paper tool", "figures",
+                       "misleading metrics"])
+    for spec in EXPERIMENT_SETS.values():
+        table.add_row([
+            spec.set_id, spec.knob, spec.paper_tool,
+            ",".join(spec.figures),
+            ",".join(spec.expected_misleading) or "(none)",
+        ])
+    print(table.render())
+    return 0
+
+
+_SWEEPS = {
+    "set1": lambda scale: _sweep_module().run_set1(scale),
+    "set2-hdd": lambda scale: _sweep_module().run_set2("hdd", scale),
+    "set2-ssd": lambda scale: _sweep_module().run_set2("ssd", scale),
+    "set3-pure": lambda scale: _sweep_module().run_set3_pure(scale),
+    "set3-ior": lambda scale: _sweep_module().run_set3_ior(scale),
+    "set4": lambda scale: _sweep_module().run_set4(scale),
+    "set5": lambda scale: _sweep_module().run_set5(scale),
+}
+
+
+def _sweep_module():
+    import repro.experiments as experiments
+    return experiments
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(factor=args.scale, repetitions=args.reps)
+    sweep = _SWEEPS[args.sweep](scale)
+    print(sweep.render_cc_figure(f"{args.sweep} — normalized CC"))
+    print()
+    if args.ci:
+        print(sweep.render_cc_table_with_ci())
+    else:
+        print(sweep.render_cc_table())
+    if args.detail:
+        print()
+        print(sweep.render_detail(["IOPS", "BW", "ARPT", "BPS",
+                                   "exec_time"]))
+    if args.jackknife:
+        from repro.core.sensitivity import sweep_direction_robust
+        print()
+        table = TextTable(["metric", "direction robust to any "
+                                     "single point's removal?"])
+        for metric in ("IOPS", "BW", "ARPT", "BPS"):
+            robust = sweep_direction_robust(sweep, metric)
+            table.add_row([metric, "yes" if robust else "NO"])
+        print(table.render())
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(sweep.to_csv())
+        print(f"\nwrote per-point series to {args.csv}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SystemConfig(
+        kind=args.kind,
+        device_spec=args.device,
+        n_servers=args.servers,
+        seed=args.seed,
+    )
+    if args.workload == "iozone":
+        workload = IOzoneWorkload(
+            file_size=parse_size(args.size),
+            record_size=parse_size(args.record),
+            nproc=args.nproc,
+            mode="sequential" if args.nproc == 1 else "throughput",
+        )
+    elif args.workload == "ior":
+        workload = IORWorkload(
+            file_size=parse_size(args.size),
+            transfer_size=parse_size(args.record),
+            nproc=args.nproc,
+        )
+    else:
+        workload = HpioWorkload(
+            region_count=args.regions,
+            region_spacing=parse_size(args.record),
+            nproc=args.nproc,
+        )
+    measurement = workload.run(config)
+    print(f"workload: {measurement.label} on {args.kind}/{args.device}")
+    print(_render_metrics(measurement.metrics(block_size=args.block_size)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+    scale = ExperimentScale(factor=args.scale, repetitions=args.reps)
+    text = generate_report(scale)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.workloads.replay_trace import TraceReplayWorkload
+    fmt = args.format or _guess_format(args.trace)
+    trace = _READERS[fmt](args.trace)
+    first, last = trace.span()
+    original = compute_metrics(trace, exec_time=last - first,
+                               block_size=args.block_size)
+    config = SystemConfig(kind=args.kind, device_spec=args.device,
+                          n_servers=args.servers, seed=args.seed)
+    workload = TraceReplayWorkload(trace=trace, mode=args.mode)
+    measurement = workload.run(config)
+    replayed = measurement.metrics(block_size=args.block_size)
+    table = TextTable(["metric", "original", f"replayed on {args.device}"])
+    table.add_row(["BPS (blocks/s)", f"{original.bps:,.0f}",
+                   f"{replayed.bps:,.0f}"])
+    table.add_row(["IOPS", f"{original.iops:,.1f}",
+                   f"{replayed.iops:,.1f}"])
+    table.add_row(["ARPT", format_seconds(original.arpt),
+                   format_seconds(replayed.arpt)])
+    table.add_row(["union I/O time",
+                   format_seconds(original.union_io_time),
+                   format_seconds(replayed.union_io_time)])
+    table.add_row(["execution time",
+                   format_seconds(original.exec_time),
+                   format_seconds(replayed.exec_time)])
+    print(f"replayed {len(trace)} records ({args.mode} mode) on "
+          f"{args.kind}/{args.device}")
+    print(table.render())
+    speedup = original.exec_time / replayed.exec_time
+    print(f"\nprojected speedup on the simulated platform: "
+          f"{speedup:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The toolkit's argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="bps",
+        description="BPS I/O metric toolkit (IPDPSW'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="compute metrics from a recorded trace file")
+    analyze.add_argument("trace", help="path to the trace file")
+    analyze.add_argument("--format", choices=sorted(_READERS),
+                         help="trace format (default: guess from suffix)")
+    analyze.add_argument("--block-size", type=int, default=512,
+                         help="BPS block unit in bytes (default 512)")
+    analyze.add_argument("--exec-time", type=float, default=None,
+                         help="application execution time in seconds "
+                              "(default: trace span)")
+    analyze.add_argument("--bins", type=int, default=0,
+                         help="also print BPS over time in N windows")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate a paper figure or table")
+    figures.add_argument("figure_id", nargs="?", default="",
+                         help="fig4..fig12, table1, table2, summary")
+    figures.add_argument("--list", action="store_true",
+                         help="list available artifacts")
+    figures.add_argument("--scale", type=float, default=1.0,
+                         help="data-size scale factor (default 1.0)")
+    figures.add_argument("--reps", type=int, default=5,
+                         help="repetitions per sweep point (default 5)")
+    figures.set_defaults(func=_cmd_figures)
+
+    experiments = sub.add_parser(
+        "experiments", help="list the Table 2 experiment registry")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    compare = sub.add_parser(
+        "compare", help="A/B comparison of two recorded traces")
+    compare.add_argument("trace_a")
+    compare.add_argument("trace_b")
+    compare.add_argument("--format", choices=sorted(_READERS),
+                         help="trace format for both (default: guess)")
+    compare.add_argument("--block-size", type=int, default=512)
+    compare.set_defaults(func=_cmd_compare)
+
+    gantt = sub.add_parser(
+        "gantt", help="timeline view of a trace: per-process Gantt "
+                      "chart, breakdowns, overlap surplus")
+    gantt.add_argument("trace", help="path to the trace file")
+    gantt.add_argument("--format", choices=sorted(_READERS),
+                       help="trace format (default: guess from suffix)")
+    gantt.add_argument("--width", type=int, default=72,
+                       help="chart width in characters")
+    gantt.set_defaults(func=_cmd_gantt)
+
+    sweep = sub.add_parser(
+        "sweep", help="run one experiment sweep and print its CC table")
+    sweep.add_argument("sweep", choices=sorted(_SWEEPS))
+    sweep.add_argument("--scale", type=float, default=1.0,
+                       help="data-size scale factor (default 1.0)")
+    sweep.add_argument("--reps", type=int, default=5,
+                       help="repetitions per point (default 5)")
+    sweep.add_argument("--ci", action="store_true",
+                       help="add Fisher confidence intervals")
+    sweep.add_argument("--detail", action="store_true",
+                       help="also print the per-point metric series")
+    sweep.add_argument("--csv", default="",
+                       help="write the per-point series to this CSV file")
+    sweep.add_argument("--jackknife", action="store_true",
+                       help="check each direction's robustness to "
+                            "single-point removal")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    simulate = sub.add_parser(
+        "simulate", help="run one workload on a simulated platform")
+    simulate.add_argument("--workload",
+                          choices=("iozone", "ior", "hpio"),
+                          default="iozone")
+    simulate.add_argument("--kind", choices=("local", "pfs"),
+                          default="local")
+    simulate.add_argument("--device", default="sata-hdd-7200",
+                          help="device spec name (see repro.devices)")
+    simulate.add_argument("--servers", type=int, default=4,
+                          help="PFS server count")
+    simulate.add_argument("--size", default="16MiB",
+                          help="total data size (e.g. 64MiB)")
+    simulate.add_argument("--record", default="64KiB",
+                          help="record/transfer size, or region spacing "
+                               "for hpio")
+    simulate.add_argument("--regions", type=int, default=1024,
+                          help="hpio region count")
+    simulate.add_argument("--nproc", type=int, default=1)
+    simulate.add_argument("--block-size", type=int, default=512)
+    simulate.add_argument("--seed", type=int, default=12345)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    report = sub.add_parser(
+        "report", help="run every artifact and write a full "
+                       "reproduction report (minutes)")
+    report.add_argument("--out", default="",
+                        help="write Markdown here (default: stdout)")
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--reps", type=int, default=5)
+    report.set_defaults(func=_cmd_report)
+
+    replay = sub.add_parser(
+        "replay", help="replay a recorded trace on a simulated "
+                       "platform (what-if analysis)")
+    replay.add_argument("trace", help="path to the trace file")
+    replay.add_argument("--format", choices=sorted(_READERS),
+                        help="trace format (default: guess from suffix)")
+    replay.add_argument("--kind", choices=("local", "pfs"),
+                        default="local")
+    replay.add_argument("--device", default="sata-hdd-7200")
+    replay.add_argument("--servers", type=int, default=4)
+    replay.add_argument("--mode", choices=("timed", "asap"),
+                        default="timed",
+                        help="'timed' keeps original think gaps; "
+                             "'asap' drops them")
+    replay.add_argument("--block-size", type=int, default=512)
+    replay.add_argument("--seed", type=int, default=12345)
+    replay.set_defaults(func=_cmd_replay)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Toolkit entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""The paper's contribution: BPS and its measurement methodology.
+
+- :mod:`repro.core.records` — step 1: per-process I/O records.
+- :mod:`repro.core.intervals` — step 3: overlapped I/O time (paper Fig. 3),
+  in both paper-faithful and NumPy-vectorised forms.
+- :mod:`repro.core.metrics` — BPS (Eq. 1) plus the conventional metrics it
+  is compared against (IOPS, bandwidth, ARPT).
+- :mod:`repro.core.correlation` — Pearson CC (Eq. 2), expected directions
+  (Table 1), and the sign-normalisation convention of section IV.B.
+- :mod:`repro.core.analysis` — per-run metric sets and sweep-level CC
+  analysis, the machinery behind every evaluation figure.
+"""
+
+from repro.core.records import IORecord, TraceCollection
+from repro.core.intervals import (
+    union_time,
+    union_time_paper,
+    merge_intervals,
+    concurrency_profile,
+    max_concurrency,
+)
+from repro.core.metrics import (
+    MetricSet,
+    LayeredComparison,
+    bps,
+    iops,
+    bandwidth,
+    arpt,
+    union_io_time,
+    compute_metrics,
+    layered_comparison,
+)
+from repro.core.correlation import (
+    EXPECTED_DIRECTIONS,
+    normalized_cc,
+    correlation_table,
+    CorrelationResult,
+)
+from repro.core.analysis import RunMeasurement, SweepAnalysis
+from repro.core.timeline import (
+    ProcessSummary,
+    per_process_breakdown,
+    overlap_surplus,
+    binned_bps,
+    overlap_matrix,
+    render_gantt,
+)
+from repro.core.confidence import (
+    ConfidenceInterval,
+    fisher_ci,
+    cc_significant,
+    compare_cc,
+)
+from repro.core.sensitivity import (
+    JackknifeResult,
+    jackknife_cc,
+    influence,
+    sweep_direction_robust,
+)
+
+__all__ = [
+    "ProcessSummary",
+    "per_process_breakdown",
+    "overlap_surplus",
+    "binned_bps",
+    "overlap_matrix",
+    "render_gantt",
+    "ConfidenceInterval",
+    "fisher_ci",
+    "cc_significant",
+    "compare_cc",
+    "JackknifeResult",
+    "jackknife_cc",
+    "influence",
+    "sweep_direction_robust",
+    "IORecord",
+    "TraceCollection",
+    "union_time",
+    "union_time_paper",
+    "merge_intervals",
+    "concurrency_profile",
+    "max_concurrency",
+    "MetricSet",
+    "LayeredComparison",
+    "layered_comparison",
+    "bps",
+    "iops",
+    "bandwidth",
+    "arpt",
+    "union_io_time",
+    "compute_metrics",
+    "EXPECTED_DIRECTIONS",
+    "normalized_cc",
+    "correlation_table",
+    "CorrelationResult",
+    "RunMeasurement",
+    "SweepAnalysis",
+]

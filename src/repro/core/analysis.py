@@ -1,0 +1,218 @@
+"""Sweep-level analysis: from raw runs to the paper's figures.
+
+A *sweep* varies one knob (device, record size, process count, region
+spacing) across several points; each point is run several times (the
+paper uses 5 repetitions and averages).  :class:`SweepAnalysis` holds the
+per-point, per-repetition :class:`MetricSet`s, averages repetitions, and
+produces the normalised-CC table plus text renderings of the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.core.correlation import (
+    METRIC_ORDER,
+    CorrelationResult,
+    correlation_table,
+)
+from repro.core.metrics import MetricSet, compute_metrics
+from repro.core.records import TraceCollection
+from repro.errors import AnalysisError
+from repro.util.tables import TextTable, render_bar_chart, render_series
+
+
+@dataclass(frozen=True)
+class RunMeasurement:
+    """Everything one simulated run yields for analysis."""
+
+    trace: TraceCollection
+    exec_time: float
+    fs_bytes: int
+    label: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def metrics(self, *, block_size: int = 512,
+                impl: str = "numpy") -> MetricSet:
+        """Compute the full metric set for this run."""
+        return compute_metrics(
+            self.trace,
+            exec_time=self.exec_time,
+            fs_bytes=self.fs_bytes,
+            block_size=block_size,
+            label=self.label,
+            impl=impl,
+            extras=self.extras,
+        )
+
+
+def average_metric_sets(sets: Sequence[MetricSet]) -> MetricSet:
+    """Mean of repeated runs of the same sweep point, field by field.
+
+    Count fields (ops/bytes/blocks) are averaged too and rounded — they
+    are normally identical across repetitions; a mismatch larger than
+    rounding noise indicates a non-deterministic workload and is let
+    through deliberately (fault injection makes counts vary).
+    """
+    if not sets:
+        raise AnalysisError("average of zero metric sets")
+    n = len(sets)
+    first = sets[0]
+    return replace(
+        first,
+        iops=sum(s.iops for s in sets) / n,
+        bandwidth=sum(s.bandwidth for s in sets) / n,
+        arpt=sum(s.arpt for s in sets) / n,
+        bps=sum(s.bps for s in sets) / n,
+        exec_time=sum(s.exec_time for s in sets) / n,
+        union_io_time=sum(s.union_io_time for s in sets) / n,
+        app_ops=round(sum(s.app_ops for s in sets) / n),
+        app_bytes=round(sum(s.app_bytes for s in sets) / n),
+        app_blocks=round(sum(s.app_blocks for s in sets) / n),
+        fs_bytes=round(sum(s.fs_bytes for s in sets) / n),
+    )
+
+
+class SweepAnalysis:
+    """Accumulates sweep points and answers the paper's questions.
+
+    >>> sweep = SweepAnalysis("record size")
+    >>> sweep.add_point("4KB", [metric_set_rep1, metric_set_rep2, ...])
+    >>> table = sweep.correlations()
+    """
+
+    def __init__(self, knob: str, *, block_size: int = 512) -> None:
+        self.knob = knob
+        self.block_size = block_size
+        self._points: list[tuple[str, list[MetricSet]]] = []
+
+    def add_point(self, label: str, repetitions: Sequence[MetricSet]) -> None:
+        """Add one sweep point with its repetition metric sets."""
+        if not repetitions:
+            raise AnalysisError(f"sweep point {label!r} has no repetitions")
+        self._points.append((label, list(repetitions)))
+
+    def add_runs(self, label: str,
+                 runs: Sequence[RunMeasurement]) -> None:
+        """Convenience: add a point from raw run measurements."""
+        self.add_point(
+            label,
+            [r.metrics(block_size=self.block_size) for r in runs],
+        )
+
+    @property
+    def labels(self) -> list[str]:
+        """Sweep point labels, in insertion order."""
+        return [label for label, _ in self._points]
+
+    def averaged(self) -> list[MetricSet]:
+        """One repetition-averaged MetricSet per sweep point."""
+        if not self._points:
+            raise AnalysisError(f"sweep {self.knob!r} has no points")
+        return [
+            replace(average_metric_sets(reps), label=label)
+            for label, reps in self._points
+        ]
+
+    def correlations(
+        self, metrics: Sequence[str] = METRIC_ORDER,
+    ) -> dict[str, CorrelationResult]:
+        """Normalised CC of each metric against execution time."""
+        return correlation_table(self.averaged(), metrics=metrics)
+
+    def series(self, metric: str) -> list[float]:
+        """One metric's repetition-averaged values across the sweep."""
+        return [m.value_of(metric) for m in self.averaged()]
+
+    # -- renderings -----------------------------------------------------------
+
+    def render_cc_figure(self, title: str) -> str:
+        """The paper's CC bar chart (Figs. 4-6, 9, 11, 12) as text."""
+        table = self.correlations()
+        return render_bar_chart(
+            list(table.keys()),
+            [r.normalized for r in table.values()],
+            title=title,
+        )
+
+    def render_cc_table(self) -> str:
+        """Normalised CC values as a table."""
+        table = self.correlations()
+        text = TextTable(["metric", "CC (raw)", "CC (normalized)",
+                          "direction"])
+        for name, result in table.items():
+            text.add_row([
+                name,
+                f"{result.cc:+.4f}",
+                f"{result.normalized:+.4f}",
+                "correct" if result.direction_correct else "MISLEADING",
+            ])
+        return text.render()
+
+    def render_cc_table_with_ci(self, *, level: float = 0.95) -> str:
+        """CC table with Fisher confidence intervals and significance.
+
+        Extends the paper's point estimates with the statistical caveat
+        a handful of sweep points deserves (see
+        :mod:`repro.core.confidence`).  Needs >= 4 sweep points.
+        """
+        from repro.core.confidence import cc_significant, fisher_ci
+        table = self.correlations()
+        n = len(self._points)
+        text = TextTable(["metric", f"CC [{level:.0%} CI]", "direction",
+                          "significant?"])
+        for name, result in table.items():
+            interval = fisher_ci(result.cc, n, level=level)
+            text.add_row([
+                name,
+                str(interval),
+                "correct" if result.direction_correct else "MISLEADING",
+                "yes" if cc_significant(result.cc, n, level=level)
+                else "no",
+            ])
+        return text.render()
+
+    def to_csv(self) -> str:
+        """The sweep's averaged points as CSV (one row per point).
+
+        Columns: the knob label, every metric, execution time, and the
+        byte/op context — ready for external plotting tools.
+        """
+        import csv
+        import io
+        averaged = self.averaged()
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow([
+            "point", "iops", "bandwidth_Bps", "arpt_s", "bps",
+            "exec_time_s", "union_io_time_s", "app_ops", "app_bytes",
+            "app_blocks", "fs_bytes",
+        ])
+        for metric_set in averaged:
+            writer.writerow([
+                metric_set.label,
+                repr(metric_set.iops),
+                repr(metric_set.bandwidth),
+                repr(metric_set.arpt),
+                repr(metric_set.bps),
+                repr(metric_set.exec_time),
+                repr(metric_set.union_io_time),
+                metric_set.app_ops,
+                metric_set.app_bytes,
+                metric_set.app_blocks,
+                metric_set.fs_bytes,
+            ])
+        return buffer.getvalue()
+
+    def render_detail(self, metrics: Sequence[str]) -> str:
+        """Per-point series table (the Fig. 7/8/10-style detail views)."""
+        averaged = self.averaged()
+        columns = {
+            metric: [m.value_of(metric) for m in averaged]
+            for metric in metrics
+        }
+        return render_series(self.knob, self.labels, columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SweepAnalysis {self.knob!r} points={len(self._points)}>"

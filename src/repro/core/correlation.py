@@ -1,0 +1,109 @@
+"""Correlation analysis — the paper's evaluation instrument (section IV.A-B).
+
+For each sweep (e.g. record size 4 KB → 8 MB), every metric's series is
+correlated against the application execution time series with the Pearson
+coefficient (Eq. 2).  Table 1 fixes the direction a *well-behaved* metric
+must show: throughput-like metrics (IOPS, bandwidth, BPS) should move
+*against* execution time (negative CC), ARPT should move *with* it
+(positive CC).
+
+Section IV.B then normalises for presentation: a CC whose sign matches
+the expected direction is recorded as ``+|CC|`` ("correct, this strong"),
+a mismatched sign as ``-|CC|`` ("misleading, this strongly").  All the CC
+bar figures (4-6, 9, 11, 12) plot these normalised values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.metrics import MetricSet
+from repro.errors import AnalysisError
+from repro.util.stats import pearson
+
+#: Table 1 — expected CC direction of each metric against execution time.
+EXPECTED_DIRECTIONS: dict[str, int] = {
+    "IOPS": -1,
+    "BW": -1,
+    "ARPT": +1,
+    "BPS": -1,
+}
+
+#: Canonical presentation order, as in every figure of the paper.
+METRIC_ORDER: tuple[str, ...] = ("IOPS", "BW", "ARPT", "BPS")
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """One metric's correlation against execution time over a sweep."""
+
+    metric: str
+    cc: float                 # raw Pearson coefficient
+    expected_direction: int   # -1 or +1, from Table 1
+    normalized: float         # +|cc| if direction matches, else -|cc|
+
+    @property
+    def direction_correct(self) -> bool:
+        """Did the metric move the way Table 1 says it must?"""
+        return self.normalized >= 0.0
+
+
+def normalized_cc(metric: str, metric_values: Sequence[float],
+                  exec_times: Sequence[float]) -> CorrelationResult:
+    """Correlate one metric series with execution time and normalise.
+
+    Raises :class:`AnalysisError` for unknown metrics or degenerate
+    series (fewer than two points / zero variance) — a sweep that cannot
+    distinguish metric behaviours is an experiment-design bug, not a
+    value to paper over.
+    """
+    name = metric.strip().upper()
+    if name == "BANDWIDTH":
+        name = "BW"
+    try:
+        expected = EXPECTED_DIRECTIONS[name]
+    except KeyError:
+        known = ", ".join(METRIC_ORDER)
+        raise AnalysisError(
+            f"no expected direction for metric {metric!r} (known: {known})"
+        ) from None
+    cc = pearson(metric_values, exec_times)
+    matches = (cc < 0) == (expected < 0) if cc != 0.0 else False
+    normalized = abs(cc) if matches else -abs(cc)
+    return CorrelationResult(name, cc, expected, normalized)
+
+
+def correlation_table(
+    runs: Sequence[MetricSet],
+    *,
+    metrics: Sequence[str] = METRIC_ORDER,
+) -> dict[str, CorrelationResult]:
+    """Normalised CC of every metric over a sweep of runs.
+
+    ``runs`` holds one :class:`MetricSet` per sweep point (already
+    averaged over repetitions).  Returns a mapping in ``metrics`` order.
+    """
+    if len(runs) < 2:
+        raise AnalysisError(
+            f"correlation needs at least two sweep points, got {len(runs)}"
+        )
+    exec_times = [r.exec_time for r in runs]
+    table: dict[str, CorrelationResult] = {}
+    for metric in metrics:
+        values = [r.value_of(metric) for r in runs]
+        table[metric.upper() if metric.upper() != "BANDWIDTH" else "BW"] = \
+            normalized_cc(metric, values, exec_times)
+    return table
+
+
+def average_strength(table: Mapping[str, CorrelationResult]) -> float:
+    """Mean |CC| across a table — the paper's "absolute average value"."""
+    if not table:
+        raise AnalysisError("average of an empty correlation table")
+    return sum(abs(r.cc) for r in table.values()) / len(table)
+
+
+def misleading_metrics(table: Mapping[str, CorrelationResult]) -> list[str]:
+    """Metrics whose direction flipped (normalised CC < 0) in this sweep."""
+    return [name for name, r in table.items() if not r.direction_correct]

@@ -1,0 +1,251 @@
+"""The metrics under study: BPS (Eq. 1) and the conventional trio.
+
+Definitions, all computed from a gathered :class:`TraceCollection`:
+
+- ``BPS  = B / T`` — application-required blocks over the *union* of all
+  I/O intervals (paper Eq. 1).  B counts what the application asked for,
+  not what the file system moved.
+- ``IOPS = N / T`` — application I/O operations over the same union time.
+- ``bandwidth = fs_bytes / T`` — bytes moved at the *file-system
+  boundary* over the union time.  The measurement point is the whole
+  disagreement between bandwidth and BPS: with data sieving the file
+  system moves more than the application asked for, and bandwidth
+  credits the holes (the Set 4 flip).
+- ``ARPT = mean(end - start)`` — arithmetic-mean response time of the
+  application's requests (the paper's "average response time").
+
+All four come bundled in a :class:`MetricSet` together with the run's
+execution time, so sweep analysis can correlate each against overall
+performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.intervals import union_time, union_time_paper
+from repro.core.records import TraceCollection
+from repro.errors import AnalysisError
+from repro.util.units import BLOCK_SIZE
+
+
+def union_io_time(trace: TraceCollection, *, impl: str = "numpy") -> float:
+    """T of the BPS equation for a gathered trace.
+
+    ``impl`` picks the implementation: "numpy" (default) or "paper"
+    (the pure-Python Fig. 3 port) — they agree; the knob exists for the
+    cross-validation tests and the ablation bench.
+    """
+    intervals = trace.intervals()
+    if impl == "numpy":
+        return union_time(intervals)
+    if impl == "paper":
+        return union_time_paper(intervals)
+    raise AnalysisError(f"unknown union-time impl {impl!r}")
+
+
+def bps(trace: TraceCollection, *, block_size: int = BLOCK_SIZE,
+        impl: str = "numpy") -> float:
+    """Blocks Per Second — the paper's equation (1).
+
+    B counts every application-issued block (successful or not,
+    concurrent or not); T is the overlap-collapsed I/O time.
+    """
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("BPS of an empty trace")
+    t = union_io_time(app, impl=impl)
+    if t <= 0.0:
+        raise AnalysisError(
+            f"BPS undefined: union I/O time is {t} "
+            "(all records are zero-length?)"
+        )
+    return app.total_blocks(block_size) / t
+
+
+def iops(trace: TraceCollection, *, impl: str = "numpy") -> float:
+    """I/O operations per second of active I/O time."""
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("IOPS of an empty trace")
+    t = union_io_time(app, impl=impl)
+    if t <= 0.0:
+        raise AnalysisError("IOPS undefined: union I/O time is zero")
+    return len(app) / t
+
+
+def bandwidth(trace: TraceCollection, *, fs_bytes: int | None = None,
+              impl: str = "numpy") -> float:
+    """File-system-boundary data rate in bytes/second.
+
+    ``fs_bytes`` is the byte count actually moved below the middleware
+    (device/page traffic, including sieving holes and read-ahead).  When
+    not supplied, the application byte total is used — correct for
+    optimisation-free stacks, and exactly the assumption that makes
+    bandwidth mislead once optimisations appear.
+    """
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("bandwidth of an empty trace")
+    t = union_io_time(app, impl=impl)
+    if t <= 0.0:
+        raise AnalysisError("bandwidth undefined: union I/O time is zero")
+    moved = app.total_bytes() if fs_bytes is None else fs_bytes
+    if moved < 0:
+        raise AnalysisError(f"negative fs_bytes: {moved}")
+    return moved / t
+
+
+def arpt(trace: TraceCollection) -> float:
+    """Average response time of the application's requests (seconds)."""
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("ARPT of an empty trace")
+    return float(app.response_times().mean())
+
+
+@dataclass(frozen=True)
+class MetricSet:
+    """All metrics of one run, plus the context needed to interpret them."""
+
+    iops: float
+    bandwidth: float
+    arpt: float
+    bps: float
+    exec_time: float
+    union_io_time: float
+    app_ops: int
+    app_bytes: int
+    app_blocks: int
+    fs_bytes: int
+    block_size: int = BLOCK_SIZE
+    label: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def value_of(self, metric: str) -> float:
+        """Look up a metric by its paper name (IOPS/BW/ARPT/BPS/...)."""
+        key = metric.strip().lower()
+        aliases = {
+            "iops": self.iops,
+            "bw": self.bandwidth,
+            "bandwidth": self.bandwidth,
+            "arpt": self.arpt,
+            "bps": self.bps,
+            "exec_time": self.exec_time,
+            "execution_time": self.exec_time,
+        }
+        try:
+            return aliases[key]
+        except KeyError:
+            raise AnalysisError(f"unknown metric {metric!r}") from None
+
+    @property
+    def fs_amplification(self) -> float:
+        """fs_bytes / app_bytes; >1 means the stack moved extra data."""
+        if self.app_bytes == 0:
+            return 0.0
+        return self.fs_bytes / self.app_bytes
+
+
+@dataclass(frozen=True)
+class LayeredComparison:
+    """BPS computed at two measurement points of the same run.
+
+    The paper's central claim is that *where* you measure decides what
+    you learn: the application layer sees required blocks; the
+    file-system layer sees moved blocks.  When the stack adds data
+    movement (sieving holes, read-ahead, mirroring), ``fs_bps`` rises
+    above ``app_bps`` — quantifying exactly the misdirection that makes
+    bandwidth flip in Set 4.
+    """
+
+    app_bps: float
+    fs_bps: float
+    app_blocks: int
+    fs_blocks: int
+    app_union_time: float
+    fs_union_time: float
+
+    @property
+    def block_amplification(self) -> float:
+        """fs blocks / app blocks (1.0 = nothing extra moved)."""
+        if self.app_blocks == 0:
+            return 0.0
+        return self.fs_blocks / self.app_blocks
+
+
+def layered_comparison(trace: TraceCollection, *,
+                       block_size: int = BLOCK_SIZE,
+                       impl: str = "numpy") -> LayeredComparison:
+    """BPS at the application layer vs at the file-system layer.
+
+    Requires a trace recorded with per-access fs records
+    (``TraceRecorder(keep_fs_records=True)`` /
+    ``SystemConfig(keep_fs_records=True)``).
+    """
+    from repro.core.records import LAYER_FS
+    app = trace.app_records()
+    fs = trace.filter(lambda r: r.layer == LAYER_FS)
+    if len(app) == 0:
+        raise AnalysisError("layered comparison of an empty app trace")
+    if len(fs) == 0:
+        raise AnalysisError(
+            "no fs-layer records; record with keep_fs_records=True"
+        )
+    app_t = union_io_time(app, impl=impl)
+    fs_t = union_time(fs.intervals()) if impl == "numpy" \
+        else union_time_paper(fs.intervals())
+    if app_t <= 0 or fs_t <= 0:
+        raise AnalysisError("layered comparison with zero union time")
+    app_blocks = app.total_blocks(block_size)
+    fs_blocks = fs.total_blocks(block_size)
+    return LayeredComparison(
+        app_bps=app_blocks / app_t,
+        fs_bps=fs_blocks / fs_t,
+        app_blocks=app_blocks,
+        fs_blocks=fs_blocks,
+        app_union_time=app_t,
+        fs_union_time=fs_t,
+    )
+
+
+def compute_metrics(
+    trace: TraceCollection,
+    *,
+    exec_time: float,
+    fs_bytes: int | None = None,
+    block_size: int = BLOCK_SIZE,
+    label: str = "",
+    impl: str = "numpy",
+    extras: dict | None = None,
+) -> MetricSet:
+    """Bundle all four metrics (plus context) for one run.
+
+    ``exec_time`` is the application execution time — the paper's stand-in
+    for overall computer performance (section IV.A).
+    """
+    if exec_time <= 0:
+        raise AnalysisError(f"non-positive exec_time: {exec_time}")
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("cannot compute metrics for an empty trace")
+    t = union_io_time(app, impl=impl)
+    if t <= 0.0:
+        raise AnalysisError("metrics undefined: union I/O time is zero")
+    app_bytes = app.total_bytes()
+    moved = app_bytes if fs_bytes is None else fs_bytes
+    return MetricSet(
+        iops=len(app) / t,
+        bandwidth=moved / t,
+        arpt=float(app.response_times().mean()),
+        bps=app.total_blocks(block_size) / t,
+        exec_time=exec_time,
+        union_io_time=t,
+        app_ops=len(app),
+        app_bytes=app_bytes,
+        app_blocks=app.total_blocks(block_size),
+        fs_bytes=moved,
+        block_size=block_size,
+        label=label,
+        extras=dict(extras or {}),
+    )

@@ -1,0 +1,104 @@
+"""Jackknife sensitivity of correlation conclusions.
+
+A CC computed from 6-8 sweep points can hinge on a single point.  The
+leave-one-out jackknife asks: does any point's removal change the
+conclusion?
+
+- :func:`jackknife_cc` — the CC with each point removed in turn;
+- :func:`direction_robust` — does the *direction* (the paper's whole
+  argument) survive every single-point removal?
+- :func:`influence` — each point's influence on the coefficient.
+
+Complements :mod:`repro.core.confidence` (sampling error) with
+structural sensitivity (dependence on individual design points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalysisError
+from repro.util.stats import pearson
+
+
+@dataclass(frozen=True)
+class JackknifeResult:
+    """Leave-one-out analysis of one correlation."""
+
+    cc: float                       # full-sample coefficient
+    loo: tuple[float, ...]          # cc with point i removed
+    labels: tuple[str, ...]         # sweep point labels
+
+    @property
+    def min_cc(self) -> float:
+        """Most pessimistic leave-one-out coefficient."""
+        return min(self.loo)
+
+    @property
+    def max_cc(self) -> float:
+        """Most optimistic leave-one-out coefficient."""
+        return max(self.loo)
+
+    def direction_robust(self) -> bool:
+        """Does sign(cc) survive every single-point removal?"""
+        if self.cc == 0.0:
+            return False
+        sign = self.cc > 0
+        return all((value > 0) == sign and value != 0.0
+                   for value in self.loo)
+
+    def most_influential(self) -> tuple[str, float]:
+        """(label, |cc_full - cc_without_it|) of the pivotal point."""
+        deltas = [abs(self.cc - value) for value in self.loo]
+        index = max(range(len(deltas)), key=deltas.__getitem__)
+        return self.labels[index], deltas[index]
+
+
+def jackknife_cc(x: Sequence[float], y: Sequence[float],
+                 labels: Sequence[str] | None = None) -> JackknifeResult:
+    """Leave-one-out Pearson coefficients.
+
+    Needs at least 4 points (3 remain after each removal).  A removal
+    that leaves a zero-variance series contributes cc=0.0 (flagged as
+    non-robust by :meth:`JackknifeResult.direction_robust`).
+    """
+    if len(x) != len(y):
+        raise AnalysisError("jackknife needs equal-length series")
+    n = len(x)
+    if n < 4:
+        raise AnalysisError(f"jackknife needs >= 4 points, got {n}")
+    if labels is None:
+        labels = [str(i) for i in range(n)]
+    if len(labels) != n:
+        raise AnalysisError("labels length mismatch")
+    full = pearson(x, y)
+    loo = []
+    for skip in range(n):
+        xs = [v for i, v in enumerate(x) if i != skip]
+        ys = [v for i, v in enumerate(y) if i != skip]
+        try:
+            loo.append(pearson(xs, ys))
+        except AnalysisError:
+            loo.append(0.0)
+    return JackknifeResult(cc=full, loo=tuple(loo),
+                           labels=tuple(labels))
+
+
+def influence(x: Sequence[float], y: Sequence[float],
+              labels: Sequence[str] | None = None
+              ) -> list[tuple[str, float]]:
+    """Per-point influence |cc_full - cc_loo|, sorted descending."""
+    result = jackknife_cc(x, y, labels)
+    pairs = [(label, abs(result.cc - value))
+             for label, value in zip(result.labels, result.loo)]
+    return sorted(pairs, key=lambda p: -p[1])
+
+
+def sweep_direction_robust(sweep, metric: str) -> bool:
+    """Convenience: is a SweepAnalysis metric's direction jackknife-robust?"""
+    averaged = sweep.averaged()
+    values = [m.value_of(metric) for m in averaged]
+    exec_times = [m.exec_time for m in averaged]
+    return jackknife_cc(values, exec_times,
+                        sweep.labels).direction_robust()

@@ -1,0 +1,222 @@
+"""Timeline analytics on gathered traces.
+
+Beyond the single BPS number, the measurement methodology's records
+support richer views the paper's future work gestures at ("more
+performance measurements using BPS"):
+
+- :func:`per_process_breakdown` — each process's own B, union T, and
+  BPS, next to the global figures (how much does overlap buy?);
+- :func:`binned_bps` — BPS over time: the block throughput of each
+  wall-clock bin, for spotting phases and stragglers;
+- :func:`overlap_matrix` — pairwise overlapped seconds between
+  processes' I/O, the raw material of concurrency diagnostics;
+- :func:`render_gantt` — a terminal Gantt chart of the I/O intervals,
+  one row per process (also exposed as ``bps gantt``).
+
+Everything operates on a :class:`~repro.core.records.TraceCollection`
+and is NumPy-vectorised where it matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.intervals import union_time
+from repro.core.records import TraceCollection
+from repro.errors import AnalysisError
+from repro.util.units import BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class ProcessSummary:
+    """One process's share of the trace."""
+
+    pid: int
+    ops: int
+    blocks: int
+    union_time: float
+    bps: float
+    mean_response: float
+
+
+def per_process_breakdown(trace: TraceCollection,
+                          *, block_size: int = BLOCK_SIZE
+                          ) -> list[ProcessSummary]:
+    """Per-process B, T, and BPS, sorted by pid.
+
+    The sum of per-process union times generally *exceeds* the global
+    union time — that surplus is exactly the cross-process overlap BPS
+    credits and per-process views cannot see.
+    """
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("breakdown of an empty trace")
+    summaries = []
+    for pid in app.pids():
+        own = app.for_pid(pid)
+        t = union_time(own.intervals())
+        blocks = own.total_blocks(block_size)
+        summaries.append(ProcessSummary(
+            pid=pid,
+            ops=len(own),
+            blocks=blocks,
+            union_time=t,
+            bps=blocks / t if t > 0 else float("nan"),
+            mean_response=float(own.response_times().mean()),
+        ))
+    return summaries
+
+
+def overlap_surplus(trace: TraceCollection) -> float:
+    """Sum of per-process union times minus the global union time.
+
+    Zero for perfectly serialised processes; grows with cross-process
+    concurrency.  (Within-process overlap — async I/O — is already
+    collapsed on both sides.)
+    """
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("overlap of an empty trace")
+    per_process = sum(union_time(app.for_pid(pid).intervals())
+                      for pid in app.pids())
+    return per_process - union_time(app.intervals())
+
+
+def binned_bps(trace: TraceCollection, *, bins: int = 20,
+               block_size: int = BLOCK_SIZE
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """BPS per wall-clock bin: (bin_edges, bps_per_bin).
+
+    Each record's blocks are spread uniformly over its own interval,
+    then accumulated into ``bins`` equal bins spanning the trace; each
+    bin's value is blocks-landing-in-bin / bin width.  Zero-length
+    records contribute their whole block count to the bin containing
+    their instant.
+    """
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("binned BPS of an empty trace")
+    if bins < 1:
+        raise AnalysisError(f"bins must be >= 1, got {bins}")
+    first, last = app.span()
+    if last <= first:
+        raise AnalysisError("trace has zero wall extent")
+    edges = np.linspace(first, last, bins + 1)
+    width = (last - first) / bins
+    totals = np.zeros(bins, dtype=float)
+    for record in app:
+        blocks = record.blocks(block_size)
+        if record.duration == 0.0:
+            index = min(int((record.start - first) / width), bins - 1)
+            totals[index] += blocks
+            continue
+        # Fractional overlap of the record with every bin.
+        lo = np.clip(edges[:-1], record.start, record.end)
+        hi = np.clip(edges[1:], record.start, record.end)
+        fractions = np.maximum(hi - lo, 0.0) / record.duration
+        totals += blocks * fractions
+    return edges, totals / width
+
+
+def overlap_matrix(trace: TraceCollection) -> tuple[list[int], np.ndarray]:
+    """Pairwise overlapped I/O seconds between processes.
+
+    Returns (pids, M) with ``M[i, j]`` = seconds during which process
+    ``pids[i]`` and ``pids[j]`` both had I/O in flight; the diagonal is
+    each process's own union time.
+    """
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("overlap matrix of an empty trace")
+    pids = app.pids()
+    merged = {}
+    from repro.core.intervals import merge_intervals
+    for pid in pids:
+        merged[pid] = merge_intervals(app.for_pid(pid).intervals())
+    n = len(pids)
+    matrix = np.zeros((n, n), dtype=float)
+    for i, pid_a in enumerate(pids):
+        for j, pid_b in enumerate(pids):
+            if j < i:
+                matrix[i, j] = matrix[j, i]
+                continue
+            matrix[i, j] = _merged_overlap(merged[pid_a], merged[pid_b])
+    return pids, matrix
+
+
+def _merged_overlap(a: np.ndarray, b: np.ndarray) -> float:
+    """Total overlap between two sorted disjoint interval sets."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i, 0], b[j, 0])
+        hi = min(a[i, 1], b[j, 1])
+        if hi > lo:
+            total += hi - lo
+        if a[i, 1] <= b[j, 1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def concurrency_histogram(trace: TraceCollection
+                          ) -> dict[int, float]:
+    """Seconds spent at each I/O concurrency depth (depth >= 1).
+
+    ``{1: 2.5, 3: 0.4}`` means 2.5 s with exactly one request in
+    flight and 0.4 s with exactly three.  The values sum to the union
+    I/O time; the depth-weighted sum equals the total request time.
+    """
+    from repro.core.intervals import concurrency_profile
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("histogram of an empty trace")
+    times, depth = concurrency_profile(app.intervals())
+    histogram: dict[int, float] = {}
+    widths = np.diff(times)
+    for width, level in zip(widths, depth[:-1]):
+        if level > 0 and width > 0:
+            histogram[int(level)] = histogram.get(int(level), 0.0) \
+                + float(width)
+    return histogram
+
+
+def render_gantt(trace: TraceCollection, *, width: int = 72) -> str:
+    """Terminal Gantt chart: one row per process, '#' where I/O runs.
+
+    Overlapping records of one process deepen the mark ('#' → digits
+    2-9 for stacked concurrency).  The time axis spans the trace.
+    """
+    app = trace.app_records()
+    if len(app) == 0:
+        raise AnalysisError("gantt of an empty trace")
+    if width < 10:
+        raise AnalysisError("gantt needs width >= 10")
+    first, last = app.span()
+    span = last - first
+    if span <= 0:
+        raise AnalysisError("trace has zero wall extent")
+    lines = []
+    for pid in app.pids():
+        depth = np.zeros(width, dtype=int)
+        for record in app.for_pid(pid):
+            lo = int((record.start - first) / span * width)
+            hi = int(np.ceil((record.end - first) / span * width))
+            lo = min(lo, width - 1)
+            hi = max(hi, lo + 1)
+            depth[lo:min(hi, width)] += 1
+        cells = []
+        for d in depth:
+            if d == 0:
+                cells.append(".")
+            elif d == 1:
+                cells.append("#")
+            else:
+                cells.append(str(min(d, 9)))
+        lines.append(f"pid {pid:>4} |{''.join(cells)}|")
+    lines.append(f"{'':>9}t={first:.6g}{'':>{max(1, width - 18)}}"
+                 f"t={last:.6g}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Block-device models: mechanical HDD, multi-channel SSD, RAM disk.
+
+Each device turns a (op, offset, nbytes) request into a simulated service
+time, with contention via the engine's resources.  The HDD/SSD parameter
+defaults mirror the paper's testbed (250 GB 7200 RPM SATA-II disk, PCI-E
+X4 100 GB SSD).
+"""
+
+from repro.devices.base import (
+    BlockDevice,
+    DeviceRequest,
+    DeviceResult,
+    DeviceStats,
+    FaultInjector,
+    READ,
+    WRITE,
+)
+from repro.devices.hdd import HDDModel
+from repro.devices.ssd import SSDModel
+from repro.devices.ramdisk import RamDisk
+from repro.devices.raid import RAIDArray
+from repro.devices.specs import (
+    DEVICE_SPECS,
+    make_device,
+    paper_hdd,
+    paper_ssd,
+)
+
+__all__ = [
+    "BlockDevice",
+    "DeviceRequest",
+    "DeviceResult",
+    "DeviceStats",
+    "FaultInjector",
+    "READ",
+    "WRITE",
+    "HDDModel",
+    "SSDModel",
+    "RamDisk",
+    "RAIDArray",
+    "DEVICE_SPECS",
+    "make_device",
+    "paper_hdd",
+    "paper_ssd",
+]

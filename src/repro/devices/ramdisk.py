@@ -1,0 +1,44 @@
+"""RAM-backed device: near-zero latency, memory-speed transfers.
+
+Used in tests (fast, deterministic) and as the "infinitely fast storage"
+baseline in ablations — with a RamDisk the I/O stack's software overheads
+dominate, which isolates middleware costs from device costs.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import BlockDevice, DeviceRequest
+from repro.sim.engine import Engine
+from repro.util.rng import RngStream
+from repro.util.units import GiB
+
+
+class RamDisk(BlockDevice):
+    """Memory-speed block device (default 8 GiB at 6 GiB/s)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "ramdisk",
+        *,
+        capacity_bytes: int = 8 * GiB,
+        access_latency_s: float = 0.000001,
+        transfer_rate: float = 6.0 * GiB,
+        channels: int = 8,
+        rng: RngStream | None = None,
+        jitter_sigma: float = 0.0,
+        fault_injector=None,
+    ) -> None:
+        super().__init__(
+            engine, name, capacity_bytes,
+            channels=channels,
+            scheduler="fifo",
+            rng=rng,
+            jitter_sigma=jitter_sigma,
+            fault_injector=fault_injector,
+        )
+        self.access_latency_s = access_latency_s
+        self.transfer_rate = transfer_rate
+
+    def service_time(self, request: DeviceRequest) -> float:
+        return self.access_latency_s + request.nbytes / self.transfer_rate

@@ -1,0 +1,215 @@
+"""Named device specifications and a factory.
+
+``DEVICE_SPECS`` is a catalog keyed by spec name; :func:`make_device`
+instantiates one on an engine.  ``paper_hdd`` / ``paper_ssd`` build the
+two devices of the paper's testbed (section IV.B): a 250 GB 7200 RPM
+SATA-II disk and a PCI-E X4 100 GB SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.devices.base import BlockDevice
+from repro.devices.hdd import HDDModel
+from repro.devices.ramdisk import RamDisk
+from repro.devices.ssd import SSDModel
+from repro.errors import DeviceError
+from repro.sim.engine import Engine
+from repro.util.rng import RngStream
+from repro.util.units import GiB, MiB
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A named device configuration."""
+
+    name: str
+    kind: str  # "hdd" | "ssd" | "ramdisk"
+    params: dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+
+DEVICE_SPECS: dict[str, DeviceSpec] = {
+    "sata-hdd-7200": DeviceSpec(
+        name="sata-hdd-7200",
+        kind="hdd",
+        params=dict(
+            capacity_bytes=250 * GiB,
+            rpm=7200.0,
+            full_stroke_s=0.017,
+            track_to_track_s=0.0008,
+            transfer_rate=100.0 * MiB,
+            command_overhead_s=0.00010,
+        ),
+        description="250GB 7200RPM SATA-II HDD (paper testbed compute node)",
+    ),
+    "sata-hdd-5400": DeviceSpec(
+        name="sata-hdd-5400",
+        kind="hdd",
+        params=dict(
+            capacity_bytes=250 * GiB,
+            rpm=5400.0,
+            full_stroke_s=0.021,
+            track_to_track_s=0.0011,
+            transfer_rate=70.0 * MiB,
+            command_overhead_s=0.00012,
+        ),
+        description="Slower laptop-class 5400RPM HDD",
+    ),
+    "pcie-ssd": DeviceSpec(
+        name="pcie-ssd",
+        kind="ssd",
+        params=dict(
+            capacity_bytes=100 * GiB,
+            read_latency_s=0.000060,
+            write_latency_s=0.000250,
+            channel_rate=180.0 * MiB,
+            channels=4,
+            command_overhead_s=0.000020,
+        ),
+        description="PCI-E X4 100GB SSD (paper testbed, 17 nodes)",
+    ),
+    "sata-ssd": DeviceSpec(
+        name="sata-ssd",
+        kind="ssd",
+        params=dict(
+            capacity_bytes=120 * GiB,
+            read_latency_s=0.000090,
+            write_latency_s=0.000350,
+            channel_rate=120.0 * MiB,
+            channels=2,
+            command_overhead_s=0.000030,
+        ),
+        description="SATA-attached consumer SSD",
+    ),
+    "ramdisk": DeviceSpec(
+        name="ramdisk",
+        kind="ramdisk",
+        params=dict(capacity_bytes=8 * GiB),
+        description="Memory-speed device for tests and software-overhead ablations",
+    ),
+    "nvme-ssd": DeviceSpec(
+        name="nvme-ssd",
+        kind="ssd",
+        params=dict(
+            capacity_bytes=1024 * GiB,
+            read_latency_s=0.000012,
+            write_latency_s=0.000020,
+            channel_rate=350.0 * MiB,
+            channels=8,
+            command_overhead_s=0.000004,
+        ),
+        description="Modern NVMe drive (post-paper hardware, for "
+                    "what-if replays)",
+    ),
+    "sas-hdd-15k": DeviceSpec(
+        name="sas-hdd-15k",
+        kind="hdd",
+        params=dict(
+            capacity_bytes=146 * GiB,
+            rpm=15000.0,
+            full_stroke_s=0.0065,
+            track_to_track_s=0.0004,
+            transfer_rate=160.0 * MiB,
+            command_overhead_s=0.00008,
+        ),
+        description="Enterprise 15K RPM SAS drive",
+    ),
+    "raid0-hdd-4": DeviceSpec(
+        name="raid0-hdd-4",
+        kind="raid",
+        params=dict(level=0, n_members=4, member_spec="sata-hdd-7200",
+                    chunk_size=64 * 1024),
+        description="4-disk RAID-0 over the paper's HDDs",
+    ),
+    "raid1-hdd-2": DeviceSpec(
+        name="raid1-hdd-2",
+        kind="raid",
+        params=dict(level=1, n_members=2, member_spec="sata-hdd-7200",
+                    chunk_size=64 * 1024),
+        description="2-disk mirror over the paper's HDDs",
+    ),
+}
+
+_KIND_CLASSES: dict[str, type[BlockDevice]] = {
+    "hdd": HDDModel,
+    "ssd": SSDModel,
+    "ramdisk": RamDisk,
+}
+
+
+def make_device(
+    engine: Engine,
+    spec: str | DeviceSpec,
+    *,
+    name: str | None = None,
+    rng: RngStream | None = None,
+    jitter_sigma: float = 0.0,
+    **overrides: Any,
+):
+    """Instantiate a device from a spec name or :class:`DeviceSpec`.
+
+    ``overrides`` replace individual spec parameters (e.g. a different
+    ``capacity_bytes`` for a scaled-down test).  Returns a
+    :class:`BlockDevice` or, for "raid" specs, a
+    :class:`~repro.devices.raid.RAIDArray` (same submit/access
+    protocol).
+    """
+    if isinstance(spec, str):
+        try:
+            spec = DEVICE_SPECS[spec]
+        except KeyError:
+            known = ", ".join(sorted(DEVICE_SPECS))
+            raise DeviceError(
+                f"unknown device spec {spec!r}; known specs: {known}"
+            ) from None
+    params = dict(spec.params)
+    params.update(overrides)
+    if spec.kind == "raid":
+        from repro.devices.raid import RAIDArray
+        array_name = name or spec.name
+        n_members = params.pop("n_members")
+        member_spec = params.pop("member_spec")
+        member_rngs = (rng.spawn_many("member", n_members)
+                       if rng is not None else [None] * n_members)
+        members = [
+            make_device(engine, member_spec,
+                        name=f"{array_name}.m{index}",
+                        rng=member_rngs[index],
+                        jitter_sigma=jitter_sigma)
+            for index in range(n_members)
+        ]
+        return RAIDArray(engine, members, name=array_name, **params)
+    try:
+        cls = _KIND_CLASSES[spec.kind]
+    except KeyError:
+        raise DeviceError(f"unknown device kind {spec.kind!r}") from None
+    return cls(
+        engine,
+        name or spec.name,
+        rng=rng,
+        jitter_sigma=jitter_sigma,
+        **params,
+    )
+
+
+def paper_hdd(engine: Engine, *, name: str = "hdd",
+              rng: RngStream | None = None,
+              jitter_sigma: float = 0.0, **overrides: Any) -> HDDModel:
+    """The paper testbed's HDD (250GB 7200RPM SATA-II)."""
+    device = make_device(engine, "sata-hdd-7200", name=name, rng=rng,
+                         jitter_sigma=jitter_sigma, **overrides)
+    assert isinstance(device, HDDModel)
+    return device
+
+
+def paper_ssd(engine: Engine, *, name: str = "ssd",
+              rng: RngStream | None = None,
+              jitter_sigma: float = 0.0, **overrides: Any) -> SSDModel:
+    """The paper testbed's SSD (PCI-E X4 100GB)."""
+    device = make_device(engine, "pcie-ssd", name=name, rng=rng,
+                         jitter_sigma=jitter_sigma, **overrides)
+    assert isinstance(device, SSDModel)
+    return device

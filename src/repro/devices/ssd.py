@@ -1,0 +1,65 @@
+"""Solid-state drive model: fixed access latency, parallel channels.
+
+An SSD has no positional state.  Each request pays a per-op access
+latency (flash read/program latency plus controller work) and a transfer
+time at the per-channel rate; up to ``channels`` requests proceed in
+parallel, so the aggregate sequential bandwidth is roughly
+``channels * channel_rate`` under sufficient queue depth.
+
+Writes are slower than reads (program > read latency), which the model
+exposes via separate latency parameters.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import BlockDevice, DeviceRequest, READ
+from repro.errors import DeviceError
+from repro.sim.engine import Engine
+from repro.util.rng import RngStream
+from repro.util.units import GiB, MiB
+
+
+class SSDModel(BlockDevice):
+    """Multi-channel flash device.
+
+    Defaults approximate the paper's PCI-E X4 100 GB SSD: 60 µs read
+    latency, 4 channels at 180 MiB/s each (~720 MiB/s aggregate).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "ssd",
+        *,
+        capacity_bytes: int = 100 * GiB,
+        read_latency_s: float = 0.000060,
+        write_latency_s: float = 0.000250,
+        channel_rate: float = 180.0 * MiB,
+        channels: int = 4,
+        command_overhead_s: float = 0.000020,
+        rng: RngStream | None = None,
+        jitter_sigma: float = 0.0,
+        fault_injector=None,
+    ) -> None:
+        if read_latency_s < 0 or write_latency_s < 0:
+            raise DeviceError("latencies must be non-negative")
+        if channel_rate <= 0:
+            raise DeviceError(f"channel_rate must be positive: {channel_rate}")
+        super().__init__(
+            engine, name, capacity_bytes,
+            channels=channels,
+            scheduler="fifo",  # no positional state => elevator is pointless
+            rng=rng,
+            jitter_sigma=jitter_sigma,
+            fault_injector=fault_injector,
+        )
+        self.read_latency_s = read_latency_s
+        self.write_latency_s = write_latency_s
+        self.channel_rate = channel_rate
+        self.command_overhead_s = command_overhead_s
+
+    def service_time(self, request: DeviceRequest) -> float:
+        latency = (self.read_latency_s if request.op == READ
+                   else self.write_latency_s)
+        transfer = request.nbytes / self.channel_rate
+        return self.command_overhead_s + latency + transfer

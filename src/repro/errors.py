@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still distinguishing subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency was detected inside the discrete-event engine."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class DeviceError(ReproError):
+    """A block device rejected or failed a request."""
+
+
+class DeviceFault(DeviceError):
+    """An injected device fault fired (failure-injection testing).
+
+    The paper counts *non-successful* accesses in ``B`` as well
+    (section III.A), so traces produced under injected faults still
+    contribute their blocks to the BPS numerator.
+    """
+
+
+class FileSystemError(ReproError):
+    """A file-system level error (unknown file, bad offset, ...)."""
+
+
+class StripingError(ReproError):
+    """An invalid stripe layout or an inconsistent split/reassembly."""
+
+
+class MiddlewareError(ReproError):
+    """An I/O middleware usage error (closed handle, bad hints, ...)."""
+
+
+class TraceFormatError(ReproError):
+    """An on-disk trace (CSV / JSONL / blkparse / fio JSON) is malformed."""
+
+
+class AnalysisError(ReproError):
+    """Metric or correlation analysis was asked something impossible."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """An experiment sweep could not be assembled or executed."""

@@ -1,0 +1,62 @@
+"""Machine-readable Table 2: the four I/O access case sets.
+
+Each entry names the knob the set varies, the benchmark tool the paper
+used, our workload class, and the paper figures the set produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One row of the paper's Table 2, with reproduction pointers."""
+
+    set_id: int
+    description: str          # the paper's wording
+    knob: str                 # what the sweep varies
+    paper_tool: str           # IOzone / IOR / Hpio
+    workload: str             # our workload class
+    figures: tuple[str, ...]  # paper figures this set produces
+    expected_misleading: tuple[str, ...]  # metrics that flip direction
+
+
+EXPERIMENT_SETS: dict[int, ExperimentSpec] = {
+    1: ExperimentSpec(
+        set_id=1,
+        description="various storage device",
+        knob="storage configuration (HDD, SSD, PVFS x 1/2/4/8 servers)",
+        paper_tool="IOzone (single-process sequential read)",
+        workload="IOzoneWorkload(mode='sequential')",
+        figures=("fig4",),
+        expected_misleading=(),  # everything behaves on device swaps
+    ),
+    2: ExperimentSpec(
+        set_id=2,
+        description="various I/O request size",
+        knob="record size 4KB -> 8MB",
+        paper_tool="IOzone (single-process read, local FS)",
+        workload="IOzoneWorkload(mode='sequential')",
+        figures=("fig5", "fig6", "fig7", "fig8"),
+        expected_misleading=("IOPS", "ARPT"),
+    ),
+    3: ExperimentSpec(
+        set_id=3,
+        description="various I/O concurrency",
+        knob="process count 1-8 (pure) / 1-32 (IOR shared file)",
+        paper_tool="IOzone throughput mode; IOR with MPI-IO",
+        workload="IOzoneWorkload(mode='throughput'); IORWorkload",
+        figures=("fig9", "fig10", "fig11"),
+        expected_misleading=("ARPT",),
+    ),
+    4: ExperimentSpec(
+        set_id=4,
+        description="various additional data movement",
+        knob="region spacing 8B -> 4096B under data sieving",
+        paper_tool="Hpio (noncontiguous read, MPI-IO, 4 I/O servers)",
+        workload="HpioWorkload",
+        figures=("fig12",),
+        expected_misleading=("BW",),
+    ),
+}

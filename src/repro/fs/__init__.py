@@ -1,0 +1,22 @@
+"""Local file system: extent allocation, LRU page cache, FS facade.
+
+This is the substrate for the paper's single-node experiments (Sets 1-2,
+"local file systems mounted on HDD, SSD").  It maps file offsets to device
+extents, caches pages, and counts the bytes that actually cross the
+device boundary — the quantity the *bandwidth* metric sees.
+"""
+
+from repro.fs.blockmap import Extent, ExtentAllocator, FileMap
+from repro.fs.cache import PageCache, CacheStats
+from repro.fs.localfs import LocalFileSystem, FSResult, FSStats
+
+__all__ = [
+    "Extent",
+    "ExtentAllocator",
+    "FileMap",
+    "PageCache",
+    "CacheStats",
+    "LocalFileSystem",
+    "FSResult",
+    "FSStats",
+]

@@ -1,0 +1,139 @@
+"""Extent-based file → device address mapping.
+
+Files are stored as one or more *extents* (contiguous device ranges).
+The allocator hands out extents sequentially with an optional maximum
+extent length, so tests can force multi-extent (fragmented) files and
+verify the mapping logic across extent boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FileSystemError
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous device byte range ``[device_offset, device_offset+length)``."""
+
+    device_offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.device_offset < 0:
+            raise FileSystemError(f"negative extent offset {self.device_offset}")
+        if self.length <= 0:
+            raise FileSystemError(f"non-positive extent length {self.length}")
+
+    @property
+    def end(self) -> int:
+        """One past the last device byte of the extent."""
+        return self.device_offset + self.length
+
+
+class FileMap:
+    """The extent list of one file, with offset translation."""
+
+    def __init__(self, name: str, extents: list[Extent]) -> None:
+        if not extents:
+            raise FileSystemError(f"file {name!r} needs at least one extent")
+        self.name = name
+        self.extents = list(extents)
+        self.size = sum(e.length for e in extents)
+
+    def translate(self, offset: int, nbytes: int) -> list[Extent]:
+        """Device ranges covering logical ``[offset, offset+nbytes)``.
+
+        Returned extents are in logical order; adjacent device ranges are
+        *not* merged (the caller coalesces if it wants — the device layer
+        sees the same boundaries a real extent tree would produce).
+        """
+        if offset < 0 or nbytes <= 0:
+            raise FileSystemError(
+                f"bad range offset={offset} nbytes={nbytes} in {self.name!r}"
+            )
+        if offset + nbytes > self.size:
+            raise FileSystemError(
+                f"range [{offset}, {offset + nbytes}) exceeds size "
+                f"{self.size} of {self.name!r}"
+            )
+        result: list[Extent] = []
+        logical = 0
+        remaining_start = offset
+        remaining = nbytes
+        for extent in self.extents:
+            extent_end = logical + extent.length
+            if remaining_start < extent_end and remaining > 0:
+                within = remaining_start - logical
+                take = min(remaining, extent.length - within)
+                result.append(Extent(extent.device_offset + within, take))
+                remaining_start += take
+                remaining -= take
+            logical = extent_end
+            if remaining == 0:
+                break
+        assert remaining == 0, "translate() failed to cover the range"
+        return result
+
+
+class ExtentAllocator:
+    """Sequential extent allocator over a device address space.
+
+    ``max_extent`` caps individual extent length (0 = unlimited), which
+    is how tests produce fragmented files deterministically.  Freed space
+    is only reusable when it is the most recent allocation (stack-like);
+    this is enough for simulations, which allocate all files up front.
+    """
+
+    def __init__(self, capacity_bytes: int, *, start: int = 0,
+                 max_extent: int = 0) -> None:
+        if capacity_bytes <= 0:
+            raise FileSystemError(f"bad capacity {capacity_bytes}")
+        if not 0 <= start < capacity_bytes:
+            raise FileSystemError(f"bad start {start}")
+        if max_extent < 0:
+            raise FileSystemError(f"bad max_extent {max_extent}")
+        self.capacity_bytes = capacity_bytes
+        self.max_extent = max_extent
+        self._cursor = start
+
+    @property
+    def used(self) -> int:
+        """Bytes allocated so far."""
+        return self._cursor
+
+    @property
+    def free(self) -> int:
+        """Bytes still available."""
+        return self.capacity_bytes - self._cursor
+
+    def allocate(self, nbytes: int) -> list[Extent]:
+        """Allocate ``nbytes``, split into <= max_extent chunks."""
+        if nbytes <= 0:
+            raise FileSystemError(f"cannot allocate {nbytes} bytes")
+        if nbytes > self.free:
+            raise FileSystemError(
+                f"device full: need {nbytes}, have {self.free}"
+            )
+        extents: list[Extent] = []
+        remaining = nbytes
+        while remaining > 0:
+            chunk = remaining
+            if self.max_extent:
+                chunk = min(chunk, self.max_extent)
+            extents.append(Extent(self._cursor, chunk))
+            self._cursor += chunk
+            remaining -= chunk
+        return extents
+
+    def release_last(self, extents: list[Extent]) -> None:
+        """Free the most recent allocation (LIFO discipline only)."""
+        if not extents:
+            return
+        end = max(e.end for e in extents)
+        if end != self._cursor:
+            raise FileSystemError(
+                "release_last only supports the most recent allocation"
+            )
+        self._cursor = min(e.device_offset for e in extents)

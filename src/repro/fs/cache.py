@@ -1,0 +1,151 @@
+"""LRU page cache with write-through or write-back policies.
+
+Pages are keyed by ``(file_name, page_index)``.  The cache stores no data
+payload — the simulator tracks *which* bytes are resident, not their
+contents — but it does track dirtiness so write-back flushing can be
+exercised.  The paper flushed all system caches before each run
+(section IV.B); :meth:`PageCache.drop_caches` is that knob.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import FileSystemError
+
+PageKey = tuple[str, int]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """hits / lookups (0.0 when never used)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class PageCache:
+    """Fixed-capacity LRU page cache.
+
+    ``capacity_pages == 0`` gives an always-miss cache (cache disabled),
+    which keeps call sites uniform.
+    """
+
+    def __init__(self, capacity_pages: int, page_size: int = 4096,
+                 *, policy: str = "write-through") -> None:
+        if capacity_pages < 0:
+            raise FileSystemError(f"bad capacity {capacity_pages}")
+        if page_size <= 0:
+            raise FileSystemError(f"bad page size {page_size}")
+        if policy not in ("write-through", "write-back"):
+            raise FileSystemError(f"unknown policy {policy!r}")
+        self.capacity_pages = capacity_pages
+        self.page_size = page_size
+        self.policy = policy
+        self.stats = CacheStats()
+        # key -> dirty flag; OrderedDict gives us LRU order for free.
+        self._pages: OrderedDict[PageKey, bool] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def page_range(self, offset: int, nbytes: int) -> range:
+        """Indices of the pages overlapping ``[offset, offset+nbytes)``."""
+        if offset < 0 or nbytes <= 0:
+            raise FileSystemError(
+                f"bad range offset={offset} nbytes={nbytes}"
+            )
+        first = offset // self.page_size
+        last = (offset + nbytes - 1) // self.page_size
+        return range(first, last + 1)
+
+    def lookup(self, file_name: str, page: int) -> bool:
+        """Is the page resident?  Updates LRU order and hit/miss stats."""
+        key = (file_name, page)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def contains(self, file_name: str, page: int) -> bool:
+        """Residency check without touching stats or LRU order."""
+        return (file_name, page) in self._pages
+
+    def insert(self, file_name: str, page: int,
+               dirty: bool = False) -> list[PageKey]:
+        """Make the page resident; returns dirty pages evicted (write-back).
+
+        With ``capacity_pages == 0`` the insert is a no-op (disabled cache).
+        """
+        if self.capacity_pages == 0:
+            return []
+        key = (file_name, page)
+        writebacks: list[PageKey] = []
+        if key in self._pages:
+            self._pages[key] = self._pages[key] or dirty
+            self._pages.move_to_end(key)
+            return writebacks
+        while len(self._pages) >= self.capacity_pages:
+            old_key, old_dirty = self._pages.popitem(last=False)
+            self.stats.evictions += 1
+            if old_dirty:
+                self.stats.writebacks += 1
+                writebacks.append(old_key)
+        self._pages[key] = dirty
+        self.stats.insertions += 1
+        return writebacks
+
+    def mark_dirty(self, file_name: str, page: int) -> None:
+        """Flag a resident page dirty (write-back policy)."""
+        key = (file_name, page)
+        if key not in self._pages:
+            raise FileSystemError(f"page {key} not resident")
+        self._pages[key] = True
+        self._pages.move_to_end(key)
+
+    def dirty_pages(self) -> list[PageKey]:
+        """All currently-dirty resident pages, LRU-first."""
+        return [k for k, d in self._pages.items() if d]
+
+    def flush(self) -> list[PageKey]:
+        """Clean all dirty pages; returns the keys that needed write-back."""
+        dirty = self.dirty_pages()
+        for key in dirty:
+            self._pages[key] = False
+            self.stats.writebacks += 1
+        return dirty
+
+    def invalidate_file(self, file_name: str) -> int:
+        """Drop all pages of one file; returns the count dropped."""
+        keys = [k for k in self._pages if k[0] == file_name]
+        for key in keys:
+            del self._pages[key]
+        return len(keys)
+
+    def drop_caches(self) -> list[PageKey]:
+        """Empty the cache (the paper's pre-run flush).
+
+        Returns dirty pages that a real system would have written back
+        first; callers decide whether to charge that I/O.
+        """
+        dirty = self.dirty_pages()
+        self._pages.clear()
+        return dirty

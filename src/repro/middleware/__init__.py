@@ -1,0 +1,38 @@
+"""I/O middleware: POSIX- and MPI-IO-style interfaces with tracing.
+
+This layer is where the paper measures (section III.B step 1: "we get
+this information in the I/O middleware layer for MPI-IO applications, or
+I/O function libraries for ordinary POSIX interface applications").
+Every application-visible call emits an :class:`~repro.core.records.IORecord`
+and accounts the bytes that actually crossed the file-system boundary,
+so BPS and bandwidth can be measured at their respective points.
+
+The optimisations the paper names as the source of "additional data
+movement" live here too: data sieving (ROMIO-style), sequential
+prefetching, and two-phase collective I/O.
+"""
+
+from repro.middleware.tracing import TraceRecorder
+from repro.middleware.posix import PosixIO, PosixFile
+from repro.middleware.sieving import SievingConfig, plan_sieving, SieveRead
+from repro.middleware.mpiio import MPIIO, MPIFile, MPIIOHints
+from repro.middleware.prefetch import SequentialPrefetcher, PrefetchConfig
+from repro.middleware.collective import two_phase_plan, FileDomain
+from repro.middleware.async_io import AsyncIOContext
+
+__all__ = [
+    "AsyncIOContext",
+    "TraceRecorder",
+    "PosixIO",
+    "PosixFile",
+    "SievingConfig",
+    "plan_sieving",
+    "SieveRead",
+    "MPIIO",
+    "MPIFile",
+    "MPIIOHints",
+    "SequentialPrefetcher",
+    "PrefetchConfig",
+    "two_phase_plan",
+    "FileDomain",
+]

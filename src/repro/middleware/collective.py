@@ -1,0 +1,116 @@
+"""Two-phase collective I/O planning.
+
+Phase one of ROMIO's collective read assigns each *aggregator* a
+contiguous *file domain*: the union of all ranks' requests is split into
+``cb_nodes`` even contiguous pieces.  Aggregators read their domains with
+large requests; phase two redistributes the pieces to the requesting
+ranks.  Like the sieving planner, this module is pure logic so the
+domain invariants (coverage, disjointness, balance) are directly
+property-testable; the simulation costs live in
+:mod:`repro.middleware.mpiio`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MiddlewareError
+
+
+@dataclass(frozen=True)
+class FileDomain:
+    """One aggregator's contiguous responsibility."""
+
+    aggregator: int
+    offset: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the domain."""
+        return self.offset + self.nbytes
+
+
+def two_phase_plan(requests: dict[int, tuple[int, int]],
+                   cb_nodes: int) -> list[FileDomain]:
+    """Split the requests' covering extent into per-aggregator domains.
+
+    ``requests`` maps rank → (offset, nbytes).  The returned domains:
+
+    - exactly tile ``[min_offset, max_end)`` (ROMIO divides the covering
+      extent, holes included — holes between rank requests are read,
+      another source of "additional data movement");
+    - are contiguous, disjoint, and ascending;
+    - differ in size by at most one byte-granule (balanced split);
+    - number ``min(cb_nodes, extent)`` — never more domains than bytes.
+    """
+    if not requests:
+        raise MiddlewareError("collective plan with no requests")
+    if cb_nodes < 1:
+        raise MiddlewareError(f"bad cb_nodes {cb_nodes}")
+    for rank, (offset, nbytes) in requests.items():
+        if offset < 0 or nbytes <= 0:
+            raise MiddlewareError(
+                f"bad request ({offset}, {nbytes}) from rank {rank}"
+            )
+    start = min(offset for offset, _n in requests.values())
+    end = max(offset + nbytes for offset, nbytes in requests.values())
+    extent = end - start
+    n_domains = min(cb_nodes, extent)
+    base, remainder = divmod(extent, n_domains)
+    domains: list[FileDomain] = []
+    cursor = start
+    for aggregator in range(n_domains):
+        size = base + (1 if aggregator < remainder else 0)
+        domains.append(FileDomain(aggregator, cursor, size))
+        cursor += size
+    assert cursor == end, "domains failed to tile the extent"
+    return domains
+
+
+def merge_ranges(ranges: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge overlapping/adjacent (offset, nbytes) ranges.
+
+    The aggregate access pattern of a collective call: aggregators read
+    only these ranges (clipped to their domains), never the holes between
+    rank requests — matching ROMIO, which materialises the aggregate
+    pattern rather than blindly reading each domain end to end.
+    """
+    if not ranges:
+        return []
+    ordered = sorted((offset, offset + nbytes) for offset, nbytes in ranges)
+    merged: list[list[int]] = [list(ordered[0])]
+    for start, end in ordered[1:]:
+        if start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return [(start, end - start) for start, end in merged]
+
+
+def domain_reads(domains: list[FileDomain],
+                 requests: dict[int, tuple[int, int]]
+                 ) -> list[tuple[int, int, int]]:
+    """Per-aggregator read list: (aggregator, offset, nbytes) triples.
+
+    Each triple is one contiguous read an aggregator issues in phase
+    one: a merged requested range clipped to the aggregator's domain.
+    The union of all triples covers exactly the requested bytes.
+    """
+    merged = merge_ranges(list(requests.values()))
+    reads: list[tuple[int, int, int]] = []
+    for domain in domains:
+        for offset, nbytes in merged:
+            start = max(offset, domain.offset)
+            end = min(offset + nbytes, domain.end)
+            if start < end:
+                reads.append((domain.aggregator, start, end - start))
+    return reads
+
+
+def domain_for_offset(domains: list[FileDomain], offset: int) -> FileDomain:
+    """The domain containing byte ``offset`` (for the exchange phase)."""
+    for domain in domains:
+        if domain.offset <= offset < domain.end:
+            return domain
+    raise MiddlewareError(f"offset {offset} outside all domains")

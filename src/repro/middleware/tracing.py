@@ -1,0 +1,81 @@
+"""Trace recording — the BPS instrumentation point.
+
+One :class:`TraceRecorder` is shared by all processes of a run (the
+"global collection" of the paper's step 2 exists from the start; per-
+process gathering is also supported via :meth:`TraceRecorder.merge_from`
+for the distributed-collection code path the paper describes).
+
+The recorder keeps two things:
+
+- application-layer :class:`IORecord`s — what BPS, IOPS, and ARPT see;
+- a file-system byte counter — what bandwidth sees (device traffic
+  including holes, read-ahead, and other middleware amplification).
+"""
+
+from __future__ import annotations
+
+from repro.core.records import IORecord, LAYER_APP, LAYER_FS, TraceCollection
+from repro.errors import MiddlewareError
+from repro.sim.engine import Engine
+
+
+class TraceRecorder:
+    """Collects I/O records and file-system byte counts for one run."""
+
+    def __init__(self, engine: Engine, *, keep_fs_records: bool = False) -> None:
+        self.engine = engine
+        self.trace = TraceCollection()
+        self.fs_bytes_moved = 0
+        #: Optionally keep per-access fs-layer records (heavier; used by
+        #: the offline toolkit examples, not by the metric pipeline).
+        self.keep_fs_records = keep_fs_records
+        self._open = True
+
+    def close(self) -> None:
+        """Stop accepting records (end of run)."""
+        self._open = False
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise MiddlewareError("recorder is closed")
+
+    def record_app(self, pid: int, op: str, file: str, offset: int,
+                   nbytes: int, start: float, end: float,
+                   success: bool = True) -> IORecord:
+        """Record one application-level access; returns the record."""
+        self._check_open()
+        record = IORecord(pid=pid, op=op, nbytes=nbytes, start=start,
+                          end=end, file=file, offset=offset,
+                          success=success, layer=LAYER_APP)
+        self.trace.add(record)
+        return record
+
+    def note_fs_bytes(self, nbytes: int, *, pid: int = -1, op: str = "read",
+                      file: str = "", offset: int = -1,
+                      start: float = 0.0, end: float = 0.0) -> None:
+        """Account bytes moved at the file-system boundary."""
+        self._check_open()
+        if nbytes < 0:
+            raise MiddlewareError(f"negative fs byte count: {nbytes}")
+        self.fs_bytes_moved += nbytes
+        if self.keep_fs_records and nbytes > 0:
+            self.trace.add(IORecord(
+                pid=pid, op=op, nbytes=nbytes, start=start, end=end,
+                file=file, offset=offset, layer=LAYER_FS))
+
+    def merge_from(self, other: "TraceRecorder") -> None:
+        """Fold another recorder's data in (per-process gather path)."""
+        self._check_open()
+        self.trace.extend(other.trace)
+        self.fs_bytes_moved += other.fs_bytes_moved
+
+    @property
+    def app_trace(self) -> TraceCollection:
+        """Application-layer records only."""
+        return self.trace.app_records()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TraceRecorder n={len(self.trace)} "
+            f"fs_bytes={self.fs_bytes_moved}>"
+        )

@@ -1,0 +1,19 @@
+"""Network model: point-to-point links and a star (switched) topology.
+
+The paper's testbed interconnect is Gigabit Ethernet; the default link
+parameters model it (125 MB/s line rate, ~50 µs one-way latency).
+Transfers serialise on the sender's TX and the receiver's RX interface,
+so a single I/O server's NIC saturates under enough concurrent clients —
+the contention source in the IOR experiment (Set 3b).
+"""
+
+from repro.net.link import NetworkLink, NICPair, TransferStats
+from repro.net.topology import StarTopology, NetNode
+
+__all__ = [
+    "NetworkLink",
+    "NICPair",
+    "TransferStats",
+    "StarTopology",
+    "NetNode",
+]

@@ -1,0 +1,96 @@
+"""Point-to-point link and NIC modelling.
+
+A :class:`NetworkLink` is a unidirectional serialisation point: one
+message at a time at ``bandwidth`` bytes/second plus a fixed ``latency_s``
+propagation delay.  A :class:`NICPair` bundles the TX and RX directions
+of one host interface (full duplex — the directions don't contend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Completion
+from repro.sim.resources import Resource
+from repro.util.units import MiB
+
+
+@dataclass
+class TransferStats:
+    """Counters for one link direction."""
+
+    messages: int = 0
+    bytes_moved: int = 0
+    total_busy_time: float = 0.0
+
+
+class NetworkLink:
+    """One direction of a network interface.
+
+    ``transmit(nbytes)`` returns a completion that fires when the last
+    byte has left the link (serialisation + propagation).
+    """
+
+    def __init__(self, engine: Engine, *, bandwidth: float = 125.0 * MiB,
+                 latency_s: float = 0.000050, name: str = "link") -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be positive: {bandwidth}")
+        if latency_s < 0:
+            raise SimulationError(f"latency must be >= 0: {latency_s}")
+        self.engine = engine
+        self.bandwidth = bandwidth
+        self.latency_s = latency_s
+        self.name = name
+        self.stats = TransferStats()
+        self._wire = Resource(engine, capacity=1, name=f"{name}.wire")
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time for ``nbytes`` to cross the wire, excluding queueing."""
+        if nbytes <= 0:
+            raise SimulationError(f"nbytes must be positive: {nbytes}")
+        return nbytes / self.bandwidth
+
+    def transmit(self, nbytes: int) -> Completion:
+        """Queue a message; completion fires on delivery."""
+        done = self.engine.completion()
+        self.engine.spawn(self._send(nbytes, done), name=f"{self.name}.tx")
+        return done
+
+    def _send(self, nbytes: int, done: Completion):
+        grant = self._wire.acquire()
+        yield grant
+        busy = self.serialization_time(nbytes)
+        try:
+            yield self.engine.timeout(busy)
+        finally:
+            self._wire.release()
+        self.stats.messages += 1
+        self.stats.bytes_moved += nbytes
+        self.stats.total_busy_time += busy
+        # Propagation happens after the wire is free (pipelining).
+        yield self.engine.timeout(self.latency_s)
+        done.trigger(nbytes)
+
+    @property
+    def queue_length(self) -> int:
+        """Messages waiting for the wire."""
+        return self._wire.queue_length
+
+
+class NICPair:
+    """Full-duplex host interface: independent TX and RX links."""
+
+    def __init__(self, engine: Engine, *, bandwidth: float = 125.0 * MiB,
+                 latency_s: float = 0.000050, name: str = "nic") -> None:
+        self.name = name
+        self.tx = NetworkLink(engine, bandwidth=bandwidth,
+                              latency_s=latency_s, name=f"{name}.tx")
+        self.rx = NetworkLink(engine, bandwidth=bandwidth,
+                              latency_s=latency_s, name=f"{name}.rx")
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes through both directions."""
+        return self.tx.stats.bytes_moved + self.rx.stats.bytes_moved

@@ -1,0 +1,20 @@
+"""PVFS-style parallel file system.
+
+Files are striped round-robin across I/O servers (default stripe 64 KiB,
+as PVFS2 does); each server stores its part of the file as a contiguous
+object on its local storage.  Clients split requests per-server, issue
+them concurrently over the network, and complete when all parts return —
+the concurrency structure that motivates BPS's overlapped-time rule.
+"""
+
+from repro.pfs.layout import StripeLayout, ChunkSpec
+from repro.pfs.server import IOServer
+from repro.pfs.pvfs import ParallelFileSystem, PFSClient
+
+__all__ = [
+    "StripeLayout",
+    "ChunkSpec",
+    "IOServer",
+    "ParallelFileSystem",
+    "PFSClient",
+]

@@ -1,0 +1,129 @@
+"""Stripe layout: file offset → (server, object offset) mapping.
+
+A layout is a stripe size plus an ordered tuple of server indices.
+Stripe ``s`` of the file lives on server ``servers[s % n]`` at object
+offset ``(s // n) * stripe_size``.  Consecutive stripes of one server are
+therefore contiguous in its object, so any contiguous file range maps to
+*one* contiguous object range per server — the property
+:meth:`StripeLayout.server_requests` relies on (and re-verifies).
+
+The paper's Set 3a pins each file to a single I/O server "by setting the
+file stripe layout attributes when it was created"; a one-server layout
+does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StripingError
+from repro.util.units import KiB
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One per-server piece of a file request."""
+
+    server: int          # server index (into the PFS server list)
+    object_offset: int   # byte offset inside that server's object
+    length: int          # bytes
+    file_offset: int     # where this piece sits in the file
+
+    def __post_init__(self) -> None:
+        if self.object_offset < 0 or self.file_offset < 0:
+            raise StripingError("negative offset in chunk")
+        if self.length <= 0:
+            raise StripingError("non-positive chunk length")
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Round-robin striping over an ordered server set."""
+
+    stripe_size: int = 64 * KiB
+    servers: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.stripe_size <= 0:
+            raise StripingError(f"bad stripe size {self.stripe_size}")
+        if not self.servers:
+            raise StripingError("layout needs at least one server")
+        if len(set(self.servers)) != len(self.servers):
+            raise StripingError(f"duplicate servers in layout: {self.servers}")
+        if any(s < 0 for s in self.servers):
+            raise StripingError(f"negative server index in {self.servers}")
+
+    @property
+    def width(self) -> int:
+        """Number of servers in the layout."""
+        return len(self.servers)
+
+    def object_size(self, file_size: int, server: int) -> int:
+        """Bytes of a ``file_size``-byte file stored on ``server``.
+
+        ``server`` is the actual server index (must be in the layout).
+        """
+        if file_size < 0:
+            raise StripingError(f"negative file size {file_size}")
+        try:
+            position = self.servers.index(server)
+        except ValueError:
+            raise StripingError(
+                f"server {server} not in layout {self.servers}"
+            ) from None
+        full_stripes, tail = divmod(file_size, self.stripe_size)
+        rounds, extra = divmod(full_stripes, self.width)
+        size = rounds * self.stripe_size
+        if position < extra:
+            size += self.stripe_size
+        elif position == extra:
+            size += tail
+        return size
+
+    def split(self, offset: int, nbytes: int) -> list[ChunkSpec]:
+        """Per-stripe chunks covering file range ``[offset, offset+nbytes)``.
+
+        Chunks come back in file order; each is contained in one stripe.
+        """
+        if offset < 0 or nbytes <= 0:
+            raise StripingError(f"bad range offset={offset} nbytes={nbytes}")
+        chunks: list[ChunkSpec] = []
+        position = offset
+        end = offset + nbytes
+        while position < end:
+            stripe = position // self.stripe_size
+            within = position - stripe * self.stripe_size
+            take = min(end - position, self.stripe_size - within)
+            server = self.servers[stripe % self.width]
+            object_offset = (stripe // self.width) * self.stripe_size + within
+            chunks.append(ChunkSpec(server, object_offset, take, position))
+            position += take
+        return chunks
+
+    def server_requests(self, offset: int, nbytes: int) -> list[ChunkSpec]:
+        """One merged contiguous object range per server for the file range.
+
+        This is what a PVFS client actually sends: a single request per
+        server.  Raises :class:`StripingError` if the per-server pieces
+        are not contiguous (they always are for a contiguous file range;
+        the check guards the invariant).
+        """
+        merged: dict[int, ChunkSpec] = {}
+        for chunk in self.split(offset, nbytes):
+            existing = merged.get(chunk.server)
+            if existing is None:
+                merged[chunk.server] = chunk
+            else:
+                if chunk.object_offset != existing.object_offset + existing.length:
+                    raise StripingError(
+                        f"non-contiguous object range on server "
+                        f"{chunk.server}: {existing} then {chunk}"
+                    )
+                merged[chunk.server] = ChunkSpec(
+                    existing.server,
+                    existing.object_offset,
+                    existing.length + chunk.length,
+                    existing.file_offset,
+                )
+        # Stable order: by first appearance in the file.
+        return sorted(merged.values(), key=lambda c: c.file_offset)

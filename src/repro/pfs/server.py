@@ -1,0 +1,103 @@
+"""An I/O server: local storage behind a request-handling front end.
+
+Each server owns a block device wrapped in an uncached
+:class:`~repro.fs.localfs.LocalFileSystem` (PVFS2 servers bypass the
+kernel page cache for object data; the paper also flushes all server
+caches before each run).  Request handling costs a fixed software
+overhead and is bounded by a thread pool, so a server saturates under
+enough concurrent clients.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import BlockDevice, READ, WRITE
+from repro.errors import FileSystemError
+from repro.fs.localfs import FSResult, LocalFileSystem
+from repro.sim.engine import Engine
+from repro.sim.events import Completion
+from repro.sim.resources import Resource
+
+
+class IOServer:
+    """One parallel-file-system data server.
+
+    Parameters
+    ----------
+    engine, device:
+        Simulation engine and this server's local storage.
+    name:
+        Server identifier; also its node name on the network.
+    request_overhead_s:
+        Software cost per handled request (network stack + server work).
+    threads:
+        Concurrent request handlers (requests beyond this queue up).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        device: BlockDevice,
+        *,
+        name: str = "ioserver",
+        request_overhead_s: float = 0.000080,
+        threads: int = 16,
+    ) -> None:
+        if request_overhead_s < 0:
+            raise FileSystemError("negative request overhead")
+        self.engine = engine
+        self.name = name
+        self.device = device
+        self.request_overhead_s = request_overhead_s
+        self.storage = LocalFileSystem(
+            engine, device,
+            page_cache=None,
+            per_call_overhead_s=0.0,  # folded into request_overhead_s
+            name=f"{name}.storage",
+        )
+        self._threads = Resource(engine, capacity=threads,
+                                 name=f"{name}.threads")
+        self.requests_handled = 0
+
+    def create_object(self, object_name: str, size: int) -> None:
+        """Allocate an object (one file's stripe set on this server)."""
+        self.storage.create(object_name, size)
+
+    def has_object(self, object_name: str) -> bool:
+        """Does the object exist on this server?"""
+        return self.storage.exists(object_name)
+
+    def handle(self, op: str, object_name: str, offset: int,
+               nbytes: int) -> Completion:
+        """Serve one request; completion fires with the storage FSResult."""
+        if op not in (READ, WRITE):
+            raise FileSystemError(f"unknown op {op!r}")
+        done = self.engine.completion()
+        self.engine.spawn(self._handle_proc(op, object_name, offset,
+                                            nbytes, done),
+                          name=f"{self.name}.handle")
+        return done
+
+    def _handle_proc(self, op: str, object_name: str, offset: int,
+                     nbytes: int, done: Completion):
+        grant = self._threads.acquire()
+        yield grant
+        try:
+            yield self.engine.timeout(self.request_overhead_s)
+            if op == READ:
+                result: FSResult = yield self.storage.read(
+                    object_name, offset, nbytes)
+            else:
+                result = yield self.storage.write(
+                    object_name, offset, nbytes)
+        finally:
+            self._threads.release()
+        self.requests_handled += 1
+        done.trigger(result)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a handler thread."""
+        return self._threads.queue_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IOServer {self.name} device={self.device.name}>"

@@ -1,0 +1,141 @@
+"""The event loop: a time-ordered heap with FIFO tie-breaking.
+
+Determinism contract: two events scheduled for the same simulated time run
+in the order they were scheduled.  This makes every simulation replayable
+bit-for-bit from its seed, which the experiment harness relies on (the
+paper averages 5 runs; we vary only the seed between repetitions).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Generator
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import Completion, Timeout, AllOf, AnyOf
+
+
+class Engine:
+    """Discrete-event simulation kernel.
+
+    >>> eng = Engine()
+    >>> def proc(eng):
+    ...     yield eng.timeout(1.5)
+    ...     return eng.now
+    >>> p = eng.spawn(proc(eng))
+    >>> eng.run()
+    >>> p.result()
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq: int = 0
+        self._live_processes: int = 0
+        self._running = False
+
+    # -- scheduling --------------------------------------------------------
+
+    def call_later(self, delay: float, callback: Callable[..., None],
+                   *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"invalid delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq,
+                                    callback, args))
+
+    def call_at(self, when: float, callback: Callable[..., None],
+                *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now={self.now}"
+            )
+        self.call_later(when - self.now, callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at the current time, after queued work."""
+        self.call_later(0.0, callback, *args)
+
+    # -- waitable factories -------------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A waitable that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def completion(self) -> Completion:
+        """A fresh one-shot promise bound to this engine."""
+        return Completion(self)
+
+    def all_of(self, children) -> AllOf:
+        """Waitable that fires when all children fire."""
+        return AllOf(self, children)
+
+    def any_of(self, children) -> AnyOf:
+        """Waitable that fires when the first child fires."""
+        return AnyOf(self, children)
+
+    def spawn(self, generator: Generator, name: str = "") -> "Process":
+        """Start a new process from a generator; returns the Process."""
+        from repro.sim.process import Process  # local: avoid import cycle
+        return Process(self, generator, name=name)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until: float = math.inf, *,
+            detect_deadlock: bool = True) -> None:
+        """Run events until the heap drains or ``until`` is reached.
+
+        With ``detect_deadlock`` (default), raises :class:`DeadlockError`
+        if the heap drains while spawned processes are still suspended —
+        that means somebody waits on a completion nobody will trigger.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, callback, args = self._heap[0]
+                if when > until:
+                    self.now = until
+                    return
+                heapq.heappop(self._heap)
+                if when < self.now:  # pragma: no cover - heap invariant
+                    raise SimulationError("time went backwards")
+                self.now = when
+                callback(*args)
+            if detect_deadlock and self._live_processes > 0:
+                raise DeadlockError(
+                    f"event queue drained with {self._live_processes} "
+                    f"process(es) still waiting at t={self.now}"
+                )
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Run exactly one event; returns False if none are queued."""
+        if not self._heap:
+            return False
+        when, _seq, callback, args = heapq.heappop(self._heap)
+        self.now = when
+        callback(*args)
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued."""
+        return len(self._heap)
+
+    @property
+    def live_processes(self) -> int:
+        """Number of spawned processes that have not finished."""
+        return self._live_processes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Engine now={self.now:.9g} pending={len(self._heap)} "
+            f"live={self._live_processes}>"
+        )

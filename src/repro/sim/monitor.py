@@ -1,0 +1,120 @@
+"""Instrumentation helpers: time-series monitors and utilization tracking.
+
+These are passive observers — they never influence the simulated timeline.
+The experiment harness uses them to report device/server utilization
+alongside the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One timestamped observation."""
+
+    time: float
+    value: float
+
+
+class Monitor:
+    """Records (time, value) samples for a named quantity."""
+
+    def __init__(self, engine: Engine, name: str = "monitor") -> None:
+        self.engine = engine
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Record ``value`` at the current simulated time."""
+        self._times.append(self.engine.now)
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def samples(self) -> list[Sample]:
+        """All samples, in recording order."""
+        return [Sample(t, v) for t, v in zip(self._times, self._values)]
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) as NumPy arrays (copies)."""
+        return (np.asarray(self._times, dtype=float),
+                np.asarray(self._values, dtype=float))
+
+    def time_average(self) -> float:
+        """Time-weighted average, treating samples as a step function.
+
+        The value recorded at ``t_i`` is held until ``t_{i+1}``; the last
+        sample is held until the engine's current time.
+        """
+        if not self._times:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        times = np.asarray(self._times + [self.engine.now], dtype=float)
+        values = np.asarray(self._values, dtype=float)
+        widths = np.diff(times)
+        total = float(widths.sum())
+        if total == 0.0:
+            return float(values[-1])
+        return float((values * widths).sum() / total)
+
+    def maximum(self) -> float:
+        """Largest recorded value."""
+        if not self._values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return max(self._values)
+
+
+class UtilizationTracker:
+    """Tracks busy/idle state of a serially-used facility.
+
+    Call :meth:`busy` when work starts and :meth:`idle` when it stops;
+    nested busy marks are reference-counted, so a facility serving three
+    overlapping requests is busy until the last one finishes — the same
+    overlap semantics BPS applies to I/O time.
+    """
+
+    def __init__(self, engine: Engine, name: str = "util") -> None:
+        self.engine = engine
+        self.name = name
+        self._depth = 0
+        self._busy_since = 0.0
+        self._accumulated = 0.0
+        self._created_at = engine.now
+
+    def busy(self) -> None:
+        """Mark the start of one unit of concurrent work."""
+        if self._depth == 0:
+            self._busy_since = self.engine.now
+        self._depth += 1
+
+    def idle(self) -> None:
+        """Mark the end of one unit of concurrent work."""
+        if self._depth <= 0:
+            raise ValueError(f"{self.name}: idle() without matching busy()")
+        self._depth -= 1
+        if self._depth == 0:
+            self._accumulated += self.engine.now - self._busy_since
+
+    @property
+    def busy_time(self) -> float:
+        """Total wall time with at least one unit of work in flight."""
+        total = self._accumulated
+        if self._depth > 0:
+            total += self.engine.now - self._busy_since
+        return total
+
+    def utilization(self) -> float:
+        """busy_time / elapsed time since tracker creation (0 if no time)."""
+        elapsed = self.engine.now - self._created_at
+        if elapsed <= 0.0:
+            return 0.0
+        return self.busy_time / elapsed

@@ -1,0 +1,249 @@
+"""System assembly: one simulated I/O stack per run.
+
+A :class:`SystemConfig` describes a platform declaratively (local file
+system on one device, or a PVFS-like parallel file system on N servers);
+:func:`build_system` turns it into a live :class:`System`: engine,
+devices, mounts, middleware, and one shared
+:class:`~repro.middleware.tracing.TraceRecorder`.
+
+Every run of every experiment builds a *fresh* system (fresh engine at
+t=0, cold caches) — the simulation analogue of the paper's "system
+caches of all computing nodes and I/O servers were flushed prior to
+each run".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.devices import make_device
+from repro.devices.base import BlockDevice
+from repro.errors import ExperimentError
+from repro.fs.cache import PageCache
+from repro.fs.localfs import LocalFileSystem
+from repro.middleware.mpiio import MPIIO, MPIIOHints
+from repro.middleware.posix import PosixIO
+from repro.middleware.tracing import TraceRecorder
+from repro.net.topology import StarTopology
+from repro.pfs.layout import StripeLayout
+from repro.pfs.pvfs import ParallelFileSystem, PFSClient
+from repro.pfs.server import IOServer
+from repro.sim.engine import Engine
+from repro.util.rng import RngStream
+from repro.util.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Declarative description of a simulated platform.
+
+    ``kind`` selects the storage architecture:
+
+    - ``"local"``: one device with a local file system (paper Sets 1-2);
+    - ``"pfs"``: ``n_servers`` I/O servers behind a network (Sets 1, 3, 4).
+    """
+
+    kind: str = "local"
+    device_spec: str = "sata-hdd-7200"
+    device_overrides: dict[str, Any] = field(default_factory=dict)
+    # local-fs knobs
+    cache_pages: int = 16384
+    page_size: int = 4096
+    cache_policy: str = "write-through"
+    fs_overhead_s: float = 0.000030
+    readahead_pages: int = 0
+    # pfs knobs
+    n_servers: int = 4
+    stripe_size: int = 64 * KiB
+    server_threads: int = 16
+    server_overhead_s: float = 0.000080
+    #: Simulate a dedicated metadata server (PVFS2-style MDS) so
+    #: in-run create/stat operations cost real round trips.
+    with_mds: bool = False
+    mds_overhead_s: float = 0.000150
+    net_bandwidth: float = 125.0 * MiB
+    net_latency_s: float = 0.000050
+    #: Aggregate switch capacity (None = non-blocking fabric).
+    backplane_bandwidth: float | None = None
+    #: Client NIC speed override (None = net_bandwidth).  The paper's
+    #: compute nodes are GigE; sweeps that need a contention-light client
+    #: (e.g. one node hosting all IOzone throughput processes) set this.
+    client_bandwidth: float | None = None
+    # shared knobs
+    jitter_sigma: float = 0.0
+    seed: int | None = 12345
+    #: Keep per-access fs-layer trace records (heavier; enables
+    #: layered app-vs-fs BPS comparisons).
+    keep_fs_records: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("local", "pfs"):
+            raise ExperimentError(f"unknown system kind {self.kind!r}")
+        if self.kind == "pfs" and self.n_servers < 1:
+            raise ExperimentError(f"bad server count {self.n_servers}")
+
+    def with_seed(self, seed: int | None) -> "SystemConfig":
+        """Copy with a different seed (repetition control)."""
+        from dataclasses import replace
+        return replace(self, seed=seed)
+
+
+class System:
+    """A live simulated platform, ready to run one workload."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.rng = RngStream.from_seed(config.seed)
+        self.recorder = TraceRecorder(
+            self.engine, keep_fs_records=config.keep_fs_records)
+        self.devices: list[BlockDevice] = []
+        self.network: StarTopology | None = None
+        self.pfs: ParallelFileSystem | None = None
+        self.localfs: LocalFileSystem | None = None
+        self._clients: dict[int, PFSClient] = {}
+        if config.kind == "local":
+            self._build_local()
+        else:
+            self._build_pfs()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_local(self) -> None:
+        config = self.config
+        device = make_device(
+            self.engine, config.device_spec,
+            rng=self.rng.spawn("device"),
+            jitter_sigma=config.jitter_sigma,
+            **config.device_overrides,
+        )
+        self.devices.append(device)
+        cache = None
+        if config.cache_pages > 0:
+            cache = PageCache(config.cache_pages, config.page_size,
+                              policy=config.cache_policy)
+        self.localfs = LocalFileSystem(
+            self.engine, device,
+            page_cache=cache,
+            per_call_overhead_s=config.fs_overhead_s,
+            readahead_pages=config.readahead_pages,
+        )
+
+    def _build_pfs(self) -> None:
+        config = self.config
+        self.network = StarTopology(
+            self.engine,
+            bandwidth=config.net_bandwidth,
+            latency_s=config.net_latency_s,
+            backplane_bandwidth=config.backplane_bandwidth,
+        )
+        servers: list[IOServer] = []
+        device_rngs = self.rng.spawn_many("server-device", config.n_servers)
+        for index in range(config.n_servers):
+            name = f"server{index}"
+            self.network.add_node(name)
+            device = make_device(
+                self.engine, config.device_spec,
+                name=f"{name}.disk",
+                rng=device_rngs[index],
+                jitter_sigma=config.jitter_sigma,
+                **config.device_overrides,
+            )
+            self.devices.append(device)
+            servers.append(IOServer(
+                self.engine, device,
+                name=name,
+                request_overhead_s=config.server_overhead_s,
+                threads=config.server_threads,
+            ))
+        metadata_node = ""
+        if config.with_mds:
+            metadata_node = "mds0"
+            self.network.add_node(metadata_node)
+        self.pfs = ParallelFileSystem(
+            self.engine, servers, self.network,
+            default_layout=StripeLayout(
+                stripe_size=config.stripe_size,
+                servers=tuple(range(config.n_servers)),
+            ),
+            metadata_node=metadata_node,
+            mds_overhead_s=config.mds_overhead_s,
+        )
+
+    # -- mounts ---------------------------------------------------------------
+
+    def mount_for(self, pid: int):
+        """The file-system mount process ``pid`` uses.
+
+        Local systems share the one file system; on a PFS each pid gets
+        its own client node (the paper runs one process per compute
+        node), created on first use.
+        """
+        if self.localfs is not None:
+            return self.localfs
+        assert self.pfs is not None and self.network is not None
+        client = self._clients.get(pid)
+        if client is None:
+            node = f"client{pid}"
+            self.network.add_node(
+                node, bandwidth=self.config.client_bandwidth)
+            client = self.pfs.client(node)
+            self._clients[pid] = client
+        return client
+
+    def shared_mount(self):
+        """A mount not bound to any particular process (file creation)."""
+        return self.mount_for(-1) if self.pfs is not None else self.localfs
+
+    # -- middleware factories ----------------------------------------------------
+
+    def posix(self, *, call_overhead_s: float = 0.000015) -> PosixIO:
+        """A POSIX I/O library on the local mount (local systems only).
+
+        For per-process mounts on a PFS use :meth:`posix_for`.
+        """
+        if self.localfs is None:
+            raise ExperimentError(
+                "System.posix() needs a local system; "
+                "use posix_for(pid) on a PFS"
+            )
+        return PosixIO(self.engine, self.localfs, self.recorder,
+                       call_overhead_s=call_overhead_s)
+
+    def posix_for(self, pid: int,
+                  *, call_overhead_s: float = 0.000015) -> PosixIO:
+        """A POSIX I/O library bound to ``pid``'s mount."""
+        return PosixIO(self.engine, self.mount_for(pid), self.recorder,
+                       call_overhead_s=call_overhead_s)
+
+    def mpiio(self, nranks: int, *, call_overhead_s: float = 0.000020,
+              pid_base: int = 0) -> MPIIO:
+        """An MPI-IO context over ``nranks`` ranks.
+
+        ``pid_base`` offsets the ranks' pids in trace records so that
+        several communicators (multi-application runs) stay
+        distinguishable in the gathered trace.
+        """
+        return MPIIO(self.engine, nranks, self.recorder,
+                     call_overhead_s=call_overhead_s,
+                     pid_base=pid_base)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def drop_caches(self) -> None:
+        """Flush all caches (paper's pre-run reset)."""
+        if self.localfs is not None:
+            self.localfs.drop_caches()
+        if self.pfs is not None:
+            self.pfs.drop_caches()
+
+    @property
+    def fs_bytes_moved(self) -> int:
+        """Bytes moved at the file-system boundary so far."""
+        return self.recorder.fs_bytes_moved
+
+
+def build_system(config: SystemConfig) -> System:
+    """Instantiate a live system from a config."""
+    return System(config)

@@ -1,0 +1,35 @@
+"""Offline trace toolkit: compute BPS from recorded traces.
+
+The paper's conclusion promises "an easy-to-use toolkit" — this package
+is it.  It reads I/O traces from four formats and produces a
+:class:`~repro.core.records.TraceCollection` ready for
+:func:`~repro.core.metrics.compute_metrics`:
+
+- the native CSV format (:mod:`repro.trace_io.csvtrace`);
+- JSON-lines (:mod:`repro.trace_io.jsonltrace`);
+- ``blkparse``-style text output (:mod:`repro.trace_io.blkparse`),
+  covering the "wrap blktrace" use case;
+- ``fio --output-format=json`` results (:mod:`repro.trace_io.fiojson`) —
+  fio reports aggregates, not per-I/O intervals, so this reader
+  *reconstructs* a synthetic interval trace that preserves fio's
+  reported IOPS/bandwidth/latency (documented there);
+- ``darshan-parser`` text output (:mod:`repro.trace_io.darshan`) —
+  POSIX-module counters, reconstructed the same way per (rank, file,
+  direction).
+"""
+
+from repro.trace_io.csvtrace import read_csv_trace, write_csv_trace
+from repro.trace_io.jsonltrace import read_jsonl_trace, write_jsonl_trace
+from repro.trace_io.blkparse import read_blkparse
+from repro.trace_io.fiojson import read_fio_json
+from repro.trace_io.darshan import read_darshan
+
+__all__ = [
+    "read_csv_trace",
+    "write_csv_trace",
+    "read_jsonl_trace",
+    "write_jsonl_trace",
+    "read_blkparse",
+    "read_fio_json",
+    "read_darshan",
+]

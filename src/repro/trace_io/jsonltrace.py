@@ -1,0 +1,94 @@
+"""JSON-lines trace format: one JSON object per record.
+
+Required keys per line: ``pid``, ``op``, ``nbytes``, ``start``, ``end``.
+Optional: ``file``, ``offset``, ``success``, ``layer``.  Unknown keys
+are ignored (forward compatibility with richer tracers).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.core.records import IORecord, LAYER_APP, TraceCollection
+from repro.errors import TraceFormatError
+
+_REQUIRED = ("pid", "op", "nbytes", "start", "end")
+
+
+def read_jsonl_trace(source: str | Path | IO[str]) -> TraceCollection:
+    """Read a JSONL trace from a path or open text stream."""
+    if isinstance(source, (str, Path)):
+        with open(source) as handle:
+            return _read(handle, name=str(source))
+    return _read(source, name=getattr(source, "name", "<stream>"))
+
+
+def _read(handle: IO[str], name: str) -> TraceCollection:
+    trace = TraceCollection()
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{name}:{line_number}: invalid JSON: {exc}"
+            ) from exc
+        if not isinstance(obj, dict):
+            raise TraceFormatError(
+                f"{name}:{line_number}: expected an object, got "
+                f"{type(obj).__name__}"
+            )
+        missing = [k for k in _REQUIRED if k not in obj]
+        if missing:
+            raise TraceFormatError(
+                f"{name}:{line_number}: missing keys {missing}"
+            )
+        try:
+            record = IORecord(
+                pid=int(obj["pid"]),
+                op=str(obj["op"]),
+                nbytes=int(obj["nbytes"]),
+                start=float(obj["start"]),
+                end=float(obj["end"]),
+                file=str(obj.get("file", "")),
+                offset=int(obj.get("offset", -1)),
+                success=bool(obj.get("success", True)),
+                layer=str(obj.get("layer", LAYER_APP)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"{name}:{line_number}: bad record: {exc}"
+            ) from exc
+        trace.add(record)
+    if len(trace) == 0:
+        raise TraceFormatError(f"{name}: trace contains no records")
+    return trace
+
+
+def write_jsonl_trace(trace: TraceCollection,
+                      destination: str | Path | IO[str]) -> None:
+    """Write a trace as JSON lines."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w") as handle:
+            _write(trace, handle)
+        return
+    _write(trace, destination)
+
+
+def _write(trace: TraceCollection, handle: IO[str]) -> None:
+    for record in trace:
+        handle.write(json.dumps({
+            "pid": record.pid,
+            "op": record.op,
+            "nbytes": record.nbytes,
+            "start": record.start,
+            "end": record.end,
+            "file": record.file,
+            "offset": record.offset,
+            "success": record.success,
+            "layer": record.layer,
+        }) + "\n")

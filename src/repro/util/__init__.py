@@ -1,0 +1,48 @@
+"""Shared utilities: units, RNG plumbing, statistics, text rendering."""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    BLOCK_SIZE,
+    bytes_to_blocks,
+    blocks_to_bytes,
+    parse_size,
+    format_size,
+    format_rate,
+    format_seconds,
+)
+from repro.util.rng import RngStream, spawn_rng
+from repro.util.stats import (
+    mean,
+    geomean,
+    harmonic_mean,
+    pearson,
+    summarize,
+    Summary,
+)
+from repro.util.tables import TextTable, render_bar_chart, render_series
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "BLOCK_SIZE",
+    "bytes_to_blocks",
+    "blocks_to_bytes",
+    "parse_size",
+    "format_size",
+    "format_rate",
+    "format_seconds",
+    "RngStream",
+    "spawn_rng",
+    "mean",
+    "geomean",
+    "harmonic_mean",
+    "pearson",
+    "summarize",
+    "Summary",
+    "TextTable",
+    "render_bar_chart",
+    "render_series",
+]

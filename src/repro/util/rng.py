@@ -1,0 +1,106 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the simulator (device timing jitter, workload
+think times, fault injection) draws from an :class:`RngStream` derived from
+a single experiment seed, so any run is exactly reproducible from
+``(code, config, seed)``.  Streams are spawned with
+:meth:`numpy.random.SeedSequence.spawn`, which guarantees statistical
+independence between subsystems without manual seed bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class RngStream:
+    """A named, independently-seeded random stream.
+
+    Thin wrapper over :class:`numpy.random.Generator` adding a name (for
+    debugging/repr) and child spawning.
+    """
+
+    __slots__ = ("name", "_seed_seq", "_gen")
+
+    def __init__(self, name: str, seed_seq: np.random.SeedSequence) -> None:
+        self.name = name
+        self._seed_seq = seed_seq
+        self._gen = np.random.default_rng(seed_seq)
+
+    @classmethod
+    def from_seed(cls, seed: int | None, name: str = "root") -> "RngStream":
+        """Create a root stream from an integer seed (None = OS entropy)."""
+        return cls(name, np.random.SeedSequence(seed))
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying NumPy generator."""
+        return self._gen
+
+    def spawn(self, name: str) -> "RngStream":
+        """Derive an independent child stream."""
+        (child,) = self._seed_seq.spawn(1)
+        return RngStream(f"{self.name}/{name}", child)
+
+    def spawn_many(self, name: str, n: int) -> list["RngStream"]:
+        """Derive ``n`` independent child streams named ``name[i]``."""
+        children = self._seed_seq.spawn(n)
+        return [
+            RngStream(f"{self.name}/{name}[{i}]", child)
+            for i, child in enumerate(children)
+        ]
+
+    # -- convenience draws -------------------------------------------------
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """One uniform draw in [low, high)."""
+        return float(self._gen.uniform(low, high))
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
+        """One normal draw."""
+        return float(self._gen.normal(loc, scale))
+
+    def lognormal_factor(self, sigma: float) -> float:
+        """A multiplicative jitter factor with median 1.0.
+
+        Used for device service-time noise: ``service *= jitter``.
+        ``sigma = 0`` returns exactly 1.0.
+        """
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if sigma == 0.0:
+            return 1.0
+        return float(self._gen.lognormal(mean=0.0, sigma=sigma))
+
+    def exponential(self, scale: float) -> float:
+        """One exponential draw with the given mean."""
+        return float(self._gen.exponential(scale))
+
+    def integers(self, low: int, high: int) -> int:
+        """One integer draw in [low, high)."""
+        return int(self._gen.integers(low, high))
+
+    def choice(self, seq):
+        """Pick one element of a non-empty sequence."""
+        if len(seq) == 0:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[int(self._gen.integers(0, len(seq)))]
+
+    def shuffle(self, seq: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._gen.shuffle(seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngStream({self.name!r})"
+
+
+def spawn_rng(seed: int | None, *names: str) -> Iterator[RngStream]:
+    """Yield one independent stream per name, all derived from ``seed``.
+
+    >>> dev, net = spawn_rng(42, "device", "network")
+    """
+    root = RngStream.from_seed(seed)
+    for name in names:
+        yield root.spawn(name)

@@ -1,0 +1,111 @@
+"""Small statistics helpers used across metrics and experiment analysis.
+
+The Pearson correlation coefficient here is the paper's equation (2); the
+higher-level sign-normalisation convention lives in
+:mod:`repro.core.correlation`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if len(values) == 0:
+        raise AnalysisError("mean of empty sequence")
+    return float(np.mean(np.asarray(values, dtype=float)))
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise AnalysisError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean of positive values (the right mean for rates)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("harmonic mean of empty sequence")
+    if np.any(arr <= 0):
+        raise AnalysisError("harmonic mean requires strictly positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient — the paper's equation (2).
+
+    ``CC = sum((x - xbar)(y - ybar)) / (sqrt(sum((x - xbar)^2)) *
+    sqrt(sum((y - ybar)^2)))``.
+
+    Raises :class:`AnalysisError` for mismatched lengths, fewer than two
+    points, or a zero-variance series (the coefficient is undefined there;
+    callers that want a "no correlation" fallback should catch it).
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise AnalysisError(
+            f"pearson needs two equal-length 1-D series, got shapes "
+            f"{xa.shape} and {ya.shape}"
+        )
+    if xa.size < 2:
+        raise AnalysisError("pearson needs at least two points")
+    xd = xa - xa.mean()
+    yd = ya - ya.mean()
+    denom = math.sqrt(float(xd @ xd)) * math.sqrt(float(yd @ yd))
+    if denom == 0.0:
+        raise AnalysisError("pearson undefined: a series has zero variance")
+    cc = float(xd @ yd) / denom
+    # Clamp tiny floating-point excursions outside [-1, 1].
+    return max(-1.0, min(1.0, cc))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.min:.6g} max={self.max:.6g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary`; raises on empty input."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("summarize of empty sequence")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std / mean; a unitless spread measure for repetition stability."""
+    s = summarize(values)
+    if s.mean == 0:
+        raise AnalysisError("CV undefined for zero-mean sample")
+    return s.std / abs(s.mean)

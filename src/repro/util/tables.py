@@ -1,0 +1,123 @@
+"""Plain-text rendering of tables, bar charts, and series.
+
+The experiment harness reproduces the paper's figures as terminal output:
+CC bar charts (Figs. 4-6, 9, 11, 12) and two-axis series (Figs. 7, 8, 10).
+Everything here is presentation-only; no analysis logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TextTable:
+    """Monospace table builder with per-column alignment.
+
+    >>> t = TextTable(["metric", "CC"])
+    >>> t.add_row(["BPS", "0.91"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    metric | CC
+    -------+-----
+    BPS    | 0.91
+    """
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    vmin: float = -1.0,
+    vmax: float = 1.0,
+    title: str = "",
+) -> str:
+    """Horizontal signed bar chart, mirroring the paper's CC figures.
+
+    Values are clipped to ``[vmin, vmax]``; the zero axis sits at the
+    proportional position so negative (sign-flipped) CCs visibly extend
+    left — the paper's key visual.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if vmax <= vmin:
+        raise ValueError("vmax must exceed vmin")
+    span = vmax - vmin
+    zero_col = round((0.0 - vmin) / span * width)
+    label_w = max((len(l) for l in labels), default=0)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        v = max(vmin, min(vmax, value))
+        col = round((v - vmin) / span * width)
+        cells = [" "] * (width + 1)
+        lo, hi = sorted((zero_col, col))
+        for i in range(lo, hi + 1):
+            cells[i] = "#" if i != zero_col else "|"
+        cells[zero_col] = "|"
+        lines.append(f"{label.ljust(label_w)} {''.join(cells)} {value:+.3f}")
+    axis = [" "] * (width + 1)
+    axis[zero_col] = "0"
+    axis[0] = f"{vmin:+.0f}"[0]
+    lines.append(f"{' ' * label_w} {''.join(axis)}")
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    columns: dict[str, Sequence[float]],
+    *,
+    float_fmt: str = "{:.6g}",
+) -> str:
+    """Tabular rendering of one x-axis against several y-series.
+
+    Used for the paper's detail figures (e.g. Fig. 7: IOPS and execution
+    time against I/O size).
+    """
+    for name, ys in columns.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x-axis has {len(xs)}"
+            )
+    table = TextTable([x_label, *columns.keys()])
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for ys in columns.values():
+            row.append(float_fmt.format(ys[i]))
+        table.add_row(row)
+    return table.render()

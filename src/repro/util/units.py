@@ -1,0 +1,172 @@
+"""Byte-size units, block arithmetic, and human-readable formatting.
+
+The paper defines a *block* as the unit BPS counts ("e.g., 512 bytes",
+section III.A); :data:`BLOCK_SIZE` is that default.  All sizes inside the
+library are plain ``int`` bytes and all times are ``float`` seconds — these
+helpers exist so the conversion rules live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: Binary size multipliers (bytes).
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+#: Default I/O block unit, per the paper's definition of BPS (512 B).
+BLOCK_SIZE: int = 512
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[kKmMgGtT]?i?[bB]?)\s*$"
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+    "t": TiB,
+    "tb": TiB,
+    "tib": TiB,
+}
+
+
+def bytes_to_blocks(nbytes: int, block_size: int = BLOCK_SIZE) -> int:
+    """Number of blocks covering ``nbytes``, rounding partial blocks up.
+
+    The paper counts "all the I/O blocks issued from the application",
+    so a 100-byte request still occupies one 512-byte block.
+
+    >>> bytes_to_blocks(512)
+    1
+    >>> bytes_to_blocks(513)
+    2
+    >>> bytes_to_blocks(0)
+    0
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    if block_size <= 0:
+        raise ValueError(f"block size must be positive, got {block_size}")
+    return -(-nbytes // block_size)
+
+
+def blocks_to_bytes(nblocks: int, block_size: int = BLOCK_SIZE) -> int:
+    """Exact byte count of ``nblocks`` whole blocks."""
+    if nblocks < 0:
+        raise ValueError(f"negative block count: {nblocks}")
+    if block_size <= 0:
+        raise ValueError(f"block size must be positive, got {block_size}")
+    return nblocks * block_size
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size string ("64KB", "8 MiB", "4096") into bytes.
+
+    Integers pass through unchanged.  Units are case-insensitive and
+    binary (K = 1024), matching how the paper quotes sizes (4KB record
+    sizes, 64KB transfers, ...).
+
+    >>> parse_size("64KB")
+    65536
+    >>> parse_size("8MiB")
+    8388608
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"negative size: {text}")
+        return text
+    m = _SIZE_RE.match(text)
+    if m is None:
+        raise ValueError(f"unparseable size string: {text!r}")
+    num = float(m.group("num"))
+    unit = m.group("unit").lower()
+    try:
+        factor = _UNIT_FACTORS[unit]
+    except KeyError:
+        raise ValueError(f"unknown size unit in {text!r}") from None
+    value = num * factor
+    if not value.is_integer():
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(value)
+
+
+def format_size(nbytes: int | float) -> str:
+    """Render a byte count with a binary suffix ("4.0KiB", "64.0MiB")."""
+    if nbytes < 0:
+        return "-" + format_size(-nbytes)
+    value = float(nbytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a data rate ("120.5MiB/s")."""
+    return f"{format_size(bytes_per_second)}/s"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an adaptive unit (ns/us/ms/s).
+
+    >>> format_seconds(0.000002)
+    '2.000us'
+    >>> format_seconds(3.5)
+    '3.500s'
+    """
+    if seconds != seconds:  # NaN
+        return "nan"
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.3f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds:.3f}s"
+
+
+def align_down(value: int, granularity: int) -> int:
+    """Largest multiple of ``granularity`` that is <= ``value``."""
+    if granularity <= 0:
+        raise ValueError(f"granularity must be positive, got {granularity}")
+    return (value // granularity) * granularity
+
+
+def align_up(value: int, granularity: int) -> int:
+    """Smallest multiple of ``granularity`` that is >= ``value``."""
+    if granularity <= 0:
+        raise ValueError(f"granularity must be positive, got {granularity}")
+    return -(-value // granularity) * granularity
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (with ``value >= 1``)."""
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    return 1 << max(0, math.ceil(math.log2(value)))

@@ -1,0 +1,42 @@
+"""Workload generators shaped after the paper's benchmark tools.
+
+- :class:`IOzoneWorkload` — sequential and throughput-mode file access
+  (paper Sets 1-3a).
+- :class:`IORWorkload` — MPI-IO access to one shared striped file with
+  fixed transfer sizes (paper Set 3b).
+- :class:`HpioWorkload` — noncontiguous region reads with data sieving
+  (paper Set 4).
+- :mod:`repro.workloads.synthetic` — random/mixed patterns for tests,
+  examples, and fault-injection scenarios.
+"""
+
+from repro.workloads.base import Workload, run_workload
+from repro.workloads.iozone import IOzoneWorkload
+from repro.workloads.ior import IORWorkload
+from repro.workloads.hpio import HpioWorkload
+from repro.workloads.aio import AsyncReadWorkload
+from repro.workloads.composite import CompositeWorkload
+from repro.workloads.replay_trace import TraceReplayWorkload
+from repro.workloads.smallfiles import SmallFilesWorkload
+from repro.workloads.synthetic import (
+    RandomAccessWorkload,
+    MixedReadWriteWorkload,
+    ReplayWorkload,
+    ReplayOp,
+)
+
+__all__ = [
+    "Workload",
+    "run_workload",
+    "IOzoneWorkload",
+    "IORWorkload",
+    "HpioWorkload",
+    "AsyncReadWorkload",
+    "CompositeWorkload",
+    "TraceReplayWorkload",
+    "SmallFilesWorkload",
+    "RandomAccessWorkload",
+    "MixedReadWriteWorkload",
+    "ReplayWorkload",
+    "ReplayOp",
+]

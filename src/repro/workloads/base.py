@@ -1,0 +1,104 @@
+"""Workload protocol and the single-run executor.
+
+A workload knows how to (a) create its files on a fresh
+:class:`~repro.system.System` and (b) produce one application process
+generator per simulated process.  :func:`run_workload` handles the
+lifecycle the paper prescribes per run: build fresh system → create
+files → flush caches → run all processes to completion → measure the
+application execution time and gather the trace.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generator
+
+from repro.core.analysis import RunMeasurement
+from repro.errors import WorkloadError
+from repro.system import System, SystemConfig, build_system
+
+
+class Workload(abc.ABC):
+    """Base class for all workload generators."""
+
+    #: Human-readable workload name (appears in run labels).
+    name: str = "workload"
+
+    #: Offset added to every pid this workload uses (trace records,
+    #: client mounts, file names).  Left at 0 for standalone runs;
+    #: :class:`~repro.workloads.composite.CompositeWorkload` assigns
+    #: each member a disjoint pid space before setup.
+    pid_base: int = 0
+
+    @abc.abstractmethod
+    def setup(self, system: System) -> None:
+        """Create files and any per-run state on the fresh system."""
+
+    @abc.abstractmethod
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        """(pid, generator) pairs — one per simulated application process."""
+
+    def label(self) -> str:
+        """Run label (workload name unless overridden)."""
+        return self.name
+
+    def extras(self, system: System) -> dict:
+        """Extra key/values to attach to the RunMeasurement."""
+        return {}
+
+    def run(self, config: SystemConfig) -> RunMeasurement:
+        """Build a system from ``config`` and run this workload on it."""
+        return run_workload(self, config)
+
+
+def run_workload(workload: Workload, config: SystemConfig) -> RunMeasurement:
+    """Execute one workload run and return its measurement.
+
+    The application execution time is the wall time from the first
+    process start to the last process completion — the paper's stand-in
+    for overall computer performance.
+    """
+    system = build_system(config)
+    workload.setup(system)
+    system.drop_caches()
+
+    pairs = workload.processes(system)
+    if not pairs:
+        raise WorkloadError(f"workload {workload.name!r} has no processes")
+    start = system.engine.now
+    spawned = [
+        system.engine.spawn(generator, name=f"{workload.name}.p{pid}")
+        for pid, generator in pairs
+    ]
+    system.engine.run()
+    for process in spawned:
+        # Surface any application-level failure as a hard error: a run
+        # that silently lost a process would skew every metric.
+        process.result()
+    exec_time = system.engine.now - start
+    if exec_time <= 0:
+        raise WorkloadError(
+            f"workload {workload.name!r} finished in zero time — "
+            "it performed no simulated work"
+        )
+    device_report = [
+        {
+            "name": device.name,
+            "utilization": device.utilization.utilization(),
+            "bytes_moved": device.stats.bytes_moved,
+            "ops": device.stats.ops,
+            "faults": device.stats.faults,
+        }
+        for device in system.devices
+    ]
+    extras = {"config_kind": config.kind,
+              "device_spec": config.device_spec,
+              "devices": device_report,
+              **workload.extras(system)}
+    return RunMeasurement(
+        trace=system.recorder.trace,
+        exec_time=exec_time,
+        fs_bytes=system.recorder.fs_bytes_moved,
+        label=workload.label(),
+        extras=extras,
+    )

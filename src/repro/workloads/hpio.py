@@ -1,0 +1,110 @@
+"""Hpio-shaped workload: noncontiguous region reads with data sieving.
+
+The paper's Set 4: "we tested the noncontiguous file read operation on
+PVFS2 ... Data sieving was enabled, so that I/O middleware (MPI-IO
+library) would read a bunch of additional file holes located between the
+adjacent file regions.  The region count was set to 4096000, and the
+region size was set to 256 bytes.  We varied the region spacing from
+8 bytes to 4096 bytes."
+
+Hpio's file layout per process: ``region_count`` regions of
+``region_size`` bytes, each separated by a ``region_spacing``-byte hole.
+Each process owns a disjoint section of the shared file.  Regions are
+read through :meth:`~repro.middleware.mpiio.MPIFile.read_regions` in
+batches of ``regions_per_call`` (a real Hpio run issues one huge MPI
+datatype read; batching bounds sieve-buffer footprint identically to
+ROMIO's buffer-size cap and keeps per-call record counts sane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.errors import WorkloadError
+from repro.middleware.mpiio import MPIIOHints
+from repro.middleware.sieving import SievingConfig
+from repro.system import System
+from repro.workloads.base import Workload
+
+
+@dataclass
+class HpioWorkload(Workload):
+    """Noncontiguous strided read (region count / size / spacing)."""
+
+    region_count: int = 4096
+    region_size: int = 256
+    region_spacing: int = 256
+    nproc: int = 1
+    sieving: SievingConfig = field(default_factory=SievingConfig)
+    regions_per_call: int = 256
+    think_time_s: float = 0.0
+    name: str = field(default="hpio", init=False)
+
+    def __post_init__(self) -> None:
+        if self.region_count < 1:
+            raise WorkloadError(f"bad region count {self.region_count}")
+        if self.region_size <= 0:
+            raise WorkloadError(f"bad region size {self.region_size}")
+        if self.region_spacing < 0:
+            raise WorkloadError(f"bad spacing {self.region_spacing}")
+        if self.nproc < 1:
+            raise WorkloadError(f"bad nproc {self.nproc}")
+        if self.regions_per_call < 1:
+            raise WorkloadError(f"bad batch size {self.regions_per_call}")
+
+    def label(self) -> str:
+        state = "on" if self.sieving.enabled else "off"
+        return (f"hpio[n={self.nproc},count={self.region_count},"
+                f"size={self.region_size},gap={self.region_spacing},"
+                f"sieve={state}]")
+
+    @property
+    def section_bytes(self) -> int:
+        """Bytes of one process's file section (regions + holes)."""
+        stride = self.region_size + self.region_spacing
+        # The trailing hole is part of the stride pattern Hpio writes.
+        return self.region_count * stride
+
+    def _file_name(self) -> str:
+        return f"hpio.{self.pid_base}.data"
+
+    def setup(self, system: System) -> None:
+        total = self.section_bytes * self.nproc
+        system.shared_mount().create(self._file_name(), total)
+        self._mpi = system.mpiio(self.nproc, pid_base=self.pid_base)
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        return [(self.pid_base + rank, self._proc(system, rank))
+                for rank in range(self.nproc)]
+
+    def _regions_for(self, rank: int) -> list[tuple[int, int]]:
+        base = rank * self.section_bytes
+        stride = self.region_size + self.region_spacing
+        return [(base + i * stride, self.region_size)
+                for i in range(self.region_count)]
+
+    def _proc(self, system: System, rank: int):
+        mount = system.mount_for(self.pid_base + rank)
+        handle = self._mpi.open(
+            mount, self._file_name(), rank,
+            MPIIOHints(sieving=self.sieving),
+        )
+        regions = self._regions_for(rank)
+        done = 0
+        for start in range(0, len(regions), self.regions_per_call):
+            batch = regions[start:start + self.regions_per_call]
+            yield handle.read_regions(batch)
+            done += len(batch)
+            if self.think_time_s > 0:
+                yield system.engine.timeout(self.think_time_s)
+        return done
+
+    def extras(self, system: System) -> dict:
+        return {
+            "region_count": self.region_count,
+            "region_size": self.region_size,
+            "region_spacing": self.region_spacing,
+            "sieving_enabled": self.sieving.enabled,
+            "nproc": self.nproc,
+        }

@@ -1,0 +1,114 @@
+"""IOR-shaped workload: MPI-IO on one shared striped file.
+
+The paper's Set 3b: "ran IOR with the MPI-IO interface to access a
+shared PVFS2 file, which is striped across the underlying 8 I/O servers
+with a default stripe layout.  Each of n MPI processes is responsible
+for reading its own 1/n of a 32 GB file.  Each process continuously
+issues requests of fixed transfer size (64 KB) with sequential offsets."
+
+``collective=True`` switches the per-call primitive from independent
+``read_at`` to two-phase ``read_at_all`` — an extension beyond the
+paper used by the collective-I/O ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.errors import WorkloadError
+from repro.system import System
+from repro.util.units import KiB, MiB
+from repro.workloads.base import Workload
+
+
+@dataclass
+class IORWorkload(Workload):
+    """Segmented shared-file access with fixed transfer size."""
+
+    file_size: int = 64 * MiB
+    transfer_size: int = 64 * KiB
+    nproc: int = 4
+    op: str = "read"
+    collective: bool = False
+    #: "segmented": rank r owns the r-th contiguous 1/n of the file
+    #: (the paper's setting).  "strided": ranks interleave transfer-size
+    #: blocks round-robin (IOR's -s/-b striding) — the pattern where
+    #: two-phase collective aggregation pays off.
+    access: str = "segmented"
+    think_time_s: float = 0.0
+    name: str = field(default="ior", init=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise WorkloadError(f"unsupported op {self.op!r}")
+        if self.nproc < 1:
+            raise WorkloadError(f"bad nproc {self.nproc}")
+        if self.transfer_size <= 0 or self.file_size <= 0:
+            raise WorkloadError("sizes must be positive")
+        if self.access not in ("segmented", "strided"):
+            raise WorkloadError(f"unknown access pattern {self.access!r}")
+        if self.file_size // self.nproc < self.transfer_size:
+            raise WorkloadError(
+                f"segment {self.file_size // self.nproc} smaller than one "
+                f"transfer {self.transfer_size}"
+            )
+        if self.collective and self.op != "read":
+            raise WorkloadError("collective mode models reads only")
+
+    def label(self) -> str:
+        kind = "coll" if self.collective else "indep"
+        return (f"ior[{kind},{self.op},n={self.nproc},"
+                f"xfer={self.transfer_size}]")
+
+    def _segment_bytes(self) -> int:
+        share = self.file_size // self.nproc
+        return (share // self.transfer_size) * self.transfer_size
+
+    def _file_name(self) -> str:
+        return f"ior.{self.pid_base}.data"
+
+    def setup(self, system: System) -> None:
+        system.shared_mount().create(self._file_name(), self.file_size)
+        self._mpi = system.mpiio(self.nproc, pid_base=self.pid_base)
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        return [(self.pid_base + rank, self._proc(system, rank))
+                for rank in range(self.nproc)]
+
+    def _offset_for(self, rank: int, index: int) -> int:
+        if self.access == "segmented":
+            return rank * (self.file_size // self.nproc) \
+                + index * self.transfer_size
+        # strided: round-robin interleaving of transfer-size blocks
+        return (index * self.nproc + rank) * self.transfer_size
+
+    def _proc(self, system: System, rank: int):
+        mount = system.mount_for(self.pid_base + rank)
+        handle = self._mpi.open(mount, self._file_name(), rank)
+        transfers = self._segment_bytes() // self.transfer_size
+        issued = 0
+        for index in range(transfers):
+            offset = self._offset_for(rank, index)
+            if self.collective:
+                yield handle.read_at_all(offset, self.transfer_size)
+            elif self.op == "read":
+                yield handle.read_at(offset, self.transfer_size)
+            else:
+                yield handle.write_at(offset, self.transfer_size)
+            issued += self.transfer_size
+            if self.think_time_s > 0:
+                yield system.engine.timeout(self.think_time_s)
+        return issued
+
+    def mpi_context(self):
+        """The MPIIO context (available after setup)."""
+        return self._mpi
+
+    def extras(self, system: System) -> dict:
+        return {
+            "transfer_size": self.transfer_size,
+            "nproc": self.nproc,
+            "collective": self.collective,
+            "op": self.op,
+        }

@@ -1,0 +1,165 @@
+"""IOzone-shaped workload: sequential and throughput-mode file access.
+
+The paper uses IOzone for:
+
+- Set 1: single-process sequential read of a large file on different
+  storage configurations;
+- Set 2: single-process read with the record size swept 4 KB → 8 MB;
+- Set 3a: "throughput test mode" — n processes, each with its own file,
+  each file pinned to an individual I/O server so the concurrency is
+  contention-free ("pure").
+
+``mode="sequential"`` covers the first two; ``mode="throughput"`` the
+third.  In throughput mode the *total* data volume is fixed and divided
+among the processes (the paper reads 32 GB in total regardless of the
+process count — that is why execution time falls as concurrency rises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.errors import WorkloadError
+from repro.pfs.layout import StripeLayout
+from repro.system import System
+from repro.util.units import KiB, MiB
+from repro.workloads.base import Workload
+
+#: Operations IOzone supports that we model.
+_OPS = ("read", "write")
+
+
+@dataclass
+class IOzoneWorkload(Workload):
+    """Sequential / throughput-mode whole-file access.
+
+    Parameters
+    ----------
+    file_size:
+        Total bytes accessed across all processes.
+    record_size:
+        Per-call I/O size (IOzone's ``-r``).
+    nproc:
+        Process count (1 for sequential mode).
+    op:
+        "read" or "write".
+    mode:
+        "sequential" (one shared file read start-to-finish by each
+        process... with nproc=1 this is the classic single-stream test)
+        or "throughput" (each process gets its own file).
+    pin_files_to_servers:
+        Throughput mode on a PFS: pin file *i* to server ``i % n_servers``
+        via a one-server stripe layout (the paper's "pure" concurrency).
+    shared_client:
+        Throughput mode: run every process from the same client node,
+        as a real IOzone throughput test does (one host, many threads).
+        False gives each process its own node.
+    think_time_s:
+        Simulated compute between consecutive I/O calls.
+    """
+
+    file_size: int = 64 * MiB
+    record_size: int = 64 * KiB
+    nproc: int = 1
+    op: str = "read"
+    mode: str = "sequential"
+    pin_files_to_servers: bool = False
+    shared_client: bool = True
+    think_time_s: float = 0.0
+    name: str = field(default="iozone", init=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise WorkloadError(f"unsupported op {self.op!r}")
+        if self.mode not in ("sequential", "throughput"):
+            raise WorkloadError(f"unknown mode {self.mode!r}")
+        if self.nproc < 1:
+            raise WorkloadError(f"bad nproc {self.nproc}")
+        if self.record_size <= 0 or self.file_size <= 0:
+            raise WorkloadError("sizes must be positive")
+        if self.mode == "sequential" and self.nproc != 1:
+            raise WorkloadError(
+                "sequential mode is single-process; use mode='throughput'"
+            )
+        per_proc = self.file_size // self.nproc
+        if per_proc < self.record_size:
+            raise WorkloadError(
+                f"per-process share {per_proc} smaller than one record "
+                f"{self.record_size}"
+            )
+
+    # -- Workload interface ---------------------------------------------------
+
+    def label(self) -> str:
+        return (f"iozone[{self.mode},{self.op},n={self.nproc},"
+                f"rec={self.record_size}]")
+
+    def _per_proc_bytes(self) -> int:
+        share = self.file_size // self.nproc
+        # Whole records only, so every process does identical work.
+        return (share // self.record_size) * self.record_size
+
+    def _file_name(self, pid: int) -> str:
+        if self.mode == "throughput":
+            return f"iozone.{self.pid_base + pid}"
+        return f"iozone.{self.pid_base}"
+
+    def setup(self, system: System) -> None:
+        if self.mode == "sequential":
+            system.shared_mount().create(self._file_name(0),
+                                         self.file_size)
+            return
+        per_proc = self._per_proc_bytes()
+        for pid in range(self.nproc):
+            mount = system.mount_for(self._client_pid(pid))
+            if self.pin_files_to_servers:
+                if system.pfs is None:
+                    raise WorkloadError(
+                        "pin_files_to_servers requires a PFS system"
+                    )
+                n_servers = len(system.pfs.servers)
+                layout = StripeLayout(
+                    stripe_size=system.config.stripe_size,
+                    servers=(pid % n_servers,),
+                )
+                mount.create(self._file_name(pid), per_proc, layout)
+            else:
+                mount.create(self._file_name(pid), per_proc)
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        per_proc = (self.file_size if self.mode == "sequential"
+                    else self._per_proc_bytes())
+        return [
+            (self.pid_base + pid, self._proc(system, pid, per_proc))
+            for pid in range(self.nproc)
+        ]
+
+    def _client_pid(self, pid: int) -> int:
+        """Which mount/client node a process uses."""
+        local = 0 if (self.mode == "throughput"
+                      and self.shared_client) else pid
+        return self.pid_base + local
+
+    def _proc(self, system: System, pid: int, nbytes: int):
+        lib = system.posix_for(self._client_pid(pid))
+        handle = lib.open(self._file_name(pid), self.pid_base + pid)
+        issued = 0
+        while issued + self.record_size <= nbytes:
+            if self.op == "read":
+                yield handle.read(self.record_size)
+            else:
+                yield handle.write(self.record_size)
+            issued += self.record_size
+            if self.think_time_s > 0:
+                yield system.engine.timeout(self.think_time_s)
+        handle.close()
+        return issued
+
+    def extras(self, system: System) -> dict:
+        return {
+            "record_size": self.record_size,
+            "nproc": self.nproc,
+            "mode": self.mode,
+            "op": self.op,
+        }

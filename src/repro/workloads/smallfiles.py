@@ -1,0 +1,107 @@
+"""Metadata-heavy workload: create-and-write many small files.
+
+The classic metadata storm (untarring a source tree, writing
+per-timestep output files): each process creates ``files_per_proc``
+files of ``file_bytes`` each on a PFS with a metadata server, writes
+them, and moves on.  Data volume is tiny; metadata round trips
+dominate.
+
+This workload exists to probe a *limitation* of BPS (see
+``tests/integration/test_limitations.py`` and EXPERIMENTS.md): metadata
+operations move no blocks, so the paper's B cannot see them.  Whether
+BPS still tracks overall performance then hinges on whether the
+middleware records metadata operations' intervals into T —
+``record_metadata`` lets both conventions be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.errors import WorkloadError
+from repro.pfs.layout import StripeLayout
+from repro.system import System
+from repro.util.units import KiB
+from repro.workloads.base import Workload
+
+#: Trace op tag for metadata operations.
+META_OP = "create"
+
+
+@dataclass
+class SmallFilesWorkload(Workload):
+    """Per-process create+write of many small files (PFS only)."""
+
+    files_per_proc: int = 64
+    file_bytes: int = 4 * KiB
+    nproc: int = 2
+    #: Extra stat (getattr) calls per file after writing it — the
+    #: ``ls -l`` storm knob.  Pure metadata load: no blocks move.
+    stats_per_file: int = 0
+    #: Record metadata operations as zero-byte app records (they then
+    #: contribute to T but never to B).
+    record_metadata: bool = True
+    name: str = field(default="smallfiles", init=False)
+
+    def __post_init__(self) -> None:
+        if self.files_per_proc < 1:
+            raise WorkloadError("files_per_proc must be >= 1")
+        if self.file_bytes <= 0:
+            raise WorkloadError("file_bytes must be positive")
+        if self.nproc < 1:
+            raise WorkloadError("nproc must be >= 1")
+        if self.stats_per_file < 0:
+            raise WorkloadError("stats_per_file must be >= 0")
+
+    def label(self) -> str:
+        return (f"smallfiles[n={self.nproc},files={self.files_per_proc},"
+                f"size={self.file_bytes}]")
+
+    def setup(self, system: System) -> None:
+        if system.pfs is None:
+            raise WorkloadError("SmallFilesWorkload needs a PFS system")
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        return [(self.pid_base + pid, self._proc(system, pid))
+                for pid in range(self.nproc)]
+
+    def _proc(self, system: System, pid: int):
+        real_pid = self.pid_base + pid
+        mount = system.mount_for(real_pid)
+        lib = system.posix_for(real_pid)
+        recorder = system.recorder
+        engine = system.engine
+        for index in range(self.files_per_proc):
+            file_name = f"small.{real_pid}.{index}"
+            # Metadata: create the file (MDS round trip + object creates).
+            layout = StripeLayout(
+                stripe_size=system.config.stripe_size,
+                servers=((real_pid + index) % len(system.pfs.servers),),
+            )
+            _created, start, end = yield mount.create_async(
+                file_name, self.file_bytes, layout)
+            if self.record_metadata:
+                recorder.record_app(real_pid, META_OP, file_name, 0, 0,
+                                    start, end)
+            # Data: one small write.
+            handle = lib.open(file_name, real_pid)
+            yield handle.pwrite(0, self.file_bytes)
+            handle.close()
+            # Metadata storm: repeated getattr on the fresh file.
+            for _ in range(self.stats_per_file):
+                _size, stat_start, stat_end = yield mount.stat_async(
+                    file_name)
+                if self.record_metadata:
+                    recorder.record_app(real_pid, "stat", file_name,
+                                        0, 0, stat_start, stat_end)
+        return self.files_per_proc
+
+    def extras(self, system: System) -> dict:
+        return {
+            "files_per_proc": self.files_per_proc,
+            "file_bytes": self.file_bytes,
+            "record_metadata": self.record_metadata,
+            "metadata_ops": (system.pfs.metadata_ops
+                             if system.pfs else 0),
+        }

@@ -1,0 +1,193 @@
+"""Synthetic workloads: random access, read/write mixes, trace replay.
+
+These go beyond the paper's benchmark trio.  They exist for three
+reasons: property-style integration tests (replay gives exact control of
+the timeline), fault-injection scenarios, and the examples directory's
+"bring your own workload" demonstrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Sequence
+
+from repro.errors import WorkloadError
+from repro.system import System
+from repro.util.units import KiB, MiB
+from repro.workloads.base import Workload
+
+
+@dataclass
+class RandomAccessWorkload(Workload):
+    """Uniform-random offsets, optional exponential think time.
+
+    A classic OLTP-ish pattern: each of ``nproc`` processes issues
+    ``ops_per_proc`` reads of ``io_size`` at page-aligned uniform-random
+    offsets in a shared file.
+    """
+
+    file_size: int = 64 * MiB
+    io_size: int = 4 * KiB
+    ops_per_proc: int = 128
+    nproc: int = 2
+    mean_think_s: float = 0.0
+    align: int = 4 * KiB
+    name: str = field(default="random", init=False)
+
+    def __post_init__(self) -> None:
+        if self.io_size <= 0 or self.file_size <= 0:
+            raise WorkloadError("sizes must be positive")
+        if self.io_size > self.file_size:
+            raise WorkloadError("io_size larger than the file")
+        if self.ops_per_proc < 1 or self.nproc < 1:
+            raise WorkloadError("counts must be >= 1")
+        if self.align <= 0:
+            raise WorkloadError("bad alignment")
+
+    def label(self) -> str:
+        return f"random[n={self.nproc},ops={self.ops_per_proc}]"
+
+    def setup(self, system: System) -> None:
+        system.shared_mount().create(f"random.{self.pid_base}",
+                                     self.file_size)
+        self._rngs = system.rng.spawn_many("random-proc", self.nproc)
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        return [(self.pid_base + pid, self._proc(system, pid))
+                for pid in range(self.nproc)]
+
+    def _proc(self, system: System, pid: int):
+        lib = system.posix_for(self.pid_base + pid)
+        handle = lib.open(f"random.{self.pid_base}", self.pid_base + pid)
+        rng = self._rngs[pid]
+        max_slot = (self.file_size - self.io_size) // self.align
+        for _ in range(self.ops_per_proc):
+            offset = rng.integers(0, max_slot + 1) * self.align
+            yield handle.pread(offset, self.io_size)
+            if self.mean_think_s > 0:
+                yield system.engine.timeout(
+                    rng.exponential(self.mean_think_s))
+        return self.ops_per_proc
+
+
+@dataclass
+class MixedReadWriteWorkload(Workload):
+    """Sequential scan with a read/write mix (e.g. 70/30).
+
+    Each process walks its own file; at each record it reads or writes
+    according to ``read_fraction``.
+    """
+
+    file_size: int = 32 * MiB
+    record_size: int = 64 * KiB
+    nproc: int = 2
+    read_fraction: float = 0.7
+    name: str = field(default="mixed", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError(f"bad read fraction {self.read_fraction}")
+        if self.record_size <= 0 or self.file_size <= 0:
+            raise WorkloadError("sizes must be positive")
+        if self.nproc < 1:
+            raise WorkloadError("nproc must be >= 1")
+        if self.file_size // self.nproc < self.record_size:
+            raise WorkloadError("per-process share below one record")
+
+    def label(self) -> str:
+        return f"mixed[n={self.nproc},r={self.read_fraction:.0%}]"
+
+    def setup(self, system: System) -> None:
+        per_proc = self.file_size // self.nproc
+        for pid in range(self.nproc):
+            system.mount_for(self.pid_base + pid).create(
+                f"mixed.{self.pid_base + pid}", per_proc)
+        self._rngs = system.rng.spawn_many("mixed-proc", self.nproc)
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        return [(self.pid_base + pid, self._proc(system, pid))
+                for pid in range(self.nproc)]
+
+    def _proc(self, system: System, pid: int):
+        real_pid = self.pid_base + pid
+        lib = system.posix_for(real_pid)
+        handle = lib.open(f"mixed.{real_pid}", real_pid)
+        rng = self._rngs[pid]
+        per_proc = self.file_size // self.nproc
+        offset = 0
+        while offset + self.record_size <= per_proc:
+            if rng.uniform() < self.read_fraction:
+                yield handle.pread(offset, self.record_size)
+            else:
+                yield handle.pwrite(offset, self.record_size)
+            offset += self.record_size
+        return offset
+
+
+@dataclass(frozen=True)
+class ReplayOp:
+    """One scripted operation for :class:`ReplayWorkload`."""
+
+    pid: int
+    op: str           # "read" | "write"
+    offset: int
+    nbytes: int
+    think_before_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise WorkloadError(f"bad op {self.op!r}")
+        if self.offset < 0 or self.nbytes <= 0:
+            raise WorkloadError("bad offset/size")
+        if self.think_before_s < 0:
+            raise WorkloadError("negative think time")
+
+
+@dataclass
+class ReplayWorkload(Workload):
+    """Replays an explicit per-process operation script.
+
+    The sharpest tool for integration tests: the test author controls
+    exactly which operations overlap, so expected union times and metric
+    values can be computed by hand.
+    """
+
+    ops: Sequence[ReplayOp] = ()
+    file_size: int = 16 * MiB
+    name: str = field(default="replay", init=False)
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise WorkloadError("replay needs at least one op")
+        top = max(op.offset + op.nbytes for op in self.ops)
+        if top > self.file_size:
+            raise WorkloadError(
+                f"ops reach {top}, beyond file size {self.file_size}"
+            )
+
+    def label(self) -> str:
+        return f"replay[{len(self.ops)} ops]"
+
+    def setup(self, system: System) -> None:
+        system.shared_mount().create(f"replay.{self.pid_base}",
+                                     self.file_size)
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        by_pid: dict[int, list[ReplayOp]] = {}
+        for op in self.ops:
+            by_pid.setdefault(op.pid, []).append(op)
+        return [(self.pid_base + pid, self._proc(system, pid, script))
+                for pid, script in sorted(by_pid.items())]
+
+    def _proc(self, system: System, pid: int, script: list[ReplayOp]):
+        real_pid = self.pid_base + pid
+        lib = system.posix_for(real_pid)
+        handle = lib.open(f"replay.{self.pid_base}", real_pid)
+        for op in script:
+            if op.think_before_s > 0:
+                yield system.engine.timeout(op.think_before_s)
+            if op.op == "read":
+                yield handle.pread(op.offset, op.nbytes)
+            else:
+                yield handle.pwrite(op.offset, op.nbytes)
+        return len(script)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.util.rng import RngStream
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh simulation engine at t=0."""
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    """A deterministic root RNG stream."""
+    return RngStream.from_seed(424242)
+
+
+def run_to_completion(engine: Engine, generator, name: str = "test"):
+    """Spawn a generator, run the engine, return the process result."""
+    process = engine.spawn(generator, name=name)
+    engine.run()
+    return process.result()

@@ -1,0 +1,99 @@
+"""Sweep analysis: averaging, CC tables, renderings."""
+
+import pytest
+
+from repro.core.analysis import (
+    RunMeasurement,
+    SweepAnalysis,
+    average_metric_sets,
+)
+from repro.core.metrics import compute_metrics
+from repro.core.records import IORecord, TraceCollection
+from repro.errors import AnalysisError
+
+
+def run_measurement(duration, nbytes=1024, fs_bytes=None):
+    trace = TraceCollection([
+        IORecord(0, "read", nbytes, 0.0, duration),
+    ])
+    return RunMeasurement(trace=trace, exec_time=duration,
+                          fs_bytes=fs_bytes if fs_bytes is not None
+                          else nbytes)
+
+
+class TestRunMeasurement:
+    def test_metrics_computed_from_run(self):
+        run = run_measurement(2.0, nbytes=2048)
+        metrics = run.metrics()
+        assert metrics.bps == pytest.approx(4 / 2.0)
+        assert metrics.fs_bytes == 2048
+
+
+class TestAveraging:
+    def test_average_of_identical_is_identity(self):
+        metrics = run_measurement(1.0).metrics()
+        averaged = average_metric_sets([metrics, metrics])
+        assert averaged.bps == metrics.bps
+        assert averaged.app_ops == metrics.app_ops
+
+    def test_average_of_two(self):
+        fast = run_measurement(1.0).metrics()
+        slow = run_measurement(3.0).metrics()
+        averaged = average_metric_sets([fast, slow])
+        assert averaged.exec_time == pytest.approx(2.0)
+        assert averaged.bps == pytest.approx((fast.bps + slow.bps) / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            average_metric_sets([])
+
+
+class TestSweepAnalysis:
+    def make_sweep(self):
+        sweep = SweepAnalysis("record size")
+        # Execution time falls across the sweep; throughput rises.
+        for label, duration in (("4KB", 4.0), ("64KB", 2.0),
+                                ("1MB", 1.0)):
+            runs = [run_measurement(duration + jitter * 0.01)
+                    for jitter in range(3)]
+            sweep.add_runs(label, runs)
+        return sweep
+
+    def test_labels_and_averaged(self):
+        sweep = self.make_sweep()
+        assert sweep.labels == ["4KB", "64KB", "1MB"]
+        averaged = sweep.averaged()
+        assert len(averaged) == 3
+        assert averaged[0].label == "4KB"
+
+    def test_correlations(self):
+        sweep = self.make_sweep()
+        table = sweep.correlations()
+        assert table["BPS"].direction_correct
+        # ARPT == exec duration here, so it tracks exec time: correct.
+        assert table["ARPT"].direction_correct
+
+    def test_series(self):
+        sweep = self.make_sweep()
+        times = sweep.series("exec_time")
+        assert times == sorted(times, reverse=True)
+
+    def test_renderings_contain_metrics(self):
+        sweep = self.make_sweep()
+        figure = sweep.render_cc_figure("Fig.X")
+        assert "Fig.X" in figure
+        assert "BPS" in figure
+        table = sweep.render_cc_table()
+        assert "MISLEADING" in table or "correct" in table
+        detail = sweep.render_detail(["ARPT", "exec_time"])
+        assert "4KB" in detail
+
+    def test_empty_sweep_rejected(self):
+        sweep = SweepAnalysis("nothing")
+        with pytest.raises(AnalysisError):
+            sweep.averaged()
+
+    def test_point_without_reps_rejected(self):
+        sweep = SweepAnalysis("x")
+        with pytest.raises(AnalysisError):
+            sweep.add_point("p", [])

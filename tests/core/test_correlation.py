@@ -1,0 +1,105 @@
+"""Correlation analysis: Table 1 directions and sign normalisation."""
+
+import pytest
+
+from repro.core.correlation import (
+    EXPECTED_DIRECTIONS,
+    METRIC_ORDER,
+    average_strength,
+    correlation_table,
+    misleading_metrics,
+    normalized_cc,
+)
+from repro.core.metrics import compute_metrics
+from repro.core.records import IORecord, TraceCollection
+from repro.errors import AnalysisError
+
+
+class TestTable1:
+    def test_expected_directions_match_paper(self):
+        assert EXPECTED_DIRECTIONS == {
+            "IOPS": -1, "BW": -1, "ARPT": +1, "BPS": -1,
+        }
+
+    def test_metric_order_matches_figures(self):
+        assert METRIC_ORDER == ("IOPS", "BW", "ARPT", "BPS")
+
+
+class TestNormalization:
+    def test_matching_direction_positive(self):
+        # BPS falling while exec time rises: correct direction.
+        result = normalized_cc("BPS", [10, 8, 6], [1, 2, 3])
+        assert result.cc == pytest.approx(-1.0)
+        assert result.normalized == pytest.approx(1.0)
+        assert result.direction_correct
+
+    def test_flipped_direction_negative(self):
+        # IOPS falling while exec time also falls: misleading.
+        result = normalized_cc("IOPS", [10, 8, 6], [3, 2, 1])
+        assert result.cc == pytest.approx(1.0)
+        assert result.normalized == pytest.approx(-1.0)
+        assert not result.direction_correct
+
+    def test_arpt_expected_positive(self):
+        result = normalized_cc("ARPT", [1, 2, 3], [1, 2, 3])
+        assert result.normalized == pytest.approx(1.0)
+
+    def test_bandwidth_alias(self):
+        result = normalized_cc("bandwidth", [3, 2, 1], [1, 2, 3])
+        assert result.metric == "BW"
+        assert result.normalized == pytest.approx(1.0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(AnalysisError):
+            normalized_cc("latency", [1, 2], [1, 2])
+
+    def test_degenerate_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            normalized_cc("BPS", [1, 1], [1, 2])
+
+
+def _metric_set(iops_v, bw_v, arpt_v, bps_v, exec_v):
+    trace = TraceCollection([IORecord(0, "read", 512, 0.0, 1.0)])
+    base = compute_metrics(trace, exec_time=exec_v)
+    from dataclasses import replace
+    return replace(base, iops=iops_v, bandwidth=bw_v, arpt=arpt_v,
+                   bps=bps_v)
+
+
+class TestCorrelationTable:
+    def test_full_table(self):
+        # A well-behaved sweep: throughput up, time down, latency down.
+        runs = [
+            _metric_set(10, 100, 5.0, 20, 8.0),
+            _metric_set(20, 200, 3.0, 40, 4.0),
+            _metric_set(40, 400, 2.0, 80, 2.0),
+        ]
+        table = correlation_table(runs)
+        assert set(table) == set(METRIC_ORDER)
+        assert table["IOPS"].direction_correct
+        assert table["BW"].direction_correct
+        assert table["ARPT"].direction_correct
+        assert table["BPS"].direction_correct
+        assert misleading_metrics(table) == []
+        # The series are monotone but not perfectly linear in exec time.
+        assert average_strength(table) > 0.9
+
+    def test_set4_style_bw_flip(self):
+        # Data-sieving style: bandwidth up while execution time rises.
+        runs = [
+            _metric_set(30, 100, 1.0, 30, 1.0),
+            _metric_set(20, 200, 2.0, 20, 2.0),
+            _metric_set(10, 400, 3.0, 10, 3.0),
+        ]
+        table = correlation_table(runs)
+        assert misleading_metrics(table) == ["BW"]
+        assert table["BW"].normalized < 0
+        assert table["BPS"].normalized > 0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(AnalysisError):
+            correlation_table([_metric_set(1, 1, 1, 1, 1)])
+
+    def test_average_strength_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            average_strength({})

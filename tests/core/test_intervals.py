@@ -1,0 +1,203 @@
+"""Interval union — the heart of BPS's time measurement (paper Fig. 2-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intervals import (
+    concurrency_profile,
+    idle_time,
+    max_concurrency,
+    merge_intervals,
+    total_request_time,
+    union_time,
+    union_time_paper,
+)
+from repro.errors import AnalysisError
+
+BOTH_IMPLS = pytest.mark.parametrize("union", [union_time,
+                                               union_time_paper],
+                                     ids=["numpy", "paper"])
+
+
+class TestPaperWorkedExamples:
+    """Exact scenarios from the paper's figures."""
+
+    @BOTH_IMPLS
+    def test_paper_figure2_example(self, union):
+        """Fig. 2: R1-R3 overlap pairwise, R4 is separate; the idle gap
+        between t6 and t7 is excluded.  T = dt1 + dt2."""
+        r1 = (0.0, 3.0)   # t1..t4
+        r2 = (1.0, 4.0)   # t2..t5
+        r3 = (2.0, 5.0)   # t3..t6
+        r4 = (7.0, 9.0)   # t7..t8
+        dt1 = 5.0 - 0.0
+        dt2 = 9.0 - 7.0
+        assert union([r1, r2, r3, r4]) == pytest.approx(dt1 + dt2)
+
+    @BOTH_IMPLS
+    def test_figure2_is_not_the_sum_of_times(self, union):
+        """The paper stresses T != T1+T2+T3 for overlapped requests."""
+        intervals = [(0.0, 3.0), (1.0, 4.0), (2.0, 5.0)]
+        assert union(intervals) == pytest.approx(5.0)
+        assert total_request_time(intervals) == pytest.approx(9.0)
+
+    @BOTH_IMPLS
+    def test_figure1c_concurrent_vs_sequential(self, union):
+        """Fig. 1(c): two requests of time T run sequentially (total 2T)
+        or concurrently (total T).  Union time tells them apart; ARPT
+        does not — that asymmetry is BPS's selling point."""
+        sequential = [(0.0, 1.0), (1.0, 2.0)]
+        concurrent = [(0.0, 1.0), (0.0, 1.0)]
+        assert union(sequential) == pytest.approx(2.0)
+        assert union(concurrent) == pytest.approx(1.0)
+
+    @BOTH_IMPLS
+    def test_idle_time_excluded(self, union):
+        """Section III.A: inactive periods are not included in T."""
+        intervals = [(0.0, 1.0), (10.0, 11.0)]
+        assert union(intervals) == pytest.approx(2.0)
+        assert idle_time(intervals) == pytest.approx(9.0)
+
+
+class TestBasics:
+    @BOTH_IMPLS
+    def test_empty(self, union):
+        assert union([]) == 0.0
+        assert union(np.empty((0, 2))) == 0.0
+
+    @BOTH_IMPLS
+    def test_single_interval(self, union):
+        assert union([(2.0, 5.5)]) == pytest.approx(3.5)
+
+    @BOTH_IMPLS
+    def test_zero_length_intervals(self, union):
+        assert union([(1.0, 1.0)]) == 0.0
+        assert union([(1.0, 1.0), (1.0, 2.0)]) == pytest.approx(1.0)
+
+    @BOTH_IMPLS
+    def test_identical_intervals_count_once(self, union):
+        assert union([(0.0, 1.0)] * 10) == pytest.approx(1.0)
+
+    @BOTH_IMPLS
+    def test_touching_intervals_merge(self, union):
+        assert union([(0.0, 1.0), (1.0, 2.0)]) == pytest.approx(2.0)
+
+    @BOTH_IMPLS
+    def test_containment(self, union):
+        assert union([(0.0, 10.0), (2.0, 3.0)]) == pytest.approx(10.0)
+
+    @BOTH_IMPLS
+    def test_unsorted_input(self, union):
+        assert union([(5.0, 6.0), (0.0, 1.0), (2.0, 3.0)]) == \
+            pytest.approx(3.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(AnalysisError):
+            union_time([(2.0, 1.0)])
+        with pytest.raises(AnalysisError):
+            union_time([(float("nan"), 1.0)])
+        with pytest.raises(AnalysisError):
+            union_time([(1.0, 2.0, 3.0)])
+
+
+intervals_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ).map(lambda p: (p[0], p[0] + p[1])),
+    min_size=0, max_size=200,
+)
+
+
+class TestProperties:
+    @given(intervals_strategy)
+    @settings(max_examples=200)
+    def test_implementations_agree(self, intervals):
+        assert union_time(intervals) == pytest.approx(
+            union_time_paper(intervals), abs=1e-9)
+
+    @given(intervals_strategy)
+    def test_union_bounds(self, intervals):
+        t = union_time(intervals)
+        assert t >= 0.0
+        assert t <= total_request_time(intervals) + 1e-9
+        if intervals:
+            longest = max(e - s for s, e in intervals)
+            span = max(e for _s, e in intervals) - \
+                min(s for s, _e in intervals)
+            assert t >= longest - 1e-9
+            assert t <= span + 1e-9
+
+    @given(intervals_strategy, st.randoms())
+    def test_permutation_invariance(self, intervals, rnd):
+        shuffled = intervals.copy()
+        rnd.shuffle(shuffled)
+        assert union_time(shuffled) == pytest.approx(
+            union_time(intervals), abs=1e-9)
+
+    @given(intervals_strategy)
+    def test_idempotent_under_duplication(self, intervals):
+        assert union_time(intervals + intervals) == pytest.approx(
+            union_time(intervals), abs=1e-9)
+
+    @given(intervals_strategy,
+           st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_translation_invariance(self, intervals, delta):
+        shifted = [(s + delta, e + delta) for s, e in intervals]
+        assert union_time(shifted) == pytest.approx(
+            union_time(intervals), abs=1e-6)
+
+    @given(intervals_strategy)
+    def test_merge_intervals_consistent_with_union(self, intervals):
+        merged = merge_intervals(intervals)
+        lengths = float(np.sum(merged[:, 1] - merged[:, 0])) \
+            if merged.size else 0.0
+        assert lengths == pytest.approx(union_time(intervals), abs=1e-9)
+        # Merged intervals are disjoint and sorted.
+        for (s1, e1), (s2, _e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+
+    @given(intervals_strategy)
+    def test_concurrency_profile_consistent(self, intervals):
+        times, depth = concurrency_profile(intervals)
+        if len(times) == 0:
+            assert union_time(intervals) == 0.0
+            return
+        assert depth[-1] == 0
+        assert np.all(depth >= 0)
+        # Integrating (depth > 0) over time reproduces the union time.
+        widths = np.diff(times)
+        busy = float(np.sum(widths[depth[:-1] > 0]))
+        assert busy == pytest.approx(union_time(intervals), abs=1e-9)
+        # Integrating depth itself reproduces the total request time.
+        weighted = float(np.sum(widths * depth[:-1]))
+        assert weighted == pytest.approx(
+            total_request_time(intervals), abs=1e-6)
+
+
+class TestConcurrencyProfile:
+    def test_profile_example(self):
+        times, depth = concurrency_profile(
+            [(0.0, 3.0), (1.0, 4.0), (2.0, 5.0), (7.0, 9.0)])
+        assert times.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 7.0, 9.0]
+        assert depth.tolist() == [1, 2, 3, 2, 1, 0, 1, 0]
+
+    def test_max_concurrency(self):
+        assert max_concurrency(
+            [(0.0, 3.0), (1.0, 4.0), (2.0, 5.0)]) == 3
+        assert max_concurrency([]) == 0
+
+    def test_zero_length_intervals_add_no_depth(self):
+        _times, depth = concurrency_profile([(1.0, 1.0), (0.0, 2.0)])
+        assert max(depth) == 1
+
+
+class TestComplexity:
+    def test_large_input_fast_and_correct(self):
+        rng = np.random.default_rng(0)
+        n = 100_000
+        starts = rng.uniform(0, 1000, n)
+        intervals = np.column_stack([starts, starts + rng.uniform(0, 1, n)])
+        t = union_time(intervals)
+        assert 0 < t <= 1001

@@ -1,0 +1,77 @@
+"""Layered app-vs-fs BPS comparison."""
+
+import pytest
+
+from repro.core.metrics import layered_comparison
+from repro.core.records import IORecord, LAYER_FS, TraceCollection
+from repro.errors import AnalysisError
+from repro.middleware.sieving import SievingConfig
+from repro.system import SystemConfig
+from repro.workloads import HpioWorkload, IOzoneWorkload
+from repro.util.units import KiB, MiB
+
+
+def trace_with_layers(app_bytes, fs_bytes):
+    return TraceCollection([
+        IORecord(0, "read", app_bytes, 0.0, 1.0),
+        IORecord(0, "read", fs_bytes, 0.0, 1.0, layer=LAYER_FS),
+    ])
+
+
+class TestDirect:
+    def test_equal_layers(self):
+        result = layered_comparison(trace_with_layers(4096, 4096))
+        assert result.app_bps == result.fs_bps
+        assert result.block_amplification == pytest.approx(1.0)
+
+    def test_amplified_fs_layer(self):
+        result = layered_comparison(trace_with_layers(4096, 16384))
+        assert result.fs_bps == pytest.approx(4 * result.app_bps)
+        assert result.block_amplification == pytest.approx(4.0)
+
+    def test_missing_fs_records_rejected(self):
+        trace = TraceCollection([IORecord(0, "read", 4096, 0.0, 1.0)])
+        with pytest.raises(AnalysisError, match="keep_fs_records"):
+            layered_comparison(trace)
+
+    def test_empty_app_rejected(self):
+        trace = TraceCollection([
+            IORecord(0, "read", 4096, 0.0, 1.0, layer=LAYER_FS)])
+        with pytest.raises(AnalysisError):
+            layered_comparison(trace)
+
+
+class TestEndToEnd:
+    def test_plain_read_has_no_amplification(self):
+        config = SystemConfig(kind="local", keep_fs_records=True,
+                              cache_pages=0)
+        measurement = IOzoneWorkload(file_size=4 * MiB,
+                                     record_size=64 * KiB).run(config)
+        result = layered_comparison(measurement.trace)
+        assert result.block_amplification == pytest.approx(1.0)
+
+    def test_sieving_amplifies_fs_layer(self):
+        config = SystemConfig(kind="pfs", n_servers=2,
+                              keep_fs_records=True)
+        workload = HpioWorkload(region_count=256, region_size=256,
+                                region_spacing=1024, nproc=1,
+                                sieving=SievingConfig(max_hole=4 * KiB))
+        measurement = workload.run(config)
+        result = layered_comparison(measurement.trace)
+        # fs moved regions + 4x holes.
+        assert result.block_amplification > 3.0
+        assert result.fs_bps > result.app_bps
+        # The fs-layer blocks match the recorder's byte counter.
+        assert result.fs_blocks * 512 == pytest.approx(
+            measurement.fs_bytes, rel=0.01)
+
+    def test_metrics_unaffected_by_fs_records(self):
+        plain = IOzoneWorkload(file_size=2 * MiB,
+                               record_size=64 * KiB).run(
+            SystemConfig(kind="local"))
+        layered = IOzoneWorkload(file_size=2 * MiB,
+                                 record_size=64 * KiB).run(
+            SystemConfig(kind="local", keep_fs_records=True))
+        # app-layer metrics identical; the fs records are additive only.
+        assert plain.metrics().bps == pytest.approx(layered.metrics().bps)
+        assert len(layered.trace) > len(plain.trace)

@@ -1,0 +1,191 @@
+"""Metrics: BPS (Eq. 1), IOPS, bandwidth, ARPT — including the paper's
+Figure 1 discrimination scenarios."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    MetricSet,
+    arpt,
+    bandwidth,
+    bps,
+    compute_metrics,
+    iops,
+    union_io_time,
+)
+from repro.core.records import IORecord, LAYER_FS, TraceCollection
+from repro.errors import AnalysisError
+
+
+def trace_of(*specs):
+    """specs: (nbytes, start, end) or (nbytes, start, end, pid)."""
+    trace = TraceCollection()
+    for spec in specs:
+        nbytes, start, end = spec[:3]
+        pid = spec[3] if len(spec) > 3 else 0
+        trace.add(IORecord(pid=pid, op="read", nbytes=nbytes,
+                           start=start, end=end))
+    return trace
+
+
+class TestPaperFigure1:
+    """Fig. 1: six two-request cases showing when each metric lies."""
+
+    def test_case_a_iops_misses_io_size(self):
+        """(a) Left: two size-S requests served in 2T → IOPS = 2/(2T) =
+        1/T.  Right: both served as one size-2S request in T → IOPS =
+        1/T as well.  IOPS cannot tell them apart; BPS doubles for the
+        right case, which finished in half the time."""
+        small_separate = trace_of((512, 0.0, 1.0), (512, 1.0, 2.0))
+        merged = trace_of((1024, 0.0, 1.0))
+        assert iops(small_separate) == pytest.approx(
+            iops(merged))  # IOPS cannot tell them apart...
+        assert bps(merged) == pytest.approx(
+            2 * bps(small_separate))  # ...BPS can.
+
+    def test_case_b_bandwidth_credits_extra_movement(self):
+        """(b) Same application data, but the right case moves twice the
+        data through the file system in the same time: bandwidth doubles,
+        BPS stays put (it counts application-required blocks)."""
+        app = trace_of((1024, 0.0, 1.0), (1024, 1.0, 2.0))
+        plain_bw = bandwidth(app, fs_bytes=2048)
+        amplified_bw = bandwidth(app, fs_bytes=4096)
+        assert amplified_bw == pytest.approx(2 * plain_bw)
+        assert bps(app) == bps(app)  # unchanged by fs_bytes
+
+    def test_case_c_arpt_misses_concurrency(self):
+        """(c) Sequential vs concurrent service of two T-long requests:
+        same ARPT, but BPS doubles for the concurrent case."""
+        sequential = trace_of((512, 0.0, 1.0), (512, 1.0, 2.0))
+        concurrent = trace_of((512, 0.0, 1.0), (512, 0.0, 1.0))
+        assert arpt(sequential) == pytest.approx(arpt(concurrent))
+        assert bps(concurrent) == pytest.approx(2 * bps(sequential))
+
+
+class TestBPS:
+    def test_equation_one(self):
+        # B = 4 blocks, T = 2s of overlapped I/O time.
+        trace = trace_of((1024, 0.0, 1.0), (1024, 1.0, 2.0))
+        assert bps(trace) == pytest.approx(4 / 2)
+
+    def test_failed_accesses_counted_in_b(self):
+        trace = TraceCollection([
+            IORecord(0, "read", 1024, 0.0, 1.0, success=True),
+            IORecord(0, "read", 1024, 1.0, 2.0, success=False),
+        ])
+        assert bps(trace) == pytest.approx(4 / 2)
+
+    def test_fs_layer_records_excluded(self):
+        trace = trace_of((1024, 0.0, 1.0))
+        trace.add(IORecord(0, "read", 10 * 1024, 0.0, 1.0,
+                           layer=LAYER_FS))
+        assert bps(trace) == pytest.approx(2 / 1)
+
+    def test_custom_block_size(self):
+        trace = trace_of((4096, 0.0, 1.0))
+        assert bps(trace, block_size=4096) == pytest.approx(1.0)
+
+    def test_idle_time_not_charged(self):
+        busy = trace_of((1024, 0.0, 1.0), (1024, 1.0, 2.0))
+        gappy = trace_of((1024, 0.0, 1.0), (1024, 100.0, 101.0))
+        assert bps(busy) == pytest.approx(bps(gappy))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            bps(TraceCollection())
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            bps(trace_of((512, 1.0, 1.0)))
+
+    def test_impl_selection(self):
+        trace = trace_of((512, 0.0, 1.0))
+        assert bps(trace, impl="paper") == bps(trace, impl="numpy")
+        with pytest.raises(AnalysisError):
+            bps(trace, impl="magic")
+
+
+class TestOtherMetrics:
+    def test_iops(self):
+        trace = trace_of((512, 0.0, 1.0), (512, 0.5, 2.0))
+        assert iops(trace) == pytest.approx(2 / 2.0)
+
+    def test_bandwidth_defaults_to_app_bytes(self):
+        trace = trace_of((1000, 0.0, 2.0))
+        assert bandwidth(trace) == pytest.approx(500.0)
+
+    def test_bandwidth_negative_fs_bytes_rejected(self):
+        with pytest.raises(AnalysisError):
+            bandwidth(trace_of((512, 0.0, 1.0)), fs_bytes=-1)
+
+    def test_arpt_is_plain_mean(self):
+        trace = trace_of((512, 0.0, 1.0), (512, 0.0, 3.0))
+        assert arpt(trace) == pytest.approx(2.0)
+
+    def test_union_io_time_exposed(self):
+        trace = trace_of((512, 0.0, 2.0), (512, 1.0, 3.0))
+        assert union_io_time(trace) == pytest.approx(3.0)
+
+
+class TestComputeMetrics:
+    def test_bundles_everything(self):
+        trace = trace_of((1024, 0.0, 1.0), (1024, 0.0, 1.0))
+        metrics = compute_metrics(trace, exec_time=2.0, fs_bytes=4096,
+                                  label="demo")
+        assert metrics.bps == pytest.approx(4.0)
+        assert metrics.iops == pytest.approx(2.0)
+        assert metrics.bandwidth == pytest.approx(4096.0)
+        assert metrics.arpt == pytest.approx(1.0)
+        assert metrics.exec_time == 2.0
+        assert metrics.app_ops == 2
+        assert metrics.app_blocks == 4
+        assert metrics.fs_amplification == pytest.approx(2.0)
+        assert metrics.label == "demo"
+
+    def test_value_of_aliases(self):
+        trace = trace_of((512, 0.0, 1.0))
+        metrics = compute_metrics(trace, exec_time=1.0)
+        assert metrics.value_of("BW") == metrics.bandwidth
+        assert metrics.value_of("bandwidth") == metrics.bandwidth
+        assert metrics.value_of("exec_time") == 1.0
+        with pytest.raises(AnalysisError):
+            metrics.value_of("latency99")
+
+    def test_bad_exec_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            compute_metrics(trace_of((512, 0.0, 1.0)), exec_time=0.0)
+
+
+class TestMetricProperties:
+    @given(st.lists(
+        st.tuples(st.integers(min_value=1, max_value=10**6),
+                  st.floats(min_value=0, max_value=100, allow_nan=False),
+                  st.floats(min_value=0.001, max_value=10,
+                            allow_nan=False)),
+        min_size=1, max_size=50))
+    def test_bps_scale_and_positivity(self, specs):
+        trace = TraceCollection([
+            IORecord(0, "read", nbytes, start, start + duration)
+            for nbytes, start, duration in specs
+        ])
+        value = bps(trace)
+        assert value > 0
+        # Halving the block size grows B, at most doubling it:
+        # ceil(n/512) <= ceil(n/256) <= 2*ceil(n/512).
+        finer = bps(trace, block_size=256)
+        assert value * 0.999 <= finer <= 2 * value * 1.001
+
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False),
+                  st.floats(min_value=0.001, max_value=10,
+                            allow_nan=False)),
+        min_size=1, max_size=50),
+        st.floats(min_value=0, max_value=1000, allow_nan=False))
+    def test_time_shift_invariance(self, spans, delta):
+        base = TraceCollection([
+            IORecord(0, "read", 512, start, start + duration)
+            for start, duration in spans
+        ])
+        shifted = TraceCollection([r.shifted(delta) for r in base])
+        assert bps(shifted) == pytest.approx(bps(base), rel=1e-9)
+        assert arpt(shifted) == pytest.approx(arpt(base), rel=1e-9)

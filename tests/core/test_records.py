@@ -1,0 +1,105 @@
+"""IORecord and TraceCollection (measurement steps 1-2)."""
+
+import pytest
+
+from repro.core.records import IORecord, LAYER_FS, TraceCollection
+from repro.errors import AnalysisError
+
+
+def rec(pid=0, op="read", nbytes=512, start=0.0, end=1.0, **kwargs):
+    return IORecord(pid=pid, op=op, nbytes=nbytes, start=start, end=end,
+                    **kwargs)
+
+
+class TestIORecord:
+    def test_duration(self):
+        assert rec(start=1.0, end=2.5).duration == 1.5
+
+    def test_blocks_round_up(self):
+        assert rec(nbytes=512).blocks() == 1
+        assert rec(nbytes=513).blocks() == 2
+        assert rec(nbytes=100).blocks(block_size=4096) == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(AnalysisError):
+            rec(nbytes=-1)
+        with pytest.raises(AnalysisError):
+            rec(start=2.0, end=1.0)
+
+    def test_shifted(self):
+        shifted = rec(start=1.0, end=2.0).shifted(10.0)
+        assert (shifted.start, shifted.end) == (11.0, 12.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            rec().pid = 5
+
+
+class TestCollection:
+    def test_add_and_iterate(self):
+        trace = TraceCollection()
+        trace.add(rec(pid=1))
+        trace.extend([rec(pid=2), rec(pid=3)])
+        assert len(trace) == 3
+        assert [r.pid for r in trace] == [1, 2, 3]
+        assert trace[0].pid == 1
+
+    def test_gather_merges_processes(self):
+        per_process = [TraceCollection([rec(pid=i)]) for i in range(4)]
+        gathered = TraceCollection.gather(per_process)
+        assert len(gathered) == 4
+        assert gathered.pids() == [0, 1, 2, 3]
+
+    def test_merge(self):
+        a = TraceCollection([rec(pid=0)])
+        b = TraceCollection([rec(pid=1)])
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert len(a) == 1  # originals untouched
+
+    def test_filters(self):
+        trace = TraceCollection([
+            rec(pid=0, op="read"),
+            rec(pid=1, op="write"),
+            rec(pid=0, op="read", layer=LAYER_FS),
+        ])
+        assert len(trace.for_pid(0)) == 2
+        assert len(trace.for_op("write")) == 1
+        assert len(trace.app_records()) == 2
+
+
+class TestAggregates:
+    def test_total_blocks_rounds_per_record(self):
+        trace = TraceCollection([rec(nbytes=100), rec(nbytes=100)])
+        # Two 100-byte accesses are two blocks, not ceil(200/512) = 1.
+        assert trace.total_blocks() == 2
+        assert trace.total_bytes() == 200
+
+    def test_intervals_array(self):
+        trace = TraceCollection([rec(start=0.0, end=1.0),
+                                 rec(start=2.0, end=3.5)])
+        arr = trace.intervals()
+        assert arr.shape == (2, 2)
+        assert arr.tolist() == [[0.0, 1.0], [2.0, 3.5]]
+
+    def test_empty_intervals(self):
+        assert TraceCollection().intervals().shape == (0, 2)
+
+    def test_span(self):
+        trace = TraceCollection([rec(start=1.0, end=2.0),
+                                 rec(start=0.5, end=1.5)])
+        assert trace.span() == (0.5, 2.0)
+
+    def test_span_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            TraceCollection().span()
+
+    def test_response_times(self):
+        trace = TraceCollection([rec(start=0.0, end=1.0),
+                                 rec(start=0.0, end=3.0)])
+        assert trace.response_times().tolist() == [1.0, 3.0]
+
+    def test_record_space_overhead(self):
+        # Paper section III.C: 32 bytes per record.
+        trace = TraceCollection([rec() for _ in range(100)])
+        assert trace.estimated_record_bytes() == 3200

@@ -1,0 +1,89 @@
+"""Jackknife sensitivity of correlation results."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sensitivity import (
+    influence,
+    jackknife_cc,
+    sweep_direction_robust,
+)
+from repro.errors import AnalysisError
+
+
+class TestJackknife:
+    def test_perfectly_linear_is_robust(self):
+        x = [1.0, 2.0, 3.0, 4.0, 5.0]
+        y = [10.0, 8.0, 6.0, 4.0, 2.0]
+        result = jackknife_cc(x, y)
+        assert result.cc == pytest.approx(-1.0)
+        assert all(v == pytest.approx(-1.0) for v in result.loo)
+        assert result.direction_robust()
+
+    def test_single_pivotal_point_detected(self):
+        # Four flat points plus one huge outlier carrying all the
+        # correlation: removing it destroys the relationship.
+        x = [1.0, 1.1, 0.9, 1.05, 10.0]
+        y = [5.0, 4.9, 5.1, 5.05, 50.0]
+        result = jackknife_cc(x, y, labels="abcde")
+        assert result.cc > 0.99
+        label, delta = result.most_influential()
+        assert label == "e"
+        assert delta > 0.5
+
+    def test_direction_flip_detected(self):
+        # Weak relation that changes sign when one point leaves.
+        x = [1.0, 2.0, 3.0, 10.0]
+        y = [3.0, 2.0, 1.0, 9.0]
+        result = jackknife_cc(x, y)
+        assert not result.direction_robust()
+
+    def test_min_max_consistent(self):
+        x = [1.0, 2.0, 3.0, 4.0, 7.0]
+        y = [2.0, 1.0, 4.0, 3.0, 6.0]
+        result = jackknife_cc(x, y)
+        assert result.min_cc <= result.max_cc
+        assert result.min_cc in result.loo
+        assert result.max_cc in result.loo
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            jackknife_cc([1, 2, 3], [1, 2, 3])
+        with pytest.raises(AnalysisError):
+            jackknife_cc([1, 2, 3, 4], [1, 2, 3])
+        with pytest.raises(AnalysisError):
+            jackknife_cc([1, 2, 3, 4], [1, 2, 3, 4], labels=["a"])
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False)),
+        min_size=4, max_size=20))
+    @settings(max_examples=60)
+    def test_loo_values_in_range(self, pairs):
+        x = [p[0] for p in pairs]
+        y = [p[1] for p in pairs]
+        try:
+            result = jackknife_cc(x, y)
+        except AnalysisError:
+            return  # degenerate variance
+        assert all(-1.0 <= v <= 1.0 for v in result.loo)
+        assert len(result.loo) == len(pairs)
+
+
+class TestInfluence:
+    def test_sorted_descending(self):
+        x = [1.0, 1.1, 0.9, 1.05, 10.0]
+        y = [5.0, 4.9, 5.1, 5.05, 50.0]
+        ranking = influence(x, y)
+        deltas = [delta for _label, delta in ranking]
+        assert deltas == sorted(deltas, reverse=True)
+
+
+class TestSweepIntegration:
+    def test_paper_sweeps_are_direction_robust(self):
+        """The reproduction's headline must not hinge on one point."""
+        from repro.experiments.runner import ExperimentScale
+        from repro.experiments.set4 import run_set4
+        sweep = run_set4(ExperimentScale(factor=0.25, repetitions=2))
+        assert sweep_direction_robust(sweep, "BPS")
+        assert sweep_direction_robust(sweep, "BW")  # robustly WRONG

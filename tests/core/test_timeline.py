@@ -1,0 +1,184 @@
+"""Timeline analytics: breakdowns, binned BPS, overlap, Gantt."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import union_time
+from repro.core.records import IORecord, TraceCollection
+from repro.core.timeline import (
+    binned_bps,
+    overlap_matrix,
+    overlap_surplus,
+    per_process_breakdown,
+    render_gantt,
+)
+from repro.errors import AnalysisError
+
+
+def rec(pid, start, end, nbytes=512):
+    return IORecord(pid=pid, op="read", nbytes=nbytes, start=start,
+                    end=end)
+
+
+@pytest.fixture
+def two_process_trace():
+    return TraceCollection([
+        rec(0, 0.0, 1.0, 1024),
+        rec(0, 1.0, 2.0, 1024),
+        rec(1, 0.5, 1.5, 2048),
+    ])
+
+
+class TestBreakdown:
+    def test_per_process_values(self, two_process_trace):
+        summaries = per_process_breakdown(two_process_trace)
+        assert [s.pid for s in summaries] == [0, 1]
+        first, second = summaries
+        assert first.ops == 2
+        assert first.blocks == 4
+        assert first.union_time == pytest.approx(2.0)
+        assert first.bps == pytest.approx(2.0)
+        assert second.union_time == pytest.approx(1.0)
+        assert second.mean_response == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            per_process_breakdown(TraceCollection())
+
+
+class TestOverlapSurplus:
+    def test_no_overlap(self):
+        trace = TraceCollection([rec(0, 0.0, 1.0), rec(1, 2.0, 3.0)])
+        assert overlap_surplus(trace) == pytest.approx(0.0)
+
+    def test_full_overlap(self):
+        trace = TraceCollection([rec(0, 0.0, 1.0), rec(1, 0.0, 1.0)])
+        assert overlap_surplus(trace) == pytest.approx(1.0)
+
+    def test_example(self, two_process_trace):
+        # pids: 2.0 + 1.0 per-process; global union = 2.0.
+        assert overlap_surplus(two_process_trace) == pytest.approx(1.0)
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.floats(min_value=0, max_value=50, allow_nan=False),
+                  st.floats(min_value=0.01, max_value=5,
+                            allow_nan=False)),
+        min_size=1, max_size=40))
+    def test_surplus_nonnegative(self, specs):
+        trace = TraceCollection([
+            rec(pid, start, start + duration)
+            for pid, start, duration in specs
+        ])
+        assert overlap_surplus(trace) >= -1e-9
+
+
+class TestBinnedBPS:
+    def test_uniform_activity(self):
+        # One record of 10 blocks over [0, 1): every bin equally busy.
+        trace = TraceCollection([rec(0, 0.0, 1.0, nbytes=5120)])
+        _edges, values = binned_bps(trace, bins=5)
+        assert values == pytest.approx([10.0] * 5)
+
+    def test_phased_activity(self):
+        trace = TraceCollection([rec(0, 0.0, 1.0, nbytes=5120),
+                                 rec(0, 3.0, 4.0, nbytes=5120)])
+        _edges, values = binned_bps(trace, bins=4)
+        assert values[0] > 0 and values[3] > 0
+        assert values[1] == pytest.approx(0.0)
+
+    def test_blocks_conserved(self):
+        trace = TraceCollection([rec(0, 0.2, 1.7, nbytes=4096),
+                                 rec(1, 0.9, 2.3, nbytes=9999)])
+        edges, values = binned_bps(trace, bins=7)
+        widths = np.diff(edges)
+        assert float(np.sum(values * widths)) == pytest.approx(
+            trace.total_blocks())
+
+    def test_zero_length_record_lands_in_a_bin(self):
+        trace = TraceCollection([rec(0, 0.0, 2.0, nbytes=512),
+                                 rec(0, 1.0, 1.0, nbytes=512)])
+        _edges, values = binned_bps(trace, bins=2)
+        assert float(np.sum(values)) > 0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            binned_bps(TraceCollection())
+        with pytest.raises(AnalysisError):
+            binned_bps(TraceCollection([rec(0, 1.0, 1.0)]), bins=4)
+
+
+class TestOverlapMatrix:
+    def test_diagonal_is_union_time(self, two_process_trace):
+        pids, matrix = overlap_matrix(two_process_trace)
+        assert pids == [0, 1]
+        app = two_process_trace
+        for i, pid in enumerate(pids):
+            assert matrix[i, i] == pytest.approx(
+                union_time(app.for_pid(pid).intervals()))
+
+    def test_symmetric_with_expected_overlap(self, two_process_trace):
+        _pids, matrix = overlap_matrix(two_process_trace)
+        # pid0 busy [0,2]; pid1 busy [0.5,1.5] -> overlap 1.0.
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[1, 0] == pytest.approx(1.0)
+
+    def test_disjoint_processes(self):
+        trace = TraceCollection([rec(0, 0.0, 1.0), rec(1, 5.0, 6.0)])
+        _pids, matrix = overlap_matrix(trace)
+        assert matrix[0, 1] == pytest.approx(0.0)
+
+
+class TestConcurrencyHistogram:
+    def test_depths_and_times(self, two_process_trace):
+        from repro.core.timeline import concurrency_histogram
+        histogram = concurrency_histogram(two_process_trace)
+        # [0, 0.5) depth 1; [0.5, 1.5) depth 2; [1.5, 2] depth 1.
+        assert histogram == pytest.approx({1: 1.0, 2: 1.0})
+
+    def test_sums_to_union_time(self, two_process_trace):
+        from repro.core.timeline import concurrency_histogram
+        histogram = concurrency_histogram(two_process_trace)
+        assert sum(histogram.values()) == pytest.approx(
+            union_time(two_process_trace.intervals()))
+
+    def test_depth_weighted_sum_is_total_request_time(
+            self, two_process_trace):
+        from repro.core.intervals import total_request_time
+        from repro.core.timeline import concurrency_histogram
+        histogram = concurrency_histogram(two_process_trace)
+        weighted = sum(depth * seconds
+                       for depth, seconds in histogram.items())
+        assert weighted == pytest.approx(
+            total_request_time(two_process_trace.intervals()))
+
+    def test_empty_rejected(self):
+        from repro.core.timeline import concurrency_histogram
+        with pytest.raises(AnalysisError):
+            concurrency_histogram(TraceCollection())
+
+
+class TestGantt:
+    def test_renders_rows_per_pid(self, two_process_trace):
+        chart = render_gantt(two_process_trace, width=40)
+        lines = chart.splitlines()
+        assert lines[0].startswith("pid    0")
+        assert lines[1].startswith("pid    1")
+        assert "#" in lines[0]
+
+    def test_overlap_deepens_marks(self):
+        trace = TraceCollection([rec(0, 0.0, 1.0), rec(0, 0.0, 1.0)])
+        chart = render_gantt(trace, width=20)
+        assert "2" in chart.splitlines()[0]
+
+    def test_idle_shown_as_dots(self):
+        trace = TraceCollection([rec(0, 0.0, 1.0), rec(0, 9.0, 10.0)])
+        row = render_gantt(trace, width=40).splitlines()[0]
+        assert "." in row
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            render_gantt(TraceCollection())
+        with pytest.raises(AnalysisError):
+            render_gantt(TraceCollection([rec(0, 0.0, 1.0)]), width=3)

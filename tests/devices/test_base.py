@@ -1,0 +1,103 @@
+"""Device machinery: requests, queueing, stats, schedulers."""
+
+import pytest
+
+from repro.devices.base import (
+    DeviceRequest,
+    DeviceResult,
+    READ,
+    WRITE,
+)
+from repro.devices.ramdisk import RamDisk
+from repro.errors import DeviceError
+from repro.util.units import MiB
+
+
+class TestDeviceRequest:
+    def test_valid_request(self):
+        request = DeviceRequest(READ, 0, 4096)
+        assert request.end == 4096
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceRequest("erase", 0, 4096)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceRequest(READ, -1, 4096)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceRequest(READ, 0, 0)
+
+
+class TestSubmission:
+    def test_result_latency_and_success(self, engine):
+        device = RamDisk(engine, capacity_bytes=1 * MiB)
+        done = device.access(READ, 0, 4096)
+        engine.run()
+        result = done.result()
+        assert isinstance(result, DeviceResult)
+        assert result.success
+        assert result.latency > 0
+        assert result.request.nbytes == 4096
+
+    def test_out_of_range_rejected(self, engine):
+        device = RamDisk(engine, capacity_bytes=1 * MiB)
+        with pytest.raises(DeviceError):
+            device.access(READ, 1 * MiB - 100, 4096)
+
+    def test_stats_accumulate(self, engine):
+        device = RamDisk(engine, capacity_bytes=1 * MiB)
+        device.access(READ, 0, 4096)
+        device.access(WRITE, 4096, 8192)
+        engine.run()
+        assert device.stats.reads == 1
+        assert device.stats.writes == 1
+        assert device.stats.bytes_read == 4096
+        assert device.stats.bytes_written == 8192
+        assert device.stats.bytes_moved == 12288
+        assert device.stats.ops == 2
+
+    def test_channels_limit_concurrency(self, engine):
+        device = RamDisk(engine, capacity_bytes=1 * MiB, channels=1,
+                         transfer_rate=1 * MiB, access_latency_s=0.0)
+        first = device.access(READ, 0, 512 * 1024)
+        second = device.access(READ, 0, 512 * 1024)
+        engine.run()
+        # With one channel the second must wait for the first.
+        assert second.result().end >= first.result().end
+        assert second.result().latency > first.result().latency
+
+    def test_multi_channel_overlaps(self, engine):
+        device = RamDisk(engine, capacity_bytes=1 * MiB, channels=2,
+                         transfer_rate=1 * MiB, access_latency_s=0.0)
+        first = device.access(READ, 0, 512 * 1024)
+        second = device.access(READ, 0, 512 * 1024)
+        engine.run()
+        assert first.result().end == pytest.approx(second.result().end)
+
+    def test_utilization_tracked(self, engine):
+        device = RamDisk(engine, capacity_bytes=1 * MiB)
+        device.access(READ, 0, 4096)
+        engine.run()
+        assert device.utilization.busy_time > 0
+
+    def test_bad_scheduler_rejected(self, engine):
+        from repro.devices.base import BlockDevice
+        with pytest.raises(DeviceError):
+            BlockDevice(engine, "bad", 1 * MiB, scheduler="random")
+
+    def test_bad_capacity_rejected(self, engine):
+        from repro.devices.base import BlockDevice
+        with pytest.raises(DeviceError):
+            BlockDevice(engine, "bad", 0)
+
+    def test_jitter_changes_latency_but_not_bytes(self, engine, rng):
+        device = RamDisk(engine, capacity_bytes=1 * MiB, rng=rng,
+                         jitter_sigma=0.5, channels=1)
+        first = device.access(READ, 0, 4096)
+        second = device.access(READ, 4096, 4096)
+        engine.run()
+        assert first.result().latency != second.result().latency
+        assert device.stats.bytes_read == 8192

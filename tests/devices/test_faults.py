@@ -1,0 +1,77 @@
+"""Fault injection: failed accesses still produce accountable results.
+
+The paper's B explicitly counts "non-successful" accesses (section
+III.A), so the failure path must produce results the trace layer can
+record — not exceptions that vanish.
+"""
+
+import pytest
+
+from repro.devices.base import FaultInjector, READ
+from repro.devices.ramdisk import RamDisk
+from repro.errors import DeviceError
+from repro.util.units import MiB
+
+
+class TestFaultInjector:
+    def test_probability_bounds(self, rng):
+        with pytest.raises(DeviceError):
+            FaultInjector(rng, probability=1.5)
+        with pytest.raises(DeviceError):
+            FaultInjector(rng, probability=-0.1)
+
+    def test_time_fraction_bounds(self, rng):
+        with pytest.raises(DeviceError):
+            FaultInjector(rng, probability=0.5, time_fraction=0.0)
+        with pytest.raises(DeviceError):
+            FaultInjector(rng, probability=0.5, time_fraction=1.5)
+
+    def test_always_fails_at_probability_one(self, rng):
+        injector = FaultInjector(rng, probability=1.0)
+        assert all(injector.should_fail() for _ in range(20))
+
+    def test_never_fails_at_probability_zero(self, rng):
+        injector = FaultInjector(rng, probability=0.0)
+        assert not any(injector.should_fail() for _ in range(20))
+
+
+class TestDeviceFaultPath:
+    def test_failed_access_returns_unsuccessful_result(self, engine, rng):
+        device = RamDisk(engine, capacity_bytes=1 * MiB,
+                         fault_injector=FaultInjector(rng, probability=1.0))
+        done = device.access(READ, 0, 4096)
+        engine.run()
+        result = done.result()
+        assert not result.success
+        assert "fault" in result.error
+        assert device.stats.faults == 1
+
+    def test_failed_access_takes_partial_time(self, engine, rng):
+        healthy_engine = type(engine)()
+        healthy = RamDisk(healthy_engine, capacity_bytes=1 * MiB,
+                          channels=1)
+        failing = RamDisk(engine, capacity_bytes=1 * MiB, channels=1,
+                          fault_injector=FaultInjector(
+                              rng, probability=1.0, time_fraction=0.5))
+        healthy.access(READ, 0, 512 * 1024)
+        failing.access(READ, 0, 512 * 1024)
+        healthy_engine.run()
+        engine.run()
+        assert engine.now == pytest.approx(healthy_engine.now * 0.5)
+
+    def test_failed_bytes_not_counted_as_moved(self, engine, rng):
+        device = RamDisk(engine, capacity_bytes=1 * MiB,
+                         fault_injector=FaultInjector(rng, probability=1.0))
+        device.access(READ, 0, 4096)
+        engine.run()
+        assert device.stats.bytes_read == 0
+        assert device.stats.reads == 1  # the op itself is counted
+
+    def test_partial_failure_rate(self, engine, rng):
+        device = RamDisk(engine, capacity_bytes=16 * MiB,
+                         fault_injector=FaultInjector(rng, probability=0.3))
+        for i in range(200):
+            device.access(READ, (i * 4096) % (1 * MiB), 4096)
+        engine.run()
+        assert 20 < device.stats.faults < 120  # ~60 expected
+        assert device.stats.reads == 200

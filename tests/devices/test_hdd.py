@@ -1,0 +1,119 @@
+"""HDD model: sequential vs random costs, seek curve, stream cache."""
+
+import pytest
+
+from repro.devices.base import DeviceRequest, READ
+from repro.devices.hdd import HDDModel
+from repro.errors import DeviceError
+from repro.util.units import GiB, KiB, MiB
+
+
+@pytest.fixture
+def hdd(engine):
+    return HDDModel(engine, capacity_bytes=10 * GiB)
+
+
+class TestTimingComponents:
+    def test_rotation_period_from_rpm(self, hdd):
+        assert hdd.rotation_period_s == pytest.approx(60.0 / 7200.0)
+
+    def test_avg_rotational_latency_is_half_period(self, hdd):
+        # The empirical half-revolution relation the paper quotes.
+        assert hdd.avg_rotational_latency_s == pytest.approx(
+            hdd.rotation_period_s / 2)
+
+    def test_seek_zero_distance(self, hdd):
+        assert hdd.seek_time(100, 100) == 0.0
+
+    def test_seek_grows_with_distance(self, hdd):
+        near = hdd.seek_time(0, 1 * MiB)
+        far = hdd.seek_time(0, 5 * GiB)
+        assert hdd.track_to_track_s <= near < far <= hdd.full_stroke_s
+
+    def test_full_stroke_bound(self, hdd):
+        assert hdd.seek_time(0, hdd.capacity_bytes) == pytest.approx(
+            hdd.full_stroke_s)
+
+    def test_invalid_rpm_rejected(self, engine):
+        with pytest.raises(DeviceError):
+            HDDModel(engine, rpm=0)
+
+    def test_inconsistent_seek_times_rejected(self, engine):
+        with pytest.raises(DeviceError):
+            HDDModel(engine, full_stroke_s=0.0001, track_to_track_s=0.001)
+
+
+class TestServiceTime:
+    def test_sequential_pays_no_positioning(self, hdd):
+        first = DeviceRequest(READ, 0, 64 * KiB)
+        assert hdd.service_time(first) == pytest.approx(
+            hdd.command_overhead_s + 64 * KiB / hdd.transfer_rate)
+
+    def test_random_pays_seek_and_rotation(self, hdd):
+        request = DeviceRequest(READ, 1 * GiB, 64 * KiB)
+        sequential_cost = (hdd.command_overhead_s
+                           + 64 * KiB / hdd.transfer_rate)
+        assert hdd.service_time(request) > (
+            sequential_cost + hdd.avg_rotational_latency_s)
+
+    def test_head_position_advances(self, engine, hdd):
+        hdd.access(READ, 0, 64 * KiB)
+        engine.run()
+        assert hdd.head_position == 64 * KiB
+
+    def test_back_to_back_sequential_run_is_fast(self, engine, hdd):
+        # A sequential scan: every request after the first continues the
+        # head position, so total time ~ bytes / transfer_rate.
+        def scan(eng):
+            for i in range(16):
+                yield hdd.access(READ, i * 64 * KiB, 64 * KiB)
+        engine.spawn(scan(engine))
+        engine.run()
+        pure_transfer = 16 * 64 * KiB / hdd.transfer_rate
+        overheads = 16 * hdd.command_overhead_s
+        assert engine.now == pytest.approx(pure_transfer + overheads)
+
+
+class TestStreamCache:
+    def test_two_interleaved_streams_stay_sequential(self, engine, hdd):
+        # Streams at 0 and 1 GiB, interleaved request by request.  With
+        # the segmented cache no positioning cost applies after the two
+        # initial misses.
+        def interleaved(eng):
+            for i in range(8):
+                yield hdd.access(READ, i * 64 * KiB, 64 * KiB)
+                yield hdd.access(READ, 1 * GiB + i * 64 * KiB, 64 * KiB)
+        engine.spawn(interleaved(engine))
+        engine.run()
+        transfer = 16 * 64 * KiB / hdd.transfer_rate
+        overheads = 16 * hdd.command_overhead_s
+        # Exactly one positioning penalty (the jump to the second
+        # stream's start); the first request at offset 0 is sequential
+        # because the head parks at 0.
+        positioning = (hdd.seek_time(64 * KiB, 1 * GiB)
+                       + hdd.avg_rotational_latency_s)
+        assert engine.now == pytest.approx(
+            transfer + overheads + positioning, rel=0.05)
+
+    def test_stream_capacity_evicts_oldest(self, engine):
+        hdd = HDDModel(engine, capacity_bytes=10 * GiB, cache_segments=2)
+        # Three interleaved streams with only two cache segments: the
+        # round-robin pattern evicts each stream before it returns, so
+        # every access pays positioning.
+        def interleaved(eng):
+            for i in range(4):
+                for base in (0, 1 * GiB, 2 * GiB):
+                    yield hdd.access(READ, base + i * 64 * KiB, 64 * KiB)
+        engine.spawn(interleaved(engine))
+        engine.run()
+        rotations = 12 * hdd.avg_rotational_latency_s
+        assert engine.now > rotations  # all 12 accesses paid positioning
+
+    def test_random_access_still_pays(self, engine, hdd):
+        request_far = DeviceRequest(READ, 5 * GiB, 4 * KiB)
+        cost = hdd.service_time(request_far)
+        assert cost > hdd.avg_rotational_latency_s
+
+    def test_bad_cache_segments_rejected(self, engine):
+        with pytest.raises(DeviceError):
+            HDDModel(engine, cache_segments=0)

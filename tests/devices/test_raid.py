@@ -1,0 +1,132 @@
+"""RAID arrays: striping, mirroring, capacity, fault propagation."""
+
+import pytest
+
+from repro.devices.base import FaultInjector, READ, WRITE
+from repro.devices.raid import RAIDArray
+from repro.devices.ramdisk import RamDisk
+from repro.devices.specs import make_device
+from repro.errors import DeviceError
+from repro.util.units import GiB, KiB, MiB
+
+
+def members(engine, n, **kwargs):
+    defaults = dict(capacity_bytes=1 * GiB, channels=1,
+                    transfer_rate=100 * MiB, access_latency_s=0.0)
+    defaults.update(kwargs)
+    return [RamDisk(engine, name=f"m{i}", **defaults) for i in range(n)]
+
+
+class TestConstruction:
+    def test_raid0_capacity_sums(self, engine):
+        array = RAIDArray(engine, members(engine, 4), level=0)
+        assert array.capacity_bytes == 4 * GiB
+
+    def test_raid1_capacity_is_one_member(self, engine):
+        array = RAIDArray(engine, members(engine, 2), level=1)
+        assert array.capacity_bytes == 1 * GiB
+
+    def test_validation(self, engine):
+        with pytest.raises(DeviceError):
+            RAIDArray(engine, members(engine, 1), level=0)
+        with pytest.raises(DeviceError):
+            RAIDArray(engine, members(engine, 2), level=5)
+        with pytest.raises(DeviceError):
+            RAIDArray(engine, members(engine, 2), chunk_size=0)
+        mismatched = members(engine, 1) + [
+            RamDisk(engine, capacity_bytes=2 * GiB)]
+        with pytest.raises(DeviceError):
+            RAIDArray(engine, mismatched)
+
+    def test_out_of_range_rejected(self, engine):
+        array = RAIDArray(engine, members(engine, 2), level=1)
+        with pytest.raises(DeviceError):
+            array.access(READ, 1 * GiB - 10, 100)
+
+
+class TestRaid0:
+    def test_stripes_across_members(self, engine):
+        array = RAIDArray(engine, members(engine, 4), level=0,
+                          chunk_size=64 * KiB)
+        done = array.access(READ, 0, 256 * KiB)
+        engine.run()
+        assert done.result().success
+        for member in array.members:
+            assert member.stats.bytes_read == 64 * KiB
+
+    def test_bandwidth_scales(self, engine):
+        # Same total read on 1 device vs RAID-0 of 4: array ~4x faster.
+        single_engine = type(engine)()
+        single = members(single_engine, 1)[0]
+        single.access(READ, 0, 1 * MiB)
+        single_engine.run()
+
+        array = RAIDArray(engine, members(engine, 4), level=0)
+        array.access(READ, 0, 1 * MiB)
+        engine.run()
+        assert engine.now < single_engine.now / 3
+
+    def test_stats(self, engine):
+        array = RAIDArray(engine, members(engine, 2), level=0)
+        array.access(READ, 0, 128 * KiB)
+        array.access(WRITE, 0, 128 * KiB)
+        engine.run()
+        assert array.stats.reads == 1
+        assert array.stats.writes == 1
+        assert array.stats.bytes_moved == 256 * KiB
+
+
+class TestRaid1:
+    def test_writes_hit_all_mirrors(self, engine):
+        array = RAIDArray(engine, members(engine, 2), level=1)
+        array.access(WRITE, 0, 64 * KiB)
+        engine.run()
+        for member in array.members:
+            assert member.stats.bytes_written == 64 * KiB
+
+    def test_reads_balance_across_mirrors(self, engine):
+        array = RAIDArray(engine, members(engine, 2), level=1)
+        for i in range(4):
+            array.access(READ, i * 64 * KiB, 64 * KiB)
+        engine.run()
+        assert array.members[0].stats.bytes_read == 128 * KiB
+        assert array.members[1].stats.bytes_read == 128 * KiB
+
+
+class TestFaults:
+    def test_member_fault_fails_array_request(self, engine, rng):
+        bad = RamDisk(engine, capacity_bytes=1 * GiB,
+                      fault_injector=FaultInjector(rng, probability=1.0))
+        good = RamDisk(engine, capacity_bytes=1 * GiB)
+        array = RAIDArray(engine, [good, bad], level=0,
+                          chunk_size=64 * KiB)
+        done = array.access(READ, 0, 256 * KiB)  # spans both members
+        engine.run()
+        result = done.result()
+        assert not result.success
+        assert array.stats.faults == 1
+
+
+class TestSpecs:
+    def test_raid_specs_instantiate(self, engine):
+        array = make_device(engine, "raid0-hdd-4")
+        assert isinstance(array, RAIDArray)
+        assert len(array.members) == 4
+        mirror = make_device(engine, "raid1-hdd-2")
+        assert mirror.level == 1
+
+    def test_raid_array_behind_a_filesystem(self, engine):
+        from repro.fs.localfs import LocalFileSystem
+        array = RAIDArray(engine, members(engine, 4), level=0)
+        fs = LocalFileSystem(engine, array, page_cache=None)
+        fs.create("f", 4 * MiB)
+        done = fs.read("f", 0, 1 * MiB)
+        engine.run()
+        assert done.result().success
+        assert done.result().device_bytes == 1 * MiB
+
+    def test_raid_spec_in_system_config(self):
+        from repro.system import SystemConfig, build_system
+        system = build_system(SystemConfig(
+            kind="local", device_spec="raid0-hdd-4"))
+        assert system.localfs is not None

@@ -1,0 +1,56 @@
+"""Device catalog and factory."""
+
+import pytest
+
+from repro.devices.hdd import HDDModel
+from repro.devices.specs import (
+    DEVICE_SPECS,
+    make_device,
+    paper_hdd,
+    paper_ssd,
+)
+from repro.devices.ssd import SSDModel
+from repro.errors import DeviceError
+from repro.util.units import GiB
+
+
+class TestCatalog:
+    def test_paper_devices_present(self):
+        assert "sata-hdd-7200" in DEVICE_SPECS
+        assert "pcie-ssd" in DEVICE_SPECS
+
+    def test_paper_hdd_matches_testbed(self, engine):
+        hdd = paper_hdd(engine)
+        assert isinstance(hdd, HDDModel)
+        assert hdd.capacity_bytes == 250 * GiB
+        assert hdd.rpm == 7200.0
+
+    def test_paper_ssd_matches_testbed(self, engine):
+        ssd = paper_ssd(engine)
+        assert isinstance(ssd, SSDModel)
+        assert ssd.capacity_bytes == 100 * GiB
+
+    def test_all_specs_instantiate(self, engine):
+        for name in DEVICE_SPECS:
+            device = make_device(engine, name)
+            assert device.capacity_bytes > 0
+
+    def test_unknown_spec_lists_known(self, engine):
+        with pytest.raises(DeviceError, match="sata-hdd-7200"):
+            make_device(engine, "floppy")
+
+    def test_overrides_apply(self, engine):
+        hdd = make_device(engine, "sata-hdd-7200",
+                          capacity_bytes=1 * GiB)
+        assert hdd.capacity_bytes == 1 * GiB
+
+    def test_custom_name(self, engine):
+        device = make_device(engine, "ramdisk", name="scratch")
+        assert device.name == "scratch"
+
+    def test_ssd_faster_than_hdd_for_small_random_reads(self, engine):
+        from repro.devices.base import DeviceRequest, READ
+        hdd = paper_hdd(engine)
+        ssd = paper_ssd(engine)
+        request = DeviceRequest(READ, 64 * GiB, 4096)
+        assert ssd.service_time(request) < hdd.service_time(request) / 10

@@ -1,0 +1,67 @@
+"""SSD model: latency asymmetry, channel parallelism."""
+
+import pytest
+
+from repro.devices.base import DeviceRequest, READ, WRITE
+from repro.devices.ssd import SSDModel
+from repro.errors import DeviceError
+from repro.util.units import GiB, KiB, MiB
+
+
+@pytest.fixture
+def ssd(engine):
+    return SSDModel(engine, capacity_bytes=10 * GiB)
+
+
+class TestServiceTime:
+    def test_no_positional_state(self, ssd):
+        near = ssd.service_time(DeviceRequest(READ, 0, 4 * KiB))
+        far = ssd.service_time(DeviceRequest(READ, 9 * GiB, 4 * KiB))
+        assert near == far
+
+    def test_writes_slower_than_reads(self, ssd):
+        read = ssd.service_time(DeviceRequest(READ, 0, 4 * KiB))
+        write = ssd.service_time(DeviceRequest(WRITE, 0, 4 * KiB))
+        assert write > read
+
+    def test_transfer_scales_with_size(self, ssd):
+        small = ssd.service_time(DeviceRequest(READ, 0, 4 * KiB))
+        large = ssd.service_time(DeviceRequest(READ, 0, 4 * MiB))
+        assert large > small
+        assert large - small == pytest.approx(
+            (4 * MiB - 4 * KiB) / ssd.channel_rate)
+
+    def test_negative_latency_rejected(self, engine):
+        with pytest.raises(DeviceError):
+            SSDModel(engine, read_latency_s=-1.0)
+
+    def test_zero_channel_rate_rejected(self, engine):
+        with pytest.raises(DeviceError):
+            SSDModel(engine, channel_rate=0.0)
+
+
+class TestChannelParallelism:
+    def test_parallel_up_to_channel_count(self, engine):
+        ssd = SSDModel(engine, capacity_bytes=1 * GiB, channels=4)
+        done = [ssd.access(READ, i * MiB, 1 * MiB) for i in range(4)]
+        engine.run()
+        ends = [d.result().end for d in done]
+        assert max(ends) == pytest.approx(min(ends))
+
+    def test_queueing_beyond_channels(self, engine):
+        ssd = SSDModel(engine, capacity_bytes=1 * GiB, channels=2)
+        done = [ssd.access(READ, i * MiB, 1 * MiB) for i in range(4)]
+        engine.run()
+        ends = sorted(d.result().end for d in done)
+        assert ends[2] > ends[0]  # third request waited for a channel
+
+    def test_aggregate_bandwidth_scales_with_channels(self, engine):
+        narrow_engine, wide_engine = engine, type(engine)()
+        narrow = SSDModel(narrow_engine, capacity_bytes=1 * GiB, channels=1)
+        wide = SSDModel(wide_engine, capacity_bytes=1 * GiB, channels=4)
+        for i in range(4):
+            narrow.access(READ, i * MiB, 1 * MiB)
+            wide.access(READ, i * MiB, 1 * MiB)
+        narrow_engine.run()
+        wide_engine.run()
+        assert narrow_engine.now > 3 * wide_engine.now

@@ -1,0 +1,40 @@
+"""Experiment registry (Table 2) and figure catalog completeness."""
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.registry import EXPERIMENT_SETS
+
+
+class TestRegistry:
+    def test_four_sets(self):
+        assert sorted(EXPERIMENT_SETS) == [1, 2, 3, 4]
+
+    def test_descriptions_match_paper_table2(self):
+        assert EXPERIMENT_SETS[1].description == "various storage device"
+        assert EXPERIMENT_SETS[2].description == "various I/O request size"
+        assert EXPERIMENT_SETS[3].description == "various I/O concurrency"
+        assert EXPERIMENT_SETS[4].description == \
+            "various additional data movement"
+
+    def test_expected_misleading_metrics(self):
+        assert EXPERIMENT_SETS[1].expected_misleading == ()
+        assert set(EXPERIMENT_SETS[2].expected_misleading) == \
+            {"IOPS", "ARPT"}
+        assert EXPERIMENT_SETS[3].expected_misleading == ("ARPT",)
+        assert EXPERIMENT_SETS[4].expected_misleading == ("BW",)
+
+
+class TestFigureCatalog:
+    def test_every_evaluation_figure_present(self):
+        expected = {"table1", "table2", "fig4", "fig5", "fig6", "fig7",
+                    "fig8", "fig9", "fig10", "fig11", "fig12", "summary"}
+        assert expected <= set(FIGURES)
+
+    def test_registry_figures_resolve(self):
+        for spec in EXPERIMENT_SETS.values():
+            for figure_id in spec.figures:
+                assert figure_id in FIGURES
+
+    def test_specs_have_expectations(self):
+        for spec in FIGURES.values():
+            assert spec.title
+            assert spec.paper_expectation

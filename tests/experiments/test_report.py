@@ -1,0 +1,40 @@
+"""One-command report generation."""
+
+import pytest
+
+from repro.experiments.report import REPORT_ORDER, generate_report
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import ExperimentScale
+
+
+class TestReportStructure:
+    def test_order_covers_all_figures(self):
+        assert set(REPORT_ORDER) == set(FIGURES)
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(
+            ExperimentScale(factor=0.25, repetitions=2))
+
+    def test_every_section_present(self, report):
+        for figure_id in REPORT_ORDER:
+            assert f"## {figure_id}:" in report
+
+    def test_expectations_quoted(self, report):
+        assert "Paper expectation" in report
+        assert "BW flipped" in report or "BW negative" in report \
+            or "flips" in report
+
+    def test_contains_cc_tables(self, report):
+        assert "MISLEADING" in report
+        assert "correct" in report
+
+    def test_markdown_code_fences_balanced(self, report):
+        assert report.count("```") % 2 == 0
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "r.md"
+        assert main(["report", "--scale", "0.25", "--reps", "2",
+                     "--out", str(out)]) == 0
+        assert out.read_text().startswith("# BPS reproduction report")

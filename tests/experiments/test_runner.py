@@ -1,0 +1,64 @@
+"""Sweep runner: scaling, repetitions, seeds."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentScale, SweepSpec, run_sweep
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads.iozone import IOzoneWorkload
+
+
+class TestScale:
+    def test_size_scaling_respects_granule(self):
+        scale = ExperimentScale(factor=0.5)
+        assert scale.size(16 * MiB, granule=1 * MiB) == 8 * MiB
+        # Scaled value floors to the granule: 5000 -> 4096.
+        assert scale.size(10000, granule=4096) == 4096
+
+    def test_size_never_below_granule(self):
+        scale = ExperimentScale(factor=0.001)
+        assert scale.size(1 * MiB, granule=64 * KiB) == 64 * KiB
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentScale(factor=0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(repetitions=0)
+
+
+class TestSweep:
+    def make_spec(self):
+        config = SystemConfig(kind="local", jitter_sigma=0.1)
+        points = []
+        for record in (64 * KiB, 256 * KiB):
+            def make(_record=record):
+                return IOzoneWorkload(file_size=1 * MiB,
+                                      record_size=_record)
+            points.append((str(record), make, config))
+        return SweepSpec(knob="record", points=points)
+
+    def test_runs_all_points_and_reps(self):
+        scale = ExperimentScale(repetitions=3)
+        sweep = run_sweep(self.make_spec(), scale)
+        assert sweep.labels == ["65536", "262144"]
+        assert len(sweep._points[0][1]) == 3
+
+    def test_repetitions_use_distinct_seeds(self):
+        scale = ExperimentScale(repetitions=3)
+        sweep = run_sweep(self.make_spec(), scale)
+        times = [m.exec_time for m in sweep._points[0][1]]
+        assert len(set(times)) == 3  # jitter + distinct seeds
+
+    def test_deterministic_given_same_scale(self):
+        scale = ExperimentScale(repetitions=2)
+        first = run_sweep(self.make_spec(), scale)
+        second = run_sweep(self.make_spec(), scale)
+        assert [m.exec_time for m in first.averaged()] == \
+            [m.exec_time for m in second.averaged()]
+
+    def test_single_point_sweep_rejected(self):
+        config = SystemConfig(kind="local")
+        with pytest.raises(ExperimentError):
+            SweepSpec(knob="x", points=[
+                ("only", lambda: IOzoneWorkload(), config)])

@@ -1,0 +1,113 @@
+"""Extent allocation and offset translation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FileSystemError
+from repro.fs.blockmap import Extent, ExtentAllocator, FileMap
+from repro.util.units import MiB
+
+
+class TestExtent:
+    def test_end(self):
+        assert Extent(100, 50).end == 150
+
+    def test_invalid_rejected(self):
+        with pytest.raises(FileSystemError):
+            Extent(-1, 10)
+        with pytest.raises(FileSystemError):
+            Extent(0, 0)
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        allocator = ExtentAllocator(1 * MiB)
+        first = allocator.allocate(1000)
+        second = allocator.allocate(2000)
+        assert first == [Extent(0, 1000)]
+        assert second == [Extent(1000, 2000)]
+        assert allocator.used == 3000
+        assert allocator.free == 1 * MiB - 3000
+
+    def test_max_extent_fragments(self):
+        allocator = ExtentAllocator(1 * MiB, max_extent=1000)
+        extents = allocator.allocate(2500)
+        assert [e.length for e in extents] == [1000, 1000, 500]
+        # Fragments remain adjacent on the device.
+        for a, b in zip(extents, extents[1:]):
+            assert b.device_offset == a.end
+
+    def test_full_device_rejected(self):
+        allocator = ExtentAllocator(1000)
+        allocator.allocate(900)
+        with pytest.raises(FileSystemError):
+            allocator.allocate(200)
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(FileSystemError):
+            ExtentAllocator(1000).allocate(0)
+
+    def test_release_last(self):
+        allocator = ExtentAllocator(1000)
+        allocator.allocate(100)
+        extents = allocator.allocate(200)
+        allocator.release_last(extents)
+        assert allocator.used == 100
+
+    def test_release_non_last_rejected(self):
+        allocator = ExtentAllocator(1000)
+        first = allocator.allocate(100)
+        allocator.allocate(200)
+        with pytest.raises(FileSystemError):
+            allocator.release_last(first)
+
+
+class TestFileMap:
+    def test_translate_single_extent(self):
+        fmap = FileMap("f", [Extent(1000, 500)])
+        assert fmap.translate(100, 50) == [Extent(1100, 50)]
+
+    def test_translate_across_extents(self):
+        fmap = FileMap("f", [Extent(0, 100), Extent(5000, 100)])
+        parts = fmap.translate(50, 100)
+        assert parts == [Extent(50, 50), Extent(5000, 50)]
+
+    def test_translate_whole_file(self):
+        fmap = FileMap("f", [Extent(0, 100), Extent(500, 200)])
+        parts = fmap.translate(0, 300)
+        assert sum(p.length for p in parts) == 300
+
+    def test_out_of_range_rejected(self):
+        fmap = FileMap("f", [Extent(0, 100)])
+        with pytest.raises(FileSystemError):
+            fmap.translate(50, 100)
+
+    def test_bad_range_rejected(self):
+        fmap = FileMap("f", [Extent(0, 100)])
+        with pytest.raises(FileSystemError):
+            fmap.translate(-1, 10)
+        with pytest.raises(FileSystemError):
+            fmap.translate(0, 0)
+
+    def test_empty_extents_rejected(self):
+        with pytest.raises(FileSystemError):
+            FileMap("f", [])
+
+    @given(
+        st.integers(min_value=1, max_value=64),     # extent granule count
+        st.integers(min_value=0, max_value=4000),   # offset
+        st.integers(min_value=1, max_value=1000),   # length
+    )
+    def test_translation_covers_exactly(self, max_extent_units, offset,
+                                        length):
+        allocator = ExtentAllocator(
+            1 * MiB, max_extent=max_extent_units * 64)
+        fmap = FileMap("f", allocator.allocate(8192))
+        if offset + length > fmap.size:
+            return
+        parts = fmap.translate(offset, length)
+        assert sum(p.length for p in parts) == length
+        # Parts must be disjoint on the device.
+        spans = sorted((p.device_offset, p.end) for p in parts)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2

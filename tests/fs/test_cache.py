@@ -1,0 +1,168 @@
+"""Page cache: LRU eviction, dirtiness, flush, drop_caches."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FileSystemError
+from repro.fs.cache import PageCache
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = PageCache(4)
+        assert not cache.lookup("f", 0)
+        cache.insert("f", 0)
+        assert cache.lookup("f", 0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_hit_ratio(self):
+        cache = PageCache(4)
+        cache.insert("f", 0)
+        cache.lookup("f", 0)
+        cache.lookup("f", 1)
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_hit_ratio_zero_when_unused(self):
+        assert PageCache(4).stats.hit_ratio == 0.0
+
+    def test_files_are_separate(self):
+        cache = PageCache(4)
+        cache.insert("a", 0)
+        assert not cache.lookup("b", 0)
+
+    def test_zero_capacity_always_misses(self):
+        cache = PageCache(0)
+        cache.insert("f", 0)
+        assert not cache.lookup("f", 0)
+        assert len(cache) == 0
+
+    def test_contains_does_not_touch_stats(self):
+        cache = PageCache(4)
+        cache.insert("f", 0)
+        assert cache.contains("f", 0)
+        assert not cache.contains("f", 1)
+        assert cache.stats.lookups == 0
+
+
+class TestLRU:
+    def test_eviction_order_is_lru(self):
+        cache = PageCache(2)
+        cache.insert("f", 0)
+        cache.insert("f", 1)
+        cache.lookup("f", 0)      # 0 becomes most recent
+        cache.insert("f", 2)      # evicts 1
+        assert cache.contains("f", 0)
+        assert not cache.contains("f", 1)
+        assert cache.contains("f", 2)
+        assert cache.stats.evictions == 1
+
+    def test_reinsert_refreshes_order(self):
+        cache = PageCache(2)
+        cache.insert("f", 0)
+        cache.insert("f", 1)
+        cache.insert("f", 0)      # refresh
+        cache.insert("f", 2)      # evicts 1, not 0
+        assert cache.contains("f", 0)
+
+    def test_capacity_never_exceeded(self):
+        cache = PageCache(3)
+        for page in range(10):
+            cache.insert("f", page)
+        assert len(cache) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=20),
+                    min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=8))
+    def test_capacity_invariant_under_any_sequence(self, pages, capacity):
+        cache = PageCache(capacity)
+        for page in pages:
+            cache.lookup("f", page)
+            cache.insert("f", page)
+        assert len(cache) <= capacity
+        # Most recently inserted page must be resident.
+        assert cache.contains("f", pages[-1])
+
+
+class TestDirtiness:
+    def test_writeback_policy_tracks_dirty(self):
+        cache = PageCache(4, policy="write-back")
+        cache.insert("f", 0, dirty=True)
+        cache.insert("f", 1, dirty=False)
+        assert cache.dirty_pages() == [("f", 0)]
+
+    def test_eviction_returns_dirty_pages(self):
+        cache = PageCache(1, policy="write-back")
+        cache.insert("f", 0, dirty=True)
+        evicted = cache.insert("f", 1)
+        assert evicted == [("f", 0)]
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_returns_nothing(self):
+        cache = PageCache(1)
+        cache.insert("f", 0)
+        assert cache.insert("f", 1) == []
+
+    def test_flush_cleans_everything(self):
+        cache = PageCache(4, policy="write-back")
+        cache.insert("f", 0, dirty=True)
+        cache.insert("f", 1, dirty=True)
+        flushed = cache.flush()
+        assert len(flushed) == 2
+        assert cache.dirty_pages() == []
+        assert cache.contains("f", 0)  # flush keeps pages resident
+
+    def test_mark_dirty_requires_residency(self):
+        cache = PageCache(4)
+        with pytest.raises(FileSystemError):
+            cache.mark_dirty("f", 0)
+
+    def test_dirty_bit_sticky_on_reinsert(self):
+        cache = PageCache(4, policy="write-back")
+        cache.insert("f", 0, dirty=True)
+        cache.insert("f", 0, dirty=False)
+        assert cache.dirty_pages() == [("f", 0)]
+
+
+class TestInvalidation:
+    def test_invalidate_file(self):
+        cache = PageCache(8)
+        cache.insert("a", 0)
+        cache.insert("a", 1)
+        cache.insert("b", 0)
+        assert cache.invalidate_file("a") == 2
+        assert not cache.contains("a", 0)
+        assert cache.contains("b", 0)
+
+    def test_drop_caches_empties_and_reports_dirty(self):
+        cache = PageCache(8, policy="write-back")
+        cache.insert("f", 0, dirty=True)
+        cache.insert("f", 1)
+        dirty = cache.drop_caches()
+        assert dirty == [("f", 0)]
+        assert len(cache) == 0
+
+
+class TestPageRange:
+    def test_single_page(self):
+        cache = PageCache(4, page_size=4096)
+        assert list(cache.page_range(0, 4096)) == [0]
+
+    def test_straddles_boundary(self):
+        cache = PageCache(4, page_size=4096)
+        assert list(cache.page_range(4000, 200)) == [0, 1]
+
+    def test_bad_range_rejected(self):
+        cache = PageCache(4)
+        with pytest.raises(FileSystemError):
+            cache.page_range(-1, 10)
+        with pytest.raises(FileSystemError):
+            cache.page_range(0, 0)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(FileSystemError):
+            PageCache(-1)
+        with pytest.raises(FileSystemError):
+            PageCache(4, page_size=0)
+        with pytest.raises(FileSystemError):
+            PageCache(4, policy="write-around")

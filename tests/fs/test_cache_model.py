@@ -1,0 +1,107 @@
+"""Model-based testing of the page cache.
+
+Hypothesis drives random operation sequences against the real
+:class:`PageCache` and a brutally simple reference model (a dict plus an
+explicit LRU list).  Any divergence in residency, dirtiness, or
+evictions is a cache bug.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fs.cache import PageCache
+
+KEYS = [("f", page) for page in range(6)] + [("g", page)
+                                             for page in range(3)]
+
+operation = st.one_of(
+    st.tuples(st.just("lookup"), st.sampled_from(KEYS)),
+    st.tuples(st.just("insert_clean"), st.sampled_from(KEYS)),
+    st.tuples(st.just("insert_dirty"), st.sampled_from(KEYS)),
+    st.tuples(st.just("flush"), st.none()),
+    st.tuples(st.just("invalidate_f"), st.none()),
+    st.tuples(st.just("drop"), st.none()),
+)
+
+
+class ModelCache:
+    """Reference implementation: dict + LRU order list."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.pages = {}       # key -> dirty
+        self.order = []       # LRU order, oldest first
+
+    def _touch(self, key):
+        if key in self.order:
+            self.order.remove(key)
+        self.order.append(key)
+
+    def lookup(self, key):
+        if key in self.pages:
+            self._touch(key)
+            return True
+        return False
+
+    def insert(self, key, dirty):
+        evicted_dirty = []
+        if key in self.pages:
+            self.pages[key] = self.pages[key] or dirty
+            self._touch(key)
+            return evicted_dirty
+        if self.capacity == 0:
+            return evicted_dirty
+        while len(self.pages) >= self.capacity:
+            victim = self.order.pop(0)
+            if self.pages.pop(victim):
+                evicted_dirty.append(victim)
+        self.pages[key] = dirty
+        self.order.append(key)
+        return evicted_dirty
+
+    def flush(self):
+        flushed = [k for k in self.order if self.pages[k]]
+        for key in flushed:
+            self.pages[key] = False
+        return flushed
+
+    def invalidate(self, file_name):
+        victims = [k for k in self.order if k[0] == file_name]
+        for key in victims:
+            del self.pages[key]
+            self.order.remove(key)
+        return len(victims)
+
+    def drop(self):
+        dirty = [k for k in self.order if self.pages[k]]
+        self.pages.clear()
+        self.order.clear()
+        return dirty
+
+
+@given(st.integers(min_value=0, max_value=5),
+       st.lists(operation, max_size=120))
+@settings(max_examples=150, deadline=None)
+def test_cache_matches_model(capacity, operations):
+    real = PageCache(capacity, policy="write-back")
+    model = ModelCache(capacity)
+    for kind, key in operations:
+        if kind == "lookup":
+            assert real.lookup(*key) == model.lookup(key)
+        elif kind == "insert_clean":
+            assert real.insert(*key, dirty=False) == \
+                model.insert(key, False)
+        elif kind == "insert_dirty":
+            assert real.insert(*key, dirty=True) == \
+                model.insert(key, True)
+        elif kind == "flush":
+            assert real.flush() == model.flush()
+        elif kind == "invalidate_f":
+            assert real.invalidate_file("f") == model.invalidate("f")
+        elif kind == "drop":
+            assert real.drop_caches() == model.drop()
+        # Global invariants after every step.
+        assert len(real) == len(model.pages)
+        assert set(real.dirty_pages()) == \
+            {k for k, d in model.pages.items() if d}
+        for key in KEYS:
+            assert real.contains(*key) == (key in model.pages)

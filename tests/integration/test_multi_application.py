@@ -1,0 +1,98 @@
+"""Multi-application I/O systems (paper §III.B: "If the I/O system
+services more than one application concurrently, we record the I/O
+access information of all the applications").
+
+The global BPS must reflect the whole system, while per-application
+views remain recoverable from the same trace.
+"""
+
+import pytest
+
+from repro.core.intervals import union_time
+from repro.core.metrics import compute_metrics
+from repro.core.timeline import overlap_matrix
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads import (
+    CompositeWorkload,
+    IORWorkload,
+    IOzoneWorkload,
+    RandomAccessWorkload,
+)
+
+PFS = SystemConfig(kind="pfs", n_servers=4)
+
+
+@pytest.fixture(scope="module")
+def mixed_run():
+    composite = CompositeWorkload(members=[
+        IORWorkload(file_size=8 * MiB, transfer_size=256 * KiB, nproc=2),
+        RandomAccessWorkload(file_size=8 * MiB, io_size=4 * KiB,
+                             ops_per_proc=64, nproc=2),
+    ])
+    return composite, composite.run(PFS)
+
+
+class TestGlobalView:
+    def test_global_b_is_sum_of_members(self, mixed_run):
+        composite, measurement = mixed_run
+        total = measurement.trace.total_blocks()
+        parts = sum(
+            composite.member_trace(measurement.trace, i).total_blocks()
+            for i in range(2))
+        assert total == parts
+
+    def test_global_t_collapses_cross_app_overlap(self, mixed_run):
+        composite, measurement = mixed_run
+        global_t = union_time(measurement.trace.intervals())
+        member_ts = [
+            union_time(composite.member_trace(measurement.trace,
+                                              i).intervals())
+            for i in range(2)
+        ]
+        # Both apps ran concurrently: the union is less than the sum.
+        assert global_t < sum(member_ts)
+        assert global_t >= max(member_ts) - 1e-12
+
+    def test_apps_actually_overlapped(self, mixed_run):
+        _composite, measurement = mixed_run
+        pids, matrix = overlap_matrix(measurement.trace)
+        ior_pids = [p for p in pids if p < 1000]
+        random_pids = [p for p in pids if p >= 1000]
+        cross = sum(matrix[pids.index(a), pids.index(b)]
+                    for a in ior_pids for b in random_pids)
+        assert cross > 0
+
+    def test_global_metrics_computable(self, mixed_run):
+        _composite, measurement = mixed_run
+        metrics = measurement.metrics()
+        assert metrics.bps > 0
+        assert metrics.app_ops == len(measurement.trace)
+
+
+class TestPerApplicationView:
+    def test_member_metrics_differ_by_design(self, mixed_run):
+        composite, measurement = mixed_run
+        ior = compute_metrics(
+            composite.member_trace(measurement.trace, 0),
+            exec_time=measurement.exec_time)
+        random_app = compute_metrics(
+            composite.member_trace(measurement.trace, 1),
+            exec_time=measurement.exec_time)
+        # Big sequential transfers vs tiny random ones.
+        assert ior.bps > random_app.bps
+        assert ior.app_bytes > random_app.app_bytes
+
+    def test_interference_visible_in_member_latency(self):
+        solo = IOzoneWorkload(file_size=4 * MiB,
+                              record_size=64 * KiB).run(PFS)
+        noisy = CompositeWorkload(members=[
+            IOzoneWorkload(file_size=4 * MiB, record_size=64 * KiB),
+            IORWorkload(file_size=8 * MiB, transfer_size=256 * KiB,
+                        nproc=4),
+        ])
+        shared = noisy.run(PFS)
+        victim = noisy.member_trace(shared.trace, 0)
+        solo_arpt = solo.trace.response_times().mean()
+        noisy_arpt = victim.response_times().mean()
+        assert noisy_arpt > solo_arpt  # the bandwidth hog hurt it

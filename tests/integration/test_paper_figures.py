@@ -1,0 +1,160 @@
+"""Integration: the paper's evaluation shapes, end to end.
+
+Each test runs a (scaled-down) experiment sweep and asserts the paper's
+*qualitative* result: which metrics keep the Table 1 direction and which
+flip.  These are the reproduction's acceptance tests; EXPERIMENTS.md
+records the measured values next to the paper's.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.set1 import run_set1
+from repro.experiments.set2 import run_set2
+from repro.experiments.set3 import run_set3_ior, run_set3_pure
+from repro.experiments.set4 import run_set4
+
+SCALE = ExperimentScale(factor=0.25, repetitions=2)
+
+
+@pytest.fixture(scope="module")
+def set1():
+    return run_set1(SCALE)
+
+
+@pytest.fixture(scope="module")
+def set2_hdd():
+    return run_set2("hdd", SCALE)
+
+
+@pytest.fixture(scope="module")
+def set2_ssd():
+    return run_set2("ssd", SCALE)
+
+
+@pytest.fixture(scope="module")
+def set3_pure():
+    return run_set3_pure(SCALE)
+
+
+@pytest.fixture(scope="module")
+def set3_ior():
+    # The ARPT flip needs enough per-rank work to leave the startup
+    # transient; factor 0.5 is the smallest scale where it shows.
+    return run_set3_ior(ExperimentScale(factor=0.5, repetitions=2))
+
+
+@pytest.fixture(scope="module")
+def set4():
+    return run_set4(SCALE)
+
+
+class TestFig4Devices:
+    def test_all_metrics_correct_and_strong(self, set1):
+        table = set1.correlations()
+        for name, result in table.items():
+            assert result.direction_correct, f"{name} flipped"
+            assert abs(result.cc) > 0.7, f"{name} weak: {result.cc}"
+
+    def test_ssd_beats_hdd(self, set1):
+        averaged = {m.label: m for m in set1.averaged()}
+        assert averaged["ssd"].exec_time < averaged["hdd"].exec_time
+
+    def test_more_servers_never_slower(self, set1):
+        averaged = {m.label: m for m in set1.averaged()}
+        pvfs = [averaged[f"pvfs-{n}"].exec_time for n in (1, 2, 4, 8)]
+        assert pvfs == sorted(pvfs, reverse=True)
+
+
+class TestFig5Fig6IOSizes:
+    @pytest.mark.parametrize("device", ["hdd", "ssd"])
+    def test_iops_and_arpt_flip_bw_bps_hold(self, device, set2_hdd,
+                                            set2_ssd):
+        sweep = set2_hdd if device == "hdd" else set2_ssd
+        table = sweep.correlations()
+        assert not table["IOPS"].direction_correct
+        assert not table["ARPT"].direction_correct
+        assert table["BW"].direction_correct
+        assert table["BPS"].direction_correct
+        assert table["BW"].normalized > 0.8
+        assert table["BPS"].normalized > 0.8
+
+    def test_fig7_iops_and_time_both_fall(self, set2_hdd):
+        """Fig. 7: from 4KB to 64KB, IOPS drops while the application
+        gets faster — the paper's headline IOPS indictment."""
+        iops_series = set2_hdd.series("IOPS")
+        time_series = set2_hdd.series("exec_time")
+        labels = set2_hdd.labels
+        i4k, i64k = labels.index("4.0KiB"), labels.index("64.0KiB")
+        assert iops_series[i64k] < iops_series[i4k]
+        assert time_series[i64k] < time_series[i4k]
+
+    def test_fig8_arpt_rises_while_time_falls(self, set2_ssd):
+        arpt_series = set2_ssd.series("ARPT")
+        time_series = set2_ssd.series("exec_time")
+        assert arpt_series[-1] > arpt_series[0]
+        assert time_series[-1] < time_series[0]
+
+
+class TestFig9Fig10PureConcurrency:
+    def test_throughput_metrics_correct_arpt_flips(self, set3_pure):
+        table = set3_pure.correlations()
+        for name in ("IOPS", "BW", "BPS"):
+            assert table[name].direction_correct
+            assert table[name].normalized > 0.7
+        assert not table["ARPT"].direction_correct
+
+    def test_fig10_time_collapses_arpt_flat(self, set3_pure):
+        times = set3_pure.series("exec_time")
+        arpts = set3_pure.series("ARPT")
+        assert times[-1] < times[0] / 4  # near-linear scaling to n=8
+        spread = max(arpts) / min(arpts)
+        assert spread < 1.5  # ARPT barely moves
+
+
+class TestFig11IOR:
+    def test_throughput_metrics_correct_arpt_flips(self, set3_ior):
+        table = set3_ior.correlations()
+        for name in ("IOPS", "BW", "BPS"):
+            assert table[name].direction_correct
+            assert table[name].normalized > 0.6
+        assert not table["ARPT"].direction_correct
+
+    def test_concurrency_helps_overall(self, set3_ior):
+        times = set3_ior.series("exec_time")
+        assert times[-1] < times[0]
+
+
+class TestFig12DataSieving:
+    def test_bw_flips_others_hold(self, set4):
+        table = set4.correlations()
+        assert not table["BW"].direction_correct, \
+            "bandwidth should be misled by sieved holes"
+        for name in ("IOPS", "ARPT", "BPS"):
+            assert table[name].direction_correct, f"{name} flipped"
+            assert table[name].normalized > 0.7
+
+    def test_amplification_grows_with_spacing(self, set4):
+        averaged = set4.averaged()
+        amplifications = [m.fs_amplification for m in averaged]
+        assert amplifications[-1] > amplifications[0] * 3
+
+    def test_app_bytes_constant_across_sweep(self, set4):
+        app_bytes = {m.app_bytes for m in set4.averaged()}
+        assert len(app_bytes) == 1
+
+
+class TestHeadline:
+    def test_bps_correct_in_every_sweep(self, set1, set2_hdd, set2_ssd,
+                                        set3_pure, set3_ior, set4):
+        """Section IV.C.5: BPS is the only metric that works in all
+        scenarios."""
+        sweeps = [set1, set2_hdd, set2_ssd, set3_pure, set3_ior, set4]
+        flips = {name: 0 for name in ("IOPS", "BW", "ARPT", "BPS")}
+        for sweep in sweeps:
+            for name, result in sweep.correlations().items():
+                if not result.direction_correct:
+                    flips[name] += 1
+        assert flips["BPS"] == 0
+        for name in ("IOPS", "BW", "ARPT"):
+            assert flips[name] > 0, f"{name} never flipped — sweep too easy"

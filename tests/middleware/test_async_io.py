@@ -1,0 +1,141 @@
+"""Asynchronous I/O context: overlap, queue depth, tracing."""
+
+import pytest
+
+from repro.devices.ssd import SSDModel
+from repro.errors import MiddlewareError
+from repro.fs.localfs import LocalFileSystem
+from repro.middleware.async_io import AsyncIOContext
+from repro.middleware.tracing import TraceRecorder
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture
+def stack(engine):
+    device = SSDModel(engine, capacity_bytes=64 * MiB, channels=4)
+    fs = LocalFileSystem(engine, device, page_cache=None,
+                         per_call_overhead_s=0.0)
+    fs.create("data", 16 * MiB)
+    recorder = TraceRecorder(engine)
+    return fs, recorder
+
+
+def make_ctx(engine, stack, depth):
+    fs, recorder = stack
+    return AsyncIOContext(engine, fs, "data", pid=0, recorder=recorder,
+                          queue_depth=depth), recorder
+
+
+class TestSubmission:
+    def test_submissions_overlap(self, engine, stack):
+        ctx, recorder = make_ctx(engine, stack, depth=4)
+
+        def app(eng):
+            for i in range(4):
+                ctx.submit_read(i * MiB, 256 * KiB)
+            yield ctx.drain()
+        process = engine.spawn(app(engine))
+        engine.run()
+        process.result()
+        intervals = recorder.app_trace.intervals()
+        from repro.core.intervals import max_concurrency, union_time
+        assert max_concurrency(intervals) == 4
+        # Union time much less than the sum: requests truly overlapped.
+        durations = recorder.app_trace.response_times().sum()
+        assert union_time(intervals) < durations * 0.5
+
+    def test_depth_one_serialises(self, engine, stack):
+        ctx, recorder = make_ctx(engine, stack, depth=1)
+
+        def app(eng):
+            for i in range(3):
+                ctx.submit_read(i * MiB, 256 * KiB)
+            yield ctx.drain()
+        process = engine.spawn(app(engine))
+        engine.run()
+        process.result()
+        # With one slot, later requests' response times include waiting.
+        times = recorder.app_trace.response_times()
+        assert times[2] > times[0] * 2
+
+    def test_queue_depth_bounds_in_flight(self, engine, stack):
+        ctx, _recorder = make_ctx(engine, stack, depth=2)
+        observed = []
+
+        def app(eng):
+            for i in range(6):
+                ctx.submit_read(i * MiB, 512 * KiB)
+            while ctx.completed < 6:
+                observed.append(ctx.in_flight)
+                yield eng.timeout(0.0001)
+            yield ctx.drain()
+        process = engine.spawn(app(engine))
+        engine.run()
+        process.result()
+        assert max(observed) <= 2
+
+    def test_counters(self, engine, stack):
+        ctx, _recorder = make_ctx(engine, stack, depth=4)
+
+        def app(eng):
+            for i in range(5):
+                ctx.submit_read(i * KiB * 4, 4 * KiB)
+            yield ctx.drain()
+        engine.spawn(app(engine))
+        engine.run()
+        assert ctx.submitted == 5
+        assert ctx.completed == 5
+
+    def test_individual_token_waitable(self, engine, stack):
+        ctx, _recorder = make_ctx(engine, stack, depth=4)
+
+        def app(eng):
+            token = ctx.submit_read(0, 4 * KiB)
+            result = yield token
+            return result.nbytes
+        process = engine.spawn(app(engine))
+        engine.run()
+        assert process.result() == 4 * KiB
+
+    def test_writes_supported(self, engine, stack):
+        ctx, recorder = make_ctx(engine, stack, depth=2)
+
+        def app(eng):
+            ctx.submit_write(0, 64 * KiB)
+            yield ctx.drain()
+        engine.spawn(app(engine))
+        engine.run()
+        assert recorder.trace[0].op == "write"
+
+    def test_drain_only_waits_for_submitted(self, engine, stack):
+        ctx, _recorder = make_ctx(engine, stack, depth=2)
+
+        def app(eng):
+            ctx.submit_read(0, 4 * KiB)
+            yield ctx.drain()
+            first_done_at = eng.now
+            ctx.submit_read(MiB, 4 * KiB)
+            yield ctx.drain()
+            return first_done_at, eng.now
+        process = engine.spawn(app(engine))
+        engine.run()
+        first, second = process.result()
+        assert second > first
+
+
+class TestValidation:
+    def test_bad_depth(self, engine, stack):
+        fs, recorder = stack
+        with pytest.raises(MiddlewareError):
+            AsyncIOContext(engine, fs, "data", 0, recorder,
+                           queue_depth=0)
+
+    def test_missing_file(self, engine, stack):
+        fs, recorder = stack
+        with pytest.raises(MiddlewareError):
+            AsyncIOContext(engine, fs, "ghost", 0, recorder)
+
+    def test_bad_range(self, engine, stack):
+        ctx, _recorder = make_ctx(engine, stack, depth=2)
+        with pytest.raises(MiddlewareError):
+            ctx.submit_read(16 * MiB, 4 * KiB)

@@ -1,0 +1,92 @@
+"""Two-phase planning: domain tiling invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MiddlewareError
+from repro.middleware.collective import (
+    FileDomain,
+    domain_for_offset,
+    two_phase_plan,
+)
+
+
+class TestPlan:
+    def test_single_rank_single_aggregator(self):
+        domains = two_phase_plan({0: (100, 50)}, 1)
+        assert domains == [FileDomain(0, 100, 50)]
+
+    def test_even_split(self):
+        domains = two_phase_plan({0: (0, 100), 1: (100, 100)}, 2)
+        assert domains == [FileDomain(0, 0, 100), FileDomain(1, 100, 100)]
+
+    def test_covers_holes_between_requests(self):
+        # Rank requests with a gap: ROMIO reads the covering extent.
+        domains = two_phase_plan({0: (0, 10), 1: (90, 10)}, 1)
+        assert domains == [FileDomain(0, 0, 100)]
+
+    def test_never_more_domains_than_bytes(self):
+        domains = two_phase_plan({0: (0, 3)}, 10)
+        assert len(domains) == 3
+
+    def test_empty_requests_rejected(self):
+        with pytest.raises(MiddlewareError):
+            two_phase_plan({}, 2)
+
+    def test_bad_cb_nodes_rejected(self):
+        with pytest.raises(MiddlewareError):
+            two_phase_plan({0: (0, 10)}, 0)
+
+    def test_bad_request_rejected(self):
+        with pytest.raises(MiddlewareError):
+            two_phase_plan({0: (-5, 10)}, 1)
+        with pytest.raises(MiddlewareError):
+            two_phase_plan({0: (0, 0)}, 1)
+
+
+class TestDomainLookup:
+    def test_finds_containing_domain(self):
+        domains = two_phase_plan({0: (0, 100), 1: (100, 100)}, 2)
+        assert domain_for_offset(domains, 0).aggregator == 0
+        assert domain_for_offset(domains, 150).aggregator == 1
+
+    def test_outside_raises(self):
+        domains = two_phase_plan({0: (0, 100)}, 1)
+        with pytest.raises(MiddlewareError):
+            domain_for_offset(domains, 100)
+
+
+requests_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=31),
+    st.tuples(st.integers(min_value=0, max_value=100000),
+              st.integers(min_value=1, max_value=5000)),
+    min_size=1, max_size=32,
+)
+
+
+class TestPlanProperties:
+    @given(requests_strategy, st.integers(min_value=1, max_value=16))
+    def test_tiling_invariants(self, requests, cb_nodes):
+        domains = two_phase_plan(requests, cb_nodes)
+        start = min(off for off, _n in requests.values())
+        end = max(off + n for off, n in requests.values())
+
+        # Contiguous ascending tiling of [start, end).
+        assert domains[0].offset == start
+        assert domains[-1].end == end
+        for a, b in zip(domains, domains[1:]):
+            assert a.end == b.offset
+
+        # Balance: sizes differ by at most one.
+        sizes = [d.nbytes for d in domains]
+        assert max(sizes) - min(sizes) <= 1
+
+        # Aggregator ids are 0..k-1.
+        assert [d.aggregator for d in domains] == list(range(len(domains)))
+
+        # Every requested byte falls in exactly one domain.
+        for offset, nbytes in requests.values():
+            first = domain_for_offset(domains, offset)
+            last = domain_for_offset(domains, offset + nbytes - 1)
+            assert first.offset <= offset
+            assert last.end >= offset + nbytes

@@ -1,0 +1,223 @@
+"""MPI-IO middleware: independent, sieved, and collective reads."""
+
+import pytest
+
+from repro.devices.ramdisk import RamDisk
+from repro.errors import MiddlewareError
+from repro.fs.localfs import LocalFileSystem
+from repro.middleware.mpiio import MPIIO, MPIIOHints
+from repro.middleware.sieving import SievingConfig
+from repro.middleware.tracing import TraceRecorder
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture
+def stack(engine):
+    device = RamDisk(engine, capacity_bytes=64 * MiB)
+    fs = LocalFileSystem(engine, device, page_cache=None)
+    fs.create("shared", 8 * MiB)
+    recorder = TraceRecorder(engine)
+    return fs, recorder
+
+
+class TestIndependent:
+    def test_read_at_traced_per_rank(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 2, recorder)
+        for rank in range(2):
+            handle = mpi.open(fs, "shared", rank)
+            handle.read_at(rank * MiB, 64 * KiB)
+        engine.run()
+        assert len(recorder.app_trace) == 2
+        assert recorder.trace.pids() == [0, 1]
+
+    def test_write_at(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        handle = mpi.open(fs, "shared", 0)
+        handle.write_at(0, 64 * KiB)
+        engine.run()
+        assert recorder.trace[0].op == "write"
+        assert recorder.fs_bytes_moved == 64 * KiB
+
+    def test_rank_range_checked(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 2, recorder)
+        with pytest.raises(MiddlewareError):
+            mpi.open(fs, "shared", 5)
+
+    def test_missing_file_rejected(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        with pytest.raises(MiddlewareError):
+            mpi.open(fs, "ghost", 0)
+
+    def test_bad_range_rejected(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        handle = mpi.open(fs, "shared", 0)
+        with pytest.raises(MiddlewareError):
+            handle.read_at(8 * MiB, 1)
+
+
+class TestSievedRegions:
+    def test_app_bytes_exclude_holes(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        handle = mpi.open(fs, "shared", 0,
+                          MPIIOHints(sieving=SievingConfig(
+                              max_hole=4096)))
+        regions = [(i * 1024, 256) for i in range(16)]
+        handle.read_regions(regions)
+        engine.run()
+        record = recorder.trace[0]
+        assert record.nbytes == 16 * 256          # useful bytes only
+        assert recorder.fs_bytes_moved > record.nbytes  # holes read below
+
+    def test_sieving_off_moves_exact_bytes(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        handle = mpi.open(fs, "shared", 0,
+                          MPIIOHints(sieving=SievingConfig(enabled=False)))
+        regions = [(i * 1024, 256) for i in range(16)]
+        handle.read_regions(regions)
+        engine.run()
+        assert recorder.fs_bytes_moved == 16 * 256
+
+    def test_sieving_faster_when_overheads_dominate(self, engine, stack):
+        fs, recorder = stack
+        # Heavy per-call fs overhead: fewer, larger sieve reads win.
+        fs.per_call_overhead_s = 0.001
+        mpi = MPIIO(engine, 1, recorder)
+        regions = [(i * 1024, 256) for i in range(64)]
+
+        sieved = mpi.open(fs, "shared", 0,
+                          MPIIOHints(sieving=SievingConfig(max_hole=8192)))
+        sieved.read_regions(regions)
+        engine.run()
+        sieved_time = engine.now
+
+        engine2 = type(engine)()
+        device2 = RamDisk(engine2, capacity_bytes=64 * MiB)
+        fs2 = LocalFileSystem(engine2, device2, page_cache=None,
+                              per_call_overhead_s=0.001)
+        fs2.create("shared", 8 * MiB)
+        recorder2 = TraceRecorder(engine2)
+        mpi2 = MPIIO(engine2, 1, recorder2)
+        plain = mpi2.open(fs2, "shared", 0,
+                          MPIIOHints(sieving=SievingConfig(enabled=False)))
+        plain.read_regions(regions)
+        engine2.run()
+        assert sieved_time < engine2.now
+
+    def test_invalid_regions_rejected(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        handle = mpi.open(fs, "shared", 0)
+        with pytest.raises(MiddlewareError):
+            handle.read_regions([])
+        with pytest.raises(MiddlewareError):
+            handle.read_regions([(8 * MiB - 10, 100)])
+
+
+class TestSievedWriteRegions:
+    def test_rmw_roughly_doubles_fs_traffic(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        handle = mpi.open(fs, "shared", 0,
+                          MPIIOHints(sieving=SievingConfig(
+                              max_hole=4096)))
+        regions = [(i * 1024, 256) for i in range(16)]
+        done = handle.write_regions(regions)
+        engine.run()
+        result = done.result()
+        assert result.success
+        covering = regions[-1][0] + 256 - regions[0][0]
+        # Read-modify-write: covering range in, covering range out.
+        assert recorder.fs_bytes_moved == 2 * covering
+        # App record counts only the useful bytes, as a write.
+        record = recorder.trace[0]
+        assert record.op == "write"
+        assert record.nbytes == 16 * 256
+
+    def test_sieving_off_writes_exact_regions(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        handle = mpi.open(fs, "shared", 0,
+                          MPIIOHints(sieving=SievingConfig(
+                              enabled=False)))
+        regions = [(i * 1024, 256) for i in range(16)]
+        handle.write_regions(regions)
+        engine.run()
+        assert recorder.fs_bytes_moved == 16 * 256
+
+    def test_contiguous_regions_skip_rmw(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        handle = mpi.open(fs, "shared", 0)
+        regions = [(i * 256, 256) for i in range(16)]  # no holes
+        handle.write_regions(regions)
+        engine.run()
+        # One coalesced plain write: no read-back.
+        assert recorder.fs_bytes_moved == 16 * 256
+
+    def test_validation(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 1, recorder)
+        handle = mpi.open(fs, "shared", 0)
+        with pytest.raises(MiddlewareError):
+            handle.write_regions([])
+        with pytest.raises(MiddlewareError):
+            handle.write_regions([(8 * MiB - 10, 100)])
+
+
+class TestCollective:
+    def test_all_ranks_complete_together(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 4, recorder)
+        done = []
+        for rank in range(4):
+            handle = mpi.open(fs, "shared", rank,
+                              MPIIOHints(cb_nodes=2))
+            done.append(handle.read_at_all(rank * MiB, 1 * MiB))
+        engine.run()
+        ends = [d.result().end for d in done]
+        assert max(ends) == pytest.approx(min(ends))
+        assert len(recorder.app_trace) == 4
+
+    def test_ranks_wait_for_stragglers(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 2, recorder)
+        handles = [mpi.open(fs, "shared", r) for r in range(2)]
+
+        early = handles[0].read_at_all(0, 64 * KiB)
+
+        def late_rank(eng):
+            yield eng.timeout(5.0)
+            result = yield handles[1].read_at_all(1 * MiB, 64 * KiB)
+            return result
+        engine.spawn(late_rank(engine))
+        engine.run()
+        assert early.result().end >= 5.0  # rank 0 waited for rank 1
+
+    def test_two_rounds_sequence_correctly(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 2, recorder)
+        handles = [mpi.open(fs, "shared", r) for r in range(2)]
+
+        def rank_proc(eng, rank):
+            yield handles[rank].read_at_all(rank * MiB, 64 * KiB)
+            yield handles[rank].read_at_all(
+                2 * MiB + rank * MiB, 64 * KiB)
+        for rank in range(2):
+            engine.spawn(rank_proc(engine, rank))
+        engine.run()
+        assert len(recorder.app_trace) == 4
+
+    def test_double_join_same_round_rejected(self, engine, stack):
+        fs, recorder = stack
+        mpi = MPIIO(engine, 2, recorder)
+        handle = mpi.open(fs, "shared", 0)
+        handle.read_at_all(0, 64 * KiB)
+        with pytest.raises(MiddlewareError):
+            handle.read_at_all(0, 64 * KiB)

@@ -1,0 +1,103 @@
+"""POSIX middleware: tracing semantics, cursors, handle lifecycle."""
+
+import pytest
+
+from repro.devices.ramdisk import RamDisk
+from repro.errors import MiddlewareError
+from repro.fs.localfs import LocalFileSystem
+from repro.middleware.posix import PosixIO
+from repro.middleware.tracing import TraceRecorder
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture
+def stack(engine):
+    device = RamDisk(engine, capacity_bytes=64 * MiB)
+    fs = LocalFileSystem(engine, device, page_cache=None)
+    fs.create("data", 4 * MiB)
+    recorder = TraceRecorder(engine)
+    lib = PosixIO(engine, fs, recorder)
+    return lib, recorder, fs
+
+
+class TestTracing:
+    def test_each_call_emits_one_app_record(self, engine, stack):
+        lib, recorder, _fs = stack
+        handle = lib.open("data", pid=7)
+        handle.pread(0, 64 * KiB)
+        handle.pwrite(0, 32 * KiB)
+        engine.run()
+        assert len(recorder.app_trace) == 2
+        reads = recorder.trace.for_op("read")
+        assert reads[0].pid == 7
+        assert reads[0].nbytes == 64 * KiB
+        assert reads[0].end > reads[0].start
+
+    def test_fs_bytes_match_device_traffic(self, engine, stack):
+        lib, recorder, fs = stack
+        handle = lib.open("data", pid=0)
+        handle.pread(0, 64 * KiB)
+        engine.run()
+        assert recorder.fs_bytes_moved == 64 * KiB
+        assert recorder.fs_bytes_moved == \
+            fs.stats.bytes_read_from_device
+
+    def test_record_times_bracket_the_call(self, engine, stack):
+        lib, recorder, _fs = stack
+        handle = lib.open("data", pid=0)
+
+        def app(eng):
+            yield eng.timeout(1.0)
+            yield handle.pread(0, 4 * KiB)
+        engine.spawn(app(engine))
+        engine.run()
+        record = recorder.trace[0]
+        assert record.start == pytest.approx(1.0)
+        assert record.end == pytest.approx(engine.now)
+
+
+class TestCursor:
+    def test_sequential_reads_advance(self, engine, stack):
+        lib, recorder, _fs = stack
+        handle = lib.open("data", pid=0)
+        handle.read(64 * KiB)
+        handle.read(64 * KiB)
+        engine.run()
+        offsets = [r.offset for r in recorder.trace]
+        assert offsets == [0, 64 * KiB]
+        assert handle.position == 128 * KiB
+
+    def test_seek(self, engine, stack):
+        lib, _recorder, _fs = stack
+        handle = lib.open("data", pid=0)
+        handle.seek(1 * MiB)
+        assert handle.position == 1 * MiB
+        with pytest.raises(MiddlewareError):
+            handle.seek(-1)
+        with pytest.raises(MiddlewareError):
+            handle.seek(5 * MiB)
+
+
+class TestHandleLifecycle:
+    def test_open_missing_file_rejected(self, stack):
+        lib, _recorder, _fs = stack
+        with pytest.raises(MiddlewareError):
+            lib.open("ghost", pid=0)
+
+    def test_closed_handle_rejects_io(self, stack):
+        lib, _recorder, _fs = stack
+        handle = lib.open("data", pid=0)
+        handle.close()
+        with pytest.raises(MiddlewareError):
+            handle.pread(0, 4096)
+
+    def test_out_of_range_rejected(self, stack):
+        lib, _recorder, _fs = stack
+        handle = lib.open("data", pid=0)
+        with pytest.raises(MiddlewareError):
+            handle.pread(4 * MiB - 10, 100)
+
+    def test_overhead_validated(self, engine, stack):
+        _lib, recorder, fs = stack
+        with pytest.raises(MiddlewareError):
+            PosixIO(engine, fs, recorder, call_overhead_s=-1.0)

@@ -1,0 +1,147 @@
+"""Data sieving planner: coverage, buffer bounds, hole thresholds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MiddlewareError
+from repro.middleware.sieving import (
+    SievingConfig,
+    SieveRead,
+    plan_sieving,
+    sieving_efficiency,
+    validate_regions,
+)
+
+
+def strided(count, size, gap, base=0):
+    return [(base + i * (size + gap), size) for i in range(count)]
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(MiddlewareError):
+            validate_regions([])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(MiddlewareError):
+            validate_regions([(100, 10), (50, 10)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(MiddlewareError):
+            validate_regions([(0, 100), (50, 10)])
+
+    def test_adjacent_allowed(self):
+        validate_regions([(0, 100), (100, 10)])
+
+    def test_bad_region_rejected(self):
+        with pytest.raises(MiddlewareError):
+            validate_regions([(0, 0)])
+        with pytest.raises(MiddlewareError):
+            validate_regions([(-5, 10)])
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(MiddlewareError):
+            SievingConfig(buffer_size=0)
+        with pytest.raises(MiddlewareError):
+            SievingConfig(max_hole=-1)
+
+
+class TestPlanning:
+    def test_disabled_gives_one_read_per_region(self):
+        regions = strided(5, 256, 256)
+        plan = plan_sieving(regions, SievingConfig(enabled=False))
+        assert len(plan) == 5
+        assert all(r.hole_bytes == 0 for r in plan)
+
+    def test_small_holes_coalesce(self):
+        regions = strided(4, 256, 100)
+        plan = plan_sieving(regions, SievingConfig(max_hole=1000))
+        assert len(plan) == 1
+        sieve = plan[0]
+        assert sieve.offset == 0
+        assert sieve.nbytes == 4 * 256 + 3 * 100
+        assert sieve.useful_bytes == 1024
+        assert sieve.hole_bytes == 300
+
+    def test_large_holes_split(self):
+        regions = [(0, 256), (10_000, 256)]
+        plan = plan_sieving(regions, SievingConfig(max_hole=1000))
+        assert len(plan) == 2
+        assert all(r.hole_bytes == 0 for r in plan)
+
+    def test_buffer_size_bounds_reads(self):
+        regions = strided(100, 256, 0)   # contiguous 25600 bytes
+        plan = plan_sieving(regions, SievingConfig(buffer_size=4096,
+                                                   max_hole=4096))
+        assert all(r.nbytes <= 4096 for r in plan)
+
+    def test_oversized_single_region_gets_exact_read(self):
+        regions = [(0, 10_000)]
+        plan = plan_sieving(regions, SievingConfig(buffer_size=4096))
+        assert plan == [SieveRead(0, 10_000, ((0, 10_000),))]
+
+    def test_efficiency(self):
+        regions = strided(2, 100, 100)
+        plan = plan_sieving(regions, SievingConfig(max_hole=1000))
+        assert sieving_efficiency(plan) == pytest.approx(200 / 300)
+
+    def test_efficiency_empty_plan_rejected(self):
+        with pytest.raises(MiddlewareError):
+            sieving_efficiency([])
+
+
+regions_strategy = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=500),   # gap before
+              st.integers(min_value=1, max_value=300)),  # length
+    min_size=1, max_size=50,
+).map(lambda gaps: _to_regions(gaps))
+
+
+def _to_regions(gap_length_pairs):
+    regions = []
+    cursor = 0
+    for gap, length in gap_length_pairs:
+        cursor += gap
+        regions.append((cursor, length))
+        cursor += length
+    return regions
+
+
+class TestPlanningProperties:
+    @given(regions_strategy,
+           st.integers(min_value=256, max_value=8192),   # buffer
+           st.integers(min_value=0, max_value=600))      # max hole
+    def test_invariants(self, regions, buffer_size, max_hole):
+        config = SievingConfig(buffer_size=buffer_size, max_hole=max_hole)
+        plan = plan_sieving(regions, config)
+
+        # 1. Every region covered exactly once, in order.
+        covered = [region for sieve in plan for region in sieve.regions]
+        assert covered == regions
+
+        # 2. Each sieve read spans exactly its regions.
+        for sieve in plan:
+            first_offset = sieve.regions[0][0]
+            last_end = sieve.regions[-1][0] + sieve.regions[-1][1]
+            assert sieve.offset == first_offset
+            assert sieve.end == last_end
+
+        # 3. Buffer bound (except dedicated single-region reads).
+        for sieve in plan:
+            if len(sieve.regions) > 1:
+                assert sieve.nbytes <= buffer_size
+
+        # 4. No sieve read spans a hole wider than max_hole.
+        for sieve in plan:
+            for (off_a, len_a), (off_b, _len_b) in zip(
+                    sieve.regions, sieve.regions[1:]):
+                assert off_b - (off_a + len_a) <= max_hole
+
+        # 5. Total useful bytes are conserved.
+        useful = sum(s.useful_bytes for s in plan)
+        assert useful == sum(length for _off, length in regions)
+
+    @given(regions_strategy)
+    def test_disabled_plan_is_identity(self, regions):
+        plan = plan_sieving(regions, SievingConfig(enabled=False))
+        assert [(s.offset, s.nbytes) for s in plan] == regions

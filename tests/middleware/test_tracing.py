@@ -1,0 +1,65 @@
+"""Trace recorder: app records, fs byte accounting, gather."""
+
+import pytest
+
+from repro.errors import MiddlewareError
+from repro.middleware.tracing import TraceRecorder
+
+
+class TestAppRecords:
+    def test_record_app(self, engine):
+        recorder = TraceRecorder(engine)
+        record = recorder.record_app(3, "read", "f", 0, 4096, 1.0, 2.0)
+        assert record.pid == 3
+        assert record.layer == "app"
+        assert len(recorder.trace) == 1
+
+    def test_failed_access_recorded(self, engine):
+        recorder = TraceRecorder(engine)
+        recorder.record_app(0, "read", "f", 0, 4096, 0.0, 1.0,
+                            success=False)
+        assert not recorder.trace[0].success
+        # Still contributes blocks to B (paper section III.A).
+        assert recorder.app_trace.total_blocks() == 8
+
+    def test_closed_recorder_rejects(self, engine):
+        recorder = TraceRecorder(engine)
+        recorder.close()
+        with pytest.raises(MiddlewareError):
+            recorder.record_app(0, "read", "f", 0, 1, 0.0, 1.0)
+
+
+class TestFsBytes:
+    def test_accumulates(self, engine):
+        recorder = TraceRecorder(engine)
+        recorder.note_fs_bytes(100)
+        recorder.note_fs_bytes(200)
+        assert recorder.fs_bytes_moved == 300
+
+    def test_negative_rejected(self, engine):
+        recorder = TraceRecorder(engine)
+        with pytest.raises(MiddlewareError):
+            recorder.note_fs_bytes(-1)
+
+    def test_fs_records_optional(self, engine):
+        recorder = TraceRecorder(engine, keep_fs_records=True)
+        recorder.record_app(0, "read", "f", 0, 100, 0.0, 1.0)
+        recorder.note_fs_bytes(4096, pid=0, start=0.0, end=1.0)
+        assert len(recorder.trace) == 2
+        assert len(recorder.app_trace) == 1
+
+    def test_fs_records_off_by_default(self, engine):
+        recorder = TraceRecorder(engine)
+        recorder.note_fs_bytes(4096)
+        assert len(recorder.trace) == 0
+
+
+class TestGather:
+    def test_merge_from(self, engine):
+        main = TraceRecorder(engine)
+        worker = TraceRecorder(engine)
+        worker.record_app(1, "read", "f", 0, 100, 0.0, 1.0)
+        worker.note_fs_bytes(4096)
+        main.merge_from(worker)
+        assert len(main.trace) == 1
+        assert main.fs_bytes_moved == 4096

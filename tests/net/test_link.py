@@ -1,0 +1,67 @@
+"""Network links: serialization, queueing, stats."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.link import NetworkLink, NICPair
+from repro.util.units import MiB
+
+
+class TestNetworkLink:
+    def test_transfer_time_is_latency_plus_serialization(self, engine):
+        link = NetworkLink(engine, bandwidth=1 * MiB, latency_s=0.001)
+        done = link.transmit(512 * 1024)
+        engine.run()
+        assert engine.now == pytest.approx(0.5 + 0.001)
+        assert done.result() == 512 * 1024
+
+    def test_messages_serialize_on_the_wire(self, engine):
+        link = NetworkLink(engine, bandwidth=1 * MiB, latency_s=0.0)
+        link.transmit(512 * 1024)
+        link.transmit(512 * 1024)
+        engine.run()
+        assert engine.now == pytest.approx(1.0)
+
+    def test_propagation_pipelines_after_wire(self, engine):
+        # Second message starts serializing while the first propagates.
+        link = NetworkLink(engine, bandwidth=1 * MiB, latency_s=0.5)
+        first = link.transmit(512 * 1024)
+        second = link.transmit(512 * 1024)
+        engine.run()
+        assert engine.now == pytest.approx(0.5 + 0.5 + 0.5)
+
+    def test_stats(self, engine):
+        link = NetworkLink(engine, bandwidth=1 * MiB)
+        link.transmit(1024)
+        link.transmit(2048)
+        engine.run()
+        assert link.stats.messages == 2
+        assert link.stats.bytes_moved == 3072
+
+    def test_bad_construction_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            NetworkLink(engine, bandwidth=0)
+        with pytest.raises(SimulationError):
+            NetworkLink(engine, latency_s=-1)
+
+    def test_bad_size_rejected(self, engine):
+        link = NetworkLink(engine)
+        with pytest.raises(SimulationError):
+            link.serialization_time(0)
+
+
+class TestNICPair:
+    def test_duplex_directions_independent(self, engine):
+        nic = NICPair(engine, bandwidth=1 * MiB, latency_s=0.0)
+        nic.tx.transmit(512 * 1024)
+        nic.rx.transmit(512 * 1024)
+        engine.run()
+        # Full duplex: both finish in the time of one.
+        assert engine.now == pytest.approx(0.5)
+
+    def test_bytes_moved_sums_directions(self, engine):
+        nic = NICPair(engine)
+        nic.tx.transmit(100)
+        nic.rx.transmit(200)
+        engine.run()
+        assert nic.bytes_moved == 300

@@ -1,0 +1,131 @@
+"""Star topology: sends, contention, loopback, cut-through."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.topology import StarTopology
+from repro.util.units import MiB
+
+
+@pytest.fixture
+def net(engine):
+    topology = StarTopology(engine, bandwidth=1 * MiB, latency_s=0.001)
+    for name in ("a", "b", "c"):
+        topology.add_node(name)
+    return topology
+
+
+class TestBasics:
+    def test_send_delivers(self, engine, net):
+        done = net.send("a", "b", 512 * 1024)
+        engine.run()
+        assert done.result() == 512 * 1024
+        assert engine.now == pytest.approx(0.5 + 0.001)
+
+    def test_loopback_is_free(self, engine, net):
+        net.send("a", "a", 10 * MiB)
+        engine.run()
+        assert engine.now == 0.0
+
+    def test_duplicate_node_rejected(self, engine, net):
+        with pytest.raises(SimulationError):
+            net.add_node("a")
+
+    def test_unknown_node_rejected(self, engine, net):
+        with pytest.raises(SimulationError):
+            net.send("a", "ghost", 100)
+
+    def test_zero_bytes_rejected(self, engine, net):
+        with pytest.raises(SimulationError):
+            net.send("a", "b", 0)
+
+    def test_counters(self, engine, net):
+        net.send("a", "b", 100)
+        net.send("b", "c", 200)
+        engine.run()
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 300
+
+    def test_node_names(self, net):
+        assert net.node_names == ["a", "b", "c"]
+
+
+class TestContention:
+    def test_two_senders_one_receiver_serialize(self, engine, net):
+        net.send("a", "c", 512 * 1024)
+        net.send("b", "c", 512 * 1024)
+        engine.run()
+        # Both transfers contend on c's RX wire.
+        assert engine.now == pytest.approx(1.0 + 0.001, rel=0.01)
+
+    def test_disjoint_pairs_proceed_in_parallel(self, engine, net):
+        net.add_node("d")
+        net.send("a", "b", 512 * 1024)
+        net.send("c", "d", 512 * 1024)
+        engine.run()
+        assert engine.now == pytest.approx(0.5 + 0.001, rel=0.01)
+
+    def test_fast_receiver_not_blocked_by_slow_sender(self, engine):
+        # Cut-through: a 10x faster receiver's RX wire is busy only for
+        # its own serialization time, so two slow senders can feed it
+        # concurrently.
+        topology = StarTopology(engine, bandwidth=1 * MiB, latency_s=0.0)
+        topology.add_node("slow1")
+        topology.add_node("slow2")
+        topology.add_node("fast", bandwidth=10 * MiB)
+        topology.send("slow1", "fast", 512 * 1024)
+        topology.send("slow2", "fast", 512 * 1024)
+        engine.run()
+        assert engine.now == pytest.approx(0.5, rel=0.15)
+
+    def test_bidirectional_exchange_full_duplex(self, engine, net):
+        net.send("a", "b", 512 * 1024)
+        net.send("b", "a", 512 * 1024)
+        engine.run()
+        assert engine.now == pytest.approx(0.5 + 0.001, rel=0.01)
+
+
+class TestOversubscription:
+    def make_oversubscribed(self, engine, n_pairs, backplane):
+        topology = StarTopology(engine, bandwidth=100 * MiB,
+                                latency_s=0.0,
+                                backplane_bandwidth=backplane)
+        for i in range(n_pairs):
+            topology.add_node(f"src{i}")
+            topology.add_node(f"dst{i}")
+        return topology
+
+    def test_aggregate_capped_by_backplane(self, engine):
+        # 4 disjoint pairs, each NIC 100 MiB/s, backplane only 100 MiB/s:
+        # moving 4 x 32MiB takes ~ (128 MiB / 100 MiB/s), not ~0.32s.
+        topology = self.make_oversubscribed(engine, 4,
+                                            backplane=100 * MiB)
+        for i in range(4):
+            topology.send(f"src{i}", f"dst{i}", 32 * MiB)
+        engine.run()
+        assert engine.now >= 128 / 100 * 0.9
+
+    def test_nonblocking_without_backplane(self, engine):
+        topology = self.make_oversubscribed(engine, 4, backplane=None)
+        for i in range(4):
+            topology.send(f"src{i}", f"dst{i}", 32 * MiB)
+        engine.run()
+        assert engine.now == pytest.approx(32 / 100, rel=0.05)
+
+    def test_single_flow_unaffected_by_big_backplane(self, engine):
+        topology = self.make_oversubscribed(engine, 1,
+                                            backplane=1000 * MiB)
+        topology.send("src0", "dst0", 32 * MiB)
+        engine.run()
+        assert engine.now == pytest.approx(32 / 100, rel=0.05)
+
+    def test_bad_backplane_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            StarTopology(engine, backplane_bandwidth=0)
+
+    def test_loopback_skips_backplane(self, engine):
+        topology = self.make_oversubscribed(engine, 1,
+                                            backplane=1 * MiB)
+        topology.send("src0", "src0", 512 * MiB)
+        engine.run()
+        assert engine.now == 0.0

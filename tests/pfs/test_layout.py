@@ -1,0 +1,149 @@
+"""Stripe layouts: splitting, merging, object sizing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StripingError
+from repro.pfs.layout import ChunkSpec, StripeLayout
+from repro.util.units import KiB
+
+
+class TestConstruction:
+    def test_defaults(self):
+        layout = StripeLayout()
+        assert layout.stripe_size == 64 * KiB
+        assert layout.width == 1
+
+    def test_bad_stripe_size(self):
+        with pytest.raises(StripingError):
+            StripeLayout(stripe_size=0)
+
+    def test_no_servers(self):
+        with pytest.raises(StripingError):
+            StripeLayout(servers=())
+
+    def test_duplicate_servers(self):
+        with pytest.raises(StripingError):
+            StripeLayout(servers=(1, 1))
+
+    def test_negative_server(self):
+        with pytest.raises(StripingError):
+            StripeLayout(servers=(-1,))
+
+
+class TestSplit:
+    def test_single_stripe(self):
+        layout = StripeLayout(stripe_size=100, servers=(0, 1))
+        chunks = layout.split(10, 50)
+        assert chunks == [ChunkSpec(0, 10, 50, 10)]
+
+    def test_round_robin_across_stripes(self):
+        layout = StripeLayout(stripe_size=100, servers=(0, 1, 2))
+        chunks = layout.split(0, 300)
+        assert [(c.server, c.object_offset, c.length) for c in chunks] == \
+            [(0, 0, 100), (1, 0, 100), (2, 0, 100)]
+
+    def test_second_round_advances_object_offset(self):
+        layout = StripeLayout(stripe_size=100, servers=(0, 1))
+        chunks = layout.split(0, 400)
+        assert [(c.server, c.object_offset) for c in chunks] == \
+            [(0, 0), (1, 0), (0, 100), (1, 100)]
+
+    def test_misaligned_range(self):
+        layout = StripeLayout(stripe_size=100, servers=(0, 1))
+        chunks = layout.split(50, 100)
+        assert [(c.server, c.object_offset, c.length) for c in chunks] == \
+            [(0, 50, 50), (1, 0, 50)]
+
+    def test_bad_range(self):
+        layout = StripeLayout()
+        with pytest.raises(StripingError):
+            layout.split(-1, 10)
+        with pytest.raises(StripingError):
+            layout.split(0, 0)
+
+    @given(st.integers(min_value=1, max_value=8),      # width
+           st.integers(min_value=1, max_value=512),    # stripe size
+           st.integers(min_value=0, max_value=10000),  # offset
+           st.integers(min_value=1, max_value=5000))   # length
+    def test_split_covers_range_exactly(self, width, stripe, offset,
+                                        length):
+        layout = StripeLayout(stripe_size=stripe,
+                              servers=tuple(range(width)))
+        chunks = layout.split(offset, length)
+        assert sum(c.length for c in chunks) == length
+        # File-order coverage with no gaps.
+        position = offset
+        for chunk in chunks:
+            assert chunk.file_offset == position
+            position += chunk.length
+        assert position == offset + length
+
+
+class TestServerRequests:
+    def test_merges_per_server(self):
+        layout = StripeLayout(stripe_size=100, servers=(0, 1))
+        requests = layout.server_requests(0, 400)
+        assert [(r.server, r.object_offset, r.length) for r in requests] == \
+            [(0, 0, 200), (1, 0, 200)]
+
+    def test_order_follows_file_position(self):
+        layout = StripeLayout(stripe_size=100, servers=(3, 1))
+        requests = layout.server_requests(0, 200)
+        assert [r.server for r in requests] == [3, 1]
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=512),
+           st.integers(min_value=0, max_value=10000),
+           st.integers(min_value=1, max_value=5000))
+    def test_server_requests_conserve_bytes(self, width, stripe, offset,
+                                            length):
+        layout = StripeLayout(stripe_size=stripe,
+                              servers=tuple(range(width)))
+        requests = layout.server_requests(offset, length)
+        assert sum(r.length for r in requests) == length
+        assert len({r.server for r in requests}) == len(requests)
+
+
+class TestObjectSize:
+    def test_even_distribution(self):
+        layout = StripeLayout(stripe_size=100, servers=(0, 1))
+        assert layout.object_size(400, 0) == 200
+        assert layout.object_size(400, 1) == 200
+
+    def test_uneven_distribution_with_tail(self):
+        layout = StripeLayout(stripe_size=100, servers=(0, 1))
+        # 250 bytes: stripes 100 (s0), 100 (s1), 50 tail (s0).
+        assert layout.object_size(250, 0) == 150
+        assert layout.object_size(250, 1) == 100
+
+    def test_unknown_server_rejected(self):
+        layout = StripeLayout(servers=(0,))
+        with pytest.raises(StripingError):
+            layout.object_size(100, 5)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=512),
+           st.integers(min_value=0, max_value=100000))
+    def test_object_sizes_sum_to_file_size(self, width, stripe, size):
+        layout = StripeLayout(stripe_size=stripe,
+                              servers=tuple(range(width)))
+        total = sum(layout.object_size(size, s) for s in layout.servers)
+        assert total == size
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=512),
+           st.integers(min_value=1, max_value=5000))
+    def test_split_consistent_with_object_size(self, width, stripe, size):
+        layout = StripeLayout(stripe_size=stripe,
+                              servers=tuple(range(width)))
+        per_server: dict[int, int] = {}
+        for chunk in layout.split(0, size):
+            per_server[chunk.server] = \
+                per_server.get(chunk.server, 0) + chunk.length
+            # chunk must fit inside the server's object
+            assert chunk.object_offset + chunk.length <= \
+                layout.object_size(size, chunk.server)
+        for server in layout.servers:
+            assert per_server.get(server, 0) == \
+                layout.object_size(size, server)

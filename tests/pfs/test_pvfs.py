@@ -1,0 +1,161 @@
+"""Parallel file system: striping behaviour end to end."""
+
+import pytest
+
+from repro.devices.ramdisk import RamDisk
+from repro.errors import FileSystemError, StripingError
+from repro.net.topology import StarTopology
+from repro.pfs.layout import StripeLayout
+from repro.pfs.pvfs import ParallelFileSystem
+from repro.pfs.server import IOServer
+from repro.util.units import KiB, MiB
+
+
+def make_pfs(engine, n_servers=4, **kwargs):
+    net = StarTopology(engine, bandwidth=100 * MiB, latency_s=0.00001)
+    servers = []
+    for i in range(n_servers):
+        net.add_node(f"server{i}")
+        device = RamDisk(engine, capacity_bytes=64 * MiB,
+                         name=f"disk{i}")
+        servers.append(IOServer(engine, device, name=f"server{i}"))
+    net.add_node("client0")
+    pfs = ParallelFileSystem(engine, servers, net, **kwargs)
+    return pfs, pfs.client("client0"), servers
+
+
+class TestNamespace:
+    def test_create_places_objects_on_all_servers(self, engine):
+        pfs, client, servers = make_pfs(engine)
+        client.create("f", 1 * MiB)
+        for i, server in enumerate(servers):
+            assert server.has_object(f"f@s{i}")
+        assert client.size_of("f") == 1 * MiB
+        assert client.exists("f")
+
+    def test_single_server_layout(self, engine):
+        pfs, client, servers = make_pfs(engine)
+        client.create("pinned", 1 * MiB,
+                      StripeLayout(servers=(2,)))
+        assert servers[2].has_object("pinned@s2")
+        assert not servers[0].has_object("pinned@s0")
+
+    def test_small_file_skips_empty_servers(self, engine):
+        pfs, client, servers = make_pfs(engine)
+        client.create("tiny", 10 * KiB)  # one stripe: only server 0
+        assert servers[0].has_object("tiny@s0")
+        assert not servers[1].has_object("tiny@s1")
+
+    def test_duplicate_create_rejected(self, engine):
+        pfs, client, _servers = make_pfs(engine)
+        client.create("f", 1 * MiB)
+        with pytest.raises(FileSystemError):
+            client.create("f", 1 * MiB)
+
+    def test_layout_referencing_missing_server_rejected(self, engine):
+        pfs, client, _servers = make_pfs(engine, n_servers=2)
+        with pytest.raises(StripingError):
+            client.create("f", 1 * MiB, StripeLayout(servers=(5,)))
+
+    def test_no_servers_rejected(self, engine):
+        net = StarTopology(engine)
+        with pytest.raises(FileSystemError):
+            ParallelFileSystem(engine, [], net)
+
+
+class TestDataPath:
+    def test_read_spans_servers(self, engine):
+        pfs, client, servers = make_pfs(engine)
+        client.create("f", 1 * MiB)
+        done = client.read("f", 0, 256 * KiB)  # 4 x 64KiB stripes
+        engine.run()
+        result = done.result()
+        assert result.success
+        assert result.device_bytes == 256 * KiB
+        for server in servers:
+            assert server.device.stats.bytes_read == 64 * KiB
+
+    def test_parallel_read_faster_than_single_server(self, engine):
+        pfs_wide, client_wide, _ = make_pfs(engine, n_servers=4)
+        client_wide.create("f", 1 * MiB)
+        client_wide.read("f", 0, 1 * MiB)
+        engine.run()
+        wide_time = engine.now
+
+        narrow_engine = type(engine)()
+        pfs_narrow, client_narrow, _ = make_pfs(narrow_engine, n_servers=1)
+        client_narrow.create("f", 1 * MiB)
+        client_narrow.read("f", 0, 1 * MiB)
+        narrow_engine.run()
+        assert wide_time < narrow_engine.now
+
+    def test_write_path(self, engine):
+        pfs, client, servers = make_pfs(engine)
+        client.create("f", 1 * MiB)
+        done = client.write("f", 0, 128 * KiB)
+        engine.run()
+        assert done.result().success
+        written = sum(s.device.stats.bytes_written for s in servers)
+        assert written == 128 * KiB
+
+    def test_out_of_range_rejected(self, engine):
+        pfs, client, _servers = make_pfs(engine)
+        client.create("f", 1 * MiB)
+        with pytest.raises(FileSystemError):
+            client.read("f", 1 * MiB - 10, 100)
+
+    def test_stats_count_client_requests(self, engine):
+        pfs, client, _servers = make_pfs(engine)
+        client.create("f", 1 * MiB)
+        client.read("f", 0, 64 * KiB)
+        client.write("f", 0, 64 * KiB)
+        engine.run()
+        assert pfs.stats.reads == 1
+        assert pfs.stats.writes == 1
+        assert pfs.stats.bytes_read == 64 * KiB
+
+    def test_unknown_client_node_rejected(self, engine):
+        pfs, _client, _servers = make_pfs(engine)
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            pfs.client("ghost-node")
+
+    def test_drop_caches_reaches_servers(self, engine):
+        pfs, client, _servers = make_pfs(engine)
+        assert client.drop_caches() == 0  # servers are uncached
+
+
+class TestDataPathProperties:
+    from hypothesis import given, settings, strategies as st
+
+    @given(st.integers(min_value=1, max_value=4),       # server count
+           st.integers(min_value=1, max_value=64),      # stripe KiB
+           st.lists(st.tuples(
+               st.integers(min_value=0, max_value=1023),   # offset KiB
+               st.integers(min_value=1, max_value=256)),   # length KiB
+               min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_reads_conserve_bytes_across_servers(self, n_servers,
+                                                 stripe_kib, ranges):
+        from repro.pfs.layout import StripeLayout
+        from repro.sim.engine import Engine
+        engine = Engine()
+        pfs, client, servers = make_pfs(engine, n_servers=n_servers)
+        layout = StripeLayout(stripe_size=stripe_kib * 1024,
+                              servers=tuple(range(n_servers)))
+        client.create("f", 2 * MiB, layout)
+        total = 0
+        pending = []
+        for offset_kib, length_kib in ranges:
+            offset = offset_kib * 1024
+            length = min(length_kib * 1024, 2 * MiB - offset)
+            if length <= 0:
+                continue
+            total += length
+            pending.append(client.read("f", offset, length))
+        engine.run()
+        # Every requested byte crossed exactly one server device.
+        device_total = sum(s.device.stats.bytes_read for s in servers)
+        assert device_total == total
+        for done in pending:
+            assert done.result().success

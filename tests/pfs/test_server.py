@@ -1,0 +1,68 @@
+"""I/O servers: object storage, thread pool, overheads."""
+
+import pytest
+
+from repro.devices.base import READ, WRITE
+from repro.devices.ramdisk import RamDisk
+from repro.errors import FileSystemError
+from repro.pfs.server import IOServer
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture
+def server(engine):
+    device = RamDisk(engine, capacity_bytes=64 * MiB)
+    return IOServer(engine, device, name="s0")
+
+
+class TestObjects:
+    def test_create_and_check(self, server):
+        server.create_object("obj", 1 * MiB)
+        assert server.has_object("obj")
+        assert not server.has_object("ghost")
+
+
+class TestHandling:
+    def test_read_returns_fs_result(self, engine, server):
+        server.create_object("obj", 1 * MiB)
+        done = server.handle(READ, "obj", 0, 64 * KiB)
+        engine.run()
+        result = done.result()
+        assert result.success
+        assert result.nbytes == 64 * KiB
+        assert server.requests_handled == 1
+
+    def test_write_path(self, engine, server):
+        server.create_object("obj", 1 * MiB)
+        done = server.handle(WRITE, "obj", 0, 64 * KiB)
+        engine.run()
+        assert done.result().success
+        assert server.device.stats.bytes_written == 64 * KiB
+
+    def test_unknown_op_rejected(self, server):
+        with pytest.raises(FileSystemError):
+            server.handle("erase", "obj", 0, 10)
+
+    def test_overhead_charged(self, engine):
+        device = RamDisk(engine, capacity_bytes=1 * MiB,
+                         access_latency_s=0.0, transfer_rate=1e12)
+        server = IOServer(engine, device, request_overhead_s=0.5)
+        server.create_object("obj", 1024)
+        server.handle(READ, "obj", 0, 512)
+        engine.run()
+        assert engine.now == pytest.approx(0.5, abs=0.01)
+
+    def test_thread_pool_limits_concurrency(self, engine):
+        device = RamDisk(engine, capacity_bytes=64 * MiB, channels=64)
+        server = IOServer(engine, device, threads=1,
+                          request_overhead_s=0.0)
+        server.create_object("obj", 2 * MiB)
+        first = server.handle(READ, "obj", 0, 1 * MiB)
+        second = server.handle(READ, "obj", 1 * MiB, 1 * MiB)
+        engine.run()
+        assert second.result().end > first.result().end
+
+    def test_negative_overhead_rejected(self, engine):
+        device = RamDisk(engine, capacity_bytes=1 * MiB)
+        with pytest.raises(FileSystemError):
+            IOServer(engine, device, request_overhead_s=-1.0)

@@ -1,0 +1,148 @@
+"""Engine scheduling: ordering, determinism, deadlock detection."""
+
+import math
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self, engine):
+        assert engine.now == 0.0
+
+    def test_call_later_advances_time(self, engine):
+        seen = []
+        engine.call_later(1.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [1.5]
+        assert engine.now == 1.5
+
+    def test_events_run_in_time_order(self, engine):
+        order = []
+        engine.call_later(2.0, order.append, "late")
+        engine.call_later(1.0, order.append, "early")
+        engine.run()
+        assert order == ["early", "late"]
+
+    def test_fifo_tie_breaking_at_equal_times(self, engine):
+        order = []
+        for i in range(5):
+            engine.call_later(1.0, order.append, i)
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_call_soon_runs_at_current_time(self, engine):
+        times = []
+        engine.call_later(1.0, lambda: engine.call_soon(
+            lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [1.0]
+
+    def test_call_at_absolute_time(self, engine):
+        times = []
+        engine.call_at(3.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [3.0]
+
+    def test_call_at_past_raises(self, engine):
+        engine.call_later(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.call_later(-0.1, lambda: None)
+
+    def test_nan_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.call_later(float("nan"), lambda: None)
+
+    def test_args_passed_through(self, engine):
+        seen = []
+        engine.call_later(0.0, seen.append, 42)
+        engine.run()
+        assert seen == [42]
+
+
+class TestRun:
+    def test_run_until_stops_early(self, engine):
+        seen = []
+        engine.call_later(1.0, seen.append, "a")
+        engine.call_later(5.0, seen.append, "b")
+        engine.run(until=2.0)
+        assert seen == ["a"]
+        assert engine.now == 2.0
+        engine.run()
+        assert seen == ["a", "b"]
+
+    def test_step_runs_one_event(self, engine):
+        seen = []
+        engine.call_later(1.0, seen.append, 1)
+        engine.call_later(2.0, seen.append, 2)
+        assert engine.step()
+        assert seen == [1]
+        assert engine.step()
+        assert not engine.step()
+
+    def test_pending_events_counter(self, engine):
+        engine.call_later(1.0, lambda: None)
+        engine.call_later(2.0, lambda: None)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_reentrant_run_rejected(self, engine):
+        def reenter():
+            with pytest.raises(SimulationError):
+                engine.run()
+        engine.call_later(0.0, reenter)
+        engine.run()
+
+    def test_empty_run_is_noop(self, engine):
+        engine.run()
+        assert engine.now == 0.0
+
+
+class TestDeadlockDetection:
+    def test_waiting_process_raises_deadlock(self, engine):
+        def waiter(eng):
+            yield eng.completion()  # nobody will trigger this
+        engine.spawn(waiter(engine))
+        with pytest.raises(DeadlockError):
+            engine.run()
+
+    def test_deadlock_detection_can_be_disabled(self, engine):
+        def waiter(eng):
+            yield eng.completion()
+        engine.spawn(waiter(engine))
+        engine.run(detect_deadlock=False)  # completes without raising
+
+    def test_no_deadlock_when_all_processes_finish(self, engine):
+        def worker(eng):
+            yield eng.timeout(1.0)
+        engine.spawn(worker(engine))
+        engine.run()
+        assert engine.live_processes == 0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_timelines(self):
+        def build_and_run():
+            eng = Engine()
+            log = []
+
+            def worker(eng, i, delay):
+                yield eng.timeout(delay)
+                log.append((eng.now, i))
+                yield eng.timeout(delay / 2)
+                log.append((eng.now, i))
+
+            for i, delay in enumerate((0.3, 0.1, 0.2)):
+                eng.spawn(worker(eng, i, delay))
+            eng.run()
+            return log
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,156 @@
+"""Waitables: completions, timeouts, combinators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Completion, Timeout
+
+
+class TestCompletion:
+    def test_trigger_delivers_value(self, engine):
+        done = engine.completion()
+
+        def waiter(eng):
+            value = yield done
+            return value
+
+        process = engine.spawn(waiter(engine))
+        engine.call_later(1.0, done.trigger, "payload")
+        engine.run()
+        assert process.result() == "payload"
+
+    def test_double_trigger_raises(self, engine):
+        done = engine.completion()
+        done.trigger(1)
+        with pytest.raises(SimulationError):
+            done.trigger(2)
+
+    def test_fail_raises_in_waiter(self, engine):
+        done = engine.completion()
+
+        def waiter(eng):
+            try:
+                yield done
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        process = engine.spawn(waiter(engine))
+        engine.call_later(0.5, done.fail, ValueError("boom"))
+        engine.run()
+        assert process.result() == "caught boom"
+
+    def test_fail_requires_exception(self, engine):
+        done = engine.completion()
+        with pytest.raises(TypeError):
+            done.fail("not an exception")
+
+    def test_subscribe_after_fired_still_fires(self, engine):
+        done = engine.completion()
+        done.trigger(7)
+        seen = []
+        done.subscribe(lambda w: seen.append(w.value))
+        engine.run()
+        assert seen == [7]
+
+    def test_result_before_fired_raises(self, engine):
+        done = engine.completion()
+        with pytest.raises(SimulationError):
+            done.result()
+
+    def test_result_reraises_exception(self, engine):
+        done = engine.completion()
+        done.fail(RuntimeError("bad"))
+        with pytest.raises(RuntimeError):
+            done.result()
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, engine):
+        times = []
+        timeout = engine.timeout(2.5)
+        timeout.subscribe(lambda w: times.append(engine.now))
+        engine.run()
+        assert times == [2.5]
+
+    def test_carries_value(self, engine):
+        def waiter(eng):
+            value = yield eng.timeout(1.0, value="v")
+            return value
+        process = engine.spawn(waiter(engine))
+        engine.run()
+        assert process.result() == "v"
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.timeout(-1.0)
+
+    def test_zero_delay_ok(self, engine):
+        timeout = engine.timeout(0.0)
+        engine.run()
+        assert timeout.fired
+
+
+class TestAllOf:
+    def test_waits_for_all(self, engine):
+        def waiter(eng):
+            values = yield eng.all_of([eng.timeout(1.0, "a"),
+                                       eng.timeout(3.0, "b")])
+            return eng.now, values
+        process = engine.spawn(waiter(engine))
+        engine.run()
+        assert process.result() == (3.0, ["a", "b"])
+
+    def test_empty_fires_immediately(self, engine):
+        def waiter(eng):
+            values = yield eng.all_of([])
+            return values
+        process = engine.spawn(waiter(engine))
+        engine.run()
+        assert process.result() == []
+
+    def test_values_preserve_child_order(self, engine):
+        def waiter(eng):
+            # second child completes first, order must not change
+            values = yield eng.all_of([eng.timeout(2.0, "slow"),
+                                       eng.timeout(1.0, "fast")])
+            return values
+        process = engine.spawn(waiter(engine))
+        engine.run()
+        assert process.result() == ["slow", "fast"]
+
+    def test_propagates_first_child_failure(self, engine):
+        bad = engine.completion()
+        engine.call_later(1.0, bad.fail, KeyError("x"))
+
+        def waiter(eng):
+            try:
+                yield eng.all_of([eng.timeout(2.0), bad])
+            except KeyError:
+                return "failed"
+        process = engine.spawn(waiter(engine))
+        engine.run()
+        assert process.result() == "failed"
+
+
+class TestAnyOf:
+    def test_first_wins(self, engine):
+        def waiter(eng):
+            index, value = yield eng.any_of([eng.timeout(5.0, "slow"),
+                                             eng.timeout(1.0, "fast")])
+            return eng.now, index, value
+        process = engine.spawn(waiter(engine))
+        engine.run(detect_deadlock=False)
+        assert process.result() == (1.0, 1, "fast")
+
+    def test_empty_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.any_of([])
+
+    def test_later_firings_ignored(self, engine):
+        first = engine.completion()
+        second = engine.completion()
+        combined = engine.any_of([first, second])
+        first.trigger("one")
+        second.trigger("two")
+        engine.run()
+        assert combined.value == (0, "one")

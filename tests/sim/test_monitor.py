@@ -1,0 +1,80 @@
+"""Monitors and utilization tracking."""
+
+import pytest
+
+from repro.sim.monitor import Monitor, UtilizationTracker
+
+
+class TestMonitor:
+    def test_records_samples_with_time(self, engine):
+        monitor = Monitor(engine, "queue")
+        engine.call_later(1.0, monitor.record, 3)
+        engine.call_later(2.0, monitor.record, 5)
+        engine.run()
+        assert [(s.time, s.value) for s in monitor.samples] == \
+            [(1.0, 3.0), (2.0, 5.0)]
+        assert len(monitor) == 2
+
+    def test_as_arrays(self, engine):
+        monitor = Monitor(engine, "m")
+        monitor.record(1.0)
+        times, values = monitor.as_arrays()
+        assert times.tolist() == [0.0]
+        assert values.tolist() == [1.0]
+
+    def test_time_average_step_function(self, engine):
+        monitor = Monitor(engine, "depth")
+        monitor.record(0.0)                       # 0 during [0, 1)
+        engine.call_later(1.0, monitor.record, 4)  # 4 during [1, 3)
+        engine.call_later(3.0, lambda: None)       # advance clock to 3
+        engine.run()
+        assert monitor.time_average() == pytest.approx((0 * 1 + 4 * 2) / 3)
+
+    def test_time_average_empty_raises(self, engine):
+        with pytest.raises(ValueError):
+            Monitor(engine).time_average()
+
+    def test_maximum(self, engine):
+        monitor = Monitor(engine)
+        for v in (1.0, 9.0, 3.0):
+            monitor.record(v)
+        assert monitor.maximum() == 9.0
+
+    def test_maximum_empty_raises(self, engine):
+        with pytest.raises(ValueError):
+            Monitor(engine).maximum()
+
+
+class TestUtilizationTracker:
+    def test_single_busy_interval(self, engine):
+        tracker = UtilizationTracker(engine)
+        engine.call_later(1.0, tracker.busy)
+        engine.call_later(3.0, tracker.idle)
+        engine.call_later(4.0, lambda: None)
+        engine.run()
+        assert tracker.busy_time == pytest.approx(2.0)
+        assert tracker.utilization() == pytest.approx(0.5)
+
+    def test_nested_busy_counts_once(self, engine):
+        tracker = UtilizationTracker(engine)
+        # Two overlapping units of work: [1, 4) and [2, 3).
+        engine.call_later(1.0, tracker.busy)
+        engine.call_later(2.0, tracker.busy)
+        engine.call_later(3.0, tracker.idle)
+        engine.call_later(4.0, tracker.idle)
+        engine.run()
+        assert tracker.busy_time == pytest.approx(3.0)
+
+    def test_idle_without_busy_raises(self, engine):
+        with pytest.raises(ValueError):
+            UtilizationTracker(engine).idle()
+
+    def test_in_flight_busy_counted(self, engine):
+        tracker = UtilizationTracker(engine)
+        engine.call_later(1.0, tracker.busy)
+        engine.call_later(5.0, lambda: None)
+        engine.run()
+        assert tracker.busy_time == pytest.approx(4.0)
+
+    def test_zero_elapsed_utilization(self, engine):
+        assert UtilizationTracker(engine).utilization() == 0.0

@@ -1,0 +1,106 @@
+"""System assembly from declarative configs."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.fs.localfs import LocalFileSystem
+from repro.pfs.pvfs import PFSClient
+from repro.system import SystemConfig, build_system
+from repro.util.units import MiB
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = SystemConfig()
+        assert config.kind == "local"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            SystemConfig(kind="cloud")
+
+    def test_bad_server_count_rejected(self):
+        with pytest.raises(ExperimentError):
+            SystemConfig(kind="pfs", n_servers=0)
+
+    def test_with_seed(self):
+        config = SystemConfig(seed=1)
+        assert config.with_seed(2).seed == 2
+        assert config.seed == 1  # original untouched
+
+
+class TestLocalSystem:
+    def test_builds_localfs(self):
+        system = build_system(SystemConfig(kind="local"))
+        assert isinstance(system.localfs, LocalFileSystem)
+        assert system.pfs is None
+        assert len(system.devices) == 1
+
+    def test_mounts_shared(self):
+        system = build_system(SystemConfig(kind="local"))
+        assert system.mount_for(0) is system.mount_for(5)
+        assert system.shared_mount() is system.localfs
+
+    def test_cache_disabled(self):
+        system = build_system(SystemConfig(kind="local", cache_pages=0))
+        assert system.localfs.cache is None
+
+    def test_posix_factory(self):
+        system = build_system(SystemConfig(kind="local"))
+        lib = system.posix()
+        assert lib.mount is system.localfs
+
+    def test_drop_caches(self):
+        system = build_system(SystemConfig(kind="local"))
+        system.drop_caches()  # must not raise
+
+
+class TestPFSSystem:
+    def test_builds_servers_and_network(self):
+        system = build_system(SystemConfig(kind="pfs", n_servers=3))
+        assert system.pfs is not None
+        assert len(system.pfs.servers) == 3
+        assert len(system.devices) == 3
+        assert system.localfs is None
+
+    def test_per_pid_client_nodes(self):
+        system = build_system(SystemConfig(kind="pfs", n_servers=2))
+        mount0 = system.mount_for(0)
+        mount1 = system.mount_for(1)
+        assert isinstance(mount0, PFSClient)
+        assert mount0 is not mount1
+        assert mount0 is system.mount_for(0)  # cached per pid
+
+    def test_posix_requires_local(self):
+        system = build_system(SystemConfig(kind="pfs", n_servers=2))
+        with pytest.raises(ExperimentError):
+            system.posix()
+        lib = system.posix_for(0)  # this is the PFS path
+        assert lib.mount is system.mount_for(0)
+
+    def test_client_bandwidth_override(self):
+        system = build_system(SystemConfig(
+            kind="pfs", n_servers=1, client_bandwidth=1000 * MiB))
+        system.mount_for(0)
+        node = system.network.node("client0")
+        assert node.nic.tx.bandwidth == 1000 * MiB
+
+    def test_default_stripe_spans_all_servers(self):
+        system = build_system(SystemConfig(kind="pfs", n_servers=4))
+        layout = system.pfs.default_layout
+        assert layout.servers == (0, 1, 2, 3)
+
+
+class TestDeterminism:
+    def test_same_seed_same_simulation(self):
+        from repro.workloads import IOzoneWorkload
+        from repro.util.units import KiB
+
+        def run(seed):
+            workload = IOzoneWorkload(file_size=2 * MiB,
+                                      record_size=64 * KiB)
+            config = SystemConfig(kind="local", jitter_sigma=0.2,
+                                  seed=seed)
+            return workload.run(config).exec_time
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)

@@ -1,0 +1,82 @@
+"""blkparse text parsing."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace_io.blkparse import read_blkparse
+
+SAMPLE = """\
+  8,0    3        1     0.000000000   697  Q   R 1000 + 8 [iozone]
+  8,0    3        2     0.000100000   697  D   R 1000 + 8 [iozone]
+  8,0    1        3     0.000200000   698  Q   W 2000 + 16 [iozone]
+  8,0    3        4     0.005000000   697  C   R 1000 + 8 [0]
+  8,0    1        5     0.006000000   698  C   W 2000 + 16 [0]
+"""
+
+
+class TestParsing:
+    def test_q_to_c_pairing(self):
+        trace = read_blkparse(io.StringIO(SAMPLE))
+        assert len(trace) == 2
+        read = trace.for_op("read")[0]
+        assert read.pid == 697
+        assert read.nbytes == 8 * 512
+        assert read.start == pytest.approx(0.0)
+        assert read.end == pytest.approx(0.005)
+        write = trace.for_op("write")[0]
+        assert write.nbytes == 16 * 512
+
+    def test_d_to_c_pairing(self):
+        trace = read_blkparse(io.StringIO(SAMPLE), start_action="D")
+        # Only the read has a D event.
+        assert len(trace) == 1
+        assert trace[0].start == pytest.approx(0.0001)
+
+    def test_offset_from_sector(self):
+        trace = read_blkparse(io.StringIO(SAMPLE))
+        assert trace.for_op("read")[0].offset == 1000 * 512
+
+    def test_bad_start_action_rejected(self):
+        with pytest.raises(TraceFormatError):
+            read_blkparse(io.StringIO(SAMPLE), start_action="X")
+
+
+class TestRobustness:
+    def test_summary_lines_ignored(self):
+        text = SAMPLE + "\nTotal (8,0):\n Reads Queued: 1, 4KiB\n"
+        trace = read_blkparse(io.StringIO(text))
+        assert len(trace) == 2
+
+    def test_unmatched_completion_skipped(self):
+        text = "  8,0 0 1 1.0 5 C R 42 + 8 [0]\n" + SAMPLE
+        trace = read_blkparse(io.StringIO(text))
+        assert len(trace) == 2
+
+    def test_unmatched_completion_strict_raises(self):
+        text = "  8,0    0    1    1.000000000     5  C   R 42 + 8 [0]\n"
+        with pytest.raises(TraceFormatError):
+            read_blkparse(io.StringIO(text), strict=True)
+
+    def test_never_completed_strict_raises(self):
+        text = "  8,0    0    1    1.000000000     5  Q   R 42 + 8 [x]\n" \
+               + SAMPLE
+        with pytest.raises(TraceFormatError, match="never completed"):
+            read_blkparse(io.StringIO(text), strict=True)
+
+    def test_no_ios_rejected(self):
+        with pytest.raises(TraceFormatError, match="no completed"):
+            read_blkparse(io.StringIO("garbage\n"))
+
+    def test_zero_sector_events_skipped(self):
+        text = ("  8,0    0    1    0.000000000     5  Q   F 0 + 0 [k]\n"
+                + SAMPLE)
+        trace = read_blkparse(io.StringIO(text))
+        assert len(trace) == 2
+
+    def test_completion_before_start_rejected(self):
+        text = ("  8,0    0    1    5.000000000     5  Q   R 42 + 8 [x]\n"
+                "  8,0    0    2    1.000000000     5  C   R 42 + 8 [0]\n")
+        with pytest.raises(TraceFormatError, match="precedes"):
+            read_blkparse(io.StringIO(text))

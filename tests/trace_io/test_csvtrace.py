@@ -1,0 +1,136 @@
+"""CSV trace round-trip and error handling."""
+
+import io
+
+import pytest
+
+from repro.core.records import IORecord, TraceCollection
+from repro.errors import TraceFormatError
+from repro.trace_io.csvtrace import (
+    read_csv_trace,
+    trace_to_csv_text,
+    write_csv_trace,
+)
+
+
+def sample_trace():
+    return TraceCollection([
+        IORecord(0, "read", 4096, 0.0, 0.125, file="data", offset=0),
+        IORecord(1, "write", 512, 0.1, 0.3, file="data", offset=8192,
+                 success=False),
+    ])
+
+
+class TestRoundTrip:
+    def test_write_read_preserves_records(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv_trace(sample_trace(), path)
+        loaded = read_csv_trace(path)
+        assert len(loaded) == 2
+        first, second = loaded
+        assert (first.pid, first.op, first.nbytes) == (0, "read", 4096)
+        assert first.start == 0.0 and first.end == 0.125
+        assert second.success is False
+        assert second.offset == 8192
+
+    def test_stream_round_trip(self):
+        text = trace_to_csv_text(sample_trace())
+        loaded = read_csv_trace(io.StringIO(text))
+        assert len(loaded) == 2
+
+    def test_float_precision_preserved(self):
+        trace = TraceCollection([
+            IORecord(0, "read", 1, 0.1234567890123456, 1.9876543210987654),
+        ])
+        loaded = read_csv_trace(io.StringIO(trace_to_csv_text(trace)))
+        assert loaded[0].start == trace[0].start
+        assert loaded[0].end == trace[0].end
+
+
+class TestRoundTripProperties:
+    import string
+
+    from hypothesis import given, settings, strategies as st
+
+    record_strategy = st.tuples(
+        st.integers(min_value=0, max_value=10_000),        # pid
+        st.sampled_from(["read", "write"]),                # op
+        st.integers(min_value=0, max_value=2**40),         # nbytes
+        st.floats(min_value=0, max_value=1e6,
+                  allow_nan=False),                        # start
+        st.floats(min_value=0, max_value=1e3,
+                  allow_nan=False),                        # duration
+        st.text(alphabet=string.ascii_letters + "._-/",
+                max_size=20),                              # file
+        st.integers(min_value=-1, max_value=2**40),        # offset
+        st.booleans(),                                     # success
+    )
+
+    @given(st.lists(record_strategy, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_csv_round_trip_exact(self, specs):
+        from repro.core.records import IORecord, TraceCollection
+        trace = TraceCollection([
+            IORecord(pid=pid, op=op, nbytes=nbytes, start=start,
+                     end=start + duration, file=file,
+                     offset=offset, success=success)
+            for pid, op, nbytes, start, duration, file, offset, success
+            in specs
+        ])
+        loaded = read_csv_trace(io.StringIO(trace_to_csv_text(trace)))
+        assert len(loaded) == len(trace)
+        for original, parsed in zip(trace, loaded):
+            assert parsed.pid == original.pid
+            assert parsed.op == original.op
+            assert parsed.nbytes == original.nbytes
+            assert parsed.start == original.start   # repr round-trip
+            assert parsed.end == original.end
+            assert parsed.file == original.file
+            assert parsed.offset == original.offset
+            assert parsed.success == original.success
+
+
+class TestReading:
+    def test_minimal_columns(self):
+        csv_text = "pid,op,nbytes,start,end\n0,read,512,0.0,1.0\n"
+        loaded = read_csv_trace(io.StringIO(csv_text))
+        assert loaded[0].file == ""
+        assert loaded[0].offset == -1
+        assert loaded[0].success is True
+
+    def test_comments_and_blanks_skipped(self):
+        csv_text = ("# a comment\n\npid,op,nbytes,start,end\n"
+                    "# another\n0,read,512,0.0,1.0\n\n")
+        assert len(read_csv_trace(io.StringIO(csv_text))) == 1
+
+    def test_missing_required_column(self):
+        csv_text = "pid,op,nbytes,start\n0,read,512,0.0\n"
+        with pytest.raises(TraceFormatError, match="end"):
+            read_csv_trace(io.StringIO(csv_text))
+
+    def test_bad_value_reports_line(self):
+        csv_text = "pid,op,nbytes,start,end\n0,read,oops,0.0,1.0\n"
+        with pytest.raises(TraceFormatError, match=":2"):
+            read_csv_trace(io.StringIO(csv_text))
+
+    def test_bad_boolean(self):
+        csv_text = ("pid,op,nbytes,start,end,file,offset,success\n"
+                    "0,read,512,0.0,1.0,f,0,maybe\n")
+        with pytest.raises(TraceFormatError):
+            read_csv_trace(io.StringIO(csv_text))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(TraceFormatError):
+            read_csv_trace(io.StringIO(""))
+
+    def test_header_only_rejected(self):
+        with pytest.raises(TraceFormatError, match="no records"):
+            read_csv_trace(io.StringIO("pid,op,nbytes,start,end\n"))
+
+    def test_bool_spellings(self):
+        csv_text = ("pid,op,nbytes,start,end,file,offset,success\n"
+                    "0,read,512,0.0,1.0,f,0,yes\n"
+                    "1,read,512,0.0,1.0,f,0,FALSE\n")
+        loaded = read_csv_trace(io.StringIO(csv_text))
+        assert loaded[0].success is True
+        assert loaded[1].success is False

@@ -1,0 +1,100 @@
+"""darshan-parser text reconstruction."""
+
+import io
+
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.errors import TraceFormatError
+from repro.trace_io.darshan import read_darshan
+
+SAMPLE = """\
+# darshan log version: 3.41
+# exe: ./ior -a POSIX
+# nprocs: 2
+
+#<module>  <rank>  <record id>  <counter>  <value>  <file name> ...
+POSIX   0   123  POSIX_READS                 100   /scratch/data  x y
+POSIX   0   123  POSIX_BYTES_READ        1048576   /scratch/data  x y
+POSIX   0   123  POSIX_F_READ_TIME           2.0   /scratch/data  x y
+POSIX   0   123  POSIX_F_OPEN_START_TIMESTAMP 0.5  /scratch/data  x y
+POSIX   1   123  POSIX_WRITES                 50   /scratch/data  x y
+POSIX   1   123  POSIX_BYTES_WRITTEN      512000   /scratch/data  x y
+POSIX   1   123  POSIX_F_WRITE_TIME          1.0   /scratch/data  x y
+MPIIO   0   456  MPIIO_INDEP_READS            10   /scratch/data  x y
+POSIX   0   123  POSIX_SEEKS                   7   /scratch/data  x y
+"""
+
+
+class TestReconstruction:
+    def test_counts_and_bytes_exact(self):
+        trace = read_darshan(io.StringIO(SAMPLE))
+        reads = trace.for_op("read")
+        writes = trace.for_op("write")
+        assert len(reads) == 100
+        assert len(writes) == 50
+        assert reads.total_bytes() == 1048576
+        assert writes.total_bytes() == 512000
+
+    def test_busy_time_preserved_per_stream(self):
+        from repro.core.intervals import union_time
+        trace = read_darshan(io.StringIO(SAMPLE))
+        rank0 = trace.for_pid(0)
+        assert union_time(rank0.intervals()) == pytest.approx(2.0)
+
+    def test_open_start_offsets_the_stream(self):
+        trace = read_darshan(io.StringIO(SAMPLE))
+        rank0 = trace.for_pid(0)
+        assert min(r.start for r in rank0) == pytest.approx(0.5)
+
+    def test_pids_from_ranks(self):
+        trace = read_darshan(io.StringIO(SAMPLE))
+        assert trace.pids() == [0, 1]
+
+    def test_shared_record_rank_minus_one_maps_to_pid_zero(self):
+        text = ("POSIX -1 9 POSIX_READS 4 /f a\n"
+                "POSIX -1 9 POSIX_BYTES_READ 4096 /f a\n"
+                "POSIX -1 9 POSIX_F_READ_TIME 1.0 /f a\n")
+        trace = read_darshan(io.StringIO(text))
+        assert trace.pids() == [0]
+
+    def test_metrics_computable(self):
+        trace = read_darshan(io.StringIO(SAMPLE))
+        first, last = trace.span()
+        metrics = compute_metrics(trace, exec_time=last - first)
+        assert metrics.bps > 0
+        # B exact: (1048576 + 512000 bytes) per-record rounding.
+        assert metrics.app_bytes == 1048576 + 512000
+
+    def test_zero_time_ops_get_vanishing_intervals(self):
+        text = ("POSIX 0 9 POSIX_READS 10 /f a\n"
+                "POSIX 0 9 POSIX_BYTES_READ 10240 /f a\n"
+                "POSIX 0 9 POSIX_F_READ_TIME 0.0 /f a\n")
+        trace = read_darshan(io.StringIO(text))
+        assert len(trace) == 10
+        assert all(r.duration > 0 for r in trace)
+
+
+class TestErrors:
+    def test_no_posix_records(self):
+        with pytest.raises(TraceFormatError, match="no POSIX"):
+            read_darshan(io.StringIO("# header only\n"))
+
+    def test_bad_counter_value(self):
+        text = "POSIX 0 9 POSIX_READS lots /f a\n"
+        with pytest.raises(TraceFormatError):
+            read_darshan(io.StringIO(text))
+
+    def test_negative_counter_rejected(self):
+        text = ("POSIX 0 9 POSIX_READS 4 /f a\n"
+                "POSIX 0 9 POSIX_BYTES_READ -1 /f a\n"
+                "POSIX 0 9 POSIX_F_READ_TIME 1.0 /f a\n")
+        with pytest.raises(TraceFormatError):
+            read_darshan(io.StringIO(text))
+
+    def test_cli_integration(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "app.darshan.txt"
+        path.write_text(SAMPLE)
+        assert main(["analyze", str(path), "--format", "darshan"]) == 0
+        assert "BPS" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""fio JSON reconstruction."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.errors import TraceFormatError
+from repro.trace_io.fiojson import read_fio_json
+
+
+def fio_doc(jobs):
+    return json.dumps({"fio version": "fio-3.28", "jobs": jobs})
+
+
+def job(name="job0", read=None, write=None):
+    body = {"jobname": name}
+    if read:
+        body["read"] = read
+    if write:
+        body["write"] = write
+    return body
+
+
+def direction(total_ios=100, io_bytes=409600, runtime_ms=1000,
+              clat_mean_ns=2_000_000):
+    return {
+        "total_ios": total_ios,
+        "io_bytes": io_bytes,
+        "runtime": runtime_ms,
+        "clat_ns": {"mean": clat_mean_ns},
+    }
+
+
+class TestReconstruction:
+    def test_counts_and_bytes_exact(self):
+        doc = fio_doc([job(read=direction())])
+        trace = read_fio_json(io.StringIO(doc))
+        assert len(trace) == 100
+        assert trace.total_bytes() == 409600
+
+    def test_intervals_tile_runtime(self):
+        doc = fio_doc([job(read=direction())])
+        trace = read_fio_json(io.StringIO(doc))
+        first, last = trace.span()
+        assert first == 0.0
+        # Last interval starts at 0.99 and runs its mean latency,
+        # clipped to the 1 s runtime window.
+        assert 0.99 < last <= 1.0
+
+    def test_mean_latency_preserved(self):
+        doc = fio_doc([job(read=direction(clat_mean_ns=2_000_000))])
+        trace = read_fio_json(io.StringIO(doc))
+        metrics = compute_metrics(trace, exec_time=1.0)
+        assert metrics.arpt == pytest.approx(0.002, rel=0.01)
+
+    def test_bps_consistent_with_fio_throughput(self):
+        # 400 KiB over 1 s of fully-tiled runtime: BPS = 800 blocks/s.
+        doc = fio_doc([job(read=direction(clat_mean_ns=50_000_000))])
+        trace = read_fio_json(io.StringIO(doc))
+        metrics = compute_metrics(trace, exec_time=1.0)
+        assert metrics.bps == pytest.approx(800, rel=0.1)
+
+    def test_read_and_write_directions(self):
+        doc = fio_doc([job(read=direction(), write=direction())])
+        trace = read_fio_json(io.StringIO(doc))
+        assert len(trace.for_op("read")) == 100
+        assert len(trace.for_op("write")) == 100
+
+    def test_multiple_jobs_become_pids(self):
+        doc = fio_doc([job("a", read=direction()),
+                       job("b", read=direction())])
+        trace = read_fio_json(io.StringIO(doc))
+        assert trace.pids() == [0, 1]
+
+    def test_latency_field_fallbacks(self):
+        body = direction()
+        del body["clat_ns"]
+        body["lat_ns"] = {"mean": 1_000_000}
+        doc = fio_doc([job(read=body)])
+        trace = read_fio_json(io.StringIO(doc))
+        assert trace[0].duration == pytest.approx(0.001)
+
+    def test_usec_clat_variant(self):
+        body = direction()
+        del body["clat_ns"]
+        body["clat"] = {"mean": 1500}  # microseconds
+        doc = fio_doc([job(read=body)])
+        trace = read_fio_json(io.StringIO(doc))
+        assert trace[0].duration == pytest.approx(0.0015)
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(TraceFormatError):
+            read_fio_json(io.StringIO("{oops"))
+
+    def test_no_jobs(self):
+        with pytest.raises(TraceFormatError):
+            read_fio_json(io.StringIO(json.dumps({"jobs": []})))
+
+    def test_no_io(self):
+        doc = fio_doc([job(read={"total_ios": 0, "io_bytes": 0,
+                                 "runtime": 0})])
+        with pytest.raises(TraceFormatError):
+            read_fio_json(io.StringIO(doc))
+
+    def test_zero_runtime_with_io_rejected(self):
+        doc = fio_doc([job(read={"total_ios": 10, "io_bytes": 100,
+                                 "runtime": 0})])
+        with pytest.raises(TraceFormatError):
+            read_fio_json(io.StringIO(doc))

@@ -1,0 +1,96 @@
+"""RNG streams: determinism, independence, draw helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, spawn_rng
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = RngStream.from_seed(7)
+        b = RngStream.from_seed(7)
+        assert [a.uniform() for _ in range(10)] == \
+               [b.uniform() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RngStream.from_seed(7)
+        b = RngStream.from_seed(8)
+        assert [a.uniform() for _ in range(5)] != \
+               [b.uniform() for _ in range(5)]
+
+    def test_children_are_deterministic(self):
+        a = RngStream.from_seed(7).spawn("dev")
+        b = RngStream.from_seed(7).spawn("dev")
+        assert a.uniform() == b.uniform()
+
+    def test_children_independent_of_parent_consumption(self):
+        a = RngStream.from_seed(7)
+        a.uniform()  # consume from the parent
+        child_after = a.spawn("dev")
+        child_fresh = RngStream.from_seed(7).spawn("dev")
+        assert child_after.uniform() == child_fresh.uniform()
+
+    def test_sibling_streams_differ(self):
+        root = RngStream.from_seed(7)
+        kids = root.spawn_many("worker", 3)
+        draws = [k.uniform() for k in kids]
+        assert len(set(draws)) == 3
+
+
+class TestDrawHelpers:
+    def test_uniform_range(self):
+        stream = RngStream.from_seed(1)
+        draws = [stream.uniform(2.0, 3.0) for _ in range(100)]
+        assert all(2.0 <= d < 3.0 for d in draws)
+
+    def test_lognormal_factor_median_near_one(self):
+        stream = RngStream.from_seed(1)
+        draws = [stream.lognormal_factor(0.3) for _ in range(2000)]
+        assert 0.9 < float(np.median(draws)) < 1.1
+        assert all(d > 0 for d in draws)
+
+    def test_lognormal_factor_zero_sigma_is_exactly_one(self):
+        stream = RngStream.from_seed(1)
+        assert stream.lognormal_factor(0.0) == 1.0
+
+    def test_lognormal_factor_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream.from_seed(1).lognormal_factor(-0.1)
+
+    def test_integers_range(self):
+        stream = RngStream.from_seed(1)
+        draws = [stream.integers(5, 8) for _ in range(100)]
+        assert set(draws) <= {5, 6, 7}
+
+    def test_choice(self):
+        stream = RngStream.from_seed(1)
+        assert stream.choice([42]) == 42
+        assert stream.choice("abc") in "abc"
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream.from_seed(1).choice([])
+
+    def test_exponential_positive(self):
+        stream = RngStream.from_seed(1)
+        assert all(stream.exponential(0.5) > 0 for _ in range(50))
+
+    def test_shuffle_is_permutation(self):
+        stream = RngStream.from_seed(1)
+        items = list(range(20))
+        shuffled = items.copy()
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestSpawnRng:
+    def test_yields_named_streams(self):
+        dev, net = spawn_rng(42, "device", "network")
+        assert "device" in dev.name
+        assert "network" in net.name
+        assert dev.uniform() != net.uniform()
+
+    def test_generator_access(self):
+        (only,) = spawn_rng(42, "x")
+        assert isinstance(only.generator, np.random.Generator)

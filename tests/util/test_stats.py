@@ -1,0 +1,142 @@
+"""Statistics helpers, especially the Pearson CC (paper Eq. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.util.stats import (
+    coefficient_of_variation,
+    geomean,
+    harmonic_mean,
+    mean,
+    pearson,
+    summarize,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            mean([])
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_requires_positive(self):
+        with pytest.raises(AnalysisError):
+            geomean([1.0, 0.0])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([40.0, 60.0]) == pytest.approx(48.0)
+
+    def test_harmonic_mean_requires_positive(self):
+        with pytest.raises(AnalysisError):
+            harmonic_mean([2.0, -1.0])
+
+    def test_mean_ordering_inequality(self):
+        values = [2.0, 8.0, 32.0]
+        assert harmonic_mean(values) <= geomean(values) <= mean(values)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_symmetric(self):
+        x = [1, 2, 3, 4]
+        y = [1, -1, -1, 1]
+        assert pearson(x, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=50)
+        y = 0.3 * x + rng.normal(size=50)
+        assert pearson(x, y) == pytest.approx(
+            float(np.corrcoef(x, y)[0, 1]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_single_point_raises(self):
+        with pytest.raises(AnalysisError):
+            pearson([1], [1])
+
+    def test_zero_variance_raises(self):
+        with pytest.raises(AnalysisError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    @given(st.lists(finite_floats, min_size=2, max_size=40))
+    def test_self_correlation_is_one(self, xs):
+        try:
+            cc = pearson(xs, xs)
+        except AnalysisError:
+            return  # zero variance: undefined
+        assert cc == pytest.approx(1.0)
+
+    @given(st.lists(st.tuples(finite_floats, finite_floats),
+                    min_size=2, max_size=40))
+    def test_bounded_and_symmetric(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        try:
+            cc = pearson(xs, ys)
+        except AnalysisError:
+            return  # zero variance (possibly by float underflow)
+        assert -1.0 <= cc <= 1.0
+        assert cc == pytest.approx(pearson(ys, xs))
+
+    @given(st.lists(st.tuples(finite_floats, finite_floats),
+                    min_size=2, max_size=40),
+           st.floats(min_value=0.001, max_value=1000,
+                     allow_nan=False),
+           finite_floats)
+    def test_invariant_under_affine_transform(self, pairs, scale, shift):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        transformed = [scale * x + shift for x in xs]
+        try:
+            original = pearson(xs, ys)
+            shifted = pearson(transformed, ys)
+        except AnalysisError:
+            return  # degenerate variance (possibly by float underflow)
+        assert shifted == pytest.approx(original, abs=1e-6)
+
+
+class TestSummary:
+    def test_summarize_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == 2.0
+        assert s.min == 1.0
+        assert s.max == 3.0
+        assert s.std == pytest.approx(1.0)
+
+    def test_single_sample_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+
+    def test_str_contains_values(self):
+        text = str(summarize([1.0, 3.0]))
+        assert "n=2" in text and "mean=2" in text
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([10.0, 10.0]) == 0.0
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation([1.0, -1.0])

@@ -1,0 +1,81 @@
+"""Text rendering: tables, CC bar charts, series."""
+
+import pytest
+
+from repro.util.tables import TextTable, render_bar_chart, render_series
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable(["a", "b"])
+        table.add_row([1, "xy"])
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert "xy" in lines[2]
+
+    def test_column_width_follows_longest_cell(self):
+        table = TextTable(["h"])
+        table.add_row(["wide-cell-content"])
+        header_line = table.render().splitlines()[0]
+        assert len(header_line) == len("wide-cell-content")
+
+    def test_row_length_mismatch_raises(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_str_equals_render(self):
+        table = TextTable(["a"])
+        table.add_row(["x"])
+        assert str(table) == table.render()
+
+
+class TestBarChart:
+    def test_positive_and_negative_bars(self):
+        out = render_bar_chart(["up", "down"], [0.8, -0.8], width=20)
+        lines = out.splitlines()
+        assert "+0.800" in lines[0]
+        assert "-0.800" in lines[1]
+        # The negative bar must extend left of the zero axis.
+        zero_column = lines[0].index("|")
+        assert "#" in lines[1][:zero_column]
+        assert "#" in lines[0][zero_column:]
+
+    def test_title_included(self):
+        out = render_bar_chart(["x"], [0.5], title="Fig")
+        assert out.splitlines()[0] == "Fig"
+
+    def test_values_clipped_to_range(self):
+        out = render_bar_chart(["big"], [5.0], width=10)
+        assert "+5.000" in out  # label shows the raw value
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [0.1, 0.2])
+
+    def test_bad_range_raises(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [0.1], vmin=1.0, vmax=-1.0)
+
+
+class TestSeries:
+    def test_renders_all_columns(self):
+        out = render_series("n", [1, 2], {"t": [0.5, 0.25],
+                                          "v": [1.0, 2.0]})
+        assert "n" in out and "t" in out and "v" in out
+        assert "0.25" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_series("n", [1, 2], {"t": [0.5]})
+
+    def test_custom_format(self):
+        out = render_series("n", [1], {"t": [0.123456]},
+                            float_fmt="{:.2f}")
+        assert "0.12" in out

@@ -1,0 +1,174 @@
+"""Units: block arithmetic, size parsing, formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    BLOCK_SIZE,
+    GiB,
+    KiB,
+    MiB,
+    align_down,
+    align_up,
+    blocks_to_bytes,
+    bytes_to_blocks,
+    format_rate,
+    format_seconds,
+    format_size,
+    is_power_of_two,
+    next_power_of_two,
+    parse_size,
+)
+
+
+class TestBlockArithmetic:
+    def test_exact_block(self):
+        assert bytes_to_blocks(512) == 1
+
+    def test_partial_block_rounds_up(self):
+        assert bytes_to_blocks(513) == 2
+
+    def test_one_byte_is_one_block(self):
+        assert bytes_to_blocks(1) == 1
+
+    def test_zero_bytes_zero_blocks(self):
+        assert bytes_to_blocks(0) == 0
+
+    def test_default_block_size_is_paper_512(self):
+        assert BLOCK_SIZE == 512
+
+    def test_custom_block_size(self):
+        assert bytes_to_blocks(4096, block_size=4096) == 1
+        assert bytes_to_blocks(4097, block_size=4096) == 2
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_blocks(-1)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_blocks(100, block_size=0)
+
+    def test_blocks_to_bytes_roundtrip_exact(self):
+        assert blocks_to_bytes(7) == 7 * 512
+
+    def test_blocks_to_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            blocks_to_bytes(-3)
+
+    @given(st.integers(min_value=0, max_value=10**12),
+           st.integers(min_value=1, max_value=1 << 20))
+    def test_round_trip_covers(self, nbytes, block_size):
+        blocks = bytes_to_blocks(nbytes, block_size)
+        covered = blocks_to_bytes(blocks, block_size)
+        assert covered >= nbytes
+        assert covered - nbytes < block_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("512", 512),
+        ("64KB", 64 * KiB),
+        ("64kb", 64 * KiB),
+        ("64 KiB", 64 * KiB),
+        ("8MiB", 8 * MiB),
+        ("8M", 8 * MiB),
+        ("2GB", 2 * GiB),
+        ("1.5KB", 1536),
+        ("0", 0),
+    ])
+    def test_examples(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("lots of bytes")
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3B")
+
+    def test_format_parse_roundtrip(self):
+        for size in (0, 1, 512, 64 * KiB, 3 * MiB, 7 * GiB):
+            assert parse_size(format_size(size)) == size
+
+
+class TestFormatting:
+    def test_format_size_bytes(self):
+        assert format_size(100) == "100B"
+
+    def test_format_size_kib(self):
+        assert format_size(4 * KiB) == "4.0KiB"
+
+    def test_format_size_negative(self):
+        assert format_size(-512) == "-512B"
+
+    def test_format_rate(self):
+        assert format_rate(2 * MiB) == "2.0MiB/s"
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(2e-9).endswith("ns")
+        assert format_seconds(2e-6).endswith("us")
+        assert format_seconds(2e-3).endswith("ms")
+        assert format_seconds(2.0) == "2.000s"
+
+    def test_format_seconds_zero_and_negative(self):
+        assert format_seconds(0) == "0s"
+        assert format_seconds(-0.5) == "-500.000ms"
+
+    def test_format_seconds_nan(self):
+        assert format_seconds(float("nan")) == "nan"
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4096, 4096) == 4096
+        assert align_down(1, 4096) == 0
+
+    def test_align_up(self):
+        assert align_up(4097, 4096) == 8192
+        assert align_up(4096, 4096) == 4096
+        assert align_up(0, 4096) == 0
+
+    def test_bad_granularity(self):
+        with pytest.raises(ValueError):
+            align_down(100, 0)
+        with pytest.raises(ValueError):
+            align_up(100, -1)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_alignment_brackets_value(self, value, granularity):
+        down = align_down(value, granularity)
+        up = align_up(value, granularity)
+        assert down <= value <= up
+        assert down % granularity == 0
+        assert up % granularity == 0
+        assert up - down in (0, granularity)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(4096) == 4096
+        assert next_power_of_two(4097) == 8192
+
+    def test_next_power_of_two_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)

@@ -1,0 +1,69 @@
+"""Async read workload and the Set 5 extension sweep."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads.aio import AsyncReadWorkload
+
+SSD = SystemConfig(kind="local", device_spec="pcie-ssd", cache_pages=0)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            AsyncReadWorkload(queue_depth=0)
+        with pytest.raises(WorkloadError):
+            AsyncReadWorkload(total_ops=0)
+        with pytest.raises(WorkloadError):
+            AsyncReadWorkload(pattern="zigzag")
+        with pytest.raises(WorkloadError):
+            AsyncReadWorkload(io_size=2 * MiB, file_size=1 * MiB)
+
+    def test_sequential_overrun_rejected(self):
+        with pytest.raises(WorkloadError):
+            AsyncReadWorkload(file_size=1 * MiB, io_size=64 * KiB,
+                              total_ops=100, pattern="sequential")
+
+
+class TestExecution:
+    def test_all_ops_complete_and_traced(self):
+        workload = AsyncReadWorkload(total_ops=64, queue_depth=8)
+        measurement = workload.run(SSD)
+        assert len(measurement.trace) == 64
+        assert measurement.extras["queue_depth"] == 8
+
+    def test_deeper_queue_is_faster(self):
+        shallow = AsyncReadWorkload(total_ops=64, queue_depth=1).run(SSD)
+        deep = AsyncReadWorkload(total_ops=64, queue_depth=16).run(SSD)
+        assert deep.exec_time < shallow.exec_time / 2
+
+    def test_deeper_queue_raises_arpt(self):
+        shallow = AsyncReadWorkload(total_ops=64, queue_depth=1).run(SSD)
+        deep = AsyncReadWorkload(total_ops=64, queue_depth=32).run(SSD)
+        assert deep.metrics().arpt > shallow.metrics().arpt
+
+    def test_sequential_pattern(self):
+        workload = AsyncReadWorkload(file_size=4 * MiB, io_size=16 * KiB,
+                                     total_ops=64, queue_depth=4,
+                                     pattern="sequential")
+        measurement = workload.run(SSD)
+        offsets = [r.offset for r in measurement.trace]
+        assert sorted(offsets) == [i * 16 * KiB for i in range(64)]
+
+    def test_determinism(self):
+        a = AsyncReadWorkload(total_ops=32).run(SSD.with_seed(1))
+        b = AsyncReadWorkload(total_ops=32).run(SSD.with_seed(1))
+        assert a.exec_time == b.exec_time
+
+
+class TestSet5Sweep:
+    def test_extension_shape(self):
+        from repro.experiments.runner import ExperimentScale
+        from repro.experiments.set5 import run_set5
+        sweep = run_set5(ExperimentScale(factor=0.5, repetitions=2))
+        table = sweep.correlations()
+        for name in ("IOPS", "BW", "BPS"):
+            assert table[name].direction_correct
+        assert not table["ARPT"].direction_correct

@@ -1,0 +1,90 @@
+"""Workload lifecycle: run_workload error handling and measurement."""
+
+from typing import Generator
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.system import System, SystemConfig
+from repro.workloads.base import Workload, run_workload
+
+
+class FailingWorkload(Workload):
+    """A workload whose only process raises mid-run."""
+
+    name = "failing"
+
+    def setup(self, system: System) -> None:
+        system.shared_mount().create("f", 1024 * 1024)
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        def proc(engine):
+            yield engine.timeout(0.1)
+            raise RuntimeError("application crashed")
+        return [(0, proc(system.engine))]
+
+
+class EmptyWorkload(Workload):
+    """A workload with no processes at all."""
+
+    name = "empty"
+
+    def setup(self, system: System) -> None:
+        pass
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        return []
+
+
+class ZeroWorkWorkload(Workload):
+    """Processes that finish without simulating any time."""
+
+    name = "zerowork"
+
+    def setup(self, system: System) -> None:
+        pass
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        def proc(engine):
+            return 0
+            yield  # pragma: no cover
+        return [(0, proc(system.engine))]
+
+
+class TestRunWorkload:
+    def test_process_failure_surfaces(self):
+        with pytest.raises(RuntimeError, match="application crashed"):
+            run_workload(FailingWorkload(), SystemConfig(kind="local"))
+
+    def test_no_processes_rejected(self):
+        with pytest.raises(WorkloadError, match="no processes"):
+            run_workload(EmptyWorkload(), SystemConfig(kind="local"))
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(WorkloadError, match="zero time"):
+            run_workload(ZeroWorkWorkload(), SystemConfig(kind="local"))
+
+    def test_measurement_carries_context(self):
+        from repro.workloads import IOzoneWorkload
+        from repro.util.units import KiB, MiB
+        measurement = run_workload(
+            IOzoneWorkload(file_size=1 * MiB, record_size=64 * KiB),
+            SystemConfig(kind="local", device_spec="pcie-ssd"))
+        assert measurement.extras["device_spec"] == "pcie-ssd"
+        assert measurement.extras["config_kind"] == "local"
+        assert measurement.label.startswith("iozone")
+
+    def test_default_pid_base_zero(self):
+        assert FailingWorkload().pid_base == 0
+
+    def test_device_report_in_extras(self):
+        from repro.workloads import IOzoneWorkload
+        from repro.util.units import KiB, MiB
+        measurement = run_workload(
+            IOzoneWorkload(file_size=1 * MiB, record_size=64 * KiB),
+            SystemConfig(kind="pfs", n_servers=2))
+        devices = measurement.extras["devices"]
+        assert len(devices) == 2
+        moved = sum(d["bytes_moved"] for d in devices)
+        assert moved == 1 * MiB
+        assert all(0.0 <= d["utilization"] <= 1.0 for d in devices)

@@ -1,0 +1,110 @@
+"""Composite (multi-application) workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads import (
+    CompositeWorkload,
+    IORWorkload,
+    IOzoneWorkload,
+    RandomAccessWorkload,
+)
+
+LOCAL = SystemConfig(kind="local")
+PFS = SystemConfig(kind="pfs", n_servers=4)
+
+
+def two_apps():
+    return CompositeWorkload(members=[
+        IOzoneWorkload(file_size=4 * MiB, record_size=64 * KiB),
+        RandomAccessWorkload(file_size=4 * MiB, ops_per_proc=32,
+                             nproc=2),
+    ])
+
+
+class TestValidation:
+    def test_no_members_rejected(self):
+        with pytest.raises(WorkloadError):
+            CompositeWorkload(members=[])
+
+    def test_delay_count_mismatch(self):
+        with pytest.raises(WorkloadError):
+            CompositeWorkload(
+                members=[IOzoneWorkload(file_size=1 * MiB,
+                                        record_size=64 * KiB)],
+                delays=(0.0, 1.0))
+
+    def test_negative_delay(self):
+        with pytest.raises(WorkloadError):
+            CompositeWorkload(
+                members=[IOzoneWorkload(file_size=1 * MiB,
+                                        record_size=64 * KiB)],
+                delays=(-1.0,))
+
+    def test_member_pid_range_bounds(self):
+        composite = two_apps()
+        assert composite.member_pid_range(0) == range(0, 1000)
+        assert composite.member_pid_range(1) == range(1000, 2000)
+        with pytest.raises(WorkloadError):
+            composite.member_pid_range(5)
+
+
+class TestExecution:
+    def test_both_apps_traced_with_disjoint_pids(self):
+        composite = two_apps()
+        measurement = composite.run(LOCAL)
+        pids = set(measurement.trace.pids())
+        assert 0 in pids                  # iozone (member 0)
+        assert {1000, 1001} <= pids       # random (member 1)
+        first = composite.member_trace(measurement.trace, 0)
+        second = composite.member_trace(measurement.trace, 1)
+        assert len(first) == 64           # 4MiB / 64KiB
+        assert len(second) == 64          # 2 procs x 32 ops
+        assert len(first) + len(second) == len(measurement.trace)
+
+    def test_same_type_members_coexist(self):
+        composite = CompositeWorkload(members=[
+            IOzoneWorkload(file_size=2 * MiB, record_size=64 * KiB),
+            IOzoneWorkload(file_size=2 * MiB, record_size=256 * KiB),
+        ])
+        measurement = composite.run(LOCAL)
+        assert len(measurement.trace) == 32 + 8
+
+    def test_delays_stagger_starts(self):
+        composite = CompositeWorkload(
+            members=[
+                IOzoneWorkload(file_size=1 * MiB, record_size=256 * KiB),
+                IOzoneWorkload(file_size=1 * MiB, record_size=256 * KiB),
+            ],
+            delays=(0.0, 1.0),
+        )
+        measurement = composite.run(LOCAL)
+        late = composite.member_trace(measurement.trace, 1)
+        assert min(r.start for r in late) >= 1.0
+
+    def test_mpiio_members_on_pfs(self):
+        composite = CompositeWorkload(members=[
+            IORWorkload(file_size=2 * MiB, transfer_size=64 * KiB,
+                        nproc=2),
+            IORWorkload(file_size=2 * MiB, transfer_size=64 * KiB,
+                        nproc=2),
+        ])
+        measurement = composite.run(PFS)
+        pids = set(measurement.trace.pids())
+        assert pids == {0, 1, 1000, 1001}
+
+    def test_interference_slows_both(self):
+        solo = IOzoneWorkload(file_size=4 * MiB,
+                              record_size=64 * KiB).run(LOCAL)
+        shared = two_apps().run(LOCAL)
+        composite = two_apps()
+        member = composite.member_trace(shared.trace, 0)
+        solo_span = solo.trace.span()[1] - solo.trace.span()[0]
+        shared_span = member.span()[1] - member.span()[0]
+        assert shared_span > solo_span  # the random app got in the way
+
+    def test_label_mentions_members(self):
+        assert "iozone" in two_apps().label()
+        assert "random" in two_apps().label()

@@ -1,0 +1,73 @@
+"""Hpio-shaped workload: noncontiguous reads under data sieving."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.middleware.sieving import SievingConfig
+from repro.system import SystemConfig
+from repro.util.units import KiB
+from repro.workloads.hpio import HpioWorkload
+
+PFS = SystemConfig(kind="pfs", n_servers=4)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            HpioWorkload(region_count=0)
+        with pytest.raises(WorkloadError):
+            HpioWorkload(region_size=0)
+        with pytest.raises(WorkloadError):
+            HpioWorkload(region_spacing=-1)
+        with pytest.raises(WorkloadError):
+            HpioWorkload(regions_per_call=0)
+
+
+class TestAccessPattern:
+    def test_app_bytes_are_region_bytes_only(self):
+        workload = HpioWorkload(region_count=256, region_size=256,
+                                region_spacing=1024, nproc=2)
+        measurement = workload.run(PFS)
+        assert measurement.trace.total_bytes() == 2 * 256 * 256
+
+    def test_sieving_reads_holes_below(self):
+        workload = HpioWorkload(region_count=256, region_size=256,
+                                region_spacing=1024, nproc=1,
+                                sieving=SievingConfig(max_hole=4 * KiB))
+        measurement = workload.run(PFS)
+        metrics = measurement.metrics()
+        # fs moved regions + holes: amplification ~ (256+1024)/256 = 5.
+        assert metrics.fs_amplification == pytest.approx(5.0, rel=0.05)
+
+    def test_sieving_off_moves_exact_bytes(self):
+        workload = HpioWorkload(region_count=256, region_size=256,
+                                region_spacing=1024, nproc=1,
+                                sieving=SievingConfig(enabled=False))
+        measurement = workload.run(PFS)
+        assert measurement.metrics().fs_amplification == \
+            pytest.approx(1.0)
+
+    def test_batching_controls_call_count(self):
+        workload = HpioWorkload(region_count=256, region_size=256,
+                                region_spacing=64, nproc=1,
+                                regions_per_call=64)
+        measurement = workload.run(PFS)
+        assert len(measurement.trace) == 4  # 256 / 64 calls
+
+    def test_processes_have_disjoint_sections(self):
+        workload = HpioWorkload(region_count=64, region_size=256,
+                                region_spacing=256, nproc=2)
+        section = workload.section_bytes
+        regions0 = workload._regions_for(0)
+        regions1 = workload._regions_for(1)
+        assert max(o + n for o, n in regions0) <= section
+        assert min(o for o, _n in regions1) >= section
+
+    def test_wider_spacing_slows_execution(self):
+        tight = HpioWorkload(region_count=512, region_size=256,
+                             region_spacing=8, nproc=2).run(PFS)
+        sparse = HpioWorkload(region_count=512, region_size=256,
+                              region_spacing=4096, nproc=2).run(PFS)
+        assert sparse.exec_time > tight.exec_time
+        # ... while the application got the same data.
+        assert sparse.trace.total_bytes() == tight.trace.total_bytes()

@@ -1,0 +1,69 @@
+"""IOR-shaped workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads.ior import IORWorkload
+
+PFS = SystemConfig(kind="pfs", n_servers=4)
+
+
+class TestValidation:
+    def test_bad_op(self):
+        with pytest.raises(WorkloadError):
+            IORWorkload(op="trim")
+
+    def test_segment_below_transfer_rejected(self):
+        with pytest.raises(WorkloadError):
+            IORWorkload(file_size=128 * KiB, transfer_size=64 * KiB,
+                        nproc=4)
+
+    def test_collective_write_unsupported(self):
+        with pytest.raises(WorkloadError):
+            IORWorkload(op="write", collective=True)
+
+
+class TestSegmentedAccess:
+    def test_each_rank_reads_its_segment(self):
+        workload = IORWorkload(file_size=4 * MiB, transfer_size=64 * KiB,
+                               nproc=4)
+        measurement = workload.run(PFS)
+        assert len(measurement.trace.pids()) == 4
+        assert measurement.trace.total_bytes() == 4 * MiB
+        # Rank r's offsets all fall inside [r, r+1) MiB.
+        for record in measurement.trace:
+            segment = record.offset // (1 * MiB)
+            assert segment == record.pid
+
+    def test_fixed_transfer_size(self):
+        workload = IORWorkload(file_size=2 * MiB, transfer_size=64 * KiB,
+                               nproc=2)
+        measurement = workload.run(PFS)
+        assert {r.nbytes for r in measurement.trace} == {64 * KiB}
+
+    def test_write_mode(self):
+        workload = IORWorkload(file_size=2 * MiB, transfer_size=64 * KiB,
+                               nproc=2, op="write")
+        measurement = workload.run(PFS)
+        assert all(r.op == "write" for r in measurement.trace)
+
+    def test_collective_mode_runs(self):
+        workload = IORWorkload(file_size=2 * MiB, transfer_size=64 * KiB,
+                               nproc=2, collective=True)
+        measurement = workload.run(PFS)
+        assert len(measurement.trace) == 32  # 16 rounds x 2 ranks
+
+    def test_more_ranks_cut_exec_time(self):
+        two = IORWorkload(file_size=4 * MiB, transfer_size=64 * KiB,
+                          nproc=2).run(PFS)
+        eight = IORWorkload(file_size=4 * MiB, transfer_size=64 * KiB,
+                            nproc=8).run(PFS)
+        assert eight.exec_time < two.exec_time
+
+    def test_works_on_local_system_too(self):
+        workload = IORWorkload(file_size=2 * MiB, transfer_size=64 * KiB,
+                               nproc=2)
+        measurement = workload.run(SystemConfig(kind="local"))
+        assert measurement.trace.total_bytes() == 2 * MiB

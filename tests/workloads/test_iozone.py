@@ -1,0 +1,98 @@
+"""IOzone-shaped workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads.iozone import IOzoneWorkload
+
+LOCAL = SystemConfig(kind="local")
+PFS = SystemConfig(kind="pfs", n_servers=4)
+
+
+class TestValidation:
+    def test_bad_op(self):
+        with pytest.raises(WorkloadError):
+            IOzoneWorkload(op="scan")
+
+    def test_bad_mode(self):
+        with pytest.raises(WorkloadError):
+            IOzoneWorkload(mode="turbo")
+
+    def test_sequential_must_be_single_process(self):
+        with pytest.raises(WorkloadError):
+            IOzoneWorkload(mode="sequential", nproc=2)
+
+    def test_share_below_record_rejected(self):
+        with pytest.raises(WorkloadError):
+            IOzoneWorkload(file_size=64 * KiB, record_size=64 * KiB,
+                           nproc=4, mode="throughput")
+
+
+class TestSequential:
+    def test_reads_whole_file(self):
+        workload = IOzoneWorkload(file_size=2 * MiB, record_size=64 * KiB)
+        measurement = workload.run(LOCAL)
+        assert len(measurement.trace) == 32
+        assert measurement.trace.total_bytes() == 2 * MiB
+        assert measurement.fs_bytes == 2 * MiB
+        assert measurement.exec_time > 0
+
+    def test_write_mode(self):
+        workload = IOzoneWorkload(file_size=1 * MiB, record_size=64 * KiB,
+                                  op="write")
+        measurement = workload.run(LOCAL)
+        assert all(r.op == "write" for r in measurement.trace)
+
+    def test_think_time_creates_idle_gaps(self):
+        quick = IOzoneWorkload(file_size=1 * MiB, record_size=256 * KiB)
+        thoughtful = IOzoneWorkload(file_size=1 * MiB,
+                                    record_size=256 * KiB,
+                                    think_time_s=0.05)
+        fast = quick.run(LOCAL)
+        slow = thoughtful.run(LOCAL)
+        assert slow.exec_time > fast.exec_time
+        # Union I/O time excludes the compute gaps (paper section III.A).
+        assert slow.metrics().union_io_time == pytest.approx(
+            fast.metrics().union_io_time, rel=0.2)
+
+
+class TestThroughput:
+    def test_total_volume_fixed_across_nproc(self):
+        for nproc in (2, 4):
+            workload = IOzoneWorkload(file_size=4 * MiB,
+                                      record_size=64 * KiB,
+                                      nproc=nproc, mode="throughput")
+            measurement = workload.run(LOCAL)
+            assert measurement.trace.total_bytes() == 4 * MiB
+            assert len(measurement.trace.pids()) == nproc
+
+    def test_pinning_requires_pfs(self):
+        workload = IOzoneWorkload(file_size=4 * MiB, record_size=64 * KiB,
+                                  nproc=2, mode="throughput",
+                                  pin_files_to_servers=True)
+        with pytest.raises(WorkloadError):
+            workload.run(LOCAL)
+
+    def test_pinned_files_land_on_distinct_servers(self):
+        workload = IOzoneWorkload(file_size=4 * MiB, record_size=64 * KiB,
+                                  nproc=4, mode="throughput",
+                                  pin_files_to_servers=True)
+        measurement = workload.run(PFS)
+        # All four server disks saw traffic (one file each).
+        assert measurement.extras["nproc"] == 4
+        assert measurement.fs_bytes == 4 * MiB
+
+    def test_concurrency_reduces_exec_time(self):
+        single = IOzoneWorkload(file_size=4 * MiB, record_size=64 * KiB,
+                                nproc=1, mode="throughput",
+                                pin_files_to_servers=True).run(PFS)
+        quad = IOzoneWorkload(file_size=4 * MiB, record_size=64 * KiB,
+                              nproc=4, mode="throughput",
+                              pin_files_to_servers=True).run(PFS)
+        assert quad.exec_time < single.exec_time
+
+    def test_label_mentions_parameters(self):
+        workload = IOzoneWorkload(file_size=1 * MiB, record_size=64 * KiB)
+        assert "rec=65536" in workload.label()

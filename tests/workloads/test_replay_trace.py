@@ -1,0 +1,136 @@
+"""Trace replay workload: what-if analysis correctness."""
+
+import pytest
+
+from repro.core.records import IORecord, TraceCollection
+from repro.errors import WorkloadError
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads import IOzoneWorkload, TraceReplayWorkload
+
+LOCAL = SystemConfig(kind="local")
+SSD = SystemConfig(kind="local", device_spec="pcie-ssd")
+
+
+def simple_trace():
+    return TraceCollection([
+        IORecord(0, "read", 64 * KiB, 0.0, 0.01, file="a", offset=0),
+        IORecord(0, "read", 64 * KiB, 0.02, 0.03, file="a",
+                 offset=64 * KiB),
+        IORecord(1, "write", 32 * KiB, 0.0, 0.02, file="b", offset=0),
+    ])
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceReplayWorkload(trace=TraceCollection())
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceReplayWorkload(trace=simple_trace(), mode="reverse")
+
+
+class TestReplaySemantics:
+    def test_same_ops_same_bytes(self):
+        measurement = TraceReplayWorkload(trace=simple_trace()).run(LOCAL)
+        assert len(measurement.trace) == 3
+        assert measurement.trace.total_bytes() == \
+            simple_trace().total_bytes()
+        assert len(measurement.trace.for_op("write")) == 1
+
+    def test_offsets_preserved(self):
+        measurement = TraceReplayWorkload(trace=simple_trace()).run(LOCAL)
+        replayed_offsets = sorted(
+            r.offset for r in measurement.trace.for_pid(0))
+        assert replayed_offsets == [0, 64 * KiB]
+
+    def test_timed_mode_keeps_think_gaps(self):
+        # pid 0 has a 10ms gap between its two reads.
+        timed = TraceReplayWorkload(trace=simple_trace(),
+                                    mode="timed").run(SSD)
+        asap = TraceReplayWorkload(trace=simple_trace(),
+                                   mode="asap").run(SSD)
+        assert timed.exec_time > asap.exec_time
+        assert timed.exec_time >= 0.01  # at least the original gap
+
+    def test_anonymous_offsets_laid_out_sequentially(self):
+        trace = TraceCollection([
+            IORecord(0, "read", 4 * KiB, 0.0, 0.001),
+            IORecord(0, "read", 4 * KiB, 0.001, 0.002),
+        ])
+        measurement = TraceReplayWorkload(trace=trace).run(LOCAL)
+        offsets = sorted(r.offset for r in measurement.trace)
+        assert offsets == [0, 4 * KiB]
+
+    def test_round_trip_self_replay_is_stable(self):
+        """Replaying a simulated trace on the same platform roughly
+        reproduces its timing (closed-loop replay is not exact — device
+        state differs — but within a small factor)."""
+        original = IOzoneWorkload(file_size=4 * MiB,
+                                  record_size=64 * KiB).run(LOCAL)
+        replayed = TraceReplayWorkload(trace=original.trace,
+                                       mode="asap").run(LOCAL)
+        assert replayed.exec_time == pytest.approx(
+            original.exec_time, rel=0.15)
+
+    def test_faster_platform_projected_faster(self):
+        # Random 4KiB reads: seek-bound on HDD, latency-bound on SSD —
+        # the platform change the what-if engine exists for.
+        from repro.workloads import RandomAccessWorkload
+        original = RandomAccessWorkload(file_size=16 * MiB,
+                                        ops_per_proc=64,
+                                        nproc=1).run(LOCAL)
+        on_ssd = TraceReplayWorkload(trace=original.trace,
+                                     mode="asap").run(SSD)
+        assert on_ssd.exec_time < original.exec_time / 10
+
+
+class TestReplayProperties:
+    from hypothesis import given, settings, strategies as st
+
+    records_strategy = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),        # pid
+            st.sampled_from(["read", "write"]),           # op
+            st.integers(min_value=0, max_value=64),       # offset slot
+            st.integers(min_value=1, max_value=16),       # size (KiB)
+            st.floats(min_value=0, max_value=0.2,
+                      allow_nan=False),                   # start
+            st.floats(min_value=0.001, max_value=0.05,
+                      allow_nan=False),                   # duration
+        ),
+        min_size=1, max_size=20)
+
+    @given(records_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_replay_conserves_ops_and_bytes(self, specs):
+        from repro.core.records import IORecord, TraceCollection
+        trace = TraceCollection([
+            IORecord(pid=pid, op=op, nbytes=size * 1024,
+                     start=start, end=start + duration,
+                     offset=slot * 16 * 1024, file="data")
+            for pid, op, slot, size, start, duration in specs
+        ])
+        measurement = TraceReplayWorkload(trace=trace,
+                                          mode="asap").run(LOCAL)
+        assert len(measurement.trace) == len(trace)
+        assert measurement.trace.total_bytes() == trace.total_bytes()
+        assert measurement.trace.pids() == trace.pids()
+        replayed_ops = sorted((r.pid, r.op, r.offset, r.nbytes)
+                              for r in measurement.trace)
+        original_ops = sorted((r.pid, r.op, r.offset, r.nbytes)
+                              for r in trace)
+        assert replayed_ops == original_ops
+
+
+class TestCLI:
+    def test_replay_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace_io.csvtrace import write_csv_trace
+        path = tmp_path / "t.csv"
+        write_csv_trace(simple_trace(), path)
+        assert main(["replay", str(path), "--device", "pcie-ssd"]) == 0
+        out = capsys.readouterr().out
+        assert "projected speedup" in out
+        assert "replayed on pcie-ssd" in out

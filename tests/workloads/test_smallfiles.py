@@ -1,0 +1,93 @@
+"""Small-files workload and the PFS metadata path."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.system import SystemConfig, build_system
+from repro.util.units import KiB
+from repro.workloads import SmallFilesWorkload
+
+MDS = SystemConfig(kind="pfs", n_servers=2, with_mds=True)
+NO_MDS = SystemConfig(kind="pfs", n_servers=2, with_mds=False)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            SmallFilesWorkload(files_per_proc=0)
+        with pytest.raises(WorkloadError):
+            SmallFilesWorkload(file_bytes=0)
+        with pytest.raises(WorkloadError):
+            SmallFilesWorkload(stats_per_file=-1)
+
+
+class TestExecution:
+    def test_files_created_and_written(self):
+        workload = SmallFilesWorkload(files_per_proc=8, nproc=2)
+        measurement = workload.run(MDS)
+        writes = measurement.trace.for_op("write")
+        assert len(writes) == 16
+        assert all(r.nbytes == 4 * KiB for r in writes)
+
+    def test_mds_makes_creates_cost_time(self):
+        with_mds = SmallFilesWorkload(files_per_proc=16,
+                                      nproc=1).run(MDS)
+        without = SmallFilesWorkload(files_per_proc=16,
+                                     nproc=1).run(NO_MDS)
+        assert with_mds.exec_time > without.exec_time
+
+    def test_metadata_recording_optional(self):
+        silent = SmallFilesWorkload(files_per_proc=4, nproc=1,
+                                    record_metadata=False).run(MDS)
+        assert all(r.op == "write" for r in silent.trace)
+
+    def test_stats_storm_is_pure_metadata(self):
+        workload = SmallFilesWorkload(files_per_proc=4, nproc=1,
+                                      stats_per_file=8)
+        measurement = workload.run(MDS)
+        stats = measurement.trace.filter(lambda r: r.op == "stat")
+        assert len(stats) == 32
+        assert measurement.trace.total_bytes() == \
+            len(measurement.trace.for_op("write")) * 4 * KiB
+
+
+class TestMetadataPath:
+    def test_create_async_registers_file(self, engine):
+        system = build_system(MDS)
+        client = system.mount_for(0)
+
+        def proc(eng):
+            layout, start, end = yield client.create_async("f", 8 * KiB)
+            return layout, start, end
+        process = system.engine.spawn(proc(system.engine))
+        system.engine.run()
+        layout, start, end = process.result()
+        assert client.exists("f")
+        assert end > start  # the round trip cost simulated time
+        assert system.pfs.metadata_ops == 1
+
+    def test_stat_async_returns_size(self):
+        system = build_system(MDS)
+        client = system.mount_for(0)
+        client.create("f", 8 * KiB)
+
+        def proc(eng):
+            size, _start, _end = yield client.stat_async("f")
+            return size
+        process = system.engine.spawn(proc(system.engine))
+        system.engine.run()
+        assert process.result() == 8 * KiB
+
+    def test_mds_concurrency_limited(self):
+        config = SystemConfig(kind="pfs", n_servers=2, with_mds=True,
+                              mds_overhead_s=0.01)
+        system = build_system(config)
+        client = system.mount_for(0)
+
+        def proc(eng, i):
+            yield client.create_async(f"f{i}", 4 * KiB)
+        for i in range(32):
+            system.engine.spawn(proc(system.engine, i))
+        system.engine.run()
+        # 32 creates, 16 MDS threads, 10ms each: at least two waves.
+        assert system.engine.now >= 0.02

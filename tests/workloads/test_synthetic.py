@@ -1,0 +1,102 @@
+"""Synthetic workloads: random, mixed, replay."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads.synthetic import (
+    MixedReadWriteWorkload,
+    RandomAccessWorkload,
+    ReplayOp,
+    ReplayWorkload,
+)
+
+LOCAL = SystemConfig(kind="local")
+
+
+class TestRandomAccess:
+    def test_op_count(self):
+        workload = RandomAccessWorkload(file_size=8 * MiB,
+                                        ops_per_proc=32, nproc=2)
+        measurement = workload.run(LOCAL)
+        assert len(measurement.trace) == 64
+
+    def test_offsets_aligned_and_in_range(self):
+        workload = RandomAccessWorkload(file_size=8 * MiB,
+                                        ops_per_proc=50, nproc=1)
+        measurement = workload.run(LOCAL)
+        for record in measurement.trace:
+            assert record.offset % workload.align == 0
+            assert record.offset + record.nbytes <= 8 * MiB
+
+    def test_determinism_per_seed(self):
+        workload = RandomAccessWorkload(ops_per_proc=16, nproc=2)
+        a = workload.run(LOCAL.with_seed(9))
+        b = RandomAccessWorkload(ops_per_proc=16, nproc=2).run(
+            LOCAL.with_seed(9))
+        assert [r.offset for r in a.trace] == [r.offset for r in b.trace]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RandomAccessWorkload(io_size=2 * MiB, file_size=1 * MiB)
+        with pytest.raises(WorkloadError):
+            RandomAccessWorkload(ops_per_proc=0)
+
+
+class TestMixed:
+    def test_mix_ratio_roughly_respected(self):
+        workload = MixedReadWriteWorkload(file_size=16 * MiB,
+                                          record_size=64 * KiB,
+                                          nproc=2, read_fraction=0.7)
+        measurement = workload.run(LOCAL)
+        reads = len(measurement.trace.for_op("read"))
+        writes = len(measurement.trace.for_op("write"))
+        assert reads + writes == 256
+        assert 0.55 < reads / 256 < 0.85
+
+    def test_all_reads_at_fraction_one(self):
+        workload = MixedReadWriteWorkload(file_size=2 * MiB,
+                                          record_size=64 * KiB,
+                                          nproc=1, read_fraction=1.0)
+        measurement = workload.run(LOCAL)
+        assert len(measurement.trace.for_op("write")) == 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MixedReadWriteWorkload(read_fraction=1.5)
+
+
+class TestReplay:
+    def test_exact_script(self):
+        ops = [
+            ReplayOp(0, "read", 0, 64 * KiB),
+            ReplayOp(0, "write", 64 * KiB, 64 * KiB),
+            ReplayOp(1, "read", 1 * MiB, 64 * KiB,
+                     think_before_s=0.5),
+        ]
+        workload = ReplayWorkload(ops=ops, file_size=4 * MiB)
+        measurement = workload.run(LOCAL)
+        assert len(measurement.trace) == 3
+        late = measurement.trace.for_pid(1)[0]
+        assert late.start >= 0.5
+
+    def test_controlled_overlap(self):
+        # Two processes reading at the same instant: union < sum.
+        ops = [
+            ReplayOp(0, "read", 0, 1 * MiB),
+            ReplayOp(1, "read", 2 * MiB, 1 * MiB),
+        ]
+        measurement = ReplayWorkload(ops=ops, file_size=4 * MiB).run(LOCAL)
+        metrics = measurement.metrics()
+        durations = measurement.trace.response_times().sum()
+        assert metrics.union_io_time < durations
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ReplayWorkload(ops=[])
+        with pytest.raises(WorkloadError):
+            ReplayWorkload(ops=[ReplayOp(0, "read", 0, 32 * MiB)],
+                           file_size=16 * MiB)
+        with pytest.raises(WorkloadError):
+            ReplayOp(0, "erase", 0, 10)
