@@ -29,18 +29,26 @@ from repro.errors import AnalysisError
 from repro.util.units import BLOCK_SIZE
 
 
-def union_io_time(trace: TraceCollection, *, impl: str = "numpy") -> float:
+def union_io_time(trace, *, impl: str = "numpy") -> float:
     """T of the BPS equation for a gathered trace.
 
     ``impl`` picks the implementation: "numpy" (default) or "paper"
     (the pure-Python Fig. 3 port) — they agree; the knob exists for the
     cross-validation tests and the ablation bench.
+
+    Accepts any :class:`TraceCollection` (including filtered views) —
+    the result is memoised on the collection, keyed by ``impl``, so
+    ``bps``/``iops``/``bandwidth``/``compute_metrics`` on the same trace
+    share one union sweep.  Raw (n, 2) interval arrays are also accepted
+    (uncached).
     """
-    intervals = trace.intervals()
+    union = getattr(trace, "union_time", None)
+    if callable(union):
+        return union(impl=impl)
     if impl == "numpy":
-        return union_time(intervals)
+        return union_time(trace)
     if impl == "paper":
-        return union_time_paper(intervals)
+        return union_time_paper(trace)
     raise AnalysisError(f"unknown union-time impl {impl!r}")
 
 
@@ -183,9 +191,8 @@ def layered_comparison(trace: TraceCollection, *,
     (``TraceRecorder(keep_fs_records=True)`` /
     ``SystemConfig(keep_fs_records=True)``).
     """
-    from repro.core.records import LAYER_FS
     app = trace.app_records()
-    fs = trace.filter(lambda r: r.layer == LAYER_FS)
+    fs = trace.fs_records()
     if len(app) == 0:
         raise AnalysisError("layered comparison of an empty app trace")
     if len(fs) == 0:
@@ -193,8 +200,7 @@ def layered_comparison(trace: TraceCollection, *,
             "no fs-layer records; record with keep_fs_records=True"
         )
     app_t = union_io_time(app, impl=impl)
-    fs_t = union_time(fs.intervals()) if impl == "numpy" \
-        else union_time_paper(fs.intervals())
+    fs_t = union_io_time(fs, impl=impl)
     if app_t <= 0 or fs_t <= 0:
         raise AnalysisError("layered comparison with zero union time")
     app_blocks = app.total_blocks(block_size)
@@ -233,17 +239,18 @@ def compute_metrics(
     if t <= 0.0:
         raise AnalysisError("metrics undefined: union I/O time is zero")
     app_bytes = app.total_bytes()
+    app_blocks = app.total_blocks(block_size)
     moved = app_bytes if fs_bytes is None else fs_bytes
     return MetricSet(
         iops=len(app) / t,
         bandwidth=moved / t,
         arpt=float(app.response_times().mean()),
-        bps=app.total_blocks(block_size) / t,
+        bps=app_blocks / t,
         exec_time=exec_time,
         union_io_time=t,
         app_ops=len(app),
         app_bytes=app_bytes,
-        app_blocks=app.total_blocks(block_size),
+        app_blocks=app_blocks,
         fs_bytes=moved,
         block_size=block_size,
         label=label,

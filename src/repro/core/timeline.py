@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.intervals import union_time
+
 from repro.core.records import TraceCollection
 from repro.errors import AnalysisError
 from repro.util.units import BLOCK_SIZE
@@ -56,7 +56,7 @@ def per_process_breakdown(trace: TraceCollection,
     summaries = []
     for pid in app.pids():
         own = app.for_pid(pid)
-        t = union_time(own.intervals())
+        t = own.union_time()
         blocks = own.total_blocks(block_size)
         summaries.append(ProcessSummary(
             pid=pid,
@@ -79,9 +79,9 @@ def overlap_surplus(trace: TraceCollection) -> float:
     app = trace.app_records()
     if len(app) == 0:
         raise AnalysisError("overlap of an empty trace")
-    per_process = sum(union_time(app.for_pid(pid).intervals())
+    per_process = sum(app.for_pid(pid).union_time()
                       for pid in app.pids())
-    return per_process - union_time(app.intervals())
+    return per_process - app.union_time()
 
 
 def binned_bps(trace: TraceCollection, *, bins: int = 20,
@@ -131,10 +131,7 @@ def overlap_matrix(trace: TraceCollection) -> tuple[list[int], np.ndarray]:
     if len(app) == 0:
         raise AnalysisError("overlap matrix of an empty trace")
     pids = app.pids()
-    merged = {}
-    from repro.core.intervals import merge_intervals
-    for pid in pids:
-        merged[pid] = merge_intervals(app.for_pid(pid).intervals())
+    merged = {pid: app.for_pid(pid).merged_intervals() for pid in pids}
     n = len(pids)
     matrix = np.zeros((n, n), dtype=float)
     for i, pid_a in enumerate(pids):
@@ -170,11 +167,10 @@ def concurrency_histogram(trace: TraceCollection
     flight and 0.4 s with exactly three.  The values sum to the union
     I/O time; the depth-weighted sum equals the total request time.
     """
-    from repro.core.intervals import concurrency_profile
     app = trace.app_records()
     if len(app) == 0:
         raise AnalysisError("histogram of an empty trace")
-    times, depth = concurrency_profile(app.intervals())
+    times, depth = app.concurrency_profile()
     histogram: dict[int, float] = {}
     widths = np.diff(times)
     for width, level in zip(widths, depth[:-1]):

@@ -5,14 +5,35 @@ The paper runs each experiment 5 times and averages (section IV.B).
 ``repetitions`` independent simulations (distinct seeds, so device
 jitter decorrelates them) and feeds the per-repetition metric sets into
 a :class:`~repro.core.analysis.SweepAnalysis`.
+
+Runs are independent by construction (fresh system per run, seed fully
+determines the simulation), so the points × repetitions grid is
+embarrassingly parallel.  :func:`run_sweep` fans the grid out over a
+``ProcessPoolExecutor`` when more than one worker is available; results
+are reassembled in (point, repetition) order with the exact per-rep
+seeds of the serial path, so the analysis is bit-identical either way.
+Control knobs:
+
+- ``parallel=False`` — force the serial path (the escape hatch);
+- ``workers=N`` — explicit pool size;
+- ``REPRO_SWEEP_WORKERS`` env var — site-wide default pool size
+  (``1`` disables parallelism without touching call sites).
+
+The pool uses the ``fork`` start method so sweep specs (whose workload
+factories are typically closures, which don't pickle) are inherited by
+the children rather than shipped; on platforms without ``fork`` the
+runner silently falls back to serial execution.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.core.analysis import SweepAnalysis
+from repro.core.analysis import RunMeasurement, SweepAnalysis
 from repro.errors import ExperimentError
 from repro.system import SystemConfig
 from repro.workloads.base import Workload
@@ -62,18 +83,93 @@ class SweepSpec:
             )
 
 
-def run_sweep(spec: SweepSpec, scale: ExperimentScale) -> SweepAnalysis:
+#: Spec visible to forked pool workers (inherited memory, not pickled).
+_WORKER_SPEC: SweepSpec | None = None
+
+
+def _run_job(spec: SweepSpec, job: tuple[int, int]) -> RunMeasurement:
+    """Execute one (point, seed) cell of the sweep grid."""
+    point_index, seed = job
+    _label, make_workload, config = spec.points[point_index]
+    # Workloads are constructed fresh per repetition (factories, not
+    # instances) because workload objects hold per-run state.
+    workload = make_workload()
+    return workload.run(config.with_seed(seed))
+
+
+def _pool_job(job: tuple[int, int]) -> RunMeasurement:
+    return _run_job(_WORKER_SPEC, job)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Pool size: explicit argument > REPRO_SWEEP_WORKERS > cpu count."""
+    if workers is not None:
+        if workers < 1:
+            raise ExperimentError(f"bad worker count {workers}")
+        return workers
+    env = os.environ.get("REPRO_SWEEP_WORKERS", "").strip()
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_SWEEP_WORKERS must be an integer, got {env!r}"
+            ) from None
+        if parsed < 1:
+            raise ExperimentError(f"bad REPRO_SWEEP_WORKERS {parsed}")
+        return parsed
+    return os.cpu_count() or 1
+
+
+def _sweep_jobs(spec: SweepSpec,
+                scale: ExperimentScale) -> list[tuple[int, int]]:
+    """The (point_index, seed) grid, in serial execution order."""
+    return [
+        (point_index, scale.base_seed + 7919 * point_index + rep)
+        for point_index in range(len(spec.points))
+        for rep in range(scale.repetitions)
+    ]
+
+
+def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
+              parallel: bool | None = None,
+              workers: int | None = None) -> SweepAnalysis:
     """Run every point ``scale.repetitions`` times; return the analysis.
 
-    Workloads are constructed fresh per repetition (factories, not
-    instances) because workload objects hold per-run state.
+    ``parallel=None`` (default) parallelises across points ×
+    repetitions whenever more than one worker is available and the
+    platform supports forked pools; ``parallel=False`` forces the
+    serial path; ``parallel=True`` requires it (serial fallback only if
+    fork is unavailable).  Either way the per-repetition seeds and the
+    result order are identical, so the returned analysis matches the
+    serial path exactly.
     """
+    global _WORKER_SPEC
+    pool_size = resolve_workers(workers)
+    jobs = _sweep_jobs(spec, scale)
+    use_pool = (parallel if parallel is not None else pool_size > 1) \
+        and pool_size > 1 and len(jobs) > 1 and _fork_available()
+    if use_pool:
+        _WORKER_SPEC = spec
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(pool_size, len(jobs)),
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                # map() preserves job order: repetition r of point p is
+                # at index p * repetitions + r, same as the serial loop.
+                results = list(pool.map(_pool_job, jobs))
+        finally:
+            _WORKER_SPEC = None
+    else:
+        results = [_run_job(spec, job) for job in jobs]
+
     sweep = SweepAnalysis(spec.knob)
-    for point_index, (label, make_workload, config) in enumerate(spec.points):
-        runs = []
-        for rep in range(scale.repetitions):
-            seed = scale.base_seed + 7919 * point_index + rep
-            workload = make_workload()
-            runs.append(workload.run(config.with_seed(seed)))
-        sweep.add_runs(label, runs)
+    for point_index, (label, _make, _config) in enumerate(spec.points):
+        base = point_index * scale.repetitions
+        sweep.add_runs(label, results[base:base + scale.repetitions])
     return sweep

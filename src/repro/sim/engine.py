@@ -100,7 +100,9 @@ class Engine:
             while self._heap:
                 when, _seq, callback, args = self._heap[0]
                 if when > until:
-                    self.now = until
+                    # Clamp monotonically: a second run() with a smaller
+                    # `until` must not move time backwards.
+                    self.now = max(self.now, until)
                     return
                 heapq.heappop(self._heap)
                 if when < self.now:  # pragma: no cover - heap invariant
@@ -115,11 +117,27 @@ class Engine:
         finally:
             self._running = False
 
-    def step(self) -> bool:
-        """Run exactly one event; returns False if none are queued."""
+    def step(self, until: float = math.inf) -> bool:
+        """Run exactly one event; returns False if none are queued.
+
+        Shares :meth:`run`'s invariants: an event timestamped before the
+        current time raises :class:`SimulationError` (time never goes
+        backwards — important after a ``run(until=...)`` advanced the
+        clock), and an event beyond ``until`` is left queued (the clock
+        is clamped forward to ``until``, never back).
+        """
         if not self._heap:
             return False
-        when, _seq, callback, args = heapq.heappop(self._heap)
+        when, _seq, callback, args = self._heap[0]
+        if when > until:
+            if math.isfinite(until):
+                self.now = max(self.now, until)
+            return False
+        heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError(
+                f"time went backwards: event at {when} < now={self.now}"
+            )
         self.now = when
         callback(*args)
         return True

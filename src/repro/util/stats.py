@@ -64,6 +64,13 @@ def pearson(x: Sequence[float], y: Sequence[float]) -> float:
         raise AnalysisError("pearson needs at least two points")
     xd = xa - xa.mean()
     yd = ya - ya.mean()
+    # Second centering pass: when the data sit far from zero, the first
+    # subtraction leaves a common rounding offset that dominates tiny
+    # deviations (and breaks invariance under affine shifts).  The
+    # residual means are exactly that offset; removing them is the
+    # standard two-pass correction (Chan, Golub & LeVeque 1983).
+    xd -= xd.mean()
+    yd -= yd.mean()
     denom = math.sqrt(float(xd @ xd)) * math.sqrt(float(yd @ yd))
     if denom == 0.0:
         raise AnalysisError("pearson undefined: a series has zero variance")

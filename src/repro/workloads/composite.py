@@ -68,7 +68,7 @@ class CompositeWorkload(Workload):
                      index: int) -> TraceCollection:
         """The records belonging to member ``index``."""
         pid_range = self.member_pid_range(index)
-        return trace.filter(lambda r: r.pid in pid_range)
+        return trace.for_pid_range(pid_range)
 
     def setup(self, system: System) -> None:
         for member in self.members:

@@ -62,3 +62,55 @@ class TestSweep:
         with pytest.raises(ExperimentError):
             SweepSpec(knob="x", points=[
                 ("only", lambda: IOzoneWorkload(), config)])
+
+
+def _metric_tuples(sweep):
+    return [
+        (m.iops, m.bandwidth, m.arpt, m.bps, m.exec_time, m.union_io_time,
+         m.app_ops, m.app_bytes, m.app_blocks, m.fs_bytes)
+        for _label, reps in sweep._points for m in reps
+    ]
+
+
+class TestParallelSweep:
+    def make_spec(self):
+        config = SystemConfig(kind="local", jitter_sigma=0.1)
+        points = []
+        for record in (64 * KiB, 256 * KiB):
+            def make(_record=record):
+                return IOzoneWorkload(file_size=1 * MiB,
+                                      record_size=_record)
+            points.append((str(record), make, config))
+        return SweepSpec(knob="record", points=points)
+
+    def test_parallel_matches_serial_exactly(self):
+        scale = ExperimentScale(repetitions=2)
+        serial = run_sweep(self.make_spec(), scale, parallel=False)
+        parallel = run_sweep(self.make_spec(), scale, parallel=True,
+                             workers=2)
+        assert serial.labels == parallel.labels
+        assert _metric_tuples(serial) == _metric_tuples(parallel)
+
+    def test_parallel_false_is_the_escape_hatch(self):
+        scale = ExperimentScale(repetitions=2)
+        sweep = run_sweep(self.make_spec(), scale, parallel=False,
+                          workers=8)
+        assert len(sweep._points[0][1]) == 2
+
+    def test_env_override_resolves_workers(self, monkeypatch):
+        from repro.experiments.runner import resolve_workers
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert resolve_workers() == 3
+        assert resolve_workers(5) == 5  # explicit argument wins
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "zero")
+        with pytest.raises(ExperimentError):
+            resolve_workers()
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
+        with pytest.raises(ExperimentError):
+            resolve_workers()
+
+    def test_env_workers_one_disables_parallelism(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        scale = ExperimentScale(repetitions=2)
+        sweep = run_sweep(self.make_spec(), scale)
+        assert len(sweep._points) == 2

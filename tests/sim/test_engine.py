@@ -146,3 +146,57 @@ class TestDeterminism:
             return log
 
         assert build_and_run() == build_and_run()
+
+
+class TestStepInvariants:
+    def test_step_runs_one_event(self, engine):
+        log = []
+        engine.call_later(1.0, log.append, "a")
+        engine.call_later(2.0, log.append, "b")
+        assert engine.step() is True
+        assert (log, engine.now) == (["a"], 1.0)
+        assert engine.step() is True
+        assert engine.step() is False
+        assert (log, engine.now) == (["a", "b"], 2.0)
+
+    def test_step_guards_against_time_going_backwards(self, engine):
+        # Force a corrupt heap entry (no public API can create one) and
+        # check step() enforces the same invariant run() does.
+        import heapq
+        engine.now = 5.0
+        heapq.heappush(engine._heap, (1.0, 0, lambda: None, ()))
+        with pytest.raises(SimulationError):
+            engine.step()
+
+    def test_step_respects_until(self, engine):
+        log = []
+        engine.call_later(3.0, log.append, "late")
+        assert engine.step(until=2.0) is False
+        # Clock clamps forward to `until`, event stays queued.
+        assert engine.now == 2.0
+        assert engine.pending_events == 1
+        assert log == []
+        assert engine.step() is True
+        assert engine.now == 3.0
+
+    def test_step_until_never_moves_time_backwards(self, engine):
+        engine.call_later(10.0, lambda: None)
+        engine.run(until=6.0)
+        assert engine.now == 6.0
+        assert engine.step(until=2.0) is False
+        assert engine.now == 6.0  # clamp is monotonic
+
+    def test_step_after_run_until_continues_forward(self, engine):
+        log = []
+        engine.call_later(1.0, log.append, "early")
+        engine.call_later(4.0, log.append, "late")
+        engine.run(until=2.0)
+        assert (engine.now, log) == (2.0, ["early"])
+        assert engine.step() is True
+        assert (engine.now, log) == (4.0, ["early", "late"])
+
+    def test_rerun_with_smaller_until_keeps_time_monotonic(self, engine):
+        engine.call_later(10.0, lambda: None)
+        engine.run(until=6.0)
+        engine.run(until=3.0)  # must NOT rewind the clock
+        assert engine.now == 6.0
