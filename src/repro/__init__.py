@@ -43,8 +43,11 @@ from repro.core import (
     RunMeasurement,
     SweepAnalysis,
 )
+from repro.faults import FaultEvent, FaultPlan, random_fault_plan
+from repro.middleware import RetryPolicy
 from repro.system import System, SystemConfig, build_system
 from repro.workloads import (
+    HotSpotWorkload,
     IOzoneWorkload,
     IORWorkload,
     HpioWorkload,
@@ -77,6 +80,11 @@ __all__ = [
     "System",
     "SystemConfig",
     "build_system",
+    "FaultEvent",
+    "FaultPlan",
+    "random_fault_plan",
+    "RetryPolicy",
+    "HotSpotWorkload",
     "IOzoneWorkload",
     "IORWorkload",
     "HpioWorkload",

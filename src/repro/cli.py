@@ -189,6 +189,7 @@ _SWEEPS = {
     "set3-ior": lambda scale: _sweep_module().run_set3_ior(scale),
     "set4": lambda scale: _sweep_module().run_set4(scale),
     "set5": lambda scale: _sweep_module().run_set5(scale),
+    "set6": lambda scale: _sweep_module().run_set6(scale),
 }
 
 
@@ -198,7 +199,11 @@ def _sweep_module():
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    scale = ExperimentScale(factor=args.scale, repetitions=args.reps)
+    if args.smoke:
+        scale = ExperimentScale(factor=min(args.scale, 0.25),
+                                repetitions=min(args.reps, 2))
+    else:
+        scale = ExperimentScale(factor=args.scale, repetitions=args.reps)
     sweep = _SWEEPS[args.sweep](scale)
     print(sweep.render_cc_figure(f"{args.sweep} — normalized CC"))
     print()
@@ -378,6 +383,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jackknife", action="store_true",
                        help="check each direction's robustness to "
                             "single-point removal")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="CI-sized run: caps scale at 0.25 and "
+                            "repetitions at 2")
     sweep.set_defaults(func=_cmd_sweep)
 
     simulate = sub.add_parser(

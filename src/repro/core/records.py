@@ -66,6 +66,12 @@ class IORecord:
     offset: int = -1
     success: bool = True
     layer: str = LAYER_APP
+    #: Which retry attempt this record describes: 0 for the first issue
+    #: of an operation, k for its k-th re-issue.  Middleware retry emits
+    #: one record per attempt — each attempt occupies the I/O system, so
+    #: each contributes to B and to the union time (section III.A counts
+    #: non-successful accesses too).
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:
@@ -74,6 +80,8 @@ class IORecord:
             raise AnalysisError(
                 f"record ends before it starts: [{self.start}, {self.end}]"
             )
+        if self.retries < 0:
+            raise AnalysisError(f"negative retry count: {self.retries}")
 
     def blocks(self, block_size: int = BLOCK_SIZE) -> int:
         """Blocks this access contributes to B (partial blocks round up)."""
@@ -129,6 +137,7 @@ _COLUMN_DTYPES = {
     "end": np.float64,
     "offset": np.int64,
     "success": np.bool_,
+    "retries": np.int32,
     "op": np.int32,
     "file": np.int32,
     "layer": np.int32,
@@ -222,6 +231,8 @@ class TraceCollection:
             "offset": np.fromiter((r.offset for r in tail), np.int64,
                                   count=n),
             "success": np.fromiter((r.success for r in tail), np.bool_,
+                                   count=n),
+            "retries": np.fromiter((r.retries for r in tail), np.int32,
                                    count=n),
             "op": np.fromiter((self._ops.code(r.op) for r in tail),
                               np.int32, count=n),
@@ -342,6 +353,7 @@ class TraceCollection:
         file="",
         offset=-1,
         success=True,
+        retries=0,
         layer=LAYER_APP,
     ) -> "TraceCollection":
         """Build a collection directly from columns (array-native ingest).
@@ -368,8 +380,11 @@ class TraceCollection:
         nbytes_arr = numeric(nbytes, np.int64)
         start_arr = numeric(start, np.float64)
         end_arr = numeric(end, np.float64)
+        retries_arr = numeric(retries, np.int32)
         if np.any(nbytes_arr < 0):
             raise AnalysisError("negative record size in nbytes column")
+        if np.any(retries_arr < 0):
+            raise AnalysisError("negative retry count in retries column")
         if np.any(np.isnan(start_arr)) or np.any(np.isnan(end_arr)):
             raise AnalysisError("NaN timestamps in trace columns")
         if np.any(end_arr < start_arr):
@@ -401,6 +416,7 @@ class TraceCollection:
             "end": end_arr,
             "offset": numeric(offset, np.int64),
             "success": numeric(success, np.bool_),
+            "retries": retries_arr,
             "op": categorical("op", op, result._ops),
             "file": categorical("file", file, result._files),
             "layer": categorical("layer", layer, result._layers),
@@ -430,6 +446,7 @@ class TraceCollection:
             offset=int(cols["offset"][index]),
             success=bool(cols["success"][index]),
             layer=self._cat_at("layer", index),
+            retries=int(cols["retries"][index]),
         )
 
     def __iter__(self) -> Iterator[IORecord]:
@@ -545,6 +562,22 @@ class TraceCollection:
             nbytes = self._col("nbytes")
             return int(np.sum(-(-nbytes // block_size)))
         return self._memo(("total_blocks", block_size), build)
+
+    def total_retries(self) -> int:
+        """Total re-issues across all records (sum of ``retries``).
+
+        Recovery-traffic summary: 0 on a clean run; every middleware
+        retry adds 1 (each retried attempt carries its attempt index, so
+        the sum over per-attempt records is the re-issue count).
+        """
+        return self._memo(
+            "total_retries", lambda: int(self._col("retries").sum()))
+
+    def failed_records(self) -> int:
+        """Number of records whose access did not succeed."""
+        return self._memo(
+            "failed_records",
+            lambda: int(np.count_nonzero(~self._col("success"))))
 
     def intervals(self) -> np.ndarray:
         """(n, 2) float array of (start, end) pairs, in record order.

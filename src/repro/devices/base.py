@@ -96,21 +96,58 @@ class FaultInjector:
     With probability ``probability`` a request fails after consuming
     ``time_fraction`` of its nominal service time (a partially-performed
     access, e.g. a medium error mid-transfer).
+
+    ``per_bytes`` switches to a per-byte failure model: ``probability``
+    then applies independently to each ``per_bytes``-sized granule of a
+    request, so larger transfers fail more often (media errors scale
+    with the data touched, not with the request count).
+
+    The stream must be an :class:`~repro.util.rng.RngStream` from the
+    run's seeded hierarchy — ad-hoc randomness would break the
+    bit-reproducibility the parallel sweep runner relies on.  The
+    probability is mutable after construction (via :meth:`set_probability`)
+    so fault plans can open and close fault windows on a live device.
     """
 
     def __init__(self, rng: RngStream, probability: float,
-                 time_fraction: float = 0.5) -> None:
-        if not 0.0 <= probability <= 1.0:
-            raise DeviceError(f"probability out of range: {probability}")
+                 time_fraction: float = 0.5,
+                 per_bytes: int = 0) -> None:
+        if not isinstance(rng, RngStream):
+            raise DeviceError(
+                f"FaultInjector needs an RngStream from the seeded "
+                f"hierarchy, got {type(rng).__name__}"
+            )
         if not 0.0 < time_fraction <= 1.0:
             raise DeviceError(f"time_fraction out of range: {time_fraction}")
+        if per_bytes < 0:
+            raise DeviceError(f"negative per_bytes: {per_bytes}")
         self.rng = rng
         self.probability = probability
+        self.set_probability(probability)  # range check
         self.time_fraction = time_fraction
+        self.per_bytes = per_bytes
 
-    def should_fail(self) -> bool:
-        """Draw once: does the next request fail?"""
-        return self.rng.uniform() < self.probability
+    def set_probability(self, probability: float) -> None:
+        """Change the fault rate (fault-plan windows use this)."""
+        if not 0.0 <= probability <= 1.0:
+            raise DeviceError(f"probability out of range: {probability}")
+        self.probability = probability
+
+    def request_probability(self, nbytes: int = 0) -> float:
+        """Effective failure probability for one request."""
+        if self.per_bytes <= 0 or nbytes <= 0:
+            return self.probability
+        granules = -(-nbytes // self.per_bytes)  # ceil
+        return 1.0 - (1.0 - self.probability) ** granules
+
+    def should_fail(self, nbytes: int = 0) -> bool:
+        """Draw once: does the next request fail?
+
+        The draw is taken even at probability 0 so that opening a fault
+        window mid-run does not shift the RNG stream of later requests —
+        a faulted run stays bit-comparable to its fault-free twin.
+        """
+        return self.rng.uniform() < self.request_probability(nbytes)
 
 
 class BlockDevice:
@@ -166,6 +203,10 @@ class BlockDevice:
         self.rng = rng
         self.jitter_sigma = jitter_sigma
         self.fault_injector = fault_injector
+        #: Multiplicative service-time degradation (>= 1.0).  Fault
+        #: plans raise this during a degradation window (worn media,
+        #: thermal throttling, a rebuilding array) and restore it after.
+        self.degrade = 1.0
         self.stats = DeviceStats()
         self.utilization = UtilizationTracker(engine, name=f"{name}.util")
 
@@ -211,10 +252,12 @@ class BlockDevice:
         self.utilization.busy()
         try:
             nominal = self.service_time(request)
+            if self.degrade != 1.0:
+                nominal *= self.degrade
             if self.rng is not None and self.jitter_sigma > 0.0:
                 nominal *= self.rng.lognormal_factor(self.jitter_sigma)
             failed = (self.fault_injector is not None
-                      and self.fault_injector.should_fail())
+                      and self.fault_injector.should_fail(request.nbytes))
             if failed:
                 nominal *= self.fault_injector.time_fraction
             yield self.engine.timeout(nominal)

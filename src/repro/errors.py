@@ -59,3 +59,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment sweep could not be assembled or executed."""
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed or cannot be armed against a system."""

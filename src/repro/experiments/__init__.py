@@ -17,6 +17,7 @@ from repro.experiments.set2 import run_set2, set2_detail
 from repro.experiments.set3 import run_set3_pure, run_set3_ior, set3_detail
 from repro.experiments.set4 import run_set4
 from repro.experiments.set5 import run_set5
+from repro.experiments.set6 import run_set6, compare_policies
 from repro.experiments.figures import FIGURES, regenerate, FigureSpec
 from repro.experiments.summary import run_summary, SummaryResult
 
@@ -34,6 +35,8 @@ __all__ = [
     "set3_detail",
     "run_set4",
     "run_set5",
+    "run_set6",
+    "compare_policies",
     "FIGURES",
     "FigureSpec",
     "regenerate",

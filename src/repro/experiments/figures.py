@@ -21,6 +21,7 @@ from repro.experiments.set2 import run_set2, set2_detail
 from repro.experiments.set3 import run_set3_ior, run_set3_pure, set3_detail
 from repro.experiments.set4 import run_set4
 from repro.experiments.set5 import run_set5
+from repro.experiments.set6 import run_set6
 from repro.experiments.summary import run_summary
 from repro.util.tables import TextTable
 
@@ -231,6 +232,13 @@ FIGURES: dict[str, FigureSpec] = {
         "response times while the run gets faster",
         _cc_figure("Ext.1 — CC by metric, async queue-depth sweep",
                    run_set5),
+    ),
+    "ext2": FigureSpec(
+        "ext2", "Extension — fault-severity sweep (Set 6, not in paper)",
+        "BPS stays strongly correct; IOPS inflated by retry attempts "
+        "and BW by recovery traffic lose correlation; ARPT flips",
+        _cc_figure("Ext.2 — CC by metric, fault-severity sweep",
+                   run_set6),
     ),
 }
 

@@ -21,7 +21,7 @@ REPORT_ORDER: tuple[str, ...] = (
     "fig1", "fig2",
     "fig4", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "fig11", "fig12",
-    "summary", "ext1",
+    "summary", "ext1", "ext2",
 )
 
 

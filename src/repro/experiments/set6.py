@@ -1,0 +1,220 @@
+"""Set 6 (extension, beyond the paper) — BPS under injected faults.
+
+The paper evaluates metrics on healthy systems.  Real I/O systems
+degrade: devices slow down, servers crash and come back, links flap,
+and middleware retries.  This extension sweeps a *fault severity*
+ladder on a 4-server PVFS running the hot-spot workload and asks the
+paper's question once more: which metric still tracks overall
+performance when the system is sick?
+
+Every severity step turns the same knobs a little further, against the
+same fixed fault-window schedule:
+
+- the bulk servers' disks degrade (factor ``1 + DEGRADE_SPAN*s``) — the
+  smooth driver of execution time;
+- the hot server suffers timed crash windows; middleware retries its
+  fail-fast refusals with cheap backoff, so *operation counts* balloon
+  while blocks barely move (the hot file is small);
+- disks throw per-byte transient faults that the file system retries
+  transparently (``device_retries``), so *device-boundary bytes*
+  balloon with no application-visible failure;
+- one server's NIC gains latency, another slows down, and rank 0
+  straggles — flavour faults that stretch time without touching any
+  numerator.
+
+Expected shape (and why):
+
+- execution time rises monotonically with severity;
+- BPS falls monotonically: its block numerator is dominated by the
+  bulk stripes, which never retry at the middleware, so B is nearly
+  constant — BPS ~ 1/T, the correct story;
+- IOPS *flattens and bends back up* at high severity: thousands of
+  cheap failed attempts on the hot file inflate N faster than T grows;
+- bandwidth bends likewise: transparent device-retry traffic inflates
+  the fs-byte numerator (recovery bytes are real bytes moved, but not
+  application progress).
+
+So |CC| of BPS against execution time stays high while bandwidth's and
+IOPS's collapse — the degradation analogue of the paper's Set 1-4
+findings, with ARPT's direction flip along for the ride.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import SweepAnalysis
+from repro.experiments.runner import ExperimentScale, SweepSpec, run_sweep
+from repro.faults.plan import (
+    DEVICE_DEGRADE,
+    LINK_LATENCY,
+    SERVER_CRASH,
+    SERVER_SLOWDOWN,
+    STRAGGLER,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.middleware.retry import RetryPolicy
+from repro.system import SystemConfig
+from repro.util.units import KiB, MiB
+from repro.workloads.base import run_workload
+from repro.workloads.hotspot import HotSpotWorkload
+
+#: Severity ladder; 0 is the healthy control point.
+SEVERITIES: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+# Platform (the paper's PVFS testbed, scaled down).
+N_SERVERS = 4
+HOT_SERVER = 0
+JITTER_SIGMA = 0.05
+BASE_OPS_PER_PROC = 64
+NPROC = 4
+
+# Smooth time drivers (linear in severity).
+DEGRADE_SPAN = 3.0     # bulk disks: service-time factor 1 + span*s
+LINK_SPAN = 1.0        # one server NIC: latency factor 1 + span*s
+SLOWDOWN_SPAN = 1.0    # one server: request-overhead factor 1 + span*s
+STRAGGLER_SPAN = 0.25  # rank 0: middleware stretch 1 + span*s
+
+# Numerator corruptors (convex in severity, biting at the top end).
+FAULT_P_MAX = 0.30     # per-64KiB transient device fault probability
+FAULT_SHAPE = 4        # p(s) = FAULT_P_MAX * s**FAULT_SHAPE
+FAULT_PER_BYTES = 64 * KiB
+FAULT_TIME_FRACTION = 0.5
+DEVICE_RETRIES = 2     # fs-transparent resubmissions (recovery bytes)
+CRASH_SHAPE = 4        # window length ~ s**CRASH_SHAPE
+#: Hot-server crash windows as (start, full-severity duration), in
+#: seconds at scale factor 1; both scale with the op count.
+CRASH_WINDOWS: tuple[tuple[float, float], ...] = (
+    (0.030, 0.040),
+    (0.100, 0.050),
+    (0.170, 0.060),
+)
+
+#: Cheap, persistent middleware retry: refusals cost ~a round trip plus
+#: a sub-millisecond backoff, so a crash window multiplies *attempts*
+#: without moving time much — exactly the IOPS-corruption mechanism.
+RETRY = RetryPolicy(max_retries=15, backoff_base_s=0.0001,
+                    backoff_factor=1.2, backoff_jitter=0.1)
+
+EXPECTED_MISLEADING = ("ARPT", "IOPS", "BW")
+
+
+def fault_plan(severity: float, time_scale: float = 1.0) -> FaultPlan | None:
+    """The fixed fault schedule, dialled to ``severity`` in [0, 1].
+
+    ``time_scale`` stretches window starts/durations with the workload
+    size so smoke runs keep the same fault phasing as full runs.
+    """
+    if severity <= 0.0:
+        return None
+    events = [
+        FaultEvent(kind=DEVICE_DEGRADE, target=f"server{index}.disk",
+                   at=0.0, factor=1.0 + DEGRADE_SPAN * severity)
+        for index in range(N_SERVERS) if index != HOT_SERVER
+    ]
+    events.append(FaultEvent(kind=LINK_LATENCY, target="server2",
+                             at=0.0, factor=1.0 + LINK_SPAN * severity))
+    events.append(FaultEvent(kind=SERVER_SLOWDOWN, target="server3",
+                             at=0.0, factor=1.0 + SLOWDOWN_SPAN * severity))
+    events.append(FaultEvent(kind=STRAGGLER, target="0", at=0.0,
+                             factor=1.0 + STRAGGLER_SPAN * severity))
+    length_scale = severity ** CRASH_SHAPE
+    for start, full_duration in CRASH_WINDOWS:
+        duration = full_duration * length_scale * time_scale
+        if duration > 0.0:
+            events.append(FaultEvent(kind=SERVER_CRASH,
+                                     target=f"server{HOT_SERVER}",
+                                     at=start * time_scale,
+                                     duration=duration))
+    return FaultPlan(events)
+
+
+def point_config(severity: float, time_scale: float = 1.0,
+                 *, retry: RetryPolicy | None = RETRY,
+                 replication: int = 1) -> SystemConfig:
+    """One severity step's platform description."""
+    return SystemConfig(
+        kind="pfs", n_servers=N_SERVERS,
+        device_spec="sata-hdd-7200",
+        jitter_sigma=JITTER_SIGMA,
+        fault_probability=FAULT_P_MAX * severity ** FAULT_SHAPE,
+        fault_time_fraction=FAULT_TIME_FRACTION,
+        fault_per_bytes=FAULT_PER_BYTES,
+        device_retries=DEVICE_RETRIES,
+        replication=replication,
+        retry_policy=retry,
+        fault_plan=fault_plan(severity, time_scale),
+    )
+
+
+def build_sweep(scale: ExperimentScale) -> SweepSpec:
+    """Severity ladder on the hot-spot PVFS."""
+    ops = max(16, int(BASE_OPS_PER_PROC * scale.factor))
+    time_scale = ops / BASE_OPS_PER_PROC
+    points = []
+    for severity in SEVERITIES:
+        config = point_config(severity, time_scale)
+
+        def make_workload() -> HotSpotWorkload:
+            return HotSpotWorkload(ops_per_proc=ops, nproc=NPROC,
+                                   hot_server=HOT_SERVER)
+        points.append((f"{severity:.1f}", make_workload, config))
+    return SweepSpec(knob="fault severity", points=points)
+
+
+def run_set6(scale: ExperimentScale | None = None,
+             smoke: bool = False) -> SweepAnalysis:
+    """Run the fault-severity sweep (extension figure 'ext2').
+
+    ``smoke`` shrinks the sweep to a seconds-long CI-sized run (fewer
+    ops, two repetitions) while keeping every fault kind active.
+    """
+    if smoke:
+        scale = ExperimentScale(factor=0.25, repetitions=2)
+    scale = scale or ExperimentScale()
+    return run_sweep(build_sweep(scale), scale)
+
+
+def compare_policies(scale: ExperimentScale | None = None,
+                     severity: float = 0.8) -> dict[str, dict]:
+    """Retry-policy face-off at one fixed severity.
+
+    Runs the same faulted platform under: no middleware recovery, plain
+    retry/backoff, and retry plus replica failover (2-way replication).
+    Returns per-policy summaries — execution time, BPS, giveups,
+    failovers — so examples and tests can show graceful degradation
+    paying for itself.
+    """
+    scale = scale or ExperimentScale()
+    ops = max(16, int(BASE_OPS_PER_PROC * scale.factor))
+    time_scale = ops / BASE_OPS_PER_PROC
+    policies: dict[str, tuple[RetryPolicy | None, int]] = {
+        "no-retry": (None, 1),
+        "retry": (RETRY, 1),
+        "retry+failover": (RetryPolicy(
+            max_retries=RETRY.max_retries,
+            backoff_base_s=RETRY.backoff_base_s,
+            backoff_factor=RETRY.backoff_factor,
+            backoff_jitter=RETRY.backoff_jitter,
+            failover=True), 2),
+    }
+    rows: dict[str, dict] = {}
+    for label, (retry, replication) in policies.items():
+        config = point_config(severity, time_scale,
+                              retry=retry, replication=replication)
+        workload = HotSpotWorkload(ops_per_proc=ops, nproc=NPROC,
+                                   hot_server=HOT_SERVER)
+        measurement = run_workload(workload,
+                                   config.with_seed(scale.base_seed))
+        metrics = measurement.metrics()
+        retry_stats = measurement.extras["retry"]
+        rows[label] = {
+            "exec_time": measurement.exec_time,
+            "bps": metrics.bps,
+            "bandwidth": metrics.bandwidth,
+            "iops": metrics.iops,
+            "attempts": retry_stats["attempts"],
+            "retries": retry_stats["retries"],
+            "giveups": retry_stats["giveups"],
+            "failovers": measurement.extras["pfs_failovers"],
+        }
+    return rows

@@ -1,0 +1,51 @@
+"""Declarative fault plans and their injection into built systems.
+
+A :class:`~repro.faults.plan.FaultPlan` is a list of timed
+:class:`~repro.faults.plan.FaultEvent` windows — device degradation and
+fault-rate windows, I/O-server crash/slowdown, network-link flaps and
+latency spikes, straggler processes.  Plans are plain data: they can be
+written by hand, generated from a seeded
+:class:`~repro.util.rng.RngStream`
+(:func:`~repro.faults.plan.random_fault_plan`), stored in configs, and
+replayed bit-identically.
+
+:class:`~repro.faults.injector.FaultPlanInjector` arms a plan against a
+live :class:`~repro.system.System`: every event becomes engine callbacks
+at its start and recovery times, flipping the corresponding hook
+(``BlockDevice.degrade`` / ``FaultInjector`` probability /
+``IOServer.crash`` / ``NetworkLink`` flap / ``FaultState`` straggler
+factors).
+"""
+
+from repro.faults.plan import (
+    DEVICE_DEGRADE,
+    DEVICE_FAULTS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    LINK_DOWN,
+    LINK_LATENCY,
+    SERVER_CRASH,
+    SERVER_SLOWDOWN,
+    STRAGGLER,
+    random_fault_plan,
+)
+from repro.faults.state import FaultState
+from repro.faults.injector import FaultPlanInjector, arm_fault_plan
+
+__all__ = [
+    "DEVICE_DEGRADE",
+    "DEVICE_FAULTS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPlanInjector",
+    "FaultState",
+    "LINK_DOWN",
+    "LINK_LATENCY",
+    "SERVER_CRASH",
+    "SERVER_SLOWDOWN",
+    "STRAGGLER",
+    "arm_fault_plan",
+    "random_fault_plan",
+]

@@ -1,0 +1,238 @@
+"""Arming a fault plan against a live system.
+
+:class:`FaultPlanInjector` resolves every event of a
+:class:`~repro.faults.plan.FaultPlan` to a component of a built
+:class:`~repro.system.System` and schedules the window's open/close
+transitions as engine callbacks.  Resolution and baseline capture happen
+at *arm* time (before the run starts), so a malformed plan fails fast
+and recovery always restores the component's healthy baseline.
+
+Determinism: any randomness a window needs (the per-request draws of a
+``device-faults`` window) comes from streams spawned off the system's
+seeded root at arm time, in plan order — a faulted run is a pure
+function of (code, config, plan, seed), which is what lets the parallel
+sweep runner replay it bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.devices.base import FaultInjector
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    DEVICE_DEGRADE,
+    DEVICE_FAULTS,
+    FaultEvent,
+    FaultPlan,
+    LINK_DOWN,
+    LINK_LATENCY,
+    SERVER_CRASH,
+    SERVER_SLOWDOWN,
+    STRAGGLER,
+)
+
+
+def _leaf_devices(device) -> list:
+    """A device's fault-addressable leaves (RAID arrays -> members)."""
+    members = getattr(device, "members", None)
+    if members is not None:
+        return list(members)
+    return [device]
+
+
+class FaultPlanInjector:
+    """Schedules a plan's windows against one system's components."""
+
+    def __init__(self, system, plan: FaultPlan) -> None:
+        self.system = system
+        self.plan = plan
+        #: Chronological record of applied transitions (for reports).
+        self.log: list[str] = []
+        self.windows_opened = 0
+        self.windows_closed = 0
+        self._armed = False
+
+    # -- resolution --------------------------------------------------------
+
+    def _find_device_leaves(self, name: str) -> list:
+        for device in self.system.devices:
+            if device.name == name:
+                return _leaf_devices(device)
+            for leaf in _leaf_devices(device):
+                if leaf.name == name:
+                    return [leaf]
+        known = ", ".join(d.name for d in self.system.devices)
+        raise FaultPlanError(
+            f"fault plan targets unknown device {name!r}; "
+            f"system devices: {known}")
+
+    def _find_server(self, name: str):
+        pfs = getattr(self.system, "pfs", None)
+        if pfs is None:
+            raise FaultPlanError(
+                f"fault plan targets server {name!r}, but the system "
+                f"has no parallel file system")
+        for server in pfs.servers:
+            if server.name == name:
+                return server
+        known = ", ".join(s.name for s in pfs.servers)
+        raise FaultPlanError(
+            f"fault plan targets unknown server {name!r}; "
+            f"system servers: {known}")
+
+    def _find_nic(self, node_name: str):
+        network = getattr(self.system, "network", None)
+        if network is None:
+            raise FaultPlanError(
+                f"fault plan targets node {node_name!r}, but the system "
+                f"has no network")
+        return network.node(node_name).nic  # raises on unknown nodes
+
+    def _fault_state(self):
+        state = getattr(self.system, "fault_state", None)
+        if state is None:
+            raise FaultPlanError(
+                "fault plan has straggler events, but the system "
+                "carries no FaultState")
+        return state
+
+    def _ensure_injector(self, device) -> FaultInjector:
+        """The device's fault injector, created (idle) if absent.
+
+        Created at arm time with probability 0 so the per-request draw
+        sequence is identical whether a window is currently open or not.
+        """
+        if device.fault_injector is None:
+            device.fault_injector = FaultInjector(
+                self.system.rng.spawn(f"fault-window.{device.name}"),
+                probability=0.0)
+        return device.fault_injector
+
+    # -- transition building ------------------------------------------------
+
+    def _transitions(
+        self, event: FaultEvent,
+    ) -> tuple[Callable[[], None], Callable[[], None]]:
+        """(open, close) callbacks with baselines captured now."""
+        kind = event.kind
+        if kind == DEVICE_DEGRADE:
+            leaves = self._find_device_leaves(event.target)
+            baselines = [leaf.degrade for leaf in leaves]
+
+            def open_() -> None:
+                for leaf in leaves:
+                    leaf.degrade = event.factor
+
+            def close() -> None:
+                for leaf, baseline in zip(leaves, baselines):
+                    leaf.degrade = baseline
+            return open_, close
+
+        if kind == DEVICE_FAULTS:
+            leaves = self._find_device_leaves(event.target)
+            injectors = [self._ensure_injector(leaf) for leaf in leaves]
+            baselines = [(inj.probability, inj.time_fraction,
+                          inj.per_bytes) for inj in injectors]
+
+            def open_() -> None:
+                for injector in injectors:
+                    injector.set_probability(event.probability)
+                    injector.time_fraction = event.time_fraction
+                    injector.per_bytes = event.per_bytes
+
+            def close() -> None:
+                for injector, (prob, frac, per) in zip(injectors,
+                                                       baselines):
+                    injector.set_probability(prob)
+                    injector.time_fraction = frac
+                    injector.per_bytes = per
+            return open_, close
+
+        if kind == SERVER_CRASH:
+            server = self._find_server(event.target)
+            return server.crash, server.restore
+
+        if kind == SERVER_SLOWDOWN:
+            server = self._find_server(event.target)
+            baseline = server.slowdown
+
+            def open_() -> None:
+                server.slowdown = event.factor
+
+            def close() -> None:
+                server.slowdown = baseline
+            return open_, close
+
+        if kind == LINK_DOWN:
+            nic = self._find_nic(event.target)
+            return nic.take_down, nic.bring_up
+
+        if kind == LINK_LATENCY:
+            nic = self._find_nic(event.target)
+
+            def open_() -> None:
+                nic.set_latency_factor(event.factor)
+
+            def close() -> None:
+                nic.set_latency_factor(1.0)
+            return open_, close
+
+        if kind == STRAGGLER:
+            state = self._fault_state()
+            pid = int(event.target)
+
+            def open_() -> None:
+                state.set_process_factor(pid, event.factor)
+
+            def close() -> None:
+                state.clear_process_factor(pid)
+            return open_, close
+
+        raise FaultPlanError(f"unhandled fault kind {kind!r}")
+
+    # -- arming --------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Resolve all events and schedule their transitions.
+
+        Must be called once, before the run, while the engine is still
+        at the plan's time origin (events are absolute times).
+        """
+        if self._armed:
+            raise FaultPlanError("fault plan is already armed")
+        self._armed = True
+        engine = self.system.engine
+        for event in self.plan.events:
+            open_, close = self._transitions(event)
+            engine.call_at(event.at, self._fire, event, open_, "open")
+            if math.isfinite(event.duration):
+                engine.call_at(event.recovery_at, self._fire, event,
+                               close, "close")
+
+    def _fire(self, event: FaultEvent, action: Callable[[], None],
+              phase: str) -> None:
+        action()
+        if phase == "open":
+            self.windows_opened += 1
+        else:
+            self.windows_closed += 1
+        self.log.append(
+            f"t={self.system.engine.now:.6g} {phase} {event.kind} "
+            f"on {event.target}")
+
+    def summary(self) -> dict:
+        """Counters for the workload result dict."""
+        return {
+            "events": len(self.plan),
+            "windows_opened": self.windows_opened,
+            "windows_closed": self.windows_closed,
+        }
+
+
+def arm_fault_plan(system, plan: FaultPlan) -> FaultPlanInjector:
+    """Build an injector for ``plan`` and arm it against ``system``."""
+    injector = FaultPlanInjector(system, plan)
+    injector.arm()
+    return injector

@@ -1,0 +1,247 @@
+"""Fault taxonomy and the declarative, replayable fault plan.
+
+Seven fault kinds cover the layers of the simulated stack:
+
+====================  =====================================================
+kind                  effect during the window
+====================  =====================================================
+``device-degrade``    ``BlockDevice.degrade`` = ``factor`` (slow media)
+``device-faults``     device ``FaultInjector`` probability = ``probability``
+``server-crash``      ``IOServer`` refuses requests (fails fast)
+``server-slowdown``   ``IOServer.slowdown`` = ``factor`` (busy daemon)
+``link-down``         node NIC flapped down (messages stall at the wire)
+``link-latency``      node NIC propagation latency × ``factor``
+``straggler``         one process's I/O stretched by ``factor``
+====================  =====================================================
+
+Events are windows: they open at ``at`` and recover at
+``at + duration``.  ``duration=inf`` means "never recovers" and is legal
+for every kind except ``link-down`` (a permanently downed link stalls
+its waiters forever, which the engine reports as a deadlock — a
+malformed plan, caught at validation time instead).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import FaultPlanError
+from repro.util.rng import RngStream
+
+DEVICE_DEGRADE = "device-degrade"
+DEVICE_FAULTS = "device-faults"
+SERVER_CRASH = "server-crash"
+SERVER_SLOWDOWN = "server-slowdown"
+LINK_DOWN = "link-down"
+LINK_LATENCY = "link-latency"
+STRAGGLER = "straggler"
+
+FAULT_KINDS = frozenset((
+    DEVICE_DEGRADE, DEVICE_FAULTS, SERVER_CRASH, SERVER_SLOWDOWN,
+    LINK_DOWN, LINK_LATENCY, STRAGGLER,
+))
+
+#: Kinds whose effect is the multiplicative ``factor``.
+_FACTOR_KINDS = frozenset((DEVICE_DEGRADE, SERVER_SLOWDOWN, LINK_LATENCY,
+                           STRAGGLER))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault window against one target.
+
+    ``target`` names the component: a device name for ``device-*``, a
+    server name for ``server-*``, a network node name for ``link-*``,
+    and a pid (stringified integer) for ``straggler``.
+    """
+
+    kind: str
+    target: str
+    at: float
+    duration: float = math.inf
+    #: Multiplicative severity for the ``factor`` kinds (>= 1.0).
+    factor: float = 1.0
+    #: Per-draw failure probability for ``device-faults``.
+    probability: float = 0.0
+    #: Fraction of nominal service time a faulted request consumes.
+    time_fraction: float = 0.5
+    #: Granule for per-byte fault scaling (0 = per-request Bernoulli).
+    per_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(sorted(FAULT_KINDS))
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; known kinds: {known}")
+        if not self.target:
+            raise FaultPlanError(f"{self.kind} event needs a target")
+        if self.at < 0 or math.isnan(self.at):
+            raise FaultPlanError(f"bad event time {self.at}")
+        if self.duration <= 0 or math.isnan(self.duration):
+            raise FaultPlanError(f"bad event duration {self.duration}")
+        if self.kind == LINK_DOWN and math.isinf(self.duration):
+            raise FaultPlanError(
+                "link-down must have a finite duration: a link that "
+                "never comes back deadlocks its waiters")
+        if self.kind in _FACTOR_KINDS and self.factor < 1.0:
+            raise FaultPlanError(
+                f"{self.kind} factor must be >= 1, got {self.factor}")
+        if self.kind == DEVICE_FAULTS:
+            if not 0.0 <= self.probability <= 1.0:
+                raise FaultPlanError(
+                    f"probability out of range: {self.probability}")
+            if not 0.0 < self.time_fraction <= 1.0:
+                raise FaultPlanError(
+                    f"time_fraction out of range: {self.time_fraction}")
+            if self.per_bytes < 0:
+                raise FaultPlanError(f"negative per_bytes {self.per_bytes}")
+        if self.kind == STRAGGLER:
+            try:
+                int(self.target)
+            except ValueError:
+                raise FaultPlanError(
+                    f"straggler target must be a pid, got {self.target!r}"
+                ) from None
+
+    @property
+    def recovery_at(self) -> float:
+        """Absolute time the window closes (inf = never)."""
+        return self.at + self.duration
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        until = ("forever" if math.isinf(self.duration)
+                 else f"until t={self.recovery_at:.6g}")
+        detail = ""
+        if self.kind in _FACTOR_KINDS:
+            detail = f" x{self.factor:g}"
+        elif self.kind == DEVICE_FAULTS:
+            detail = f" p={self.probability:g}"
+        return (f"t={self.at:.6g}: {self.kind}{detail} on "
+                f"{self.target} {until}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault windows for one run.
+
+    Events are stored sorted by start time (stable, so equal-time events
+    keep their authored order — the same determinism contract as the
+    engine's FIFO tie-break).  Windows of the same kind on the same
+    target must not overlap: recovery restores the component's healthy
+    baseline, so nested windows would recover too early.
+    """
+
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.at))
+        object.__setattr__(self, "events", ordered)
+        open_until: dict[tuple[str, str], tuple[float, FaultEvent]] = {}
+        for event in ordered:
+            key = (event.kind, event.target)
+            previous = open_until.get(key)
+            if previous is not None and event.at < previous[0]:
+                raise FaultPlanError(
+                    f"overlapping {event.kind} windows on "
+                    f"{event.target!r}: {previous[1].describe()} vs "
+                    f"{event.describe()}")
+            open_until[key] = (event.recovery_at, event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> str:
+        """Multi-line summary of the whole plan."""
+        if not self.events:
+            return "(empty fault plan)"
+        return "\n".join(event.describe() for event in self.events)
+
+    def targets(self, kind: str | None = None) -> list[str]:
+        """Distinct targets (optionally of one kind), in event order."""
+        seen: dict[str, None] = {}
+        for event in self.events:
+            if kind is None or event.kind == kind:
+                seen.setdefault(event.target, None)
+        return list(seen)
+
+
+def random_fault_plan(
+    rng: RngStream,
+    *,
+    horizon_s: float,
+    devices: tuple[str, ...] = (),
+    servers: tuple[str, ...] = (),
+    nodes: tuple[str, ...] = (),
+    pids: tuple[int, ...] = (),
+    events_per_target: int = 1,
+    severity: float = 1.0,
+    fault_probability: float = 0.0,
+    time_fraction: float = 0.5,
+    per_bytes: int = 0,
+) -> FaultPlan:
+    """Draw a seeded fault plan over the given targets.
+
+    Each named target receives ``events_per_target`` windows of the
+    kind matching its layer: devices get degradation windows (and, when
+    ``fault_probability`` > 0, fault-rate windows), servers get
+    slowdown windows, network nodes get latency spikes, pids become
+    stragglers.  The horizon is split into ``events_per_target`` slots
+    per target; each window starts in the first 60% of its slot and
+    lasts 10-35% of it, which guarantees same-target windows never
+    overlap (the :class:`FaultPlan` invariant) while still landing
+    inside the run when the horizon is roughly right.  All draws come
+    from ``rng``, in a fixed order, so the plan is a pure function of
+    the stream.
+    """
+    if horizon_s <= 0:
+        raise FaultPlanError(f"bad horizon {horizon_s}")
+    if severity < 0:
+        raise FaultPlanError(f"negative severity {severity}")
+    if events_per_target < 1:
+        raise FaultPlanError(
+            f"bad events_per_target {events_per_target}")
+
+    events: list[FaultEvent] = []
+    span = horizon_s / events_per_target
+
+    def window(slot: int) -> tuple[float, float]:
+        at = slot * span + rng.uniform(0.0, 0.6 * span)
+        duration = rng.uniform(0.1 * span, 0.35 * span)
+        return at, duration
+
+    def factor() -> float:
+        return 1.0 + severity * rng.uniform(0.5, 3.0)
+
+    for name in devices:
+        for slot in range(events_per_target):
+            at, duration = window(slot)
+            events.append(FaultEvent(DEVICE_DEGRADE, name, at,
+                                     duration, factor=factor()))
+            if fault_probability > 0.0:
+                at, duration = window(slot)
+                events.append(FaultEvent(
+                    DEVICE_FAULTS, name, at, duration,
+                    probability=min(1.0, fault_probability * severity),
+                    time_fraction=time_fraction,
+                    per_bytes=per_bytes))
+    for name in servers:
+        for slot in range(events_per_target):
+            at, duration = window(slot)
+            events.append(FaultEvent(SERVER_SLOWDOWN, name, at,
+                                     duration, factor=factor()))
+    for name in nodes:
+        for slot in range(events_per_target):
+            at, duration = window(slot)
+            events.append(FaultEvent(LINK_LATENCY, name, at, duration,
+                                     factor=factor()))
+    for pid in pids:
+        for slot in range(events_per_target):
+            at, duration = window(slot)
+            events.append(FaultEvent(STRAGGLER, str(pid), at, duration,
+                                     factor=factor()))
+    return FaultPlan(tuple(events))

@@ -1,0 +1,42 @@
+"""Mutable per-run fault state read by the middleware.
+
+The straggler fault kind has no component hook to flip — it slows a
+*process*, and processes live in the middleware.  :class:`FaultState`
+is the bridge: the injector sets per-pid stretch factors when straggler
+windows open and close; ``posix.py``/``mpiio.py`` consult the current
+factor at the end of each I/O and stretch the call accordingly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultPlanError
+
+
+class FaultState:
+    """Current middleware-visible fault effects (one per system)."""
+
+    def __init__(self) -> None:
+        self._process_factors: dict[int, float] = {}
+
+    def set_process_factor(self, pid: int, factor: float) -> None:
+        """Open a straggler window: stretch pid's I/O by ``factor``."""
+        if factor < 1.0:
+            raise FaultPlanError(
+                f"straggler factor must be >= 1, got {factor}")
+        self._process_factors[pid] = factor
+
+    def clear_process_factor(self, pid: int) -> None:
+        """Close a straggler window (no-op if none is open)."""
+        self._process_factors.pop(pid, None)
+
+    def process_factor(self, pid: int) -> float:
+        """Stretch factor for ``pid`` right now (1.0 = healthy)."""
+        return self._process_factors.get(pid, 1.0)
+
+    @property
+    def any_stragglers(self) -> bool:
+        """Is any straggler window currently open?"""
+        return bool(self._process_factors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultState stragglers={self._process_factors}>"

@@ -35,7 +35,13 @@ class FSStats:
     device_writes: int = 0
     bytes_read_from_device: int = 0
     bytes_written_to_device: int = 0
+    #: Device accesses that failed *after* exhausting the retry budget —
+    #: exactly one increment per finally-failed access, however many
+    #: retry rounds it went through.
     faults: int = 0
+    #: Re-submissions of faulted accesses (recovery traffic at the
+    #: device boundary; 0 when ``device_retries`` is 0).
+    device_retries: int = 0
 
     @property
     def device_bytes_moved(self) -> int:
@@ -86,6 +92,12 @@ class LocalFileSystem:
         Extra pages fetched past each miss run (0 disables read-ahead).
     max_extent:
         Forwarded to the allocator; 0 = files are fully contiguous.
+    device_retries:
+        Transparent retry rounds for faulted device accesses (the
+        kernel's SCSI/ATA requeue behaviour).  0 = a device fault
+        surfaces immediately.  Retried submissions are accounted as
+        extra device traffic; ``stats.faults`` counts each access at
+        most once, and only when its last retry also failed.
     """
 
     def __init__(
@@ -97,17 +109,21 @@ class LocalFileSystem:
         per_call_overhead_s: float = 0.000030,
         readahead_pages: int = 0,
         max_extent: int = 0,
+        device_retries: int = 0,
         name: str = "localfs",
     ) -> None:
         if per_call_overhead_s < 0:
             raise FileSystemError("negative per-call overhead")
         if readahead_pages < 0:
             raise FileSystemError("negative readahead")
+        if device_retries < 0:
+            raise FileSystemError(f"negative device retries {device_retries}")
         self.engine = engine
         self.device = device
         self.cache = page_cache
         self.per_call_overhead_s = per_call_overhead_s
         self.readahead_pages = readahead_pages
+        self.device_retries = device_retries
         self.name = name
         self.stats = FSStats()
         self._allocator = ExtentAllocator(device.capacity_bytes,
@@ -166,12 +182,11 @@ class LocalFileSystem:
             done.trigger(0)
             return
         dirty = self.cache.flush()
-        pending = []
+        extents = []
         for file_name, page in dirty:
-            for extent in self._page_extents(file_name, page):
-                pending.append(self._submit_device(WRITE, extent))
-        if pending:
-            yield self.engine.all_of(pending)
+            extents.extend(self._page_extents(file_name, page))
+        if extents:
+            yield from self._issue(WRITE, extents)
         done.trigger(len(dirty))
 
     # -- I/O paths ---------------------------------------------------------------
@@ -218,20 +233,49 @@ class LocalFileSystem:
         return self.device.submit(DeviceRequest(op, extent.device_offset,
                                                 extent.length))
 
-    def _account_results(self, results: list[DeviceResult]) -> tuple[int, list[str]]:
+    def _issue(self, op: str, extents: list[Extent]):
+        """(generator) Submit extents concurrently, retrying faults.
+
+        Faulted extents are re-submitted for up to ``device_retries``
+        extra rounds; every submission (including retries) counts as
+        device-boundary traffic, but ``stats.faults`` increments exactly
+        once per extent that is *still* failing when the budget runs out
+        — no double-count when a retried access fails again.
+
+        Returns ``(moved_bytes, errors)`` via StopIteration value, for
+        ``yield from`` callers.
+        """
+        outstanding = list(extents)
         moved = 0
         errors: list[str] = []
-        for result in results:
-            if result.request.op == READ:
-                self.stats.device_reads += 1
-                self.stats.bytes_read_from_device += result.request.nbytes
-            else:
-                self.stats.device_writes += 1
-                self.stats.bytes_written_to_device += result.request.nbytes
-            moved += result.request.nbytes
-            if not result.success:
-                self.stats.faults += 1
-                errors.append(result.error)
+        round_index = 0
+        while outstanding:
+            pending = [self._submit_device(op, extent)
+                       for extent in outstanding]
+            results: list[DeviceResult] = yield self.engine.all_of(pending)
+            failed: list[Extent] = []
+            failed_errors: list[str] = []
+            for extent, result in zip(outstanding, results):
+                if op == READ:
+                    self.stats.device_reads += 1
+                    self.stats.bytes_read_from_device += extent.length
+                else:
+                    self.stats.device_writes += 1
+                    self.stats.bytes_written_to_device += extent.length
+                moved += extent.length
+                if not result.success:
+                    failed.append(extent)
+                    failed_errors.append(result.error)
+            if not failed:
+                break
+            if round_index >= self.device_retries:
+                # Budget exhausted: one fault per finally-failed access.
+                self.stats.faults += len(failed)
+                errors.extend(failed_errors)
+                break
+            round_index += 1
+            self.stats.device_retries += len(failed)
+            outstanding = failed
         return moved, errors
 
     def _read_proc(self, fmap: FileMap, offset: int, nbytes: int,
@@ -243,10 +287,8 @@ class LocalFileSystem:
 
         if self.cache is None or self.cache.capacity_pages == 0:
             # Straight-through: one device request per extent run.
-            pending = [self._submit_device(READ, extent)
-                       for extent in fmap.translate(offset, nbytes)]
-            results = yield self.engine.all_of(pending)
-            moved, errors = self._account_results(results)
+            moved, errors = yield from self._issue(
+                READ, fmap.translate(offset, nbytes))
             done.trigger(FSResult(nbytes, moved, 0, 0, start,
                                   self.engine.now,
                                   success=not errors,
@@ -265,30 +307,27 @@ class LocalFileSystem:
             first, last = runs[-1]
             runs[-1] = (first, min(last + self.readahead_pages, max_page))
 
-        pending = []
+        miss_extents: list[Extent] = []
         fetched_pages: list[int] = []
         for first, last in runs:
             run_start = first * cache.page_size
             run_len = min((last - first + 1) * cache.page_size,
                           fmap.size - run_start)
-            for extent in fmap.translate(run_start, run_len):
-                pending.append(self._submit_device(READ, extent))
+            miss_extents.extend(fmap.translate(run_start, run_len))
             fetched_pages.extend(range(first, last + 1))
 
         errors: list[str] = []
         moved = 0
-        if pending:
-            results = yield self.engine.all_of(pending)
-            moved, errors = self._account_results(results)
+        if miss_extents:
+            moved, errors = yield from self._issue(READ, miss_extents)
 
-        writeback_pending = []
+        writeback_extents: list[Extent] = []
         for page in fetched_pages:
             for key in cache.insert(fmap.name, page):
-                for extent in self._page_extents(*key):
-                    writeback_pending.append(self._submit_device(WRITE, extent))
-        if writeback_pending:
+                writeback_extents.extend(self._page_extents(*key))
+        if writeback_extents:
             # Eviction write-back happens asynchronously; reads don't wait.
-            self.engine.spawn(self._drain(writeback_pending),
+            self.engine.spawn(self._drain(writeback_extents),
                               name=f"{self.name}.writeback")
 
         done.trigger(FSResult(nbytes, moved, hits, len(missing), start,
@@ -303,10 +342,8 @@ class LocalFileSystem:
 
         cache = self.cache
         if cache is None or cache.capacity_pages == 0:
-            pending = [self._submit_device(WRITE, extent)
-                       for extent in fmap.translate(offset, nbytes)]
-            results = yield self.engine.all_of(pending)
-            moved, errors = self._account_results(results)
+            moved, errors = yield from self._issue(
+                WRITE, fmap.translate(offset, nbytes))
             done.trigger(FSResult(nbytes, moved, 0, 0, start,
                                   self.engine.now,
                                   success=not errors, errors=tuple(errors)))
@@ -314,10 +351,8 @@ class LocalFileSystem:
 
         pages = cache.page_range(offset, nbytes)
         if cache.policy == "write-through":
-            pending = [self._submit_device(WRITE, extent)
-                       for extent in fmap.translate(offset, nbytes)]
-            results = yield self.engine.all_of(pending)
-            moved, errors = self._account_results(results)
+            moved, errors = yield from self._issue(
+                WRITE, fmap.translate(offset, nbytes))
             for page in pages:
                 cache.insert(fmap.name, page, dirty=False)
             done.trigger(FSResult(nbytes, moved, 0, 0, start,
@@ -326,20 +361,18 @@ class LocalFileSystem:
             return
 
         # write-back: dirty the pages, write-back only on eviction/flush.
-        writeback_pending = []
+        writeback_extents: list[Extent] = []
         for page in pages:
             for key in cache.insert(fmap.name, page, dirty=True):
-                for extent in self._page_extents(*key):
-                    writeback_pending.append(self._submit_device(WRITE, extent))
-        if writeback_pending:
-            self.engine.spawn(self._drain(writeback_pending),
+                writeback_extents.extend(self._page_extents(*key))
+        if writeback_extents:
+            self.engine.spawn(self._drain(writeback_extents),
                               name=f"{self.name}.writeback")
         yield self.engine.timeout(0.0)  # cache write is (nearly) free
         done.trigger(FSResult(nbytes, 0, 0, 0, start, self.engine.now))
 
-    def _drain(self, pending: list[Completion]):
-        results = yield self.engine.all_of(pending)
-        self._account_results(results)
+    def _drain(self, extents: list[Extent]):
+        yield from self._issue(WRITE, extents)
 
 
 def _coalesce_pages(pages: list[int]) -> list[tuple[int, int]]:

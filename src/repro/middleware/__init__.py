@@ -19,9 +19,19 @@ from repro.middleware.mpiio import MPIIO, MPIFile, MPIIOHints
 from repro.middleware.prefetch import SequentialPrefetcher, PrefetchConfig
 from repro.middleware.collective import two_phase_plan, FileDomain
 from repro.middleware.async_io import AsyncIOContext
+from repro.middleware.retry import (
+    AttemptOutcome,
+    RetryPolicy,
+    RetryStats,
+    execute_attempts,
+)
 
 __all__ = [
     "AsyncIOContext",
+    "AttemptOutcome",
+    "RetryPolicy",
+    "RetryStats",
+    "execute_attempts",
     "TraceRecorder",
     "PosixIO",
     "PosixFile",

@@ -27,6 +27,7 @@ from repro.middleware.collective import (
     domain_reads,
     two_phase_plan,
 )
+from repro.middleware.retry import RetryPolicy, RetryStats, execute_attempts
 from repro.middleware.sieving import (
     Region,
     SievingConfig,
@@ -36,6 +37,7 @@ from repro.middleware.sieving import (
 from repro.middleware.tracing import TraceRecorder
 from repro.sim.engine import Engine
 from repro.sim.events import Completion
+from repro.util.rng import RngStream
 from repro.util.units import GiB
 
 
@@ -57,7 +59,11 @@ class MPIIO:
     def __init__(self, engine: Engine, nranks: int,
                  recorder: TraceRecorder, *,
                  call_overhead_s: float = 0.000020,
-                 pid_base: int = 0) -> None:
+                 pid_base: int = 0,
+                 retry_policy: RetryPolicy | None = None,
+                 retry_rng: RngStream | None = None,
+                 fault_state=None,
+                 retry_stats: RetryStats | None = None) -> None:
         if nranks < 1:
             raise MiddlewareError(f"bad rank count {nranks}")
         if call_overhead_s < 0:
@@ -68,6 +74,13 @@ class MPIIO:
         self.nranks = nranks
         self.recorder = recorder
         self.call_overhead_s = call_overhead_s
+        #: Retry middleware for independent contiguous I/O (sieving and
+        #: collective paths issue compound multi-op transactions; those
+        #: stay single-shot — documented out of scope).
+        self.retry_policy = retry_policy
+        self.retry_rng = retry_rng
+        self.fault_state = fault_state
+        self.retry_stats = retry_stats
         #: Offset applied to ranks in trace records (multi-application
         #: runs give each communicator a disjoint pid space).
         self.pid_base = pid_base
@@ -127,21 +140,42 @@ class MPIFile:
     def _independent_proc(self, op: str, offset: int, nbytes: int,
                           done: Completion):
         ctx = self.ctx
+        pid = ctx.pid_base + self.rank
         start = self.engine.now
         yield self.engine.timeout(ctx.call_overhead_s)
         if op == READ:
-            result: FSResult = yield self.mount.read(
-                self.file_name, offset, nbytes)
+            def issue():
+                return self.mount.read(self.file_name, offset, nbytes)
         else:
-            result = yield self.mount.write(self.file_name, offset, nbytes)
-        end = self.engine.now
-        ctx.recorder.record_app(ctx.pid_base + self.rank, op,
-                                self.file_name, offset,
-                                nbytes, start, end, success=result.success)
-        ctx.recorder.note_fs_bytes(result.device_bytes,
-                                   pid=ctx.pid_base + self.rank,
-                                   op=op, file=self.file_name,
-                                   offset=offset, start=start, end=end)
+            def issue():
+                return self.mount.write(self.file_name, offset, nbytes)
+        outcomes = yield from execute_attempts(
+            self.engine, issue, ctx.retry_policy,
+            rng=ctx.retry_rng, stats=ctx.retry_stats, first_start=start)
+        final = outcomes[-1]
+        final_end = final.end
+        if ctx.fault_state is not None:
+            factor = ctx.fault_state.process_factor(pid)
+            if factor > 1.0:
+                yield self.engine.timeout(
+                    (factor - 1.0) * (final.end - start))
+                final_end = self.engine.now
+        for attempt, outcome in enumerate(outcomes):
+            end = final_end if outcome is final else outcome.end
+            ctx.recorder.record_app(pid, op, self.file_name, offset,
+                                    nbytes, outcome.start, end,
+                                    success=outcome.success,
+                                    retries=attempt)
+            if outcome.result is not None:
+                ctx.recorder.note_fs_bytes(
+                    outcome.result.device_bytes, pid=pid, op=op,
+                    file=self.file_name, offset=offset,
+                    start=outcome.start, end=end)
+        result = final.result
+        if result is None:
+            result = FSResult(nbytes, 0, 0, 0, final.start, final_end,
+                              success=False,
+                              errors=("operation timed out",))
         done.trigger(result)
 
     # -- independent noncontiguous (data sieving) ---------------------------------

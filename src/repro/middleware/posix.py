@@ -17,22 +17,42 @@ from __future__ import annotations
 from repro.devices.base import READ, WRITE
 from repro.errors import MiddlewareError
 from repro.fs.localfs import FSResult
+from repro.middleware.retry import RetryPolicy, RetryStats, execute_attempts
 from repro.middleware.tracing import TraceRecorder
 from repro.sim.engine import Engine
 from repro.sim.events import Completion
+from repro.util.rng import RngStream
 
 
 class PosixIO:
-    """Factory for traced POSIX-style file handles on one mount."""
+    """Factory for traced POSIX-style file handles on one mount.
+
+    With a :class:`~repro.middleware.retry.RetryPolicy`, failed or
+    timed-out mount operations are re-issued with exponential backoff;
+    every attempt emits its own application trace record (``retries`` =
+    attempt index), so recovery traffic lands in BPS's numerator and in
+    the union-time denominator.  The application never sees an
+    exception: after the budget is exhausted it receives an
+    unsuccessful :class:`FSResult` — graceful degradation.
+    """
 
     def __init__(self, engine: Engine, mount, recorder: TraceRecorder,
-                 *, call_overhead_s: float = 0.000015) -> None:
+                 *, call_overhead_s: float = 0.000015,
+                 retry_policy: RetryPolicy | None = None,
+                 retry_rng: RngStream | None = None,
+                 fault_state=None,
+                 retry_stats: RetryStats | None = None) -> None:
         if call_overhead_s < 0:
             raise MiddlewareError("negative call overhead")
         self.engine = engine
         self.mount = mount
         self.recorder = recorder
         self.call_overhead_s = call_overhead_s
+        self.retry_policy = retry_policy
+        self.retry_rng = retry_rng
+        #: A :class:`~repro.faults.state.FaultState` (straggler factors).
+        self.fault_state = fault_state
+        self.retry_stats = retry_stats
 
     def open(self, file_name: str, pid: int) -> "PosixFile":
         """Open an existing file for process ``pid``."""
@@ -111,14 +131,38 @@ class PosixFile:
         start = self.engine.now
         yield self.engine.timeout(lib.call_overhead_s)
         if op == READ:
-            result: FSResult = yield lib.mount.read(
-                self.file_name, offset, nbytes)
+            def issue():
+                return lib.mount.read(self.file_name, offset, nbytes)
         else:
-            result = yield lib.mount.write(self.file_name, offset, nbytes)
-        end = self.engine.now
-        lib.recorder.record_app(self.pid, op, self.file_name, offset,
-                                nbytes, start, end, success=result.success)
-        lib.recorder.note_fs_bytes(result.device_bytes, pid=self.pid,
-                                   op=op, file=self.file_name,
-                                   offset=offset, start=start, end=end)
+            def issue():
+                return lib.mount.write(self.file_name, offset, nbytes)
+        outcomes = yield from execute_attempts(
+            self.engine, issue, lib.retry_policy,
+            rng=lib.retry_rng, stats=lib.retry_stats, first_start=start)
+        final = outcomes[-1]
+        final_end = final.end
+        if lib.fault_state is not None:
+            # Straggler window: this process's call takes `factor` times
+            # as long as a healthy one (CPU steal, paging, cgroup caps).
+            factor = lib.fault_state.process_factor(self.pid)
+            if factor > 1.0:
+                yield self.engine.timeout(
+                    (factor - 1.0) * (final.end - start))
+                final_end = self.engine.now
+        for attempt, outcome in enumerate(outcomes):
+            end = final_end if outcome is final else outcome.end
+            lib.recorder.record_app(self.pid, op, self.file_name, offset,
+                                    nbytes, outcome.start, end,
+                                    success=outcome.success,
+                                    retries=attempt)
+            if outcome.result is not None:
+                lib.recorder.note_fs_bytes(
+                    outcome.result.device_bytes, pid=self.pid, op=op,
+                    file=self.file_name, offset=offset,
+                    start=outcome.start, end=end)
+        result = final.result
+        if result is None:  # final attempt timed out
+            result = FSResult(nbytes, 0, 0, 0, final.start, final_end,
+                              success=False,
+                              errors=("operation timed out",))
         done.trigger(result)

@@ -41,12 +41,18 @@ class TraceRecorder:
 
     def record_app(self, pid: int, op: str, file: str, offset: int,
                    nbytes: int, start: float, end: float,
-                   success: bool = True) -> IORecord:
-        """Record one application-level access; returns the record."""
+                   success: bool = True, retries: int = 0) -> IORecord:
+        """Record one application-level access; returns the record.
+
+        ``retries`` is the attempt index of this access (0 = first
+        issue); middleware retry records every attempt separately so
+        recovery traffic shows up in B and the union time.
+        """
         self._check_open()
         record = IORecord(pid=pid, op=op, nbytes=nbytes, start=start,
                           end=end, file=file, offset=offset,
-                          success=success, layer=LAYER_APP)
+                          success=success, layer=LAYER_APP,
+                          retries=retries)
         self.trace.add(record)
         return record
 

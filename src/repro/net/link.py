@@ -45,6 +45,49 @@ class NetworkLink:
         self.name = name
         self.stats = TransferStats()
         self._wire = Resource(engine, capacity=1, name=f"{name}.wire")
+        #: Fault-plan state.  ``latency_factor`` (>= 1.0) multiplies the
+        #: propagation latency (congestion / rerouting spike).  A downed
+        #: link stalls messages at the wire until :meth:`bring_up`; the
+        #: flap must therefore always be paired with a recovery event or
+        #: the run deadlocks — by design, that surfaces a malformed plan.
+        self.latency_factor = 1.0
+        self._up = True
+        self._resume: Completion | None = None
+        self.downtime_stalls = 0
+
+    @property
+    def up(self) -> bool:
+        """Is the link currently passing traffic?"""
+        return self._up
+
+    def take_down(self) -> None:
+        """Flap start: hold all messages at the wire."""
+        if self._up:
+            self._up = False
+            self._resume = self.engine.completion()
+
+    def bring_up(self) -> None:
+        """Flap end: release stalled messages (FIFO, same wire order)."""
+        if not self._up:
+            self._up = True
+            resume, self._resume = self._resume, None
+            resume.trigger(None)
+
+    def wait_up(self):
+        """(generator) Block until the link passes traffic again.
+
+        Yielded from by anything about to use the wire — both
+        :meth:`transmit` and the topology's cut-through transfer path.
+        Loops because the link may flap again before the waiter runs.
+        """
+        while not self._up:
+            self.downtime_stalls += 1
+            yield self._resume
+
+    @property
+    def effective_latency_s(self) -> float:
+        """Propagation latency including any fault-plan spike."""
+        return self.latency_s * self.latency_factor
 
     def serialization_time(self, nbytes: int) -> float:
         """Time for ``nbytes`` to cross the wire, excluding queueing."""
@@ -61,6 +104,9 @@ class NetworkLink:
     def _send(self, nbytes: int, done: Completion):
         grant = self._wire.acquire()
         yield grant
+        # Holding the wire while down: followers queue behind us and
+        # drain in order once the link recovers.
+        yield from self.wait_up()
         busy = self.serialization_time(nbytes)
         try:
             yield self.engine.timeout(busy)
@@ -70,7 +116,7 @@ class NetworkLink:
         self.stats.bytes_moved += nbytes
         self.stats.total_busy_time += busy
         # Propagation happens after the wire is free (pipelining).
-        yield self.engine.timeout(self.latency_s)
+        yield self.engine.timeout(self.effective_latency_s)
         done.trigger(nbytes)
 
     @property
@@ -94,3 +140,22 @@ class NICPair:
     def bytes_moved(self) -> int:
         """Total bytes through both directions."""
         return self.tx.stats.bytes_moved + self.rx.stats.bytes_moved
+
+    # -- fault-plan hooks (both directions at once) ------------------------
+
+    def take_down(self) -> None:
+        """Flap the whole interface down (cable pull: TX and RX)."""
+        self.tx.take_down()
+        self.rx.take_down()
+
+    def bring_up(self) -> None:
+        """Restore both directions."""
+        self.tx.bring_up()
+        self.rx.bring_up()
+
+    def set_latency_factor(self, factor: float) -> None:
+        """Apply a propagation-latency spike to both directions."""
+        if factor < 1.0:
+            raise SimulationError(f"latency factor must be >= 1: {factor}")
+        self.tx.latency_factor = factor
+        self.rx.latency_factor = factor

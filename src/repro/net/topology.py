@@ -130,8 +130,12 @@ class StarTopology:
         rx_time = target.nic.rx.serialization_time(nbytes)
         tx_grant = tx_wire.acquire()
         yield tx_grant
+        # A downed link stalls the transfer at the wire (fault-plan
+        # flap); followers queue behind and drain in order on recovery.
+        yield from source.nic.tx.wait_up()
         rx_grant = rx_wire.acquire()
         yield rx_grant
+        yield from target.nic.rx.wait_up()
         # Each wire is busy for its *own* serialization time (cut-through:
         # a fast receiver drains a slow sender's stream without being
         # occupied for the sender's full transmit duration).
@@ -149,7 +153,7 @@ class StarTopology:
             link.stats.total_busy_time += busy
         if fabric_claim is not None:
             yield fabric_claim
-        yield self.engine.timeout(source.nic.tx.latency_s)
+        yield self.engine.timeout(source.nic.tx.effective_latency_s)
         done.trigger(nbytes)
 
     def _claim_fabric(self, nbytes: int):

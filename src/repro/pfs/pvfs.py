@@ -40,6 +40,9 @@ class PFSStats:
     writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    #: Per-server parts redirected to a replica after the assigned
+    #: server failed them (crash window, injected device fault).
+    failovers: int = 0
 
 
 class ParallelFileSystem:
@@ -67,6 +70,16 @@ class ParallelFileSystem:
         only the client overhead.
     mds_overhead_s / mds_threads:
         Metadata-server handling cost and concurrency.
+    replication:
+        Copies of every object, hosted on the ``replication`` servers
+        following the primary (``(primary + k) % n_servers``), PVFS2
+        ``repl``-patch style.  1 (the default) keeps the classic
+        single-copy layout and an unchanged data path.
+    failover:
+        When a server fails a part (crash window, injected fault), walk
+        the part's replica chain instead of giving up.  Only redirection
+        is modelled — replicas are not kept in sync by extra write
+        traffic, which is fine for a performance simulator.
     """
 
     def __init__(
@@ -80,9 +93,15 @@ class ParallelFileSystem:
         metadata_node: str = "",
         mds_overhead_s: float = 0.000150,
         mds_threads: int = 16,
+        replication: int = 1,
+        failover: bool = False,
     ) -> None:
         if not servers:
             raise FileSystemError("a PFS needs at least one server")
+        if not 1 <= replication <= len(servers):
+            raise FileSystemError(
+                f"replication {replication} needs between 1 and "
+                f"{len(servers)} copies")
         self.engine = engine
         self.servers = list(servers)
         self.network = network
@@ -103,6 +122,8 @@ class ParallelFileSystem:
                 engine, capacity=mds_threads, name="mds.threads")
         else:
             self._mds_threads = None
+        self.replication = replication
+        self.failover = failover
         self.metadata_ops = 0
         self.stats = PFSStats()
         self._layouts: dict[str, StripeLayout] = {}
@@ -130,8 +151,9 @@ class ParallelFileSystem:
         for index in layout.servers:
             object_size = layout.object_size(size, index)
             if object_size > 0:
-                self.servers[index].create_object(
-                    self._object_name(file_name, index), object_size)
+                for host in self._replica_chain(index):
+                    self.servers[host].create_object(
+                        self._object_name(file_name, index), object_size)
         self._layouts[file_name] = layout
         self._sizes[file_name] = size
         return layout
@@ -139,6 +161,11 @@ class ParallelFileSystem:
     @staticmethod
     def _object_name(file_name: str, server_index: int) -> str:
         return f"{file_name}@s{server_index}"
+
+    def _replica_chain(self, primary: int) -> list[int]:
+        """Server indices hosting copies of ``primary``'s objects."""
+        return [(primary + k) % len(self.servers)
+                for k in range(self.replication)]
 
     def exists(self, file_name: str) -> bool:
         """Does the file exist?"""
@@ -283,22 +310,34 @@ class ParallelFileSystem:
         ))
 
     def _server_io(self, client_node: str, op: str, file_name: str, part):
-        server = self.servers[part.server]
+        # The replica chain is walked only with failover on; each hop is
+        # a full wire exchange, so redirected parts pay real recovery
+        # traffic (visible in link counters and union time).
+        chain = (self._replica_chain(part.server) if self.failover
+                 else [part.server])
         object_name = self._object_name(file_name, part.server)
-        if op == READ:
-            # request message out, data back
-            yield self.network.send(client_node, server.name,
-                                    CONTROL_MESSAGE_BYTES)
-            result: FSResult = yield server.handle(
-                READ, object_name, part.object_offset, part.length)
-            yield self.network.send(server.name, client_node, part.length)
-        else:
-            # data out, ack back
-            yield self.network.send(client_node, server.name, part.length)
-            result = yield server.handle(
-                WRITE, object_name, part.object_offset, part.length)
-            yield self.network.send(server.name, client_node,
-                                    CONTROL_MESSAGE_BYTES)
+        result: FSResult | None = None
+        for hop, server_index in enumerate(chain):
+            server = self.servers[server_index]
+            if op == READ:
+                # request message out, data back
+                yield self.network.send(client_node, server.name,
+                                        CONTROL_MESSAGE_BYTES)
+                result = yield server.handle(
+                    READ, object_name, part.object_offset, part.length)
+                yield self.network.send(server.name, client_node,
+                                        part.length)
+            else:
+                # data out, ack back
+                yield self.network.send(client_node, server.name,
+                                        part.length)
+                result = yield server.handle(
+                    WRITE, object_name, part.object_offset, part.length)
+                yield self.network.send(server.name, client_node,
+                                        CONTROL_MESSAGE_BYTES)
+            if result.success or hop + 1 == len(chain):
+                break
+            self.stats.failovers += 1
         return result
 
 

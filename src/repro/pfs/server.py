@@ -31,6 +31,9 @@ class IOServer:
         Software cost per handled request (network stack + server work).
     threads:
         Concurrent request handlers (requests beyond this queue up).
+    device_retries:
+        Transparent storage-level retry rounds per request (forwarded to
+        the server's :class:`LocalFileSystem`).
     """
 
     def __init__(
@@ -41,6 +44,7 @@ class IOServer:
         name: str = "ioserver",
         request_overhead_s: float = 0.000080,
         threads: int = 16,
+        device_retries: int = 0,
     ) -> None:
         if request_overhead_s < 0:
             raise FileSystemError("negative request overhead")
@@ -52,11 +56,37 @@ class IOServer:
             engine, device,
             page_cache=None,
             per_call_overhead_s=0.0,  # folded into request_overhead_s
+            device_retries=device_retries,
             name=f"{name}.storage",
         )
         self._threads = Resource(engine, capacity=threads,
                                  name=f"{name}.threads")
         self.requests_handled = 0
+        #: Requests that finished without success (crash window, storage
+        #: fault that survived the retries, ...).
+        self.requests_failed = 0
+        #: Fault-plan state: a crashed server refuses requests cheaply;
+        #: ``slowdown`` (>= 1.0) stretches the per-request software
+        #: overhead (an overloaded or rebuilding daemon).
+        self.available = True
+        self.slowdown = 1.0
+        self.crash_count = 0
+
+    # -- fault-plan hooks --------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the server down: requests fail fast until :meth:`restore`.
+
+        In-flight storage accesses run to completion (the daemon died,
+        the disk finishes what was queued); only request admission stops.
+        """
+        if self.available:
+            self.available = False
+            self.crash_count += 1
+
+    def restore(self) -> None:
+        """Bring a crashed server back (restart; storage state intact)."""
+        self.available = True
 
     def create_object(self, object_name: str, size: int) -> None:
         """Allocate an object (one file's stripe set on this server)."""
@@ -79,10 +109,22 @@ class IOServer:
 
     def _handle_proc(self, op: str, object_name: str, offset: int,
                      nbytes: int, done: Completion):
+        start = self.engine.now
+        if not self.available:
+            # Fail fast: a connection refused costs one overhead, not a
+            # disk access.  The caller sees an unsuccessful FSResult and
+            # may fail over to a replica server.
+            yield self.engine.timeout(self.request_overhead_s)
+            self.requests_failed += 1
+            done.trigger(FSResult(
+                nbytes, 0, 0, 0, start, self.engine.now, success=False,
+                errors=(f"server {self.name} unavailable",)))
+            return
         grant = self._threads.acquire()
         yield grant
         try:
-            yield self.engine.timeout(self.request_overhead_s)
+            yield self.engine.timeout(self.request_overhead_s
+                                      * self.slowdown)
             if op == READ:
                 result: FSResult = yield self.storage.read(
                     object_name, offset, nbytes)
@@ -92,6 +134,8 @@ class IOServer:
         finally:
             self._threads.release()
         self.requests_handled += 1
+        if not result.success:
+            self.requests_failed += 1
         done.trigger(result)
 
     @property

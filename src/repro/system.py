@@ -18,12 +18,16 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.devices import make_device
-from repro.devices.base import BlockDevice
+from repro.devices.base import BlockDevice, FaultInjector
 from repro.errors import ExperimentError
+from repro.faults.injector import FaultPlanInjector, arm_fault_plan
+from repro.faults.plan import FaultPlan
+from repro.faults.state import FaultState
 from repro.fs.cache import PageCache
 from repro.fs.localfs import LocalFileSystem
 from repro.middleware.mpiio import MPIIO, MPIIOHints
 from repro.middleware.posix import PosixIO
+from repro.middleware.retry import RetryPolicy, RetryStats
 from repro.middleware.tracing import TraceRecorder
 from repro.net.topology import StarTopology
 from repro.pfs.layout import StripeLayout
@@ -76,12 +80,51 @@ class SystemConfig:
     #: Keep per-access fs-layer trace records (heavier; enables
     #: layered app-vs-fs BPS comparisons).
     keep_fs_records: bool = False
+    # robustness knobs (all defaults = the classic fault-free system)
+    #: Standing per-draw device fault probability (every device gets a
+    #: seeded FaultInjector when > 0).
+    fault_probability: float = 0.0
+    #: Fraction of nominal service time a faulted access consumes.
+    fault_time_fraction: float = 0.5
+    #: Granule for per-byte fault scaling (0 = per-request Bernoulli).
+    fault_per_bytes: int = 0
+    #: Device-boundary re-submissions inside the file system layer.
+    device_retries: int = 0
+    #: Object copies per stripe on a PFS (1 = classic single-copy).
+    replication: int = 1
+    #: Middleware retry/backoff/timeout/failover behaviour (None = the
+    #: classic erroring middleware).
+    retry_policy: RetryPolicy | None = None
+    #: Timed fault windows armed against the built system.
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("local", "pfs"):
             raise ExperimentError(f"unknown system kind {self.kind!r}")
         if self.kind == "pfs" and self.n_servers < 1:
             raise ExperimentError(f"bad server count {self.n_servers}")
+        if not 0.0 <= self.fault_probability <= 1.0:
+            raise ExperimentError(
+                f"fault probability out of range: {self.fault_probability}")
+        if not 0.0 < self.fault_time_fraction <= 1.0:
+            raise ExperimentError(
+                f"fault time fraction out of range: "
+                f"{self.fault_time_fraction}")
+        if self.fault_per_bytes < 0:
+            raise ExperimentError(
+                f"negative fault_per_bytes {self.fault_per_bytes}")
+        if self.device_retries < 0:
+            raise ExperimentError(
+                f"negative device_retries {self.device_retries}")
+        if self.replication < 1:
+            raise ExperimentError(f"bad replication {self.replication}")
+        if self.kind == "local" and self.replication != 1:
+            raise ExperimentError(
+                "replication needs a PFS (local systems have one copy)")
+        if self.kind == "pfs" and self.replication > self.n_servers:
+            raise ExperimentError(
+                f"replication {self.replication} exceeds server count "
+                f"{self.n_servers}")
 
     def with_seed(self, seed: int | None) -> "SystemConfig":
         """Copy with a different seed (repetition control)."""
@@ -103,12 +146,41 @@ class System:
         self.pfs: ParallelFileSystem | None = None
         self.localfs: LocalFileSystem | None = None
         self._clients: dict[int, PFSClient] = {}
+        #: Middleware-visible fault effects (straggler windows).
+        self.fault_state = FaultState()
+        #: System-wide middleware recovery tallies.
+        self.retry_stats = RetryStats()
+        self._retry_rng: RngStream | None = None
+        self.fault_plan_injector: FaultPlanInjector | None = None
         if config.kind == "local":
             self._build_local()
         else:
             self._build_pfs()
+        # Fault plumbing spawns its streams *after* the build so the
+        # device/workload streams of a faulted config stay bit-identical
+        # to its fault-free twin.
+        if config.fault_probability > 0.0:
+            self._attach_fault_injectors()
+        if config.retry_policy is not None:
+            self._retry_rng = self.rng.spawn("retry")
+        if config.fault_plan is not None:
+            self.fault_plan_injector = arm_fault_plan(self,
+                                                      config.fault_plan)
 
     # -- construction ------------------------------------------------------
+
+    def _attach_fault_injectors(self) -> None:
+        """Give every leaf device a standing seeded fault injector."""
+        config = self.config
+        for device in self.devices:
+            leaves = getattr(device, "members", None) or [device]
+            for leaf in leaves:
+                if leaf.fault_injector is None:
+                    leaf.fault_injector = FaultInjector(
+                        self.rng.spawn(f"device-faults.{leaf.name}"),
+                        config.fault_probability,
+                        time_fraction=config.fault_time_fraction,
+                        per_bytes=config.fault_per_bytes)
 
     def _build_local(self) -> None:
         config = self.config
@@ -128,6 +200,7 @@ class System:
             page_cache=cache,
             per_call_overhead_s=config.fs_overhead_s,
             readahead_pages=config.readahead_pages,
+            device_retries=config.device_retries,
         )
 
     def _build_pfs(self) -> None:
@@ -156,11 +229,13 @@ class System:
                 name=name,
                 request_overhead_s=config.server_overhead_s,
                 threads=config.server_threads,
+                device_retries=config.device_retries,
             ))
         metadata_node = ""
         if config.with_mds:
             metadata_node = "mds0"
             self.network.add_node(metadata_node)
+        retry = config.retry_policy
         self.pfs = ParallelFileSystem(
             self.engine, servers, self.network,
             default_layout=StripeLayout(
@@ -169,6 +244,8 @@ class System:
             ),
             metadata_node=metadata_node,
             mds_overhead_s=config.mds_overhead_s,
+            replication=config.replication,
+            failover=(retry.failover if retry is not None else False),
         )
 
     # -- mounts ---------------------------------------------------------------
@@ -209,13 +286,15 @@ class System:
                 "use posix_for(pid) on a PFS"
             )
         return PosixIO(self.engine, self.localfs, self.recorder,
-                       call_overhead_s=call_overhead_s)
+                       call_overhead_s=call_overhead_s,
+                       **self._middleware_fault_kwargs())
 
     def posix_for(self, pid: int,
                   *, call_overhead_s: float = 0.000015) -> PosixIO:
         """A POSIX I/O library bound to ``pid``'s mount."""
         return PosixIO(self.engine, self.mount_for(pid), self.recorder,
-                       call_overhead_s=call_overhead_s)
+                       call_overhead_s=call_overhead_s,
+                       **self._middleware_fault_kwargs())
 
     def mpiio(self, nranks: int, *, call_overhead_s: float = 0.000020,
               pid_base: int = 0) -> MPIIO:
@@ -227,7 +306,17 @@ class System:
         """
         return MPIIO(self.engine, nranks, self.recorder,
                      call_overhead_s=call_overhead_s,
-                     pid_base=pid_base)
+                     pid_base=pid_base,
+                     **self._middleware_fault_kwargs())
+
+    def _middleware_fault_kwargs(self) -> dict[str, Any]:
+        """Retry/fault plumbing every middleware factory threads through."""
+        return dict(
+            retry_policy=self.config.retry_policy,
+            retry_rng=self._retry_rng,
+            fault_state=self.fault_state,
+            retry_stats=self.retry_stats,
+        )
 
     # -- lifecycle ------------------------------------------------------------------
 

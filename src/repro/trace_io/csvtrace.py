@@ -17,7 +17,7 @@ from repro.core.records import IORecord, TraceCollection
 from repro.errors import TraceFormatError
 
 REQUIRED_COLUMNS = ("pid", "op", "nbytes", "start", "end")
-OPTIONAL_COLUMNS = ("file", "offset", "success")
+OPTIONAL_COLUMNS = ("file", "offset", "success", "retries")
 
 
 def _parse_bool(text: str) -> bool:
@@ -63,6 +63,7 @@ def _read(handle: IO[str], name: str) -> TraceCollection:
                 offset=int(row["offset"]) if row.get("offset") else -1,
                 success=_parse_bool(row["success"])
                 if row.get("success") else True,
+                retries=int(row["retries"]) if row.get("retries") else 0,
             )
         except TraceFormatError:
             raise
@@ -94,6 +95,7 @@ def _write(trace: TraceCollection, handle: IO[str]) -> None:
             record.pid, record.op, record.nbytes,
             repr(record.start), repr(record.end),
             record.file, record.offset, int(record.success),
+            record.retries,
         ])
 
 

@@ -1,8 +1,8 @@
 """JSON-lines trace format: one JSON object per record.
 
 Required keys per line: ``pid``, ``op``, ``nbytes``, ``start``, ``end``.
-Optional: ``file``, ``offset``, ``success``, ``layer``.  Unknown keys
-are ignored (forward compatibility with richer tracers).
+Optional: ``file``, ``offset``, ``success``, ``layer``, ``retries``.
+Unknown keys are ignored (forward compatibility with richer tracers).
 """
 
 from __future__ import annotations
@@ -58,6 +58,7 @@ def _read(handle: IO[str], name: str) -> TraceCollection:
                 offset=int(obj.get("offset", -1)),
                 success=bool(obj.get("success", True)),
                 layer=str(obj.get("layer", LAYER_APP)),
+                retries=int(obj.get("retries", 0)),
             )
         except (TypeError, ValueError) as exc:
             raise TraceFormatError(
@@ -91,4 +92,5 @@ def _write(trace: TraceCollection, handle: IO[str]) -> None:
             "offset": record.offset,
             "success": record.success,
             "layer": record.layer,
+            "retries": record.retries,
         }) + "\n")

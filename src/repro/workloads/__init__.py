@@ -11,6 +11,7 @@
 """
 
 from repro.workloads.base import Workload, run_workload
+from repro.workloads.hotspot import HotSpotWorkload
 from repro.workloads.iozone import IOzoneWorkload
 from repro.workloads.ior import IORWorkload
 from repro.workloads.hpio import HpioWorkload
@@ -21,6 +22,7 @@ from repro.workloads.smallfiles import SmallFilesWorkload
 from repro.workloads.synthetic import (
     RandomAccessWorkload,
     MixedReadWriteWorkload,
+    MixedSizeWorkload,
     ReplayWorkload,
     ReplayOp,
 )
@@ -28,6 +30,7 @@ from repro.workloads.synthetic import (
 __all__ = [
     "Workload",
     "run_workload",
+    "HotSpotWorkload",
     "IOzoneWorkload",
     "IORWorkload",
     "HpioWorkload",
@@ -37,6 +40,7 @@ __all__ = [
     "SmallFilesWorkload",
     "RandomAccessWorkload",
     "MixedReadWriteWorkload",
+    "MixedSizeWorkload",
     "ReplayWorkload",
     "ReplayOp",
 ]

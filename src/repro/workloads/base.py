@@ -51,6 +51,31 @@ class Workload(abc.ABC):
         return run_workload(self, config)
 
 
+def _fault_report(system: System) -> dict:
+    """Robustness extras: per-server health, recovery tallies, plan log."""
+    report: dict = {"retry": system.retry_stats.as_dict()}
+    if system.pfs is not None:
+        report["servers"] = [
+            {
+                "name": server.name,
+                "requests_handled": server.requests_handled,
+                "requests_failed": server.requests_failed,
+                "crashes": server.crash_count,
+                "queue_length": server.queue_length,
+                "storage_faults": server.storage.stats.faults,
+                "storage_retries": server.storage.stats.device_retries,
+            }
+            for server in system.pfs.servers
+        ]
+        report["pfs_failovers"] = system.pfs.stats.failovers
+    if system.localfs is not None:
+        report["fs_faults"] = system.localfs.stats.faults
+        report["fs_device_retries"] = system.localfs.stats.device_retries
+    if system.fault_plan_injector is not None:
+        report["fault_plan"] = system.fault_plan_injector.summary()
+    return report
+
+
 def run_workload(workload: Workload, config: SystemConfig) -> RunMeasurement:
     """Execute one workload run and return its measurement.
 
@@ -70,12 +95,23 @@ def run_workload(workload: Workload, config: SystemConfig) -> RunMeasurement:
         system.engine.spawn(generator, name=f"{workload.name}.p{pid}")
         for pid, generator in pairs
     ]
+    # Execution time ends at the last *process* completion, not at heap
+    # exhaustion: a fault plan may hold recovery timers scheduled past
+    # the application's finish, and those must not inflate exec time.
+    finish = {"at": None}
+
+    def _note_finish(_waitable) -> None:
+        finish["at"] = system.engine.now
+    system.engine.all_of(spawned).subscribe(_note_finish)
     system.engine.run()
     for process in spawned:
         # Surface any application-level failure as a hard error: a run
         # that silently lost a process would skew every metric.
         process.result()
-    exec_time = system.engine.now - start
+    if finish["at"] is None:
+        raise WorkloadError(
+            f"workload {workload.name!r} never completed its processes")
+    exec_time = finish["at"] - start
     if exec_time <= 0:
         raise WorkloadError(
             f"workload {workload.name!r} finished in zero time — "
@@ -94,7 +130,8 @@ def run_workload(workload: Workload, config: SystemConfig) -> RunMeasurement:
     extras = {"config_kind": config.kind,
               "device_spec": config.device_spec,
               "devices": device_report,
-              **workload.extras(system)}
+              **workload.extras(system),
+              **_fault_report(system)}
     return RunMeasurement(
         trace=system.recorder.trace,
         exec_time=exec_time,

@@ -1,0 +1,109 @@
+"""Hot-spot workload: a pinned small-op file plus striped bulk data.
+
+A common HPC layout: one small, hot file (application log, progress
+marker, shared counter) living on a single I/O server, next to bulk
+data striped across the rest of the machine.  The two streams age very
+differently when the hot server misbehaves — which makes this the
+workload of choice for the fault-sweep experiment (set 6): faults on
+the hot server multiply *small* accesses (many operations, few blocks),
+while degradation on the bulk servers stretches *time*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.errors import WorkloadError
+from repro.pfs.layout import StripeLayout
+from repro.system import System
+from repro.util.units import KiB, MiB
+from repro.workloads.base import Workload
+
+
+@dataclass
+class HotSpotWorkload(Workload):
+    """Weighted mix of hot-file small ops and striped bulk ops.
+
+    On a PFS the hot file is placed on ``hot_server`` alone and the bulk
+    file is striped over all *other* servers; on a local system both
+    live on the one device and the placement distinction disappears.
+    """
+
+    bulk_file_size: int = 48 * MiB
+    hot_file_size: int = 48 * KiB
+    hot_server: int = 0
+    small_size: int = 4 * KiB
+    large_size: int = 256 * KiB
+    small_fraction: float = 0.8
+    ops_per_proc: int = 64
+    nproc: int = 4
+    align: int = 4 * KiB
+    name: str = field(default="hotspot", init=False)
+
+    def __post_init__(self) -> None:
+        if min(self.small_size, self.large_size, self.align) <= 0:
+            raise WorkloadError("sizes must be positive")
+        if self.small_size > self.hot_file_size:
+            raise WorkloadError("small ops exceed the hot file")
+        if self.large_size > self.bulk_file_size:
+            raise WorkloadError("large ops exceed the bulk file")
+        if not 0.0 <= self.small_fraction <= 1.0:
+            raise WorkloadError(f"bad small fraction {self.small_fraction}")
+        if self.ops_per_proc < 1 or self.nproc < 1:
+            raise WorkloadError("counts must be >= 1")
+        if self.hot_server < 0:
+            raise WorkloadError(f"bad hot server {self.hot_server}")
+
+    def label(self) -> str:
+        return f"hotspot[n={self.nproc},ops={self.ops_per_proc}]"
+
+    def _file_names(self) -> tuple[str, str]:
+        return f"hotspot-hot.{self.pid_base}", f"hotspot-bulk.{self.pid_base}"
+
+    def setup(self, system: System) -> None:
+        hot_name, bulk_name = self._file_names()
+        mount = system.shared_mount()
+        if system.pfs is not None:
+            n_servers = system.config.n_servers
+            if self.hot_server >= n_servers:
+                raise WorkloadError(
+                    f"hot server {self.hot_server} outside "
+                    f"0..{n_servers - 1}")
+            bulk_servers = tuple(index for index in range(n_servers)
+                                 if index != self.hot_server)
+            if not bulk_servers:  # single-server PFS: everything is hot
+                bulk_servers = (self.hot_server,)
+            stripe = system.config.stripe_size
+            mount.create(hot_name, self.hot_file_size,
+                         layout=StripeLayout(stripe_size=stripe,
+                                             servers=(self.hot_server,)))
+            mount.create(bulk_name, self.bulk_file_size,
+                         layout=StripeLayout(stripe_size=stripe,
+                                             servers=bulk_servers))
+        else:
+            mount.create(hot_name, self.hot_file_size)
+            mount.create(bulk_name, self.bulk_file_size)
+        self._rngs = system.rng.spawn_many("hotspot-proc", self.nproc)
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        return [(self.pid_base + pid, self._proc(system, pid))
+                for pid in range(self.nproc)]
+
+    def _proc(self, system: System, pid: int):
+        real_pid = self.pid_base + pid
+        lib = system.posix_for(real_pid)
+        hot_name, bulk_name = self._file_names()
+        hot = lib.open(hot_name, real_pid)
+        bulk = lib.open(bulk_name, real_pid)
+        rng = self._rngs[pid]
+        for _ in range(self.ops_per_proc):
+            if rng.uniform() < self.small_fraction:
+                max_slot = (self.hot_file_size - self.small_size) // self.align
+                offset = rng.integers(0, max_slot + 1) * self.align
+                yield hot.pread(offset, self.small_size)
+            else:
+                max_slot = (self.bulk_file_size - self.large_size) // self.align
+                offset = rng.integers(0, max_slot + 1) * self.align
+                yield bulk.pread(offset, self.large_size)
+        return self.ops_per_proc

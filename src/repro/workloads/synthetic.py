@@ -124,6 +124,83 @@ class MixedReadWriteWorkload(Workload):
         return offset
 
 
+@dataclass
+class MixedSizeWorkload(Workload):
+    """Random access with a weighted mix of request sizes.
+
+    Realistic applications rarely issue one size; checkpoint writers
+    stream big records while loggers trickle small ones.  Under a
+    per-byte fault model the two classes also *fail* differently, which
+    is exactly what the fault-sweep experiment (set 6) needs: a
+    workload whose block-weighted and count-weighted inflation diverge.
+    """
+
+    file_size: int = 64 * MiB
+    sizes: tuple[int, ...] = (4 * KiB, 256 * KiB)
+    weights: tuple[float, ...] = (0.8, 0.2)
+    ops_per_proc: int = 64
+    nproc: int = 4
+    read_fraction: float = 1.0
+    align: int = 4 * KiB
+    name: str = field(default="mixedsize", init=False)
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise WorkloadError("mixed-size workload needs sizes")
+        if len(self.weights) != len(self.sizes):
+            raise WorkloadError(
+                f"{len(self.sizes)} sizes but {len(self.weights)} weights")
+        if any(s <= 0 for s in self.sizes) or self.file_size <= 0:
+            raise WorkloadError("sizes must be positive")
+        if max(self.sizes) > self.file_size:
+            raise WorkloadError("a size class exceeds the file")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise WorkloadError(f"bad weights {self.weights}")
+        if self.ops_per_proc < 1 or self.nproc < 1:
+            raise WorkloadError("counts must be >= 1")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError(f"bad read fraction {self.read_fraction}")
+        if self.align <= 0:
+            raise WorkloadError("bad alignment")
+
+    def label(self) -> str:
+        return f"mixedsize[n={self.nproc},ops={self.ops_per_proc}]"
+
+    def setup(self, system: System) -> None:
+        system.shared_mount().create(f"mixedsize.{self.pid_base}",
+                                     self.file_size)
+        self._rngs = system.rng.spawn_many("mixedsize-proc", self.nproc)
+
+    def processes(self, system: System) -> list[tuple[int, Generator]]:
+        return [(self.pid_base + pid, self._proc(system, pid))
+                for pid in range(self.nproc)]
+
+    def _pick_size(self, rng) -> int:
+        total = sum(self.weights)
+        mark = rng.uniform(0.0, total)
+        acc = 0.0
+        for size, weight in zip(self.sizes, self.weights):
+            acc += weight
+            if mark < acc:
+                return size
+        return self.sizes[-1]
+
+    def _proc(self, system: System, pid: int):
+        real_pid = self.pid_base + pid
+        lib = system.posix_for(real_pid)
+        handle = lib.open(f"mixedsize.{self.pid_base}", real_pid)
+        rng = self._rngs[pid]
+        for _ in range(self.ops_per_proc):
+            nbytes = self._pick_size(rng)
+            max_slot = (self.file_size - nbytes) // self.align
+            offset = rng.integers(0, max_slot + 1) * self.align
+            if rng.uniform() < self.read_fraction:
+                yield handle.pread(offset, nbytes)
+            else:
+                yield handle.pwrite(offset, nbytes)
+        return self.ops_per_proc
+
+
 @dataclass(frozen=True)
 class ReplayOp:
     """One scripted operation for :class:`ReplayWorkload`."""

@@ -1,0 +1,1 @@
+"""Fault-plan subsystem tests."""

@@ -1,0 +1,168 @@
+"""Arming fault plans against live systems: windows open, close, restore."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    DEVICE_DEGRADE,
+    DEVICE_FAULTS,
+    LINK_DOWN,
+    LINK_LATENCY,
+    SERVER_CRASH,
+    SERVER_SLOWDOWN,
+    STRAGGLER,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.system import SystemConfig, build_system
+
+
+def pfs_config(plan: FaultPlan) -> SystemConfig:
+    return SystemConfig(kind="pfs", n_servers=2, device_spec="ramdisk",
+                        fault_plan=plan, seed=4321)
+
+
+def probe(system, samples, times, read_state):
+    """Spawn a process sampling ``read_state()`` at absolute times."""
+    def proc():
+        for when in times:
+            yield system.engine.timeout(when - system.engine.now)
+            samples.append(read_state())
+    process = system.engine.spawn(proc(), name="probe")
+    system.engine.run()
+    process.result()
+
+
+class TestWindowTransitions:
+    def test_device_degrade_window_opens_and_restores(self):
+        plan = FaultPlan((FaultEvent(kind=DEVICE_DEGRADE,
+                                     target="server0.disk", at=1.0,
+                                     duration=1.0, factor=4.0),))
+        system = build_system(pfs_config(plan))
+        device = system.devices[0]
+        samples = []
+        probe(system, samples, (0.5, 1.5, 2.5), lambda: device.degrade)
+        assert samples == [1.0, 4.0, 1.0]
+
+    def test_device_faults_window_sets_and_restores_injector(self):
+        plan = FaultPlan((FaultEvent(kind=DEVICE_FAULTS,
+                                     target="server1.disk", at=1.0,
+                                     duration=1.0, probability=0.5,
+                                     time_fraction=0.25,
+                                     per_bytes=4096),))
+        system = build_system(pfs_config(plan))
+        device = system.devices[1]
+
+        def state():
+            injector = device.fault_injector
+            return (injector.probability, injector.time_fraction,
+                    injector.per_bytes)
+        samples = []
+        probe(system, samples, (0.5, 1.5, 2.5), state)
+        # Injector exists from arm time (idle), so draw sequences are
+        # aligned between windowed and healthy phases.
+        assert samples == [(0.0, 0.5, 0), (0.5, 0.25, 4096), (0.0, 0.5, 0)]
+
+    def test_server_crash_window(self):
+        plan = FaultPlan((FaultEvent(kind=SERVER_CRASH, target="server0",
+                                     at=1.0, duration=1.0),))
+        system = build_system(pfs_config(plan))
+        server = system.pfs.servers[0]
+        samples = []
+        probe(system, samples, (0.5, 1.5, 2.5),
+              lambda: (server.available, server.crash_count))
+        assert samples == [(True, 0), (False, 1), (True, 1)]
+
+    def test_server_slowdown_window(self):
+        plan = FaultPlan((FaultEvent(kind=SERVER_SLOWDOWN,
+                                     target="server1", at=1.0,
+                                     duration=1.0, factor=3.0),))
+        system = build_system(pfs_config(plan))
+        server = system.pfs.servers[1]
+        samples = []
+        probe(system, samples, (0.5, 1.5, 2.5), lambda: server.slowdown)
+        assert samples == [1.0, 3.0, 1.0]
+
+    def test_link_latency_window(self):
+        plan = FaultPlan((FaultEvent(kind=LINK_LATENCY, target="server0",
+                                     at=1.0, duration=1.0, factor=5.0),))
+        system = build_system(pfs_config(plan))
+        nic = system.network.node("server0").nic
+        samples = []
+        probe(system, samples, (0.5, 1.5, 2.5),
+              lambda: nic.tx.latency_factor)
+        assert samples == [1.0, 5.0, 1.0]
+
+    def test_link_down_window_flaps_and_recovers(self):
+        plan = FaultPlan((FaultEvent(kind=LINK_DOWN, target="server1",
+                                     at=1.0, duration=1.0),))
+        system = build_system(pfs_config(plan))
+        nic = system.network.node("server1").nic
+        samples = []
+        probe(system, samples, (0.5, 1.5, 2.5), lambda: nic.tx.up)
+        assert samples == [True, False, True]
+
+    def test_straggler_window(self):
+        plan = FaultPlan((FaultEvent(kind=STRAGGLER, target="7", at=1.0,
+                                     duration=1.0, factor=2.5),))
+        system = build_system(pfs_config(plan))
+        samples = []
+        probe(system, samples, (0.5, 1.5, 2.5),
+              lambda: system.fault_state.process_factor(7))
+        assert samples == [1.0, 2.5, 1.0]
+
+    def test_infinite_window_never_closes(self):
+        plan = FaultPlan((FaultEvent(kind=DEVICE_DEGRADE,
+                                     target="server0.disk", at=1.0,
+                                     factor=2.0),))
+        system = build_system(pfs_config(plan))
+        device = system.devices[0]
+        samples = []
+        probe(system, samples, (0.5, 100.0), lambda: device.degrade)
+        assert samples == [1.0, 2.0]
+        assert system.fault_plan_injector.windows_closed == 0
+
+
+class TestArming:
+    def test_unknown_device_fails_at_build_time(self):
+        plan = FaultPlan((FaultEvent(kind=DEVICE_DEGRADE, target="nope",
+                                     at=0.0, factor=2.0),))
+        with pytest.raises(FaultPlanError, match="unknown device"):
+            build_system(pfs_config(plan))
+
+    def test_unknown_server_fails_at_build_time(self):
+        plan = FaultPlan((FaultEvent(kind=SERVER_CRASH, target="server9",
+                                     at=0.0, duration=1.0),))
+        with pytest.raises(FaultPlanError, match="unknown server"):
+            build_system(pfs_config(plan))
+
+    def test_server_events_need_a_pfs(self):
+        plan = FaultPlan((FaultEvent(kind=SERVER_CRASH, target="server0",
+                                     at=0.0, duration=1.0),))
+        config = SystemConfig(kind="local", device_spec="ramdisk",
+                              fault_plan=plan)
+        with pytest.raises(FaultPlanError, match="no parallel file"):
+            build_system(config)
+
+    def test_rearming_rejected(self):
+        plan = FaultPlan((FaultEvent(kind=SERVER_CRASH, target="server0",
+                                     at=0.0, duration=1.0),))
+        system = build_system(pfs_config(plan))
+        with pytest.raises(FaultPlanError, match="already armed"):
+            system.fault_plan_injector.arm()
+
+    def test_summary_and_log_after_run(self):
+        plan = FaultPlan((
+            FaultEvent(kind=SERVER_CRASH, target="server0", at=1.0,
+                       duration=1.0),
+            FaultEvent(kind=DEVICE_DEGRADE, target="server1.disk",
+                       at=2.0, duration=1.0, factor=2.0),
+        ))
+        system = build_system(pfs_config(plan))
+        probe(system, [], (5.0,), lambda: None)
+        injector = system.fault_plan_injector
+        assert injector.summary() == {"events": 2, "windows_opened": 2,
+                                      "windows_closed": 2}
+        assert len(injector.log) == 4
+        assert any("open server-crash on server0" in line
+                   for line in injector.log)

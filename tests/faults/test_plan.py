@@ -1,0 +1,154 @@
+"""FaultEvent/FaultPlan validation and seeded plan generation."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    DEVICE_DEGRADE,
+    DEVICE_FAULTS,
+    LINK_DOWN,
+    LINK_LATENCY,
+    SERVER_CRASH,
+    SERVER_SLOWDOWN,
+    STRAGGLER,
+    FaultEvent,
+    FaultPlan,
+    random_fault_plan,
+)
+from repro.util.rng import RngStream
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultEvent(kind="disk-melt", target="d0", at=0.0)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(FaultPlanError, match="needs a target"):
+            FaultEvent(kind=SERVER_CRASH, target="", at=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError, match="bad event time"):
+            FaultEvent(kind=SERVER_CRASH, target="s0", at=-1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(FaultPlanError, match="bad event duration"):
+            FaultEvent(kind=SERVER_CRASH, target="s0", at=0.0,
+                       duration=0.0)
+
+    def test_infinite_link_down_rejected(self):
+        # A link that never comes back deadlocks its waiters; the plan
+        # validator refuses it up front.
+        with pytest.raises(FaultPlanError, match="finite duration"):
+            FaultEvent(kind=LINK_DOWN, target="n0", at=0.0)
+
+    def test_finite_link_down_allowed(self):
+        event = FaultEvent(kind=LINK_DOWN, target="n0", at=1.0,
+                           duration=0.5)
+        assert event.recovery_at == pytest.approx(1.5)
+
+    def test_factor_below_one_rejected(self):
+        for kind in (DEVICE_DEGRADE, SERVER_SLOWDOWN, LINK_LATENCY,
+                     STRAGGLER):
+            with pytest.raises(FaultPlanError, match="factor"):
+                FaultEvent(kind=kind, target="3", at=0.0, factor=0.5)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultEvent(kind=DEVICE_FAULTS, target="d0", at=0.0,
+                       probability=1.5)
+
+    def test_straggler_target_must_be_pid(self):
+        with pytest.raises(FaultPlanError, match="pid"):
+            FaultEvent(kind=STRAGGLER, target="rank-zero", at=0.0)
+
+    def test_infinite_window_never_recovers(self):
+        event = FaultEvent(kind=DEVICE_DEGRADE, target="d0", at=2.0,
+                           factor=3.0)
+        assert math.isinf(event.recovery_at)
+        assert "forever" in event.describe()
+
+    def test_describe_mentions_kind_and_target(self):
+        event = FaultEvent(kind=SERVER_SLOWDOWN, target="server1",
+                           at=0.25, duration=1.0, factor=2.0)
+        text = event.describe()
+        assert SERVER_SLOWDOWN in text and "server1" in text
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_start_time(self):
+        late = FaultEvent(kind=SERVER_CRASH, target="s0", at=5.0,
+                          duration=1.0)
+        early = FaultEvent(kind=SERVER_CRASH, target="s0", at=1.0,
+                           duration=1.0)
+        plan = FaultPlan((late, early))
+        assert [e.at for e in plan] == [1.0, 5.0]
+
+    def test_overlapping_same_kind_same_target_rejected(self):
+        first = FaultEvent(kind=SERVER_CRASH, target="s0", at=1.0,
+                           duration=2.0)
+        second = FaultEvent(kind=SERVER_CRASH, target="s0", at=2.0,
+                            duration=1.0)
+        with pytest.raises(FaultPlanError, match="overlapping"):
+            FaultPlan((first, second))
+
+    def test_overlap_allowed_across_targets_and_kinds(self):
+        plan = FaultPlan((
+            FaultEvent(kind=SERVER_CRASH, target="s0", at=1.0,
+                       duration=2.0),
+            FaultEvent(kind=SERVER_CRASH, target="s1", at=1.5,
+                       duration=2.0),
+            FaultEvent(kind=SERVER_SLOWDOWN, target="s0", at=1.5,
+                       duration=2.0, factor=2.0),
+        ))
+        assert len(plan) == 3
+
+    def test_targets_filtering(self):
+        plan = FaultPlan((
+            FaultEvent(kind=SERVER_CRASH, target="s0", at=0.0,
+                       duration=1.0),
+            FaultEvent(kind=DEVICE_DEGRADE, target="d0", at=0.5,
+                       factor=2.0),
+        ))
+        assert plan.targets() == ["s0", "d0"]
+        assert plan.targets(DEVICE_DEGRADE) == ["d0"]
+
+    def test_empty_plan_describes_itself(self):
+        assert "empty" in FaultPlan().describe()
+
+
+class TestRandomFaultPlan:
+    def kwargs(self):
+        return dict(horizon_s=10.0, devices=("d0", "d1"),
+                    servers=("s0",), nodes=("n0",), pids=(0, 3),
+                    events_per_target=2, severity=1.0,
+                    fault_probability=0.1, per_bytes=4096)
+
+    def test_same_seed_same_plan(self):
+        one = random_fault_plan(RngStream.from_seed(99), **self.kwargs())
+        two = random_fault_plan(RngStream.from_seed(99), **self.kwargs())
+        assert one.events == two.events
+
+    def test_different_seed_different_plan(self):
+        one = random_fault_plan(RngStream.from_seed(99), **self.kwargs())
+        two = random_fault_plan(RngStream.from_seed(100), **self.kwargs())
+        assert one.events != two.events
+
+    def test_covers_every_requested_layer(self):
+        plan = random_fault_plan(RngStream.from_seed(7), **self.kwargs())
+        kinds = {event.kind for event in plan}
+        assert kinds == {DEVICE_DEGRADE, DEVICE_FAULTS, SERVER_SLOWDOWN,
+                         LINK_LATENCY, STRAGGLER}
+        assert set(plan.targets(STRAGGLER)) == {"0", "3"}
+
+    def test_windows_inside_horizon_and_disjoint(self):
+        plan = random_fault_plan(RngStream.from_seed(11), **self.kwargs())
+        for event in plan:
+            assert 0.0 <= event.at < 10.0
+            assert event.recovery_at <= 10.0 + 1e-9
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(FaultPlanError, match="horizon"):
+            random_fault_plan(RngStream.from_seed(1), horizon_s=0.0)

@@ -1,0 +1,68 @@
+"""Engine failure paths: deadlock detection and completion/timeout races."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.sim.engine import Engine
+
+
+class TestDeadlockDetection:
+    def test_waiting_on_untriggered_completion_raises(self, engine):
+        never = engine.completion()
+
+        def proc():
+            yield never
+        engine.spawn(proc(), name="stuck")
+        with pytest.raises(DeadlockError, match="still waiting"):
+            engine.run()
+
+    def test_deadlock_message_names_time(self, engine):
+        never = engine.completion()
+
+        def proc():
+            yield engine.timeout(2.5)
+            yield never
+        engine.spawn(proc(), name="stuck-later")
+        with pytest.raises(DeadlockError, match="t=2.5"):
+            engine.run()
+
+    def test_triggered_completion_is_not_a_deadlock(self, engine):
+        done = engine.completion()
+        engine.call_at(1.0, done.trigger, "value")
+
+        def proc():
+            got = yield done
+            return got
+        process = engine.spawn(proc(), name="fine")
+        engine.run()
+        assert process.result() == "value"
+
+
+class TestTimeoutCompletionRace:
+    def run_race(self, completion_at, timeout_after):
+        engine = Engine()
+        done = engine.completion()
+        engine.call_at(completion_at, done.trigger, "payload")
+        holder = {}
+
+        def proc():
+            holder["fired"] = yield engine.any_of(
+                [done, engine.timeout(timeout_after)])
+        engine.spawn(proc(), name="race")
+        engine.run()
+        return engine, holder["fired"]
+
+    def test_completion_wins_when_earlier(self):
+        engine, (index, value) = self.run_race(0.01, 0.05)
+        assert (index, value) == (0, "payload")
+
+    def test_timeout_wins_when_earlier(self):
+        engine, (index, value) = self.run_race(0.05, 0.01)
+        assert index == 1
+
+    def test_loser_does_not_rewake_the_winner(self):
+        # The race's loser (completion at 0.05) still fires later; the
+        # waiting process must have moved on after the timeout at 0.01.
+        engine, (index, _) = self.run_race(0.05, 0.01)
+        assert index == 1
+        assert engine.now == pytest.approx(0.05)  # heap fully drained
