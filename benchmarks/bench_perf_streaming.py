@@ -1,0 +1,152 @@
+"""Perf bench: the streaming metrics engine at trace scale.
+
+Two figures are measured on synthetic overlapping traces:
+
+1. **Ingest throughput** — records/second through a full
+   :class:`~repro.live.stream.MetricStream` (union + windows + groups)
+   and through a bare :class:`~repro.live.union.StreamingUnion`, at
+   10^5 and 10^6 records (smoke: 10^4 and 10^5).  Streamed results are
+   asserted bit-identical to the batch pipeline at every scale — the
+   speed is only interesting because the answer is exact.
+
+2. **Per-window latency** — wall time from a window becoming settled to
+   its ``window`` event reaching a sink, i.e. the cost of closing one
+   window (clip-union + stats + emit), reported as mean/p99 over the
+   run's windows.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized variant.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.intervals import union_time
+from repro.core.metrics import compute_metrics
+from repro.core.records import TraceCollection
+from repro.live import MetricStream, StreamingUnion
+from repro.util.tables import TextTable
+from repro.util.units import MiB
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+SCALES = (10**4, 10**5) if SMOKE else (10**5, 10**6)
+#: Floor for full-stream ingest at the largest scale (records/second).
+#: Deliberately conservative: CI boxes vary, and the assertion exists
+#: to catch order-of-magnitude regressions, not to race the hardware.
+REQUIRED_RPS = 20_000.0
+
+
+def synthesize(n, *, seed=20130520):
+    """Near-sorted completion stream with realistic out-of-orderness."""
+    rng = np.random.default_rng(seed)
+    start = np.sort(rng.uniform(0.0, n / 2000.0, size=n))
+    duration = rng.exponential(0.005, size=n)
+    duration[rng.random(n) < 0.01] = 0.0
+    end = start + duration
+    pid = rng.integers(0, 16, size=n)
+    nbytes = rng.integers(512, 1 * MiB, size=n)
+    op = np.where(rng.random(n) < 0.7, "read", "write")
+    trace = TraceCollection.from_arrays(pid=pid, nbytes=nbytes,
+                                        start=start, end=end, op=op)
+    # Delivery in completion order — what a live tracer produces.
+    records = sorted(trace, key=lambda r: (r.end, r.start))
+    return trace, records
+
+
+class _LatencySink:
+    """Timestamps every window event against a caller-held clock."""
+
+    def __init__(self):
+        self.marks = []
+        self.t0 = 0.0
+
+    def emit(self, event):
+        if event.get("type") == "window":
+            self.marks.append(time.perf_counter() - self.t0)
+
+
+def test_streaming_ingest_throughput(artifact):
+    table = TextTable(["records", "union only (rec/s)",
+                       "full stream (rec/s)", "windows",
+                       "late", "== batch"])
+    headline_rps = None
+    for n in SCALES:
+        trace, records = synthesize(n)
+        intervals = [(r.start, r.end) for r in records]
+
+        t0 = time.perf_counter()
+        union = StreamingUnion(reorder_capacity=4096)
+        for s, e in intervals:
+            union.add(s, e)
+        streamed_t = union.finalize()
+        union_rps = n / (time.perf_counter() - t0)
+
+        span = trace.span()
+        stream = MetricStream(window=(span[1] - span[0]) / 50,
+                              block_size=512, origin=span[0])
+        t0 = time.perf_counter()
+        for record in records:
+            stream.ingest(record)
+        result = stream.finalize()
+        stream_rps = n / (time.perf_counter() - t0)
+
+        batch = compute_metrics(trace,
+                                exec_time=result.metrics.exec_time,
+                                block_size=512)
+        exact = (streamed_t == union_time(trace.intervals())
+                 and result.metrics.bps == batch.bps
+                 and result.metrics.union_io_time == batch.union_io_time)
+        assert exact, f"streamed != batch at n={n}"
+
+        headline_rps = stream_rps
+        table.add_row([f"{n:.0e}", f"{union_rps:,.0f}",
+                       f"{stream_rps:,.0f}", str(len(result.windows)),
+                       str(result.late_records), "yes (bit-identical)"])
+
+    mode = "smoke" if SMOKE else "full"
+    artifact("perf_streaming_ingest",
+             f"streaming metrics ingest throughput ({mode} mode)\n"
+             + table.render())
+    assert headline_rps >= REQUIRED_RPS, (
+        f"full-stream ingest {headline_rps:,.0f} rec/s at "
+        f"{SCALES[-1]:.0e} records is below the {REQUIRED_RPS:,.0f} "
+        f"rec/s floor")
+
+
+def test_per_window_close_latency(artifact):
+    n = SCALES[-1]
+    trace, records = synthesize(n)
+    span = trace.span()
+    sink = _LatencySink()
+    stream = MetricStream(window=(span[1] - span[0]) / 200,
+                          block_size=512, origin=span[0],
+                          sinks=[sink])
+    closes = []
+    for record in records:
+        before = len(sink.marks)
+        sink.t0 = time.perf_counter()
+        stream.ingest(record)
+        after = time.perf_counter() - sink.t0
+        if len(sink.marks) > before:
+            # This ingest closed >= 1 window; charge it the full call.
+            closes.append(after)
+    stream.finalize()
+
+    assert closes, "no window ever closed mid-stream"
+    arr = np.asarray(closes)
+    table = TextTable(["records", "windows closed mid-stream",
+                       "close latency mean", "p99", "max"])
+    table.add_row([f"{n:.0e}", str(len(closes)),
+                   f"{arr.mean() * 1e6:.0f}us",
+                   f"{np.percentile(arr, 99) * 1e6:.0f}us",
+                   f"{arr.max() * 1e3:.2f}ms"])
+    mode = "smoke" if SMOKE else "full"
+    artifact("perf_streaming_latency",
+             f"per-window close latency ({mode} mode)\n" + table.render())
+    # A window close must stay far below a window's own width in real
+    # time — otherwise the \"live\" engine couldn't keep up with itself.
+    assert np.percentile(arr, 99) < 0.1

@@ -16,7 +16,10 @@ The package provides, from the bottom up:
 - the complete evaluation-section reproduction
   (:mod:`repro.experiments`);
 - an offline toolkit for real traces (:mod:`repro.trace_io`,
-  :mod:`repro.cli`).
+  :mod:`repro.cli`);
+- a streaming metrics engine — windowed BPS, online union time,
+  anomaly flags, telemetry sinks — for watching runs live
+  (:mod:`repro.live`).
 
 Quick taste::
 
@@ -44,6 +47,13 @@ from repro.core import (
     SweepAnalysis,
 )
 from repro.faults import FaultEvent, FaultPlan, random_fault_plan
+from repro.live import (
+    BpsAnomalyDetector,
+    LiveTap,
+    MetricStream,
+    StreamingUnion,
+    watch_trace,
+)
 from repro.middleware import RetryPolicy
 from repro.system import System, SystemConfig, build_system
 from repro.workloads import (
@@ -83,6 +93,11 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "random_fault_plan",
+    "StreamingUnion",
+    "MetricStream",
+    "LiveTap",
+    "BpsAnomalyDetector",
+    "watch_trace",
     "RetryPolicy",
     "HotSpotWorkload",
     "IOzoneWorkload",

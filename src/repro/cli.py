@@ -10,6 +10,12 @@ Subcommands:
 - ``experiments`` — list the Table 2 experiment registry.
 - ``simulate`` — run one workload on one simulated platform and print
   its metric set.
+- ``watch`` — stream a trace through the live metrics engine
+  (:mod:`repro.live`): per-window BPS as records "complete", anomaly
+  flags, optional JSONL / Prometheus telemetry sinks.
+
+``analyze``, ``replay``, and ``watch`` accept ``-`` as the trace path
+to read JSONL records from standard input.
 """
 
 from __future__ import annotations
@@ -24,35 +30,10 @@ from repro.experiments.figures import FIGURES, regenerate
 from repro.experiments.registry import EXPERIMENT_SETS
 from repro.experiments.runner import ExperimentScale
 from repro.system import SystemConfig
-from repro.trace_io import (
-    read_blkparse,
-    read_csv_trace,
-    read_darshan,
-    read_fio_json,
-    read_jsonl_trace,
-)
+from repro.trace_io import TRACE_READERS, read_trace
 from repro.util.tables import TextTable
 from repro.util.units import format_rate, format_seconds, parse_size
 from repro.workloads import HpioWorkload, IORWorkload, IOzoneWorkload
-
-_READERS = {
-    "csv": read_csv_trace,
-    "jsonl": read_jsonl_trace,
-    "blkparse": read_blkparse,
-    "fio": read_fio_json,
-    "darshan": read_darshan,
-}
-
-
-def _guess_format(path: str) -> str:
-    lowered = path.lower()
-    if lowered.endswith(".csv"):
-        return "csv"
-    if lowered.endswith((".jsonl", ".ndjson")):
-        return "jsonl"
-    if lowered.endswith(".json"):
-        return "fio"
-    return "blkparse"
 
 
 def _render_metrics(metrics: MetricSet) -> str:
@@ -71,14 +52,12 @@ def _render_metrics(metrics: MetricSet) -> str:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    fmt = args.format or _guess_format(args.trace)
-    reader = _READERS[fmt]
-    trace = reader(args.trace)
+    trace = read_trace(args.trace, fmt=args.format)
     first, last = trace.span()
     exec_time = args.exec_time if args.exec_time else (last - first)
     metrics = compute_metrics(trace, exec_time=exec_time,
                               block_size=args.block_size)
-    print(f"trace: {args.trace} ({fmt}, {len(trace)} records, "
+    print(f"trace: {args.trace} ({len(trace)} records, "
           f"{len(trace.pids())} processes)")
     print(_render_metrics(metrics))
     if args.bins:
@@ -112,8 +91,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     traces = {}
     for path in (args.trace_a, args.trace_b):
-        fmt = args.format or _guess_format(path)
-        traces[path] = _READERS[fmt](path)
+        traces[path] = read_trace(path, fmt=args.format)
     metrics = {}
     for path, trace in traces.items():
         first, last = trace.span()
@@ -148,8 +126,7 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
         per_process_breakdown,
         render_gantt,
     )
-    fmt = args.format or _guess_format(args.trace)
-    trace = _READERS[fmt](args.trace)
+    trace = read_trace(args.trace, fmt=args.format)
     print(render_gantt(trace, width=args.width))
     print()
     table = TextTable(["pid", "ops", "blocks", "union T",
@@ -278,8 +255,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.workloads.replay_trace import TraceReplayWorkload
-    fmt = args.format or _guess_format(args.trace)
-    trace = _READERS[fmt](args.trace)
+    trace = read_trace(args.trace, fmt=args.format)
     first, last = trace.span()
     original = compute_metrics(trace, exec_time=last - first,
                                block_size=args.block_size)
@@ -310,6 +286,89 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_speed(value: str) -> float | None:
+    """``--speed`` argument: a positive factor or ``max`` (no pacing)."""
+    if value == "max":
+        return None
+    try:
+        speed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"speed must be a positive number or 'max', got {value!r}")
+    if speed <= 0:
+        raise argparse.ArgumentTypeError(
+            f"speed must be > 0, got {value}")
+    return speed
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.live import (
+        BpsAnomalyDetector,
+        JsonlSink,
+        PrometheusSink,
+        watch_trace,
+    )
+    trace = read_trace(args.trace, fmt=args.format)
+    sinks = []
+    if args.jsonl_out:
+        sinks.append(JsonlSink(args.jsonl_out))
+    if args.prom_out:
+        sinks.append(PrometheusSink(args.prom_out))
+    detector = None
+    if not args.no_detector:
+        detector = BpsAnomalyDetector(drop_factor=args.drop_factor,
+                                      history=args.baseline_history)
+
+    table = TextTable(["window", "ops", "BPS (blocks/s)", "bandwidth",
+                       "flag"])
+
+    def on_event(event: dict) -> None:
+        if event["type"] == "anomaly":
+            # Anomaly events follow their window's row; mark them on a
+            # row of their own so the stream stays append-only.
+            table.add_row([
+                f"[{event['t0']:.6g}, {event['t1']:.6g})", "", "", "",
+                f"! BPS {event['bps']:,.0f} vs baseline "
+                f"{event['baseline']:,.0f}",
+            ])
+            return
+        table.add_row([
+            f"[{event['t0']:.6g}, {event['t1']:.6g})",
+            f"{event['ops']:,}",
+            f"{event['bps']:,.0f}",
+            format_rate(event["bandwidth"]),
+            "",
+        ])
+
+    result = watch_trace(
+        trace,
+        window=args.window,
+        bins=args.bins,
+        block_size=args.block_size,
+        speed=args.speed,
+        sinks=sinks,
+        detector=detector,
+        exec_time=args.exec_time,
+        on_window=on_event,
+    )
+    print(f"watched: {args.trace} ({len(trace)} records, "
+          f"{len(result.windows)} windows, "
+          f"{len(result.anomalies)} anomalies)")
+    print(table.render())
+    print("\ncumulative (streamed):")
+    print(_render_metrics(result.metrics))
+    for anomaly in result.anomalies:
+        print(f"anomaly: window [{anomaly.window_start:.6g}, "
+              f"{anomaly.window_end:.6g}) BPS {anomaly.bps:,.0f} vs "
+              f"baseline {anomaly.baseline:,.0f} "
+              f"({anomaly.severity:.1f}x drop)")
+    if args.jsonl_out:
+        print(f"wrote event stream to {args.jsonl_out}")
+    if args.prom_out:
+        print(f"wrote Prometheus exposition to {args.prom_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The toolkit's argument parser (exposed for the test suite)."""
     parser = argparse.ArgumentParser(
@@ -320,8 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze", help="compute metrics from a recorded trace file")
-    analyze.add_argument("trace", help="path to the trace file")
-    analyze.add_argument("--format", choices=sorted(_READERS),
+    analyze.add_argument("trace",
+                         help="path to the trace file, or - for stdin "
+                              "(jsonl)")
+    analyze.add_argument("--format", choices=sorted(TRACE_READERS),
                          help="trace format (default: guess from suffix)")
     analyze.add_argument("--block-size", type=int, default=512,
                          help="BPS block unit in bytes (default 512)")
@@ -352,7 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="A/B comparison of two recorded traces")
     compare.add_argument("trace_a")
     compare.add_argument("trace_b")
-    compare.add_argument("--format", choices=sorted(_READERS),
+    compare.add_argument("--format", choices=sorted(TRACE_READERS),
                          help="trace format for both (default: guess)")
     compare.add_argument("--block-size", type=int, default=512)
     compare.set_defaults(func=_cmd_compare)
@@ -361,7 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
         "gantt", help="timeline view of a trace: per-process Gantt "
                       "chart, breakdowns, overlap surplus")
     gantt.add_argument("trace", help="path to the trace file")
-    gantt.add_argument("--format", choices=sorted(_READERS),
+    gantt.add_argument("--format", choices=sorted(TRACE_READERS),
                        help="trace format (default: guess from suffix)")
     gantt.add_argument("--width", type=int, default=72,
                        help="chart width in characters")
@@ -423,8 +484,10 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser(
         "replay", help="replay a recorded trace on a simulated "
                        "platform (what-if analysis)")
-    replay.add_argument("trace", help="path to the trace file")
-    replay.add_argument("--format", choices=sorted(_READERS),
+    replay.add_argument("trace",
+                        help="path to the trace file, or - for stdin "
+                             "(jsonl)")
+    replay.add_argument("--format", choices=sorted(TRACE_READERS),
                         help="trace format (default: guess from suffix)")
     replay.add_argument("--kind", choices=("local", "pfs"),
                         default="local")
@@ -437,6 +500,45 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--block-size", type=int, default=512)
     replay.add_argument("--seed", type=int, default=12345)
     replay.set_defaults(func=_cmd_replay)
+
+    watch = sub.add_parser(
+        "watch", help="stream a trace through the live metrics engine "
+                      "(windowed BPS, anomaly flags, telemetry sinks)")
+    watch.add_argument("trace",
+                       help="path to the trace file, or - for stdin "
+                            "(jsonl)")
+    watch.add_argument("--format", choices=sorted(TRACE_READERS),
+                       help="trace format (default: guess from suffix; "
+                            "jsonl for stdin)")
+    watch.add_argument("--window", type=float, default=None,
+                       help="metric window width in trace seconds "
+                            "(default: span / --bins)")
+    watch.add_argument("--bins", type=int, default=20,
+                       help="window count when --window is not given "
+                            "(default 20)")
+    watch.add_argument("--speed", type=_parse_speed, default=None,
+                       metavar="FACTOR|max",
+                       help="pacing: 1 = real time, 10 = 10x faster, "
+                            "max = no pacing (default max)")
+    watch.add_argument("--block-size", type=int, default=512,
+                       help="BPS block unit in bytes (default 512)")
+    watch.add_argument("--exec-time", type=float, default=None,
+                       help="application execution time in seconds "
+                            "(default: trace span)")
+    watch.add_argument("--jsonl-out", default="",
+                       help="also write every stream event to this "
+                            "JSONL file")
+    watch.add_argument("--prom-out", default="",
+                       help="maintain a Prometheus text exposition "
+                            "file at this path")
+    watch.add_argument("--no-detector", action="store_true",
+                       help="disable the BPS anomaly detector")
+    watch.add_argument("--drop-factor", type=float, default=3.0,
+                       help="flag windows whose BPS falls below "
+                            "baseline/FACTOR (default 3.0)")
+    watch.add_argument("--baseline-history", type=int, default=8,
+                       help="rolling-baseline window count (default 8)")
+    watch.set_defaults(func=_cmd_watch)
 
     return parser
 

@@ -80,16 +80,24 @@ def union_time_paper(intervals) -> float:
     return total
 
 
-def _segment_bounds(arr: np.ndarray, *,
-                    assume_sorted: bool) -> tuple[np.ndarray, np.ndarray]:
+def merge_sweep(arr: np.ndarray, *,
+                assume_sorted: bool = False) -> tuple[np.ndarray, np.ndarray]:
     """(segment_starts, segment_ends) of the merged union of ``arr``.
 
-    The single merge sweep shared by :func:`union_time` and
-    :func:`merge_intervals`: sort by start (skipped when the caller
-    already holds start-sorted intervals, e.g. the memoised
-    ``TraceCollection.sorted_intervals`` cache), take the running
-    maximum of end times, and cut segments where a start exceeds every
-    prior end.
+    The single merge-sweep kernel shared by :func:`union_time` and
+    :func:`merge_intervals`, and reused by the streaming accumulator in
+    :mod:`repro.live.union` to fold drained reorder-buffer batches: sort
+    by start (skipped when the caller already holds start-sorted
+    intervals, e.g. the memoised ``TraceCollection.sorted_intervals``
+    cache), take the running maximum of end times, and cut segments
+    where a start exceeds every prior end.  Touching intervals
+    (``end == next start``) merge — the gap test is strict — which
+    makes the output the *canonical* disjoint union: any implementation
+    with the same touching-merges rule produces bit-identical segment
+    bounds, the property the streaming/batch equality proof rests on.
+
+    ``arr`` must already be validated (n, 2) float; callers go through
+    :func:`_as_interval_array` or a :class:`TraceCollection` cache.
     """
     n = arr.shape[0]
     if assume_sorted:
@@ -123,7 +131,7 @@ def union_time(intervals, *, assume_sorted: bool = False) -> float:
     arr = _as_interval_array(intervals)
     if arr.shape[0] == 0:
         return 0.0
-    segment_starts, segment_ends = _segment_bounds(
+    segment_starts, segment_ends = merge_sweep(
         arr, assume_sorted=assume_sorted)
     return float(np.sum(segment_ends - segment_starts))
 
@@ -138,7 +146,7 @@ def merge_intervals(intervals, *, assume_sorted: bool = False) -> np.ndarray:
     arr = _as_interval_array(intervals)
     if arr.shape[0] == 0:
         return arr
-    segment_starts, segment_ends = _segment_bounds(
+    segment_starts, segment_ends = merge_sweep(
         arr, assume_sorted=assume_sorted)
     return np.column_stack((segment_starts, segment_ends))
 

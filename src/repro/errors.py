@@ -63,3 +63,8 @@ class ExperimentError(ReproError):
 
 class FaultPlanError(ReproError):
     """A fault plan is malformed or cannot be armed against a system."""
+
+
+class LiveStreamError(ReproError):
+    """A streaming-metrics contract violation (late record in strict
+    mode, non-monotonic watermark, ingest after finalize, ...)."""

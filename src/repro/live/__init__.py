@@ -1,0 +1,51 @@
+"""repro.live — streaming metrics: BPS while the run is in flight.
+
+The offline methodology (gather every record, then one sort+merge
+sweep, paper §III.B/Fig. 3) becomes an online pipeline:
+
+- :mod:`repro.live.union` — :class:`StreamingUnion`, the incremental
+  interval-union accumulator (bounded reorder buffer + watermark),
+  provably — and bit-for-bit — equal to the batch
+  :func:`~repro.core.intervals.union_time`;
+- :mod:`repro.live.stream` — :class:`MetricStream`, per-window and
+  cumulative BPS/IOPS/bandwidth/ARPT series with per-pid / per-op /
+  per-server breakdowns;
+- :mod:`repro.live.anomaly` — :class:`BpsAnomalyDetector`, rolling-
+  baseline drop detection over closed windows;
+- :mod:`repro.live.sinks` — pluggable telemetry sinks (in-memory,
+  JSONL event stream, Prometheus-style text exposition);
+- :mod:`repro.live.tap` — :class:`LiveTap`, completion-callback feed
+  from a running simulation;
+- :mod:`repro.live.replay` — :func:`watch_trace`, the paced trace
+  replayer behind ``bps watch``.
+"""
+
+from repro.live.anomaly import Anomaly, BpsAnomalyDetector
+from repro.live.replay import completion_order, watch_trace
+from repro.live.sinks import JsonlSink, MemorySink, PrometheusSink
+from repro.live.stream import (
+    GroupStats,
+    LiveResult,
+    LiveSnapshot,
+    MetricStream,
+    WindowStats,
+)
+from repro.live.tap import LiveTap
+from repro.live.union import StreamingUnion
+
+__all__ = [
+    "StreamingUnion",
+    "MetricStream",
+    "WindowStats",
+    "GroupStats",
+    "LiveSnapshot",
+    "LiveResult",
+    "Anomaly",
+    "BpsAnomalyDetector",
+    "MemorySink",
+    "JsonlSink",
+    "PrometheusSink",
+    "LiveTap",
+    "watch_trace",
+    "completion_order",
+]

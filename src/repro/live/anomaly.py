@@ -1,0 +1,97 @@
+"""Online BPS anomaly detection over the windowed stream.
+
+The detector watches closed windows and flags the ones whose BPS falls
+beyond a configurable factor of a **rolling baseline** — the mean BPS
+of the last ``history`` healthy windows.  Design choices, each load-
+bearing for the fault-plan cross-check tests:
+
+- the baseline only learns from windows it did *not* flag, so a long
+  degradation (a crash window spanning several metric windows) cannot
+  drag the baseline down to meet it;
+- windows observed before ``min_history`` healthy samples exist are
+  never flagged (warm-up: the first windows of a run define normal);
+- an idle window (no ops, no active time) counts as BPS 0, which flags
+  once a baseline exists — a silent stall mid-run is exactly the
+  signature of a crash window with no failover path.
+
+This mirrors how LASSi-style tooling derives time-windowed risk metrics
+from live filesystem stats rather than from post-hoc trace analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import LiveStreamError
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged window."""
+
+    kind: str
+    window_index: int
+    window_start: float
+    window_end: float
+    bps: float
+    baseline: float
+    #: baseline / observed BPS (inf when the window was fully stalled).
+    severity: float
+
+    def as_event(self) -> dict:
+        return {
+            "type": "anomaly", "kind": self.kind,
+            "index": self.window_index,
+            "t0": self.window_start, "t1": self.window_end,
+            "bps": self.bps, "baseline": self.baseline,
+            "severity": self.severity,
+        }
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Does the flagged window intersect [start, end)?"""
+        return self.window_start < end and start < self.window_end
+
+
+class BpsAnomalyDetector:
+    """Rolling-baseline drop detector for window BPS."""
+
+    def __init__(self, *, drop_factor: float = 3.0, history: int = 8,
+                 min_history: int = 3) -> None:
+        if drop_factor <= 1.0:
+            raise LiveStreamError(
+                f"drop factor must be > 1, got {drop_factor}")
+        if history < 1 or min_history < 1 or min_history > history:
+            raise LiveStreamError(
+                f"bad history configuration ({history}, {min_history})")
+        self.drop_factor = drop_factor
+        self.min_history = min_history
+        self._baseline: deque[float] = deque(maxlen=history)
+
+    @property
+    def baseline(self) -> float:
+        """Current rolling-mean BPS (0.0 during warm-up)."""
+        if not self._baseline:
+            return 0.0
+        return sum(self._baseline) / len(self._baseline)
+
+    def observe(self, window) -> Anomaly | None:
+        """Feed one closed :class:`~repro.live.stream.WindowStats`.
+
+        Returns an :class:`Anomaly` if the window is flagged, else None
+        (and the window's BPS joins the baseline).
+        """
+        bps = window.bps
+        if len(self._baseline) >= self.min_history:
+            baseline = self.baseline
+            threshold = baseline / self.drop_factor
+            if bps < threshold:
+                severity = (baseline / bps) if bps > 0 else float("inf")
+                return Anomaly(
+                    kind="bps-drop",
+                    window_index=window.index,
+                    window_start=window.start,
+                    window_end=window.end,
+                    bps=bps, baseline=baseline, severity=severity)
+        self._baseline.append(bps)
+        return None

@@ -1,0 +1,102 @@
+"""Replay a recorded trace through the live pipeline — ``bps watch``.
+
+Any supported trace format becomes a completion stream: records are
+delivered in **end-time order** (the order a real tracer would emit
+them as operations finish), optionally paced against the wall clock so
+a 30-second trace takes 30 seconds (``speed=1.0``), 3 seconds
+(``speed=10``), or no time at all (``speed=None`` — the ``--speed
+max`` mode CI uses to check streamed-equals-batch).
+
+The watermark follows delivery: after delivering a record ending at
+``e``, no future record *ends* before ``e``, so any future *start* is
+above ``e - D`` where ``D`` is the longest request duration.  The
+replayer tracks the running maximum duration and advances the
+watermark to ``e - max_duration_seen`` — adaptive lag, no
+configuration.  A pathological trace whose longest request appears
+last still settles exactly: stragglers fold in late (cumulative
+metrics are order-independent) and windows are corrected at finalize.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Iterable
+
+from repro.core.records import TraceCollection
+from repro.errors import LiveStreamError
+from repro.live.stream import LiveResult, MetricStream
+
+
+class _CallbackSink:
+    """Adapter: forwards selected event types to a callable."""
+
+    def __init__(self, callback: Callable[[dict], None],
+                 kinds: tuple[str, ...]) -> None:
+        self._callback = callback
+        self._kinds = kinds
+
+    def emit(self, event: dict) -> None:
+        if event.get("type") in self._kinds:
+            self._callback(event)
+
+
+def completion_order(trace: TraceCollection):
+    """The trace's records sorted by completion (end, then start)."""
+    records = list(trace)
+    records.sort(key=lambda r: (r.end, r.start))
+    return records
+
+
+def watch_trace(
+    trace: TraceCollection,
+    *,
+    window: float | None = None,
+    bins: int = 20,
+    block_size: int = 512,
+    speed: float | None = None,
+    sinks: Iterable = (),
+    detector=None,
+    exec_time: float | None = None,
+    on_window: Callable[[dict], None] | None = None,
+    sleep: Callable[[float], None] = _time.sleep,
+) -> LiveResult:
+    """Stream ``trace`` through a :class:`MetricStream` and settle it.
+
+    ``window`` is the metric-window width in trace seconds; when None
+    it is derived as span / ``bins``.  ``speed`` is the pacing factor
+    (None = as fast as possible); ``sleep`` is injectable for tests.
+    ``on_window`` is called with each ``window``/``anomaly`` event dict
+    as it closes — the CLI's console renderer.
+    """
+    if len(trace) == 0:
+        raise LiveStreamError("cannot watch an empty trace")
+    if speed is not None and speed <= 0:
+        raise LiveStreamError(f"speed must be > 0, got {speed}")
+    first, last = trace.span()
+    if window is None:
+        span = last - first
+        if span <= 0:
+            raise LiveStreamError(
+                "trace has zero wall extent; pass an explicit window")
+        window = span / max(1, bins)
+
+    stream_sinks = list(sinks)
+    if on_window is not None:
+        stream_sinks.append(_CallbackSink(on_window,
+                                          ("window", "anomaly")))
+    stream = MetricStream(
+        window=window, block_size=block_size, origin=first,
+        late_policy="merge", sinks=stream_sinks, detector=detector)
+    max_duration = 0.0
+    previous_end: float | None = None
+    for record in completion_order(trace):
+        if speed is not None and previous_end is not None:
+            gap = (record.end - previous_end) / speed
+            if gap > 0:
+                sleep(gap)
+        previous_end = record.end
+        if record.duration > max_duration:
+            max_duration = record.duration
+        stream.ingest(record)
+        stream.advance_watermark(record.end - max_duration)
+    return stream.finalize(exec_time=exec_time, label="watch")

@@ -1,0 +1,138 @@
+"""Pluggable telemetry sinks for the live metric stream.
+
+A sink is anything with ``emit(event: dict)`` and (optionally)
+``close()``; the stream pushes plain-dict events — ``window``,
+``snapshot``, ``anomaly``, ``final`` — so sinks stay decoupled from the
+metric machinery.  Three implementations ship:
+
+- :class:`MemorySink` — keeps events in a list (tests, notebooks);
+- :class:`JsonlSink` — one JSON object per line, append-structured, the
+  same shape a downstream collector would tail;
+- :class:`PrometheusSink` — Prometheus-style text exposition rewritten
+  atomically on every update, the node-exporter "textfile collector"
+  pattern: point a scraper at the file and the run's live gauges show
+  up under ``repro_live_*``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import IO
+
+from repro.errors import LiveStreamError
+
+#: Event fields exported as Prometheus gauges (cumulative families).
+_PROM_GAUGES = (
+    ("bps", "repro_live_bps", "Blocks per second (paper Eq. 1)"),
+    ("iops", "repro_live_iops", "Application operations per second"),
+    ("bandwidth", "repro_live_bandwidth_bytes", "Bytes per second"),
+    ("arpt", "repro_live_arpt_seconds", "Average response time"),
+    ("io_time", "repro_live_union_io_time_seconds",
+     "Union (overlap-collapsed) I/O time"),
+    ("ops", "repro_live_ops_total", "Application operations seen"),
+    ("blocks", "repro_live_blocks_total", "Application blocks seen"),
+)
+
+
+class MemorySink:
+    """Collects events in memory; the test/notebook sink."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self.closed = False
+
+    def emit(self, event: dict) -> None:
+        if self.closed:
+            raise LiveStreamError("emit() on a closed sink")
+        self.events.append(dict(event))
+
+    def close(self) -> None:
+        self.closed = True
+
+    def of_type(self, kind: str) -> list[dict]:
+        """Events of one type, in emission order."""
+        return [e for e in self.events if e.get("type") == kind]
+
+
+class JsonlSink:
+    """Streams events as JSON lines to a path or open text handle."""
+
+    def __init__(self, destination: str | Path | IO[str]) -> None:
+        if isinstance(destination, (str, Path)):
+            self._handle: IO[str] = open(destination, "w")
+            self._owns = True
+        else:
+            self._handle = destination
+            self._owns = False
+        self.events_written = 0
+
+    def emit(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns:
+            self._handle.close()
+
+
+class PrometheusSink:
+    """Maintains a Prometheus text-exposition file of the live gauges.
+
+    Every ``window``/``snapshot``/``final`` event rewrites the file
+    (write-then-rename, so a scraper never reads a torn exposition)
+    with the latest cumulative gauges plus the most recent window's
+    figures labelled ``{scope="window"}``.  Anomalies increment
+    ``repro_live_anomalies_total``.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._latest: dict = {}
+        self._latest_window: dict = {}
+        self.anomaly_count = 0
+
+    def emit(self, event: dict) -> None:
+        kind = event.get("type")
+        if kind == "anomaly":
+            self.anomaly_count += 1
+        elif kind == "window":
+            self._latest_window = event
+        elif kind in ("snapshot", "final"):
+            self._latest = event
+        self._rewrite()
+
+    def close(self) -> None:
+        self._rewrite()
+
+    def _format(self, value) -> str:
+        value = float(value)
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+
+    def _rewrite(self) -> None:
+        lines: list[str] = []
+        for field, name, help_text in _PROM_GAUGES:
+            wrote_help = False
+            for scope, event in (("cumulative", self._latest),
+                                 ("window", self._latest_window)):
+                if field not in event:
+                    continue
+                if not wrote_help:
+                    lines.append(f"# HELP {name} {help_text}")
+                    lines.append(f"# TYPE {name} gauge")
+                    wrote_help = True
+                lines.append(
+                    f'{name}{{scope="{scope}"}} '
+                    f"{self._format(event[field])}")
+        lines.append("# HELP repro_live_anomalies_total "
+                     "Windows flagged by the BPS anomaly detector")
+        lines.append("# TYPE repro_live_anomalies_total counter")
+        lines.append(f"repro_live_anomalies_total {self.anomaly_count}")
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text("\n".join(lines) + "\n")
+        os.replace(tmp, self.path)

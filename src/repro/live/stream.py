@@ -1,0 +1,476 @@
+"""The live metric pipeline: windowed + cumulative BPS while records arrive.
+
+:class:`MetricStream` consumes completed I/O records one at a time (from
+the tracing-middleware tap or a trace replay) and maintains, online:
+
+- **cumulative** metrics — B, N, bytes, and the streaming union time,
+  so BPS/IOPS/bandwidth are exact at any moment and the *final*
+  cumulative BPS is bit-identical to the batch
+  :func:`~repro.core.metrics.compute_metrics` (see
+  :mod:`repro.live.union` for the proof sketch; ARPT streams as
+  running-sum/count and agrees to float-accumulation precision);
+- a **windowed series** — fixed event-time windows of width ``window``;
+  each record's blocks/bytes are spread over the windows it overlaps in
+  proportion to overlap (the :func:`~repro.core.timeline.binned_bps`
+  convention), and each window's I/O time is the union of the record
+  intervals *clipped* to the window, so window BPS is blocks over
+  *active* time and per-window I/O times sum exactly to the cumulative
+  union time;
+- **per-group breakdowns** — cumulative B/T/BPS keyed by pid and op out
+  of the box, plus any caller-supplied grouping (the live tap adds a
+  per-server key on parallel file systems).
+
+Windows close when the watermark passes their right edge; closing emits
+a ``window`` event to every attached sink and feeds the anomaly
+detector.  A late record that lands in an already-closed window is
+folded into the stored stats (cumulative figures stay exact) and
+counted in :attr:`MetricStream.late_window_updates`; the closed-window
+event already emitted is *provisional* in that case, and
+:meth:`finalize` returns the corrected series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.intervals import union_time
+from repro.core.metrics import MetricSet
+from repro.core.records import IORecord
+from repro.errors import LiveStreamError
+from repro.live.union import StreamingUnion
+from repro.util.units import BLOCK_SIZE, bytes_to_blocks
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One closed event-time window of the stream."""
+
+    index: int
+    start: float
+    end: float
+    #: Records *starting* in this window.
+    ops: int
+    #: Block/byte mass landing in the window (overlap-proportional).
+    blocks: float
+    bytes: float
+    #: Union of record intervals clipped to the window (active time).
+    io_time: float
+    #: blocks / io_time (0.0 for an idle window).
+    bps: float
+    iops: float
+    bandwidth: float
+    #: Mean response time of records starting in the window (0.0 if none).
+    arpt: float
+
+    def as_event(self) -> dict:
+        """The sink-facing representation."""
+        return {
+            "type": "window", "index": self.index,
+            "t0": self.start, "t1": self.end, "ops": self.ops,
+            "blocks": self.blocks, "bytes": self.bytes,
+            "io_time": self.io_time, "bps": self.bps,
+            "iops": self.iops, "bandwidth": self.bandwidth,
+            "arpt": self.arpt,
+        }
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Cumulative share of one group (one pid, one op, one server...)."""
+
+    key: str
+    ops: int
+    blocks: int
+    bytes: int
+    io_time: float
+    bps: float
+
+
+@dataclass(frozen=True)
+class LiveSnapshot:
+    """Cumulative state of the stream at one instant."""
+
+    time: float
+    ops: int
+    blocks: int
+    bytes: int
+    io_time: float
+    bps: float
+    iops: float
+    bandwidth: float
+    arpt: float
+    windows_closed: int
+    late_records: int
+
+    def as_event(self) -> dict:
+        return {"type": "snapshot", **self.__dict__}
+
+
+@dataclass(frozen=True)
+class LiveResult:
+    """Everything :meth:`MetricStream.finalize` settles."""
+
+    metrics: MetricSet
+    windows: tuple[WindowStats, ...]
+    anomalies: tuple
+    breakdowns: dict[str, tuple[GroupStats, ...]]
+    late_records: int
+    late_window_updates: int
+
+
+class _WindowAgg:
+    __slots__ = ("ops", "blocks", "bytes", "dur_sum", "intervals",
+                 "emitted")
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.blocks = 0.0
+        self.bytes = 0.0
+        self.dur_sum = 0.0
+        self.intervals: list[tuple[float, float]] = []
+        self.emitted = False
+
+
+class _GroupAgg:
+    __slots__ = ("ops", "blocks", "bytes", "union")
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.blocks = 0
+        self.bytes = 0
+        self.union = StreamingUnion()
+
+
+class MetricStream:
+    """Online BPS/IOPS/bandwidth/ARPT over a stream of I/O records."""
+
+    def __init__(
+        self,
+        *,
+        window: float,
+        block_size: int = BLOCK_SIZE,
+        origin: float | None = None,
+        reorder_capacity: int = 4096,
+        watermark_lag: float = 0.0,
+        late_policy: str = "merge",
+        sinks: Iterable = (),
+        detector=None,
+        group_by: dict[str, Callable[[IORecord], str]] | None = None,
+    ) -> None:
+        if not (window > 0) or math.isnan(window):
+            raise LiveStreamError(f"window width must be > 0, got {window}")
+        if block_size <= 0:
+            raise LiveStreamError(f"bad block size {block_size}")
+        self.window = float(window)
+        self.block_size = block_size
+        self.origin = origin
+        self.sinks = list(sinks)
+        self.detector = detector
+        self._union = StreamingUnion(reorder_capacity=reorder_capacity,
+                                     watermark_lag=watermark_lag,
+                                     late_policy=late_policy)
+        # Cumulative counters.
+        self._ops = 0
+        self._blocks = 0
+        self._bytes = 0
+        self._dur_sum = 0.0
+        self._failed = 0
+        self._retries = 0
+        self._first_start = math.inf
+        self._last_end = -math.inf
+        # Windowed state.  The emission pointer stays None until the
+        # first closure, then advances monotonically: any record landing
+        # below it is by construction late (its start is under the
+        # watermark), so closed windows are never re-emitted.
+        self._windows: dict[int, _WindowAgg] = {}
+        self._next_emit: int | None = None
+        self._min_index: int | None = None
+        self._max_index: int | None = None
+        self.late_window_updates = 0
+        # Breakdowns.
+        keyed: dict[str, Callable[[IORecord], str]] = {
+            "pid": lambda r: str(r.pid),
+            "op": lambda r: r.op,
+        }
+        keyed.update(group_by or {})
+        self._group_keys = keyed
+        self._groups: dict[str, dict[str, _GroupAgg]] = {
+            name: {} for name in keyed
+        }
+        self.anomalies: list = []
+        self._finalized = False
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, record: IORecord) -> None:
+        """Fold one completed I/O record into the stream."""
+        if self._finalized:
+            raise LiveStreamError("ingest() after finalize()")
+        if self.origin is None:
+            self.origin = record.start
+        self._union.add(record.start, record.end)
+        blocks = bytes_to_blocks(record.nbytes, self.block_size)
+        self._ops += 1
+        self._blocks += blocks
+        self._bytes += record.nbytes
+        self._dur_sum += record.duration
+        if not record.success:
+            self._failed += 1
+        self._retries += record.retries
+        if record.start < self._first_start:
+            self._first_start = record.start
+        if record.end > self._last_end:
+            self._last_end = record.end
+        for name, key_of in self._group_keys.items():
+            agg = self._groups[name].setdefault(key_of(record), _GroupAgg())
+            agg.ops += 1
+            agg.blocks += blocks
+            agg.bytes += record.nbytes
+            agg.union.add(record.start, record.end)
+        self._spread_into_windows(record, blocks)
+        self._close_settled_windows()
+
+    def advance_watermark(self, to: float) -> None:
+        """Externally promise no future record starts below ``to``."""
+        self._union.advance_watermark(to)
+        self._close_settled_windows()
+
+    # -- windows -----------------------------------------------------------
+
+    def _index_of(self, t: float) -> int:
+        return int(math.floor((t - self.origin) / self.window))
+
+    def _window_bounds(self, index: int) -> tuple[float, float]:
+        return (self.origin + index * self.window,
+                self.origin + (index + 1) * self.window)
+
+    def _spread_into_windows(self, record: IORecord, blocks: int) -> None:
+        first = self._index_of(record.start)
+        agg = self._windows.setdefault(first, _WindowAgg())
+        agg.ops += 1
+        agg.dur_sum += record.duration
+        if agg.emitted:
+            self.late_window_updates += 1
+        last_index = first
+        if record.duration == 0.0:
+            agg.blocks += blocks
+            agg.bytes += record.nbytes
+        else:
+            last = self._index_of(record.end)
+            # A record ending exactly on a window edge contributes
+            # nothing to the window it "starts": clip to [start, end).
+            if last > first and record.end == self._window_bounds(last)[0]:
+                last -= 1
+            last_index = last
+            for index in range(first, last + 1):
+                w0, w1 = self._window_bounds(index)
+                lo = max(record.start, w0)
+                hi = min(record.end, w1)
+                if hi <= lo and index != first:
+                    continue
+                part = self._windows.setdefault(index, _WindowAgg())
+                if part.emitted and index != first:
+                    self.late_window_updates += 1
+                fraction = max(hi - lo, 0.0) / record.duration
+                part.blocks += blocks * fraction
+                part.bytes += record.nbytes * fraction
+                if hi > lo:
+                    part.intervals.append((lo, hi))
+        if self._min_index is None or first < self._min_index:
+            self._min_index = first
+        if self._max_index is None or last_index > self._max_index:
+            self._max_index = last_index
+
+    def _close_settled_windows(self) -> None:
+        if self._min_index is None:
+            return
+        watermark = self._union.watermark
+        if not math.isfinite(watermark):
+            if watermark == math.inf:
+                settled = self._max_index + 1
+            else:
+                return
+        else:
+            settled = self._index_of(watermark)
+        if self._next_emit is None:
+            self._next_emit = self._min_index
+        while self._next_emit < settled and \
+                self._next_emit <= self._max_index:
+            index = self._next_emit
+            self._next_emit = index + 1
+            stats = self._window_stats(index)
+            agg = self._windows.setdefault(index, _WindowAgg())
+            agg.emitted = True
+            self._emit(stats.as_event())
+            self._observe(stats)
+
+    def _window_stats(self, index: int) -> WindowStats:
+        w0, w1 = self._window_bounds(index)
+        agg = self._windows.get(index)
+        if agg is None or (agg.ops == 0 and not agg.intervals
+                           and agg.blocks == 0.0):
+            return WindowStats(index=index, start=w0, end=w1, ops=0,
+                               blocks=0.0, bytes=0.0, io_time=0.0,
+                               bps=0.0, iops=0.0, bandwidth=0.0, arpt=0.0)
+        io_time = (union_time(np.asarray(agg.intervals, dtype=float))
+                   if agg.intervals else 0.0)
+        if io_time > 0.0:
+            bps = agg.blocks / io_time
+            iops = agg.ops / io_time
+            bandwidth = agg.bytes / io_time
+        else:
+            bps = iops = bandwidth = 0.0
+        arpt = agg.dur_sum / agg.ops if agg.ops else 0.0
+        return WindowStats(index=index, start=w0, end=w1, ops=agg.ops,
+                           blocks=agg.blocks, bytes=agg.bytes,
+                           io_time=io_time, bps=bps, iops=iops,
+                           bandwidth=bandwidth, arpt=arpt)
+
+    def _observe(self, stats: WindowStats) -> None:
+        if self.detector is None:
+            return
+        anomaly = self.detector.observe(stats)
+        if anomaly is not None:
+            self.anomalies.append(anomaly)
+            self._emit(anomaly.as_event())
+
+    def _emit(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def ops(self) -> int:
+        return self._ops
+
+    @property
+    def blocks(self) -> int:
+        return self._blocks
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    @property
+    def late_records(self) -> int:
+        return self._union.late_records
+
+    def union_io_time(self) -> float:
+        """Streaming union time of everything ingested so far."""
+        return self._union.union_time()
+
+    def snapshot(self, *, emit: bool = False) -> LiveSnapshot:
+        """Exact cumulative metrics at this instant."""
+        t = self._union.union_time()
+        snap = LiveSnapshot(
+            time=self._last_end if self._ops else 0.0,
+            ops=self._ops, blocks=self._blocks, bytes=self._bytes,
+            io_time=t,
+            bps=self._blocks / t if t > 0 else 0.0,
+            iops=self._ops / t if t > 0 else 0.0,
+            bandwidth=self._bytes / t if t > 0 else 0.0,
+            arpt=self._dur_sum / self._ops if self._ops else 0.0,
+            windows_closed=(0 if self._next_emit is None
+                            else self._next_emit - self._min_index),
+            late_records=self.late_records,
+        )
+        if emit:
+            self._emit(snap.as_event())
+        return snap
+
+    def breakdown(self, name: str) -> tuple[GroupStats, ...]:
+        """Cumulative per-group stats ('pid', 'op', or a custom group)."""
+        try:
+            groups = self._groups[name]
+        except KeyError:
+            known = ", ".join(sorted(self._groups))
+            raise LiveStreamError(
+                f"unknown group {name!r}; known: {known}") from None
+        out = []
+        for key in sorted(groups):
+            agg = groups[key]
+            t = agg.union.union_time()
+            out.append(GroupStats(
+                key=key, ops=agg.ops, blocks=agg.blocks, bytes=agg.bytes,
+                io_time=t, bps=agg.blocks / t if t > 0 else 0.0))
+        return tuple(out)
+
+    # -- settle ------------------------------------------------------------
+
+    def finalize(self, *, exec_time: float | None = None,
+                 label: str = "live") -> LiveResult:
+        """Close every window, emit the final event, settle the result.
+
+        ``exec_time`` defaults to the stream's wall span (first start to
+        last end) — the same default ``bps analyze`` applies to recorded
+        traces.  The returned window series is exact even when closed
+        windows received late updates: stats are recomputed from the
+        stored aggregates.
+        """
+        if self._finalized:
+            raise LiveStreamError("finalize() called twice")
+        if self._ops == 0:
+            raise LiveStreamError("finalize() on an empty stream")
+        t = self._union.finalize()
+        self._close_settled_windows()
+        self._finalized = True
+        if t <= 0.0:
+            raise LiveStreamError(
+                "live metrics undefined: union I/O time is zero")
+        span = self._last_end - self._first_start
+        exec_time = span if exec_time is None else exec_time
+        if exec_time <= 0.0:
+            # Degenerate zero-span traces: fall back to the trace's own
+            # active time so the MetricSet invariant (exec_time > 0)
+            # holds — mirrors what `bps analyze --exec-time` would need.
+            exec_time = t
+        windows = tuple(self._window_stats(i)
+                        for i in range(self._min_index,
+                                       self._max_index + 1))
+        metrics = MetricSet(
+            iops=self._ops / t,
+            bandwidth=self._bytes / t,
+            arpt=self._dur_sum / self._ops,
+            bps=self._blocks / t,
+            exec_time=exec_time,
+            union_io_time=t,
+            app_ops=self._ops,
+            app_bytes=self._bytes,
+            app_blocks=self._blocks,
+            fs_bytes=self._bytes,
+            block_size=self.block_size,
+            label=label,
+            extras={
+                "failed_records": self._failed,
+                "total_retries": self._retries,
+                "late_records": self.late_records,
+                "late_window_updates": self.late_window_updates,
+            },
+        )
+        result = LiveResult(
+            metrics=metrics,
+            windows=windows,
+            anomalies=tuple(self.anomalies),
+            breakdowns={name: self.breakdown(name)
+                        for name in self._groups},
+            late_records=self.late_records,
+            late_window_updates=self.late_window_updates,
+        )
+        self._emit({
+            "type": "final", "ops": self._ops, "blocks": self._blocks,
+            "bytes": self._bytes, "io_time": t, "bps": metrics.bps,
+            "iops": metrics.iops, "bandwidth": metrics.bandwidth,
+            "arpt": metrics.arpt, "exec_time": exec_time,
+            "windows": len(windows), "anomalies": len(self.anomalies),
+            "late_records": self.late_records,
+        })
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+        return result

@@ -10,9 +10,17 @@ The recorder keeps two things:
 - application-layer :class:`IORecord`s — what BPS, IOPS, and ARPT see;
 - a file-system byte counter — what bandwidth sees (device traffic
   including holes, read-ahead, and other middleware amplification).
+
+Completion callbacks: subscribers registered via
+:meth:`TraceRecorder.subscribe` are invoked synchronously with every
+application-layer record as the operation completes (simulated time) —
+the feed the :mod:`repro.live` streaming pipeline taps, so metrics can
+be observed *during* a run instead of after the gather.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.core.records import IORecord, LAYER_APP, LAYER_FS, TraceCollection
 from repro.errors import MiddlewareError
@@ -30,6 +38,16 @@ class TraceRecorder:
         #: the offline toolkit examples, not by the metric pipeline).
         self.keep_fs_records = keep_fs_records
         self._open = True
+        #: Completion callbacks, called with each app-layer record.
+        self._subscribers: list[Callable[[IORecord], None]] = []
+
+    def subscribe(self, callback: Callable[[IORecord], None]) -> None:
+        """Register a completion callback for app-layer records."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[IORecord], None]) -> None:
+        """Remove a previously registered completion callback."""
+        self._subscribers.remove(callback)
 
     def close(self) -> None:
         """Stop accepting records (end of run)."""
@@ -54,6 +72,8 @@ class TraceRecorder:
                           success=success, layer=LAYER_APP,
                           retries=retries)
         self.trace.add(record)
+        for callback in self._subscribers:
+            callback(record)
         return record
 
     def note_fs_bytes(self, nbytes: int, *, pid: int = -1, op: str = "read",

@@ -24,18 +24,60 @@ class Sample:
 
 
 class Monitor:
-    """Records (time, value) samples for a named quantity."""
+    """Records (time, value) samples for a named quantity.
 
-    def __init__(self, engine: Engine, name: str = "monitor") -> None:
+    With ``max_samples`` set, the monitor runs in bounded memory: when
+    the buffer reaches the cap it drops every second retained sample
+    and doubles its sampling stride, so an arbitrarily long run keeps
+    at most ``max_samples`` evenly spaced observations (the classic
+    decimating ring used by long-horizon simulators).  Derived figures
+    (:meth:`time_average`, :meth:`maximum`) then become approximations
+    over the retained samples; :attr:`dropped` counts what was shed.
+    """
+
+    def __init__(self, engine: Engine, name: str = "monitor", *,
+                 max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 2:
+            raise ValueError(
+                f"max_samples must be >= 2 or None, got {max_samples}")
         self.engine = engine
         self.name = name
+        self.max_samples = max_samples
         self._times: list[float] = []
         self._values: list[float] = []
+        self._stride = 1
+        self._calls = 0
+        #: Observations shed by decimation (0 in unbounded mode).
+        self.dropped = 0
 
     def record(self, value: float) -> None:
         """Record ``value`` at the current simulated time."""
+        index = self._calls
+        self._calls += 1
+        if index % self._stride != 0:
+            self.dropped += 1
+            return
         self._times.append(self.engine.now)
         self._values.append(float(value))
+        if self.max_samples is not None and \
+                len(self._times) >= self.max_samples:
+            # Keep every second sample (call indices stay multiples of
+            # the doubled stride, so spacing remains uniform).
+            before = len(self._times)
+            self._times = self._times[::2]
+            self._values = self._values[::2]
+            self.dropped += before - len(self._times)
+            self._stride *= 2
+
+    @property
+    def stride(self) -> int:
+        """Record every ``stride``-th call (1 until the cap is hit)."""
+        return self._stride
+
+    @property
+    def total_records(self) -> int:
+        """How many times :meth:`record` was called (kept + dropped)."""
+        return self._calls
 
     def __len__(self) -> int:
         return len(self._times)

@@ -16,15 +16,67 @@ is it.  It reads I/O traces from four formats and produces a
 - ``darshan-parser`` text output (:mod:`repro.trace_io.darshan`) —
   POSIX-module counters, reconstructed the same way per (rank, file,
   direction).
+
+:func:`read_trace` is the one-stop dispatcher the CLI uses: it guesses
+the format from the file suffix and accepts ``"-"`` for standard input
+(JSONL unless a format is given), so traces can be piped straight into
+``bps analyze`` / ``bps replay`` / ``bps watch``.
 """
 
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro.core.records import TraceCollection
 from repro.trace_io.csvtrace import read_csv_trace, write_csv_trace
 from repro.trace_io.jsonltrace import read_jsonl_trace, write_jsonl_trace
 from repro.trace_io.blkparse import read_blkparse
 from repro.trace_io.fiojson import read_fio_json
 from repro.trace_io.darshan import read_darshan
 
+#: Format name -> reader; every reader takes a path or open text stream.
+TRACE_READERS = {
+    "csv": read_csv_trace,
+    "jsonl": read_jsonl_trace,
+    "blkparse": read_blkparse,
+    "fio": read_fio_json,
+    "darshan": read_darshan,
+}
+
+
+def guess_format(path: str) -> str:
+    """Best-effort trace format from a file name."""
+    lowered = path.lower()
+    if lowered.endswith(".csv"):
+        return "csv"
+    if lowered.endswith((".jsonl", ".ndjson")):
+        return "jsonl"
+    if lowered.endswith(".json"):
+        return "fio"
+    if lowered.endswith(".darshan.txt"):
+        return "darshan"
+    return "blkparse"
+
+
+def read_trace(source: str, *, fmt: str | None = None,
+               stdin: IO[str] | None = None) -> TraceCollection:
+    """Read a trace from a path, or from stdin when ``source == "-"``.
+
+    Stdin defaults to JSONL (the only line-structured format a pipe
+    naturally produces); pass ``fmt`` to override.  ``stdin`` is
+    injectable for tests.
+    """
+    if source == "-":
+        handle = sys.stdin if stdin is None else stdin
+        return TRACE_READERS[fmt or "jsonl"](handle)
+    return TRACE_READERS[fmt or guess_format(source)](source)
+
+
 __all__ = [
+    "TRACE_READERS",
+    "guess_format",
+    "read_trace",
     "read_csv_trace",
     "write_csv_trace",
     "read_jsonl_trace",

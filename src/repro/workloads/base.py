@@ -76,16 +76,24 @@ def _fault_report(system: System) -> dict:
     return report
 
 
-def run_workload(workload: Workload, config: SystemConfig) -> RunMeasurement:
+def run_workload(workload: Workload, config: SystemConfig, *,
+                 on_system=None) -> RunMeasurement:
     """Execute one workload run and return its measurement.
 
     The application execution time is the wall time from the first
     process start to the last process completion — the paper's stand-in
     for overall computer performance.
+
+    ``on_system`` is called with the freshly built :class:`System`
+    after setup but before any process is spawned — the attachment
+    point for passive observers such as
+    :class:`~repro.live.tap.LiveTap`.
     """
     system = build_system(config)
     workload.setup(system)
     system.drop_caches()
+    if on_system is not None:
+        on_system(system)
 
     pairs = workload.processes(system)
     if not pairs:

@@ -1,0 +1,102 @@
+"""Rolling-baseline BPS anomaly detection."""
+
+import math
+
+import pytest
+
+from repro.errors import LiveStreamError
+from repro.live import BpsAnomalyDetector
+from repro.live.stream import WindowStats
+
+
+def window(index, bps, width=1.0):
+    return WindowStats(index=index, start=index * width,
+                       end=(index + 1) * width, ops=10, blocks=100.0,
+                       bytes=51200.0, io_time=width * 0.5, bps=bps,
+                       iops=10.0, bandwidth=51200.0, arpt=0.01)
+
+
+def warm(detector, n=4, bps=1000.0):
+    for k in range(n):
+        assert detector.observe(window(k, bps)) is None
+
+
+class TestDetection:
+    def test_drop_beyond_factor_flagged(self):
+        detector = BpsAnomalyDetector(drop_factor=3.0)
+        warm(detector)
+        anomaly = detector.observe(window(4, 100.0))
+        assert anomaly is not None
+        assert anomaly.kind == "bps-drop"
+        assert anomaly.window_index == 4
+        assert anomaly.baseline == pytest.approx(1000.0)
+        assert anomaly.severity == pytest.approx(10.0)
+
+    def test_mild_dip_not_flagged(self):
+        detector = BpsAnomalyDetector(drop_factor=3.0)
+        warm(detector)
+        assert detector.observe(window(4, 500.0)) is None
+
+    def test_warmup_windows_never_flagged(self):
+        detector = BpsAnomalyDetector(min_history=3)
+        assert detector.observe(window(0, 1000.0)) is None
+        assert detector.observe(window(1, 0.0)) is None  # still warming
+
+    def test_stalled_window_has_infinite_severity(self):
+        detector = BpsAnomalyDetector()
+        warm(detector)
+        anomaly = detector.observe(window(4, 0.0))
+        assert math.isinf(anomaly.severity)
+
+    def test_flagged_windows_do_not_poison_baseline(self):
+        detector = BpsAnomalyDetector(drop_factor=3.0, history=4)
+        warm(detector)
+        # A long outage: every stalled window stays flagged because the
+        # baseline keeps remembering the healthy rate.
+        for k in range(4, 12):
+            assert detector.observe(window(k, 10.0)) is not None
+        assert detector.baseline == pytest.approx(1000.0)
+
+    def test_baseline_follows_gradual_change(self):
+        detector = BpsAnomalyDetector(drop_factor=3.0, history=4)
+        warm(detector)
+        # Halving is within the factor, so the baseline adapts...
+        for k in range(4, 12):
+            assert detector.observe(window(k, 500.0)) is None
+        assert detector.baseline == pytest.approx(500.0)
+        # ...and the threshold has moved with it.
+        assert detector.observe(window(12, 400.0)) is None
+
+
+class TestAnomalyValue:
+    def test_overlaps_half_open(self):
+        detector = BpsAnomalyDetector()
+        warm(detector)
+        anomaly = detector.observe(window(4, 0.0))
+        assert anomaly.overlaps(4.5, 5.5)
+        assert anomaly.overlaps(0.0, 100.0)
+        assert not anomaly.overlaps(5.0, 6.0)
+        assert not anomaly.overlaps(0.0, 4.0)
+
+    def test_as_event_shape(self):
+        detector = BpsAnomalyDetector()
+        warm(detector)
+        event = detector.observe(window(4, 1.0)).as_event()
+        assert event["type"] == "anomaly"
+        assert event["index"] == 4
+        assert event["baseline"] == pytest.approx(1000.0)
+
+
+class TestConfiguration:
+    def test_rejects_factor_at_or_below_one(self):
+        with pytest.raises(LiveStreamError):
+            BpsAnomalyDetector(drop_factor=1.0)
+
+    def test_rejects_inconsistent_history(self):
+        with pytest.raises(LiveStreamError):
+            BpsAnomalyDetector(history=2, min_history=5)
+        with pytest.raises(LiveStreamError):
+            BpsAnomalyDetector(history=0)
+
+    def test_baseline_zero_before_samples(self):
+        assert BpsAnomalyDetector().baseline == 0.0

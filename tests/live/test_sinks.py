@@ -1,0 +1,105 @@
+"""Telemetry sinks: memory, JSONL event stream, Prometheus exposition."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.records import IORecord
+from repro.errors import LiveStreamError
+from repro.live import (
+    BpsAnomalyDetector,
+    JsonlSink,
+    MemorySink,
+    MetricStream,
+    PrometheusSink,
+)
+
+
+def run_stream(*sinks, detector=None):
+    stream = MetricStream(window=0.1, block_size=512, sinks=list(sinks),
+                          detector=detector)
+    for i in range(20):
+        stream.ingest(IORecord(0, "read", 4096, i * 0.02,
+                               i * 0.02 + 0.015))
+    return stream.finalize()
+
+
+class TestMemorySink:
+    def test_collects_typed_events(self):
+        sink = MemorySink()
+        run_stream(sink)
+        assert sink.of_type("window")
+        assert len(sink.of_type("final")) == 1
+        assert sink.closed
+
+    def test_events_are_copied_from_the_emitter(self):
+        sink = MemorySink()
+        event = {"type": "window", "bps": 1.0}
+        sink.emit(event)
+        event["bps"] = 2.0  # emitter reuses its dict
+        assert sink.events[0]["bps"] == 1.0
+
+    def test_emit_after_close_rejected(self):
+        sink = MemorySink()
+        sink.close()
+        with pytest.raises(LiveStreamError):
+            sink.emit({"type": "window"})
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        run_stream(sink)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == sink.events_written
+        events = [json.loads(line) for line in lines]
+        assert events[-1]["type"] == "final"
+        assert {"window", "final"} <= {e["type"] for e in events}
+
+    def test_accepts_open_handle_without_closing_it(self):
+        handle = io.StringIO()
+        sink = JsonlSink(handle)
+        run_stream(sink)
+        assert not handle.closed  # caller owns the handle
+        assert handle.getvalue().count("\n") == sink.events_written
+
+
+class TestPrometheusSink:
+    def test_exposition_file_has_gauges(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        run_stream(PrometheusSink(path))
+        text = path.read_text()
+        assert '# TYPE repro_live_bps gauge' in text
+        assert 'repro_live_bps{scope="cumulative"}' in text
+        assert 'repro_live_bps{scope="window"}' in text
+        assert "repro_live_anomalies_total 0" in text
+
+    def test_final_gauges_match_result(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        result = run_stream(PrometheusSink(path))
+        for line in path.read_text().splitlines():
+            if line.startswith('repro_live_bps{scope="cumulative"}'):
+                assert float(line.split()[-1]) == result.metrics.bps
+                break
+        else:
+            pytest.fail("cumulative BPS gauge missing")
+
+    def test_anomaly_counter_increments(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        sink = PrometheusSink(path)
+        stream = MetricStream(window=0.1, block_size=512, sinks=[sink],
+                              detector=BpsAnomalyDetector(min_history=3))
+        # Healthy traffic, then a stall long enough to flag.
+        t = 0.0
+        for _ in range(50):
+            stream.ingest(IORecord(0, "read", 65536, t, t + 0.09))
+            t += 0.1
+        stream.ingest(IORecord(0, "read", 512, t + 2.0, t + 2.001))
+        stream.finalize()
+        text = path.read_text()
+        count = int(text.rsplit("repro_live_anomalies_total ", 1)[1]
+                    .split()[0])
+        assert count >= 1
+        assert count == sink.anomaly_count

@@ -1,0 +1,113 @@
+"""Property suite: streaming union == batch union under any delivery.
+
+The acceptance property of the whole subsystem: however the records are
+permuted, buffered, or watermarked, the streamed union time equals the
+batch :func:`~repro.core.intervals.union_time` **exactly** (``==``, not
+approx) — endpoints are selected rather than computed, and both paths
+sum the same canonical segment array.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intervals import union_time
+from repro.live import StreamingUnion
+
+finite = st.floats(min_value=0.0, max_value=1e4,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def interval_lists(draw, max_size=60):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    out = []
+    for _ in range(n):
+        start = draw(finite)
+        length = draw(st.floats(min_value=0.0, max_value=100.0,
+                                allow_nan=False))
+        out.append((start, start + length))
+    return out
+
+
+@st.composite
+def permuted(draw, max_size=60):
+    intervals = draw(interval_lists(max_size=max_size))
+    return draw(st.permutations(intervals))
+
+
+class TestStreamedEqualsBatch:
+    @given(order=permuted())
+    @settings(max_examples=120, deadline=None)
+    def test_any_arrival_order(self, order):
+        union = StreamingUnion()
+        for start, end in order:
+            union.add(start, end)
+        assert union.finalize() == union_time(np.array(sorted(order)))
+
+    @given(order=permuted(),
+           capacity=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_tiny_reorder_buffer(self, order, capacity):
+        union = StreamingUnion(reorder_capacity=capacity)
+        for start, end in order:
+            union.add(start, end)
+        assert union.finalize() == union_time(np.array(sorted(order)))
+
+    @given(order=permuted(),
+           lag=st.floats(min_value=0.0, max_value=1e4,
+                         allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_adversarial_watermark_lag(self, order, lag):
+        union = StreamingUnion(watermark_lag=lag)
+        for start, end in order:
+            union.add(start, end)
+        assert union.finalize() == union_time(np.array(sorted(order)))
+
+    @given(order=permuted())
+    @settings(max_examples=60, deadline=None)
+    def test_mid_stream_queries_change_nothing(self, order):
+        union = StreamingUnion(reorder_capacity=4)
+        for k, (start, end) in enumerate(order):
+            union.add(start, end)
+            if k % 3 == 0:
+                union.union_time()   # flushes pending
+            if k % 5 == 0:
+                union.segments()
+        assert union.finalize() == union_time(np.array(sorted(order)))
+
+    @given(intervals=interval_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_ingest_equals_batch(self, intervals):
+        union = StreamingUnion()
+        union.add_batch(np.array(intervals))
+        assert union.finalize() == \
+            union_time(np.array(sorted(intervals)))
+
+    @given(order=permuted(max_size=40),
+           splits=st.lists(st.integers(min_value=0, max_value=39),
+                           max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_single_and_batch_ingest(self, order, splits):
+        cuts = sorted({0, len(order), *[s for s in splits
+                                        if s <= len(order)]})
+        union = StreamingUnion()
+        for lo, hi in zip(cuts, cuts[1:]):
+            chunk = order[lo:hi]
+            if len(chunk) == 1:
+                union.add(*chunk[0])
+            elif chunk:
+                union.add_batch(np.array(chunk))
+        assert union.finalize() == union_time(np.array(sorted(order)))
+
+    @given(order=permuted())
+    @settings(max_examples=60, deadline=None)
+    def test_segments_are_disjoint_sorted_and_gapped(self, order):
+        union = StreamingUnion()
+        for start, end in order:
+            union.add(start, end)
+        union.finalize()
+        segments = union.segments()
+        for k in range(len(segments) - 1):
+            assert segments[k + 1][0] > segments[k][1]  # strict gap
+        for start, end in segments:
+            assert end >= start

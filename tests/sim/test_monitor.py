@@ -2,7 +2,22 @@
 
 import pytest
 
-from repro.sim.monitor import Monitor, UtilizationTracker
+from repro.sim.monitor import Monitor, Sample, UtilizationTracker
+
+
+class TestSample:
+    def test_fields(self):
+        sample = Sample(1.5, 3.0)
+        assert sample.time == 1.5
+        assert sample.value == 3.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Sample(0.0, 0.0).value = 1.0
+
+    def test_equality(self):
+        assert Sample(1.0, 2.0) == Sample(1.0, 2.0)
+        assert Sample(1.0, 2.0) != Sample(1.0, 3.0)
 
 
 class TestMonitor:
@@ -43,6 +58,71 @@ class TestMonitor:
     def test_maximum_empty_raises(self, engine):
         with pytest.raises(ValueError):
             Monitor(engine).maximum()
+
+
+class TestBoundedMonitor:
+    def test_unbounded_mode_keeps_everything(self, engine):
+        monitor = Monitor(engine)
+        for v in range(1000):
+            monitor.record(v)
+        assert len(monitor) == 1000
+        assert monitor.dropped == 0
+        assert monitor.stride == 1
+
+    def test_cap_never_exceeded(self, engine):
+        monitor = Monitor(engine, max_samples=16)
+        for v in range(10_000):
+            monitor.record(v)
+        assert len(monitor) <= 16
+
+    def test_decimation_keeps_uniform_spacing(self, engine):
+        monitor = Monitor(engine, max_samples=8)
+        for v in range(1000):
+            monitor.record(v)
+        values = [s.value for s in monitor.samples]
+        assert values[0] == 0.0
+        gaps = {values[k + 1] - values[k]
+                for k in range(len(values) - 1)}
+        assert len(gaps) == 1           # evenly spaced
+        assert gaps == {float(monitor.stride)}
+
+    def test_stride_doubles_at_each_cap_hit(self, engine):
+        monitor = Monitor(engine, max_samples=4)
+        assert monitor.stride == 1
+        for v in range(4):
+            monitor.record(v)
+        assert monitor.stride == 2
+        for v in range(4, 12):
+            monitor.record(v)
+        assert monitor.stride == 4
+
+    def test_accounting_is_exact(self, engine):
+        monitor = Monitor(engine, max_samples=8)
+        for v in range(997):            # not a power of two
+            monitor.record(v)
+        assert monitor.total_records == 997
+        assert len(monitor) + monitor.dropped == 997
+
+    def test_below_cap_identical_to_unbounded(self, engine):
+        bounded = Monitor(engine, max_samples=64)
+        free = Monitor(engine)
+        for v in (3.0, 1.0, 4.0, 1.0, 5.0):
+            bounded.record(v)
+            free.record(v)
+        assert bounded.samples == free.samples
+        assert bounded.dropped == 0
+
+    def test_derived_stats_still_work_when_decimated(self, engine):
+        monitor = Monitor(engine, max_samples=8)
+        engine.run()
+        for v in range(100):
+            monitor.record(v)
+        assert monitor.maximum() <= 99.0
+        monitor.time_average()          # no crash on decimated series
+
+    def test_cap_below_two_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Monitor(engine, max_samples=1)
 
 
 class TestUtilizationTracker:

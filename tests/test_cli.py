@@ -168,3 +168,115 @@ class TestSimulate:
         # record size bigger than the file
         assert main(["simulate", "--workload", "iozone",
                      "--size", "4KiB", "--record", "64KiB"]) == 1
+
+
+@pytest.fixture
+def jsonl_trace(tmp_path):
+    trace = TraceCollection([
+        IORecord(0, "read", 4096, i * 0.01, i * 0.01 + 0.02)
+        for i in range(40)
+    ])
+    path = tmp_path / "trace.jsonl"
+    write_jsonl_trace(trace, path)
+    return path
+
+
+class TestWatch:
+    def test_watch_streams_windows_and_summary(self, jsonl_trace,
+                                               capsys):
+        assert main(["watch", str(jsonl_trace), "--bins", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5 windows" in out
+        assert "cumulative (streamed)" in out
+        assert "BPS (blocks/s)" in out
+
+    def test_watch_matches_analyze(self, jsonl_trace, capsys):
+        assert main(["watch", str(jsonl_trace)]) == 0
+        watch_out = capsys.readouterr().out
+        assert main(["analyze", str(jsonl_trace)]) == 0
+        analyze_out = capsys.readouterr().out
+
+        def summary_rows(text):
+            return [line for line in text.splitlines()
+                    if line.startswith(("BPS", "IOPS", "union I/O"))]
+        assert summary_rows(watch_out) == summary_rows(analyze_out)
+
+    def test_watch_explicit_window(self, jsonl_trace, capsys):
+        assert main(["watch", str(jsonl_trace),
+                     "--window", "0.1"]) == 0
+        assert "windows" in capsys.readouterr().out
+
+    def test_watch_writes_sinks(self, jsonl_trace, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main(["watch", str(jsonl_trace),
+                     "--jsonl-out", str(events),
+                     "--prom-out", str(prom)]) == 0
+        lines = [json.loads(line)
+                 for line in events.read_text().splitlines()]
+        assert lines[-1]["type"] == "final"
+        assert "repro_live_bps" in prom.read_text()
+
+    def test_watch_paced_speed(self, jsonl_trace, capsys):
+        # Very fast pacing factor: finishes instantly but takes the
+        # paced code path.
+        assert main(["watch", str(jsonl_trace),
+                     "--speed", "1000000"]) == 0
+        assert "cumulative" in capsys.readouterr().out
+
+    def test_watch_bad_speed_rejected(self, jsonl_trace, capsys):
+        with pytest.raises(SystemExit):
+            main(["watch", str(jsonl_trace), "--speed", "-1"])
+        with pytest.raises(SystemExit):
+            main(["watch", str(jsonl_trace), "--speed", "soon"])
+
+    def test_watch_no_detector(self, jsonl_trace, capsys):
+        assert main(["watch", str(jsonl_trace),
+                     "--no-detector"]) == 0
+        assert "0 anomalies" in capsys.readouterr().out
+
+    def test_watch_empty_trace_is_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["watch", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStdinTraces:
+    def stdin_payload(self, n=10):
+        lines = [json.dumps({"pid": 0, "op": "read", "nbytes": 4096,
+                             "start": i * 0.01,
+                             "end": i * 0.01 + 0.02})
+                 for i in range(n)]
+        return "\n".join(lines) + "\n"
+
+    def test_analyze_reads_stdin(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            self.stdin_payload()))
+        assert main(["analyze", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "trace: -" in out
+        assert "10 records" in out
+
+    def test_watch_reads_stdin(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            self.stdin_payload()))
+        assert main(["watch", "-", "--bins", "3"]) == 0
+        assert "3 windows" in capsys.readouterr().out
+
+    def test_replay_reads_stdin(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            self.stdin_payload()))
+        assert main(["replay", "-", "--device", "sata-ssd"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 10 records" in out
+
+    def test_stdin_format_override(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "pid,op,nbytes,start,end\n0,read,4096,0.0,1.0\n"))
+        assert main(["analyze", "-", "--format", "csv"]) == 0
+        assert "1 records" in capsys.readouterr().out

@@ -12,7 +12,7 @@ from repro.errors import ReproError
 SUBPACKAGES = (
     "repro.core", "repro.sim", "repro.devices", "repro.fs",
     "repro.net", "repro.pfs", "repro.middleware", "repro.workloads",
-    "repro.experiments", "repro.trace_io", "repro.util",
+    "repro.experiments", "repro.trace_io", "repro.util", "repro.live",
 )
 
 
