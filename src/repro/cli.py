@@ -30,7 +30,7 @@ from repro.experiments.figures import FIGURES, regenerate
 from repro.experiments.registry import EXPERIMENT_SETS
 from repro.experiments.runner import ExperimentScale
 from repro.system import SystemConfig
-from repro.trace_io import TRACE_READERS, read_trace
+from repro.trace_io import ErrorPolicy, TRACE_READERS, read_trace
 from repro.util.tables import TextTable
 from repro.util.units import format_rate, format_seconds, parse_size
 from repro.workloads import HpioWorkload, IORWorkload, IOzoneWorkload
@@ -51,8 +51,30 @@ def _render_metrics(metrics: MetricSet) -> str:
     return table.render()
 
 
+def _error_policy(args: argparse.Namespace) -> ErrorPolicy | None:
+    """Build the trace-ingestion error policy from CLI flags."""
+    if getattr(args, "on_error", "strict") == "strict":
+        return None
+    return ErrorPolicy(
+        "salvage",
+        max_error_ratio=args.max_error_ratio,
+        quarantine_path=args.quarantine or None,
+    )
+
+
+def _print_salvage_report(policy: ErrorPolicy | None) -> None:
+    report = policy.report if policy is not None else None
+    if report is None or not report.entries:
+        return
+    print(report.summary())
+    if policy.quarantine_path:
+        print(f"quarantined lines written to {policy.quarantine_path}")
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    trace = read_trace(args.trace, fmt=args.format)
+    policy = _error_policy(args)
+    trace = read_trace(args.trace, fmt=args.format, errors=policy)
+    _print_salvage_report(policy)
     first, last = trace.span()
     exec_time = args.exec_time if args.exec_time else (last - first)
     metrics = compute_metrics(trace, exec_time=exec_time,
@@ -91,7 +113,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     traces = {}
     for path in (args.trace_a, args.trace_b):
-        traces[path] = read_trace(path, fmt=args.format)
+        # One policy per file so each quarantine report stays scoped.
+        policy = _error_policy(args)
+        traces[path] = read_trace(path, fmt=args.format, errors=policy)
+        _print_salvage_report(policy)
     metrics = {}
     for path, trace in traces.items():
         first, last = trace.span()
@@ -126,7 +151,9 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
         per_process_breakdown,
         render_gantt,
     )
-    trace = read_trace(args.trace, fmt=args.format)
+    policy = _error_policy(args)
+    trace = read_trace(args.trace, fmt=args.format, errors=policy)
+    _print_salvage_report(policy)
     print(render_gantt(trace, width=args.width))
     print()
     table = TextTable(["pid", "ops", "blocks", "union T",
@@ -159,14 +186,18 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
 
 
 _SWEEPS = {
-    "set1": lambda scale: _sweep_module().run_set1(scale),
-    "set2-hdd": lambda scale: _sweep_module().run_set2("hdd", scale),
-    "set2-ssd": lambda scale: _sweep_module().run_set2("ssd", scale),
-    "set3-pure": lambda scale: _sweep_module().run_set3_pure(scale),
-    "set3-ior": lambda scale: _sweep_module().run_set3_ior(scale),
-    "set4": lambda scale: _sweep_module().run_set4(scale),
-    "set5": lambda scale: _sweep_module().run_set5(scale),
-    "set6": lambda scale: _sweep_module().run_set6(scale),
+    "set1": lambda scale, **kw: _sweep_module().run_set1(scale, **kw),
+    "set2-hdd": lambda scale, **kw:
+        _sweep_module().run_set2("hdd", scale, **kw),
+    "set2-ssd": lambda scale, **kw:
+        _sweep_module().run_set2("ssd", scale, **kw),
+    "set3-pure": lambda scale, **kw:
+        _sweep_module().run_set3_pure(scale, **kw),
+    "set3-ior": lambda scale, **kw:
+        _sweep_module().run_set3_ior(scale, **kw),
+    "set4": lambda scale, **kw: _sweep_module().run_set4(scale, **kw),
+    "set5": lambda scale, **kw: _sweep_module().run_set5(scale, **kw),
+    "set6": lambda scale, **kw: _sweep_module().run_set6(scale, **kw),
 }
 
 
@@ -181,7 +212,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                 repetitions=min(args.reps, 2))
     else:
         scale = ExperimentScale(factor=args.scale, repetitions=args.reps)
-    sweep = _SWEEPS[args.sweep](scale)
+    run_kwargs = {}
+    checkpoint = args.checkpoint
+    if args.resume and not checkpoint:
+        checkpoint = f".bps-sweep-{args.sweep}.ckpt.jsonl"
+    if checkpoint:
+        # --checkpoint alone journals a fresh run; --resume picks up
+        # any completed jobs already recorded there.
+        run_kwargs["checkpoint"] = checkpoint
+        run_kwargs["resume"] = args.resume
+    if args.job_timeout is not None:
+        from repro.exec import SupervisorPolicy
+        run_kwargs["policy"] = SupervisorPolicy(
+            job_timeout=args.job_timeout)
+    sweep = _SWEEPS[args.sweep](scale, **run_kwargs)
+    supervision = getattr(sweep, "supervision", None)
+    if supervision is not None and (
+            supervision.crashes or supervision.timeouts or
+            supervision.job_errors or supervision.serial_fallback):
+        print(f"supervision: {supervision.summary()}")
+        print()
+    if checkpoint:
+        print(f"checkpoint journal: {checkpoint}")
+        print()
     print(sweep.render_cc_figure(f"{args.sweep} — normalized CC"))
     print()
     if args.ci:
@@ -255,7 +308,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.workloads.replay_trace import TraceReplayWorkload
-    trace = read_trace(args.trace, fmt=args.format)
+    policy = _error_policy(args)
+    trace = read_trace(args.trace, fmt=args.format, errors=policy)
+    _print_salvage_report(policy)
     first, last = trace.span()
     original = compute_metrics(trace, exec_time=last - first,
                                block_size=args.block_size)
@@ -306,14 +361,24 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         BpsAnomalyDetector,
         JsonlSink,
         PrometheusSink,
+        apply_sink_policy,
         watch_trace,
     )
-    trace = read_trace(args.trace, fmt=args.format)
-    sinks = []
+    policy = _error_policy(args)
+    trace = read_trace(args.trace, fmt=args.format, errors=policy)
+    _print_salvage_report(policy)
+    # Wrap here (not just inside watch_trace) so the summary lines
+    # below can tell a healthy sink from one that dropped everything.
+    named_sinks = {}
     if args.jsonl_out:
-        sinks.append(JsonlSink(args.jsonl_out))
+        named_sinks["jsonl_out"] = JsonlSink(args.jsonl_out)
     if args.prom_out:
-        sinks.append(PrometheusSink(args.prom_out))
+        named_sinks["prom_out"] = PrometheusSink(args.prom_out)
+    named_sinks = {
+        name: apply_sink_policy([sink], args.sink_errors,
+                                args.sink_max_failures)[0]
+        for name, sink in named_sinks.items()}
+    sinks = list(named_sinks.values())
     detector = None
     if not args.no_detector:
         detector = BpsAnomalyDetector(drop_factor=args.drop_factor,
@@ -347,6 +412,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         block_size=args.block_size,
         speed=args.speed,
         sinks=sinks,
+        sink_errors=args.sink_errors,
+        sink_max_failures=args.sink_max_failures,
         detector=detector,
         exec_time=args.exec_time,
         on_window=on_event,
@@ -362,11 +429,39 @@ def _cmd_watch(args: argparse.Namespace) -> int:
               f"{anomaly.window_end:.6g}) BPS {anomaly.bps:,.0f} vs "
               f"baseline {anomaly.baseline:,.0f} "
               f"({anomaly.severity:.1f}x drop)")
+    def sink_status(name: str, wrote: str) -> None:
+        sink = named_sinks[name]
+        dropped = getattr(sink, "dropped_events", 0)
+        if not dropped:
+            print(f"{wrote} {getattr(args, name)}")
+        else:
+            state = "disabled" if getattr(sink, "disabled", False) \
+                else "failing"
+            print(f"sink {getattr(args, name)}: {state}, "
+                  f"{dropped} event(s) dropped")
+
     if args.jsonl_out:
-        print(f"wrote event stream to {args.jsonl_out}")
+        sink_status("jsonl_out", "wrote event stream to")
     if args.prom_out:
-        print(f"wrote Prometheus exposition to {args.prom_out}")
+        sink_status("prom_out", "wrote Prometheus exposition to")
     return 0
+
+
+def _add_trace_error_options(parser: argparse.ArgumentParser) -> None:
+    """Shared ingestion-policy flags for trace-reading subcommands."""
+    parser.add_argument("--on-error", choices=("strict", "salvage"),
+                        default="strict",
+                        help="'strict' fails on the first malformed "
+                             "record; 'salvage' quarantines bad lines, "
+                             "keeps the healthy ones, and reports what "
+                             "was dropped")
+    parser.add_argument("--max-error-ratio", type=float, default=0.25,
+                        help="salvage gives up (exit 1) when more than "
+                             "this fraction of lines is bad "
+                             "(default 0.25)")
+    parser.add_argument("--quarantine", default="",
+                        help="salvage: also copy rejected lines to "
+                             "this file for offline inspection")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -391,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: trace span)")
     analyze.add_argument("--bins", type=int, default=0,
                          help="also print BPS over time in N windows")
+    _add_trace_error_options(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     figures = sub.add_parser(
@@ -416,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--format", choices=sorted(TRACE_READERS),
                          help="trace format for both (default: guess)")
     compare.add_argument("--block-size", type=int, default=512)
+    _add_trace_error_options(compare)
     compare.set_defaults(func=_cmd_compare)
 
     gantt = sub.add_parser(
@@ -426,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace format (default: guess from suffix)")
     gantt.add_argument("--width", type=int, default=72,
                        help="chart width in characters")
+    _add_trace_error_options(gantt)
     gantt.set_defaults(func=_cmd_gantt)
 
     sweep = sub.add_parser(
@@ -447,6 +545,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--smoke", action="store_true",
                        help="CI-sized run: caps scale at 0.25 and "
                             "repetitions at 2")
+    sweep.add_argument("--checkpoint", default="",
+                       help="journal completed jobs to this file "
+                            "(crash-safe JSONL; enables --resume)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip jobs already completed in the "
+                            "checkpoint journal (default journal: "
+                            ".bps-sweep-<name>.ckpt.jsonl)")
+    sweep.add_argument("--job-timeout", type=float, default=None,
+                       help="kill and retry any sweep job running "
+                            "longer than this many seconds")
     sweep.set_defaults(func=_cmd_sweep)
 
     simulate = sub.add_parser(
@@ -499,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "'asap' drops them")
     replay.add_argument("--block-size", type=int, default=512)
     replay.add_argument("--seed", type=int, default=12345)
+    _add_trace_error_options(replay)
     replay.set_defaults(func=_cmd_replay)
 
     watch = sub.add_parser(
@@ -538,6 +647,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "baseline/FACTOR (default 3.0)")
     watch.add_argument("--baseline-history", type=int, default=8,
                        help="rolling-baseline window count (default 8)")
+    watch.add_argument("--sink-errors",
+                       choices=("raise", "warn", "disable"),
+                       default="warn",
+                       help="telemetry sink failure policy: 'raise' "
+                            "aborts the watch, 'warn' drops the "
+                            "event, 'disable' turns a sink off after "
+                            "repeated failures (default warn)")
+    watch.add_argument("--sink-max-failures", type=int, default=5,
+                       help="consecutive failures before 'disable' "
+                            "turns a sink off (default 5)")
+    _add_trace_error_options(watch)
     watch.set_defaults(func=_cmd_watch)
 
     return parser

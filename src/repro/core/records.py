@@ -579,6 +579,33 @@ class TraceCollection:
             "failed_records",
             lambda: int(np.count_nonzero(~self._col("success"))))
 
+    def to_columns(self) -> dict[str, list]:
+        """Plain-Python columns, the JSON-able inverse of
+        :meth:`from_arrays`.
+
+        Numeric columns come back as Python ints/floats/bools (exact —
+        float64 → float survives a JSON round trip bit-for-bit);
+        categorical columns come back as their string values.  The
+        checkpoint journal stores traces this way: one list per column
+        is far cheaper to serialise than one dict per record.
+        """
+        self._consolidate()
+        if self._cols is None:
+            return {name: [] for name in _COLUMN_DTYPES}
+        columns = {
+            name: self._cols[name].tolist()
+            for name in ("pid", "nbytes", "start", "end", "offset",
+                         "success", "retries")
+        }
+        for name in ("op", "file", "layer"):
+            if name in self._raw_cats:
+                columns[name] = [str(v) for v in self._cols[name]]
+            else:
+                values = self._interner_for(name).values
+                columns[name] = [values[code]
+                                 for code in self._cols[name].tolist()]
+        return columns
+
     def intervals(self) -> np.ndarray:
         """(n, 2) float array of (start, end) pairs, in record order.
 

@@ -68,3 +68,18 @@ class FaultPlanError(ReproError):
 class LiveStreamError(ReproError):
     """A streaming-metrics contract violation (late record in strict
     mode, non-monotonic watermark, ingest after finalize, ...)."""
+
+
+class SupervisionError(ExperimentError):
+    """A supervised job exhausted its retry budget (crash, timeout, or
+    repeated in-job exception) and the sweep cannot complete."""
+
+
+class CheckpointError(ExperimentError):
+    """A checkpoint journal is unusable: wrong tag for the sweep being
+    resumed, or corrupted beyond the tolerated torn tail."""
+
+
+class SalvageError(TraceFormatError):
+    """Salvage-mode ingestion gave up: the malformed-line ratio exceeded
+    the policy's error budget (the file is garbage, not merely dented)."""

@@ -1,0 +1,30 @@
+"""Resilient execution layer: supervised pools and checkpoint journals.
+
+The measurement pipeline has to survive its own failures, not just the
+simulated ones (DESIGN.md §10).  This package provides the two halves:
+
+- :mod:`repro.exec.supervisor` — a supervised fork-worker pool with
+  per-job timeouts, bounded retry of crashed/failed jobs, and automatic
+  serial fallback when workers keep dying;
+- :mod:`repro.exec.checkpoint` — a crash-safe JSONL journal of
+  completed jobs, so interrupted sweeps resume instead of restarting.
+
+:func:`repro.experiments.runner.run_sweep` wires both into the sweep
+grid; the primitives are workload-agnostic and usable on their own.
+"""
+
+from __future__ import annotations
+
+from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.supervisor import (
+    SupervisionReport,
+    SupervisorPolicy,
+    run_supervised,
+)
+
+__all__ = [
+    "CheckpointJournal",
+    "SupervisionReport",
+    "SupervisorPolicy",
+    "run_supervised",
+]

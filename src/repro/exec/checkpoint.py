@@ -1,0 +1,204 @@
+"""Crash-safe JSONL checkpoint journal for long-running job grids.
+
+A sweep that dies 80% through should not start over.  The journal is a
+plain JSON-lines file with one entry per completed job:
+
+- a ``header`` line carries a caller-supplied *tag* (the sweep's
+  identity: knob, point count, repetitions, base seed) so a journal
+  cannot silently resume a *different* sweep;
+- each ``entry`` line is appended and flushed before the job is
+  considered recorded — a *process* crash (the realistic sweep
+  failure) can cost at most the in-flight job;
+- ``fsync`` is group-committed: at most one per ``fsync_interval``
+  seconds, plus always at finalize/close.  A kernel panic or power
+  loss can therefore lose the last interval's entries — which is safe,
+  because lost entries simply re-run on resume — while the journal
+  stays off the sweep's critical path (per-entry fsync costs ~10 ms on
+  cloud disks, several times a small job's own runtime).  Pass
+  ``fsync_interval=0`` to force the classic fsync-per-entry discipline;
+- a ``final`` line marks a run that completed; resuming a finalized
+  journal is a pure replay (no jobs re-run);
+- on load, a torn trailing line (the signature of a crash mid-append)
+  is tolerated and dropped; corruption anywhere *else* raises
+  :class:`~repro.errors.CheckpointError` — a mangled middle means
+  something other than our own crash wrote the file.
+
+Payloads are arbitrary JSON-able dicts.  For sweeps, the helpers
+:func:`measurement_to_payload` / :func:`measurement_from_payload`
+round-trip a :class:`~repro.core.analysis.RunMeasurement` exactly
+(floats survive bit-for-bit through JSON's shortest-repr round trip),
+so a resumed sweep's final analysis is identical to an uninterrupted
+run's.  Traces are stored columnar (one list per field, via
+:meth:`~repro.core.records.TraceCollection.to_columns`) — an order of
+magnitude cheaper to serialise than per-record dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO
+
+from repro.core.analysis import RunMeasurement
+from repro.core.records import TraceCollection
+from repro.errors import AnalysisError, CheckpointError
+
+_VERSION = 1
+
+#: Default group-commit window for fsync (seconds).
+DEFAULT_FSYNC_INTERVAL = 1.0
+
+
+def _json_safe(value):
+    """Coerce numpy scalars (sweep extras) into plain JSON types."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):  # pragma: no cover
+            pass
+    raise TypeError(
+        f"checkpoint payload not JSON-serialisable: {value!r}")
+
+
+class CheckpointJournal:
+    """Append-only journal of completed (key, payload) pairs."""
+
+    def __init__(self, path: str | Path, *, tag: str = "",
+                 resume: bool = True,
+                 fsync_interval: float = DEFAULT_FSYNC_INTERVAL) -> None:
+        if fsync_interval < 0:
+            raise CheckpointError(
+                f"fsync_interval must be >= 0, got {fsync_interval}")
+        self.path = Path(path)
+        self.tag = tag
+        self.fsync_interval = fsync_interval
+        self.finalized = False
+        self._entries: dict[str, dict] = {}
+        self._handle: IO[str] | None = None
+        self._last_fsync = 0.0
+        if resume and self.path.exists():
+            self._load()
+        else:
+            self._start_fresh()
+
+    # -- load / create -----------------------------------------------------
+
+    def _start_fresh(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w")
+        self._append({"kind": "header", "version": _VERSION,
+                      "tag": self.tag})
+
+    def _load(self) -> None:
+        with open(self.path) as handle:
+            lines = handle.read().splitlines()
+        parsed: list[dict] = []
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if number == len(lines):
+                    break  # torn tail from a crash mid-append: drop it
+                raise CheckpointError(
+                    f"{self.path}:{number}: corrupt journal line: {exc}"
+                ) from exc
+        if not parsed or parsed[0].get("kind") != "header":
+            raise CheckpointError(
+                f"{self.path}: not a checkpoint journal (missing header)")
+        header = parsed[0]
+        if header.get("version") != _VERSION:
+            raise CheckpointError(
+                f"{self.path}: journal version "
+                f"{header.get('version')!r} != {_VERSION}")
+        if self.tag and header.get("tag") != self.tag:
+            raise CheckpointError(
+                f"{self.path}: journal was written for a different run "
+                f"(tag {header.get('tag')!r}, expected {self.tag!r})")
+        for record in parsed[1:]:
+            kind = record.get("kind")
+            if kind == "entry":
+                self._entries[record["key"]] = record["payload"]
+            elif kind == "final":
+                self.finalized = True
+        self._handle = open(self.path, "a")
+
+    # -- write -------------------------------------------------------------
+
+    def _append(self, record: dict, *, sync: bool = False) -> None:
+        assert self._handle is not None
+        self._handle.write(
+            json.dumps(record, default=_json_safe) + "\n")
+        self._handle.flush()
+        now = time.monotonic()
+        if sync or self.fsync_interval == 0 or \
+                now - self._last_fsync >= self.fsync_interval:
+            os.fsync(self._handle.fileno())
+            self._last_fsync = now
+
+    def record(self, key: str, payload: dict) -> None:
+        """Append one completed job (flushed; fsync group-committed)."""
+        if self.finalized:
+            raise CheckpointError(
+                f"{self.path}: record() on a finalized journal")
+        self._entries[key] = payload
+        self._append({"kind": "entry", "key": key, "payload": payload})
+
+    def finalize(self) -> None:
+        """Mark the run complete (idempotent, always fsync'd)."""
+        if not self.finalized:
+            self._append({"kind": "final",
+                          "entries": len(self._entries)}, sync=True)
+            self.finalized = True
+        self.close()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    # -- read --------------------------------------------------------------
+
+    def completed(self) -> dict[str, dict]:
+        """Key → payload for every durably recorded job."""
+        return dict(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# -- RunMeasurement <-> JSON payload --------------------------------------
+
+def measurement_to_payload(measurement: RunMeasurement) -> dict:
+    """A JSON-able dict that round-trips the measurement exactly."""
+    return {
+        "label": measurement.label,
+        "exec_time": measurement.exec_time,
+        "fs_bytes": measurement.fs_bytes,
+        "extras": dict(measurement.extras),
+        "columns": measurement.trace.to_columns(),
+    }
+
+
+def measurement_from_payload(payload: dict) -> RunMeasurement:
+    """Inverse of :func:`measurement_to_payload`."""
+    try:
+        trace = TraceCollection.from_arrays(**payload["columns"])
+        return RunMeasurement(
+            trace=trace,
+            exec_time=payload["exec_time"],
+            fs_bytes=payload["fs_bytes"],
+            label=payload.get("label", ""),
+            extras=dict(payload.get("extras", {})),
+        )
+    except (KeyError, TypeError, ValueError, AnalysisError) as exc:
+        raise CheckpointError(
+            f"malformed checkpoint payload: {exc}") from exc

@@ -1,0 +1,377 @@
+"""Supervised fork-worker pool: crash isolation, timeouts, bounded retry.
+
+``ProcessPoolExecutor`` treats one dead worker as fatal: the whole pool
+raises ``BrokenProcessPool`` and every in-flight result is lost.  For a
+sweep whose jobs are independent, deterministic simulations that is the
+wrong failure mode — the lost job should simply run again.  This module
+implements the supervision loop directly on ``multiprocessing``
+primitives so the supervisor can see *which* worker died, re-queue
+exactly the job it was running, and keep the rest of the pool working:
+
+- each worker is a forked process with a dedicated duplex pipe; jobs are
+  handed out one at a time, so the supervisor always knows the worker's
+  current job;
+- a worker that exits (segfault, ``os._exit``, OOM-kill) surfaces as
+  EOF on its pipe: its job is re-queued and a replacement is forked;
+- a job that runs past ``SupervisorPolicy.job_timeout`` gets its worker
+  terminated and is re-queued the same way;
+- a job that raises sends the error back over the pipe (the worker
+  survives and takes the next job);
+- every re-queue consumes one unit of the job's bounded retry budget —
+  a job that keeps failing raises :class:`~repro.errors.SupervisionError`
+  instead of looping forever;
+- worker deaths consume a pool-wide respawn budget; once it is spent the
+  supervisor stops forking and finishes the remaining jobs **serially in
+  its own process** (a machine where forks keep dying should degrade to
+  the slow-but-safe path, not thrash).
+
+Results are returned in submission order, so callers that rely on
+deterministic job→result mapping (the sweep grid's per-repetition
+seeds) see output bit-identical to a serial run regardless of retries.
+
+Chaos hook: when ``REPRO_TEST_KILL_JOB`` is set (e.g. ``"2:exit"``,
+``"0:hang,3:raise"``), the *first* attempt of the named job indexes is
+sabotaged inside the worker — ``exit`` calls ``os._exit``, ``hang``
+sleeps until the timeout reaps it, ``raise`` throws.  Retries run
+clean.  CI's chaos-smoke job drives the full recovery path with it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import wait as _wait_connections
+from typing import Callable, Sequence
+
+from repro.errors import SupervisionError
+
+#: Exit code used by the chaos hook's ``exit`` mode (recognisable in
+#: supervisor error messages and CI logs).
+CHAOS_EXIT_CODE = 17
+
+_CHAOS_ENV = "REPRO_TEST_KILL_JOB"
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Retry/timeout/fallback budget for one supervised run.
+
+    ``max_retries`` bounds *re-runs per job* (a job may execute at most
+    ``1 + max_retries`` times); ``max_worker_respawns`` bounds forks
+    spent replacing dead or timed-out workers across the whole run
+    before the serial fallback engages.  ``job_timeout`` is wall-clock
+    seconds per attempt; ``None`` disables the watchdog.
+    """
+
+    job_timeout: float | None = None
+    max_retries: int = 2
+    max_worker_respawns: int = 8
+    #: Supervisor poll period when no deadline is nearer (seconds).
+    poll_interval: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise SupervisionError(
+                f"job_timeout must be > 0 or None, got {self.job_timeout}")
+        if self.max_retries < 0:
+            raise SupervisionError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.max_worker_respawns < 0:
+            raise SupervisionError(
+                f"max_worker_respawns must be >= 0, "
+                f"got {self.max_worker_respawns}")
+        if self.poll_interval <= 0:
+            raise SupervisionError(
+                f"poll_interval must be > 0, got {self.poll_interval}")
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor had to do to finish the run."""
+
+    jobs: int = 0
+    #: Jobs that ran in a pool worker (the rest ran serially).
+    pooled: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    job_errors: int = 0
+    worker_respawns: int = 0
+    serial_fallback: bool = False
+    #: job index -> number of extra attempts it needed.
+    retried_jobs: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retried_jobs.values())
+
+    def summary(self) -> str:
+        """One-line human rendering (the CLI prints it when nonzero)."""
+        parts = [f"{self.jobs} job(s)"]
+        if self.crashes:
+            parts.append(f"{self.crashes} worker crash(es)")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeout(s)")
+        if self.job_errors:
+            parts.append(f"{self.job_errors} job error(s)")
+        if self.total_retries:
+            parts.append(f"{self.total_retries} retry(ies)")
+        if self.worker_respawns:
+            parts.append(f"{self.worker_respawns} respawn(s)")
+        if self.serial_fallback:
+            parts.append("serial fallback engaged")
+        return ", ".join(parts)
+
+
+def _chaos_spec() -> dict[int, str]:
+    """Parse ``REPRO_TEST_KILL_JOB`` into {job index: mode}."""
+    raw = os.environ.get(_CHAOS_ENV, "").strip()
+    spec: dict[int, str] = {}
+    if not raw:
+        return spec
+    for part in raw.split(","):
+        index, _, mode = part.strip().partition(":")
+        try:
+            spec[int(index)] = mode or "exit"
+        except ValueError:
+            continue  # malformed chaos spec entries are ignored
+    return spec
+
+
+def _maybe_sabotage(index: int, attempt: int) -> None:
+    """Chaos hook, active only on a job's first attempt."""
+    if attempt > 0:
+        return
+    mode = _chaos_spec().get(index)
+    if mode is None:
+        return
+    if mode == "exit":
+        os._exit(CHAOS_EXIT_CODE)
+    elif mode == "hang":
+        time.sleep(3600.0)
+    elif mode == "raise":
+        raise RuntimeError(f"chaos: injected failure for job {index}")
+
+
+def _worker_main(conn, fn: Callable) -> None:
+    """Worker loop: receive (index, attempt, job), send back the result.
+
+    Runs in a forked child; ``fn`` and everything it closes over are
+    inherited, never pickled.  Exceptions are stringified before the
+    send so an unpicklable exception cannot take the pipe down.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            conn.close()
+            return
+        index, attempt, job = message
+        try:
+            _maybe_sabotage(index, attempt)
+            payload = fn(job)
+        except BaseException as exc:  # noqa: BLE001 — isolate *everything*
+            conn.send(("error", index,
+                       f"{type(exc).__name__}: {exc}"))
+        else:
+            conn.send(("done", index, payload))
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "job", "deadline")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.job: int | None = None
+        self.deadline: float | None = None
+
+
+def fork_available() -> bool:
+    """Whether the supervised pool can run at all on this platform."""
+    import multiprocessing
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_supervised(
+    jobs: Sequence,
+    fn: Callable,
+    *,
+    workers: int,
+    policy: SupervisorPolicy | None = None,
+    on_result: Callable[[int, object], None] | None = None,
+) -> tuple[list, SupervisionReport]:
+    """Run ``fn(job)`` for every job under supervision.
+
+    Returns ``(results, report)`` with ``results[i] == fn(jobs[i])`` in
+    submission order.  ``on_result(index, payload)`` fires in the
+    supervisor process as each job completes (in *completion* order) —
+    the checkpoint journal's hook.  Raises
+    :class:`~repro.errors.SupervisionError` when a job exhausts its
+    retry budget.
+
+    With ``workers <= 1``, a single job, or no ``fork`` support the
+    jobs run serially in-process (no watchdog — there is no worker to
+    reap), which is also the behaviour after the respawn budget is
+    spent mid-run.
+    """
+    policy = policy or SupervisorPolicy()
+    report = SupervisionReport(jobs=len(jobs))
+    results: list = [None] * len(jobs)
+    done = [False] * len(jobs)
+    attempts = [0] * len(jobs)
+
+    def run_serially(indexes) -> None:
+        for index in indexes:
+            try:
+                results[index] = fn(jobs[index])
+            except Exception as exc:
+                raise SupervisionError(
+                    f"job {index} failed in serial execution: "
+                    f"{type(exc).__name__}: {exc}") from exc
+            done[index] = True
+            if on_result is not None:
+                on_result(index, results[index])
+
+    if workers <= 1 or len(jobs) <= 1 or not fork_available():
+        run_serially(range(len(jobs)))
+        return results, report
+
+    ctx = get_context("fork")
+    pending: deque[int] = deque(range(len(jobs)))
+    pool: list[_Worker] = []
+    remaining = len(jobs)
+
+    def spawn_worker() -> _Worker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(target=_worker_main,
+                              args=(child_conn, fn), daemon=True)
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def retire(worker: _Worker, *, terminate: bool) -> None:
+        pool.remove(worker)
+        if terminate and worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():  # pragma: no cover - last resort
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+        worker.conn.close()
+
+    def shutdown() -> None:
+        for worker in list(pool):
+            retire(worker, terminate=True)
+
+    def count_failure(index: int, reason: str) -> None:
+        """One failed attempt: re-queue or give up."""
+        attempts[index] += 1
+        report.retried_jobs[index] = \
+            report.retried_jobs.get(index, 0) + 1
+        if attempts[index] > policy.max_retries:
+            shutdown()
+            raise SupervisionError(
+                f"job {index} failed after {attempts[index]} attempt(s): "
+                f"{reason}")
+        pending.append(index)
+
+    def respawn_budget_ok() -> bool:
+        report.worker_respawns += 1
+        return report.worker_respawns <= policy.max_worker_respawns
+
+    try:
+        for _ in range(min(workers, len(jobs))):
+            pool.append(spawn_worker())
+        while remaining:
+            if not pool:
+                # Respawn budget spent: finish everything left serially.
+                report.serial_fallback = True
+                run_serially([i for i in range(len(jobs)) if not done[i]])
+                return results, report
+            # Hand out work to idle workers.
+            for worker in list(pool):
+                if worker.job is None and pending:
+                    index = pending.popleft()
+                    try:
+                        worker.conn.send(
+                            (index, attempts[index], jobs[index]))
+                    except (BrokenPipeError, OSError):
+                        # The idle worker died between jobs.
+                        pending.appendleft(index)
+                        retire(worker, terminate=True)
+                        report.crashes += 1
+                        if respawn_budget_ok():
+                            pool.append(spawn_worker())
+                        continue
+                    worker.job = index
+                    if policy.job_timeout is not None:
+                        worker.deadline = (time.monotonic()
+                                           + policy.job_timeout)
+            busy = [w for w in pool if w.job is not None]
+            if not busy:
+                continue
+            timeout = policy.poll_interval
+            now = time.monotonic()
+            for worker in busy:
+                if worker.deadline is not None:
+                    timeout = min(timeout, max(worker.deadline - now, 0.0))
+            ready = _wait_connections([w.conn for w in busy],
+                                      timeout=timeout)
+            by_conn = {w.conn: w for w in busy}
+            for conn in ready:
+                worker = by_conn[conn]
+                try:
+                    kind, index, payload = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-job; its pipe reads EOF.
+                    index = worker.job
+                    exitcode = worker.process.exitcode
+                    retire(worker, terminate=True)
+                    report.crashes += 1
+                    if respawn_budget_ok():
+                        pool.append(spawn_worker())
+                    count_failure(
+                        index,
+                        f"worker crashed (exitcode {exitcode})")
+                    continue
+                worker.job = None
+                worker.deadline = None
+                if kind == "done":
+                    if not done[index]:
+                        results[index] = payload
+                        done[index] = True
+                        remaining -= 1
+                        report.pooled += 1
+                        if on_result is not None:
+                            on_result(index, payload)
+                else:
+                    report.job_errors += 1
+                    count_failure(index, str(payload))
+            # Reap workers stuck past their deadline.
+            now = time.monotonic()
+            for worker in list(pool):
+                if worker.job is None or worker.deadline is None or \
+                        now < worker.deadline:
+                    continue
+                index = worker.job
+                retire(worker, terminate=True)
+                report.timeouts += 1
+                if respawn_budget_ok():
+                    pool.append(spawn_worker())
+                count_failure(
+                    index,
+                    f"timed out after {policy.job_timeout:.3g}s")
+    finally:
+        for worker in pool:
+            if worker.job is None:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        shutdown()
+    return results, report

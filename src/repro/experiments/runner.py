@@ -8,16 +8,24 @@ a :class:`~repro.core.analysis.SweepAnalysis`.
 
 Runs are independent by construction (fresh system per run, seed fully
 determines the simulation), so the points × repetitions grid is
-embarrassingly parallel.  :func:`run_sweep` fans the grid out over a
-``ProcessPoolExecutor`` when more than one worker is available; results
-are reassembled in (point, repetition) order with the exact per-rep
-seeds of the serial path, so the analysis is bit-identical either way.
-Control knobs:
+embarrassingly parallel.  :func:`run_sweep` fans the grid out over the
+**supervised** fork pool of :mod:`repro.exec.supervisor` when more than
+one worker is available: a crashed worker re-queues its job instead of
+aborting the sweep, hung jobs can be reaped by a per-job timeout, and a
+pool that keeps breaking degrades to serial execution.  Results are
+reassembled in (point, repetition) order with the exact per-rep seeds
+of the serial path, so the analysis is bit-identical either way — with
+or without failures along the way.  Control knobs:
 
 - ``parallel=False`` — force the serial path (the escape hatch);
 - ``workers=N`` — explicit pool size;
 - ``REPRO_SWEEP_WORKERS`` env var — site-wide default pool size
-  (``1`` disables parallelism without touching call sites).
+  (``1`` disables parallelism without touching call sites);
+- ``policy=SupervisorPolicy(...)`` — retry/timeout/fallback budget;
+- ``checkpoint=path`` — journal each completed job durably
+  (:mod:`repro.exec.checkpoint`); with ``resume=True`` (default) an
+  existing journal's jobs are skipped, so an interrupted sweep picks
+  up where it died and still returns the identical analysis.
 
 The pool uses the ``fork`` start method so sweep specs (whose workload
 factories are typically closures, which don't pickle) are inherited by
@@ -27,14 +35,25 @@ runner silently falls back to serial execution.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.analysis import RunMeasurement, SweepAnalysis
 from repro.errors import ExperimentError
+from repro.exec.checkpoint import (
+    CheckpointJournal,
+    measurement_from_payload,
+    measurement_to_payload,
+)
+from repro.exec.supervisor import (
+    SupervisionReport,
+    SupervisorPolicy,
+    fork_available,
+    run_supervised,
+)
 from repro.system import SystemConfig
 from repro.workloads.base import Workload
 
@@ -101,12 +120,14 @@ def _pool_job(job: tuple[int, int]) -> RunMeasurement:
     return _run_job(_WORKER_SPEC, job)
 
 
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
 def resolve_workers(workers: int | None = None) -> int:
-    """Pool size: explicit argument > REPRO_SWEEP_WORKERS > cpu count."""
+    """Pool size: explicit argument > REPRO_SWEEP_WORKERS > cpu count.
+
+    A non-positive ``REPRO_SWEEP_WORKERS`` is clamped to 1 with a
+    warning (a site-wide env var should degrade, not abort every
+    sweep); a non-positive explicit argument is a caller bug and
+    raises.
+    """
     if workers is not None:
         if workers < 1:
             raise ExperimentError(f"bad worker count {workers}")
@@ -120,7 +141,11 @@ def resolve_workers(workers: int | None = None) -> int:
                 f"REPRO_SWEEP_WORKERS must be an integer, got {env!r}"
             ) from None
         if parsed < 1:
-            raise ExperimentError(f"bad REPRO_SWEEP_WORKERS {parsed}")
+            warnings.warn(
+                f"REPRO_SWEEP_WORKERS={parsed} is not a valid pool "
+                f"size; clamping to 1 (serial)", RuntimeWarning,
+                stacklevel=2)
+            return 1
         return parsed
     return os.cpu_count() or 1
 
@@ -135,9 +160,24 @@ def _sweep_jobs(spec: SweepSpec,
     ]
 
 
+def _job_key(job: tuple[int, int]) -> str:
+    point_index, seed = job
+    return f"p{point_index}:s{seed}"
+
+
+def _sweep_tag(spec: SweepSpec, scale: ExperimentScale) -> str:
+    """Checkpoint identity: resuming a *different* sweep must fail."""
+    return (f"knob={spec.knob}|points={len(spec.points)}"
+            f"|reps={scale.repetitions}|seed={scale.base_seed}"
+            f"|factor={scale.factor!r}")
+
+
 def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
               parallel: bool | None = None,
-              workers: int | None = None) -> SweepAnalysis:
+              workers: int | None = None,
+              policy: SupervisorPolicy | None = None,
+              checkpoint: str | Path | None = None,
+              resume: bool = True) -> SweepAnalysis:
     """Run every point ``scale.repetitions`` times; return the analysis.
 
     ``parallel=None`` (default) parallelises across points ×
@@ -146,30 +186,68 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
     serial path; ``parallel=True`` requires it (serial fallback only if
     fork is unavailable).  Either way the per-repetition seeds and the
     result order are identical, so the returned analysis matches the
-    serial path exactly.
+    serial path exactly — crashes, retries, and resumed checkpoints
+    included.
+
+    ``checkpoint`` journals every completed job durably; with
+    ``resume=True`` an existing journal's completed jobs are reloaded
+    instead of re-run.  The supervision outcome is attached to the
+    returned analysis as ``analysis.supervision``
+    (:class:`~repro.exec.supervisor.SupervisionReport`).
     """
     global _WORKER_SPEC
     pool_size = resolve_workers(workers)
     jobs = _sweep_jobs(spec, scale)
+
+    journal: CheckpointJournal | None = None
+    results: list[RunMeasurement | None] = [None] * len(jobs)
+    todo = list(range(len(jobs)))
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint,
+                                    tag=_sweep_tag(spec, scale),
+                                    resume=resume)
+        completed = journal.completed()
+        todo = []
+        for index, job in enumerate(jobs):
+            payload = completed.get(_job_key(job))
+            if payload is not None:
+                results[index] = measurement_from_payload(payload)
+            else:
+                todo.append(index)
+
+    def on_result(todo_position: int, payload: RunMeasurement) -> None:
+        index = todo[todo_position]
+        results[index] = payload
+        if journal is not None:
+            journal.record(_job_key(jobs[index]),
+                           measurement_to_payload(payload))
+
     use_pool = (parallel if parallel is not None else pool_size > 1) \
-        and pool_size > 1 and len(jobs) > 1 and _fork_available()
-    if use_pool:
-        _WORKER_SPEC = spec
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(pool_size, len(jobs)),
-                mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                # map() preserves job order: repetition r of point p is
-                # at index p * repetitions + r, same as the serial loop.
-                results = list(pool.map(_pool_job, jobs))
-        finally:
-            _WORKER_SPEC = None
-    else:
-        results = [_run_job(spec, job) for job in jobs]
+        and pool_size > 1 and len(todo) > 1 and fork_available()
+    report = SupervisionReport(jobs=len(todo))
+    try:
+        if todo:
+            if use_pool:
+                _WORKER_SPEC = spec
+                try:
+                    _results, report = run_supervised(
+                        [jobs[i] for i in todo], _pool_job,
+                        workers=min(pool_size, len(todo)),
+                        policy=policy, on_result=on_result)
+                finally:
+                    _WORKER_SPEC = None
+            else:
+                for position, index in enumerate(todo):
+                    on_result(position, _run_job(spec, jobs[index]))
+        if journal is not None:
+            journal.finalize()
+    finally:
+        if journal is not None:
+            journal.close()
 
     sweep = SweepAnalysis(spec.knob)
     for point_index, (label, _make, _config) in enumerate(spec.points):
         base = point_index * scale.repetitions
         sweep.add_runs(label, results[base:base + scale.repetitions])
+    sweep.supervision = report
     return sweep

@@ -58,7 +58,12 @@ def build_sweep(scale: ExperimentScale) -> SweepSpec:
     return SweepSpec(knob="storage configuration", points=points)
 
 
-def run_set1(scale: ExperimentScale | None = None) -> SweepAnalysis:
-    """Run the Set 1 sweep; its correlation table is Fig. 4."""
+def run_set1(scale: ExperimentScale | None = None,
+             **run_kwargs) -> SweepAnalysis:
+    """Run the Set 1 sweep; its correlation table is Fig. 4.
+
+    Extra keyword arguments (``checkpoint``, ``policy``, ...) pass
+    through to :func:`~repro.experiments.runner.run_sweep`.
+    """
     scale = scale or ExperimentScale()
-    return run_sweep(build_sweep(scale), scale)
+    return run_sweep(build_sweep(scale), scale, **run_kwargs)

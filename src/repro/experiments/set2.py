@@ -56,13 +56,16 @@ def build_sweep(device: str, scale: ExperimentScale) -> SweepSpec:
 
 
 def run_set2(device: str = "hdd",
-             scale: ExperimentScale | None = None) -> SweepAnalysis:
+             scale: ExperimentScale | None = None,
+             **run_kwargs) -> SweepAnalysis:
     """Run the Set 2 sweep on one device.
 
     ``device='hdd'`` reproduces Fig. 5, ``device='ssd'`` Fig. 6.
+    Extra keyword arguments pass through to
+    :func:`~repro.experiments.runner.run_sweep`.
     """
     scale = scale or ExperimentScale()
-    return run_sweep(build_sweep(device, scale), scale)
+    return run_sweep(build_sweep(device, scale), scale, **run_kwargs)
 
 
 def set2_detail(device: str, metric: str,

@@ -94,16 +94,18 @@ def build_ior_sweep(scale: ExperimentScale) -> SweepSpec:
     return SweepSpec(knob="I/O concurrency (IOR)", points=points)
 
 
-def run_set3_pure(scale: ExperimentScale | None = None) -> SweepAnalysis:
+def run_set3_pure(scale: ExperimentScale | None = None,
+                  **run_kwargs) -> SweepAnalysis:
     """Run the pure-concurrency sweep; its CC table is Fig. 9."""
     scale = scale or ExperimentScale()
-    return run_sweep(build_pure_sweep(scale), scale)
+    return run_sweep(build_pure_sweep(scale), scale, **run_kwargs)
 
 
-def run_set3_ior(scale: ExperimentScale | None = None) -> SweepAnalysis:
+def run_set3_ior(scale: ExperimentScale | None = None,
+                 **run_kwargs) -> SweepAnalysis:
     """Run the IOR sweep; its CC table is Fig. 11."""
     scale = scale or ExperimentScale()
-    return run_sweep(build_ior_sweep(scale), scale)
+    return run_sweep(build_ior_sweep(scale), scale, **run_kwargs)
 
 
 def set3_detail(scale: ExperimentScale | None = None) -> str:

@@ -63,8 +63,9 @@ def build_sweep(scale: ExperimentScale, *,
 
 
 def run_set4(scale: ExperimentScale | None = None, *,
-             sieving_enabled: bool = True) -> SweepAnalysis:
+             sieving_enabled: bool = True,
+             **run_kwargs) -> SweepAnalysis:
     """Run the Set 4 sweep; its CC table is Fig. 12."""
     scale = scale or ExperimentScale()
     return run_sweep(build_sweep(scale, sieving_enabled=sieving_enabled),
-                     scale)
+                     scale, **run_kwargs)

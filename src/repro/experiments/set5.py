@@ -52,7 +52,8 @@ def build_sweep(scale: ExperimentScale) -> SweepSpec:
     return SweepSpec(knob="async queue depth", points=points)
 
 
-def run_set5(scale: ExperimentScale | None = None) -> SweepAnalysis:
+def run_set5(scale: ExperimentScale | None = None,
+             **run_kwargs) -> SweepAnalysis:
     """Run the queue-depth sweep (extension figure 'ext1')."""
     scale = scale or ExperimentScale()
-    return run_sweep(build_sweep(scale), scale)
+    return run_sweep(build_sweep(scale), scale, **run_kwargs)

@@ -162,7 +162,8 @@ def build_sweep(scale: ExperimentScale) -> SweepSpec:
 
 
 def run_set6(scale: ExperimentScale | None = None,
-             smoke: bool = False) -> SweepAnalysis:
+             smoke: bool = False,
+             **run_kwargs) -> SweepAnalysis:
     """Run the fault-severity sweep (extension figure 'ext2').
 
     ``smoke`` shrinks the sweep to a seconds-long CI-sized run (fewer
@@ -171,7 +172,7 @@ def run_set6(scale: ExperimentScale | None = None,
     if smoke:
         scale = ExperimentScale(factor=0.25, repetitions=2)
     scale = scale or ExperimentScale()
-    return run_sweep(build_sweep(scale), scale)
+    return run_sweep(build_sweep(scale), scale, **run_kwargs)
 
 
 def compare_policies(scale: ExperimentScale | None = None,

@@ -13,7 +13,9 @@ sweep, paper §III.B/Fig. 3) becomes an online pipeline:
 - :mod:`repro.live.anomaly` — :class:`BpsAnomalyDetector`, rolling-
   baseline drop detection over closed windows;
 - :mod:`repro.live.sinks` — pluggable telemetry sinks (in-memory,
-  JSONL event stream, Prometheus-style text exposition);
+  JSONL event stream, Prometheus-style text exposition) plus
+  :class:`FailSafeSink`, the error-policy wrapper that keeps a dying
+  sink from corrupting the metric stream;
 - :mod:`repro.live.tap` — :class:`LiveTap`, completion-callback feed
   from a running simulation;
 - :mod:`repro.live.replay` — :func:`watch_trace`, the paced trace
@@ -22,7 +24,13 @@ sweep, paper §III.B/Fig. 3) becomes an online pipeline:
 
 from repro.live.anomaly import Anomaly, BpsAnomalyDetector
 from repro.live.replay import completion_order, watch_trace
-from repro.live.sinks import JsonlSink, MemorySink, PrometheusSink
+from repro.live.sinks import (
+    FailSafeSink,
+    JsonlSink,
+    MemorySink,
+    PrometheusSink,
+    apply_sink_policy,
+)
 from repro.live.stream import (
     GroupStats,
     LiveResult,
@@ -45,6 +53,8 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "PrometheusSink",
+    "FailSafeSink",
+    "apply_sink_policy",
     "LiveTap",
     "watch_trace",
     "completion_order",

@@ -24,6 +24,7 @@ from typing import Callable, Iterable
 
 from repro.core.records import TraceCollection
 from repro.errors import LiveStreamError
+from repro.live.sinks import apply_sink_policy
 from repro.live.stream import LiveResult, MetricStream
 
 
@@ -55,6 +56,8 @@ def watch_trace(
     block_size: int = 512,
     speed: float | None = None,
     sinks: Iterable = (),
+    sink_errors: str | None = None,
+    sink_max_failures: int = 5,
     detector=None,
     exec_time: float | None = None,
     on_window: Callable[[dict], None] | None = None,
@@ -80,7 +83,10 @@ def watch_trace(
                 "trace has zero wall extent; pass an explicit window")
         window = span / max(1, bins)
 
-    stream_sinks = list(sinks)
+    # Apply the fail-safe policy to caller sinks only; the on_window
+    # callback is the CLI's own renderer and stays transparent.
+    stream_sinks = apply_sink_policy(sinks, sink_errors,
+                                     sink_max_failures)
     if on_window is not None:
         stream_sinks.append(_CallbackSink(on_window,
                                           ("window", "anomaly")))

@@ -12,6 +12,14 @@ metric machinery.  Three implementations ship:
   atomically on every update, the node-exporter "textfile collector"
   pattern: point a scraper at the file and the run's live gauges show
   up under ``repro_live_*``.
+
+Telemetry must never corrupt the measurement: :class:`FailSafeSink`
+wraps any sink in an error policy (``raise`` | ``warn`` — warn and
+drop the event | ``disable`` — warn and stop writing after N
+consecutive failures), so a full disk or a dead scrape target degrades
+the telemetry path while the metric stream itself stays exact.
+:class:`MetricStream` applies the policy via its ``sink_errors``
+argument.
 """
 
 from __future__ import annotations
@@ -19,10 +27,14 @@ from __future__ import annotations
 import json
 import math
 import os
+import warnings
 from pathlib import Path
 from typing import IO
 
 from repro.errors import LiveStreamError
+
+#: Valid ``sink_errors`` policies, in escalation order.
+SINK_ERROR_POLICIES = ("raise", "warn", "disable")
 
 #: Event fields exported as Prometheus gauges (cumulative families).
 _PROM_GAUGES = (
@@ -35,6 +47,100 @@ _PROM_GAUGES = (
     ("ops", "repro_live_ops_total", "Application operations seen"),
     ("blocks", "repro_live_blocks_total", "Application blocks seen"),
 )
+
+
+class FailSafeSink:
+    """Error-policy wrapper around any sink.
+
+    - ``policy="raise"`` — transparent: sink errors propagate (the
+      pre-wrapper behaviour);
+    - ``policy="warn"`` — each failing ``emit`` warns and drops that
+      event; the sink keeps being tried (a transient full disk may
+      recover);
+    - ``policy="disable"`` — like ``warn`` until ``max_failures``
+      *consecutive* failures, then the sink is disabled for the rest of
+      the run (a permanently dead target shouldn't warn once per
+      window).
+
+    A successful emit resets the consecutive-failure count.  ``close``
+    failures follow the same policy.  Counters (``failures``,
+    ``dropped_events``, ``disabled``, ``last_error``) are exposed for
+    tests and post-run reporting.
+    """
+
+    def __init__(self, sink, *, policy: str = "warn",
+                 max_failures: int = 5) -> None:
+        if policy not in SINK_ERROR_POLICIES:
+            raise LiveStreamError(
+                f"sink error policy must be one of "
+                f"{SINK_ERROR_POLICIES}, got {policy!r}")
+        if max_failures < 1:
+            raise LiveStreamError(
+                f"max_failures must be >= 1, got {max_failures}")
+        self.sink = sink
+        self.policy = policy
+        self.max_failures = max_failures
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.dropped_events = 0
+        self.disabled = False
+        self.last_error: Exception | None = None
+
+    def _handle(self, exc: Exception, what: str) -> None:
+        if self.policy == "raise":
+            raise exc
+        self.failures += 1
+        self.consecutive_failures += 1
+        self.last_error = exc
+        inner = type(self.sink).__name__
+        if self.policy == "disable" and \
+                self.consecutive_failures >= self.max_failures:
+            self.disabled = True
+            warnings.warn(
+                f"telemetry sink {inner} disabled after "
+                f"{self.consecutive_failures} consecutive failures "
+                f"(last: {type(exc).__name__}: {exc})", RuntimeWarning,
+                stacklevel=3)
+        else:
+            warnings.warn(
+                f"telemetry sink {inner} failed during {what}, "
+                f"event dropped: {type(exc).__name__}: {exc}",
+                RuntimeWarning, stacklevel=3)
+
+    def emit(self, event: dict) -> None:
+        if self.disabled:
+            self.dropped_events += 1
+            return
+        try:
+            self.sink.emit(event)
+        except Exception as exc:  # noqa: BLE001 — isolate the stream
+            self.dropped_events += 1
+            self._handle(exc, "emit")
+        else:
+            self.consecutive_failures = 0
+
+    def close(self) -> None:
+        if self.disabled:
+            return
+        close = getattr(self.sink, "close", None)
+        if close is None:
+            return
+        try:
+            close()
+        except Exception as exc:  # noqa: BLE001
+            self._handle(exc, "close")
+
+
+def apply_sink_policy(sinks, policy: str | None,
+                      max_failures: int = 5) -> list:
+    """Wrap every sink per ``policy`` (None/'raise' = no wrapping)."""
+    sinks = list(sinks)
+    if policy is None or policy == "raise":
+        return sinks
+    return [sink if isinstance(sink, FailSafeSink)
+            else FailSafeSink(sink, policy=policy,
+                              max_failures=max_failures)
+            for sink in sinks]
 
 
 class MemorySink:

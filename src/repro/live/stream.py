@@ -41,6 +41,7 @@ from repro.core.intervals import union_time
 from repro.core.metrics import MetricSet
 from repro.core.records import IORecord
 from repro.errors import LiveStreamError
+from repro.live.sinks import apply_sink_policy
 from repro.live.union import StreamingUnion
 from repro.util.units import BLOCK_SIZE, bytes_to_blocks
 
@@ -158,6 +159,8 @@ class MetricStream:
         watermark_lag: float = 0.0,
         late_policy: str = "merge",
         sinks: Iterable = (),
+        sink_errors: str | None = None,
+        sink_max_failures: int = 5,
         detector=None,
         group_by: dict[str, Callable[[IORecord], str]] | None = None,
     ) -> None:
@@ -168,7 +171,11 @@ class MetricStream:
         self.window = float(window)
         self.block_size = block_size
         self.origin = origin
-        self.sinks = list(sinks)
+        # sink_errors None/'raise' keeps sinks transparent; 'warn' /
+        # 'disable' wrap them fail-safe (repro.live.sinks.FailSafeSink)
+        # so a dying sink cannot corrupt the metric stream.
+        self.sinks = apply_sink_policy(sinks, sink_errors,
+                                       sink_max_failures)
         self.detector = detector
         self._union = StreamingUnion(reorder_capacity=reorder_capacity,
                                      watermark_lag=watermark_lag,

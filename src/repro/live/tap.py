@@ -43,6 +43,8 @@ class LiveTap:
         window: float,
         block_size: int = BLOCK_SIZE,
         sinks: Iterable = (),
+        sink_errors: str | None = None,
+        sink_max_failures: int = 5,
         detector=None,
         watermark_lag: float | None = None,
         heartbeat_s: float | None = None,
@@ -64,6 +66,8 @@ class LiveTap:
             watermark_lag=self.watermark_lag,
             late_policy="merge",
             sinks=sinks,
+            sink_errors=sink_errors,
+            sink_max_failures=sink_max_failures,
             detector=detector,
             group_by=group_by,
         )

@@ -29,6 +29,11 @@ import sys
 from typing import IO
 
 from repro.core.records import TraceCollection
+from repro.trace_io.policy import (
+    ErrorPolicy,
+    QuarantineEntry,
+    QuarantineReport,
+)
 from repro.trace_io.csvtrace import read_csv_trace, write_csv_trace
 from repro.trace_io.jsonltrace import read_jsonl_trace, write_jsonl_trace
 from repro.trace_io.blkparse import read_blkparse
@@ -60,23 +65,32 @@ def guess_format(path: str) -> str:
 
 
 def read_trace(source: str, *, fmt: str | None = None,
-               stdin: IO[str] | None = None) -> TraceCollection:
+               stdin: IO[str] | None = None,
+               errors: ErrorPolicy | str | None = None,
+               ) -> TraceCollection:
     """Read a trace from a path, or from stdin when ``source == "-"``.
 
     Stdin defaults to JSONL (the only line-structured format a pipe
     naturally produces); pass ``fmt`` to override.  ``stdin`` is
-    injectable for tests.
+    injectable for tests.  ``errors`` selects the shared
+    strict-or-salvage ingestion policy (:mod:`repro.trace_io.policy`);
+    pass an :class:`ErrorPolicy` instance to get the quarantine report
+    back as ``policy.report``.
     """
     if source == "-":
         handle = sys.stdin if stdin is None else stdin
-        return TRACE_READERS[fmt or "jsonl"](handle)
-    return TRACE_READERS[fmt or guess_format(source)](source)
+        return TRACE_READERS[fmt or "jsonl"](handle, errors=errors)
+    return TRACE_READERS[fmt or guess_format(source)](source,
+                                                      errors=errors)
 
 
 __all__ = [
     "TRACE_READERS",
     "guess_format",
     "read_trace",
+    "ErrorPolicy",
+    "QuarantineEntry",
+    "QuarantineReport",
     "read_csv_trace",
     "write_csv_trace",
     "read_jsonl_trace",

@@ -15,6 +15,12 @@ this reproduction.
 
 Unmatched completions and never-completed starts are tolerated by
 default (real captures truncate at both ends); ``strict=True`` raises.
+An explicit ``errors`` policy overrides both: ``"strict"`` behaves
+like ``strict=True``, ``"salvage"`` quarantines unparseable lines and
+pairing problems into a :class:`~repro.trace_io.policy.QuarantineReport`
+under the policy's error budget.  Note that blkparse's trailing summary
+block counts against a salvage budget (legacy mode skips it silently) —
+salvage is meant for event streams, not full reports.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from typing import IO
 
 from repro.core.records import IORecord, TraceCollection
 from repro.errors import TraceFormatError
+from repro.trace_io.policy import ErrorPolicy, SalvageSession
 
 _LINE_RE = re.compile(
     r"^\s*(?P<dev>\d+,\d+)"
@@ -44,7 +51,9 @@ SECTOR_BYTES = 512
 
 def read_blkparse(source: str | Path | IO[str], *,
                   start_action: str = "Q",
-                  strict: bool = False) -> TraceCollection:
+                  strict: bool = False,
+                  errors: ErrorPolicy | str | None = None,
+                  ) -> TraceCollection:
     """Parse blkparse text into an interval trace.
 
     ``start_action`` selects what counts as the start of an I/O:
@@ -55,29 +64,42 @@ def read_blkparse(source: str | Path | IO[str], *,
         raise TraceFormatError(
             f"start_action must be 'Q' or 'D', got {start_action!r}"
         )
+    if errors is not None:
+        strict = ErrorPolicy.coerce(errors).mode == "strict"
     if isinstance(source, (str, Path)):
         with open(source) as handle:
-            return _read(handle, str(source), start_action, strict)
+            return _read(handle, str(source), start_action, strict,
+                         errors)
     return _read(source, getattr(source, "name", "<stream>"),
-                 start_action, strict)
+                 start_action, strict, errors)
 
 
 def _read(handle: IO[str], name: str, start_action: str,
-          strict: bool) -> TraceCollection:
-    pending: dict[tuple[str, int], tuple[float, int, int, str]] = {}
+          strict: bool, errors: ErrorPolicy | str | None,
+          ) -> TraceCollection:
+    session = SalvageSession(errors, name) if errors is not None else None
+    salvage = session is not None and session.salvage
+    pending: dict[tuple[str, int], tuple[float, int, int, str, int]] = {}
     trace = TraceCollection()
+    line_count = 0
+
+    def problem(line_number: int, reason: str, raw: str = "") -> None:
+        """Route through the session when present, else legacy rules."""
+        if session is not None:
+            session.bad(line_number, reason, raw)
+        elif strict:
+            raise TraceFormatError(f"{name}:{line_number}: {reason}")
+
     for line_number, line in enumerate(handle, start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
+        line_count += 1
         match = _LINE_RE.match(line)
         if match is None:
-            # blkparse appends a summary block; stop at the first
-            # non-event line unless strict.
-            if strict:
-                raise TraceFormatError(
-                    f"{name}:{line_number}: unparseable line {stripped!r}"
-                )
+            # blkparse appends a summary block; legacy mode stops
+            # caring at the first non-event line unless strict.
+            problem(line_number, f"unparseable line {stripped!r}", line)
             continue
         if match.group("sector") is None:
             continue  # event without a sector range (e.g. plug/unplug)
@@ -91,22 +113,27 @@ def _read(handle: IO[str], name: str, start_action: str,
             continue  # zero-sector events (flushes) carry no data
         op = "write" if "W" in match.group("rwbs") else "read"
         if action == start_action:
-            if key in pending and strict:
-                raise TraceFormatError(
-                    f"{name}:{line_number}: duplicate start for {key}"
-                )
-            pending[key] = (timestamp, int(match.group("pid")), nbytes, op)
+            if key in pending:
+                problem(line_number, f"duplicate start for {key}", line)
+                if not salvage:
+                    # Legacy non-strict keeps the newer start.
+                    pass
+            pending[key] = (timestamp, int(match.group("pid")), nbytes,
+                            op, line_number)
         else:  # completion
             started = pending.pop(key, None)
             if started is None:
-                if strict:
-                    raise TraceFormatError(
-                        f"{name}:{line_number}: completion without start "
-                        f"for {key}"
-                    )
+                problem(line_number,
+                        f"completion without start for {key}", line)
                 continue
-            start_time, pid, start_bytes, start_op = started
+            start_time, pid, start_bytes, start_op, _start_line = started
             if timestamp < start_time:
+                if salvage:
+                    session.bad(
+                        line_number,
+                        f"completion at {timestamp} precedes start at "
+                        f"{start_time} for {key}", line)
+                    continue
                 raise TraceFormatError(
                     f"{name}:{line_number}: completion at {timestamp} "
                     f"precedes start at {start_time} for {key}"
@@ -116,10 +143,15 @@ def _read(handle: IO[str], name: str, start_action: str,
                 start=start_time, end=timestamp,
                 file=key[0], offset=key[1] * SECTOR_BYTES,
             ))
-    if strict and pending:
-        raise TraceFormatError(
-            f"{name}: {len(pending)} I/O(s) never completed"
-        )
+            if session is not None:
+                session.kept()
+    for key, (_t, _pid, _nbytes, _op, start_line) in sorted(
+            pending.items(), key=lambda item: item[1][4]):
+        problem(start_line, f"I/O {key} never completed")
+    if session is not None:
+        session.finish()
     if len(trace) == 0:
-        raise TraceFormatError(f"{name}: no completed I/Os found")
+        raise TraceFormatError(
+            f"{name}: no completed I/Os found "
+            f"({line_count} event line(s) examined)")
     return trace

@@ -4,6 +4,10 @@ Header: ``pid,op,nbytes,start,end,file,offset,success``.
 The first five columns are required (they are the paper's record plus
 the operation); the rest are optional and default sensibly.  Lines
 starting with ``#`` and blank lines are ignored.
+
+``errors="salvage"`` skips malformed *rows* into a quarantine report
+(:mod:`repro.trace_io.policy`); a missing/garbled header is structural
+and always raises — there is nothing to salvage around it.
 """
 
 from __future__ import annotations
@@ -14,7 +18,8 @@ from pathlib import Path
 from typing import IO
 
 from repro.core.records import IORecord, TraceCollection
-from repro.errors import TraceFormatError
+from repro.errors import AnalysisError, TraceFormatError
+from repro.trace_io.policy import ErrorPolicy, SalvageSession
 
 REQUIRED_COLUMNS = ("pid", "op", "nbytes", "start", "end")
 OPTIONAL_COLUMNS = ("file", "offset", "success", "retries")
@@ -29,15 +34,20 @@ def _parse_bool(text: str) -> bool:
     raise TraceFormatError(f"unparseable boolean {text!r}")
 
 
-def read_csv_trace(source: str | Path | IO[str]) -> TraceCollection:
+def read_csv_trace(source: str | Path | IO[str], *,
+                   errors: ErrorPolicy | str | None = None,
+                   ) -> TraceCollection:
     """Read a CSV trace from a path or open text stream."""
     if isinstance(source, (str, Path)):
         with open(source, newline="") as handle:
-            return _read(handle, name=str(source))
-    return _read(source, name=getattr(source, "name", "<stream>"))
+            return _read(handle, name=str(source), errors=errors)
+    return _read(source, name=getattr(source, "name", "<stream>"),
+                 errors=errors)
 
 
-def _read(handle: IO[str], name: str) -> TraceCollection:
+def _read(handle: IO[str], name: str,
+          errors: ErrorPolicy | str | None) -> TraceCollection:
+    session = SalvageSession(errors, name)
     filtered = (line for line in handle
                 if line.strip() and not line.lstrip().startswith("#"))
     reader = csv.DictReader(filtered)
@@ -65,15 +75,18 @@ def _read(handle: IO[str], name: str) -> TraceCollection:
                 if row.get("success") else True,
                 retries=int(row["retries"]) if row.get("retries") else 0,
             )
-        except TraceFormatError:
-            raise
-        except (KeyError, ValueError) as exc:
-            raise TraceFormatError(
-                f"{name}:{line_number}: bad record {row!r}: {exc}"
-            ) from exc
+        except (TraceFormatError, KeyError, ValueError,
+                AnalysisError) as exc:
+            session.bad(line_number, f"bad record {row!r}: {exc}",
+                        ",".join(str(v) for v in row.values()))
+            continue
         trace.add(record)
+        session.kept()
+    session.finish()
     if len(trace) == 0:
-        raise TraceFormatError(f"{name}: trace contains no records")
+        raise TraceFormatError(
+            f"{name}: trace contains no records "
+            f"({session.report.lines_seen} data row(s) examined)")
     return trace
 
 

@@ -33,6 +33,7 @@ from typing import IO
 
 from repro.core.records import IORecord, TraceCollection
 from repro.errors import TraceFormatError
+from repro.trace_io.policy import ErrorPolicy, SalvageSession
 
 _COUNTERS = {
     "POSIX_READS", "POSIX_WRITES",
@@ -53,15 +54,19 @@ class _FileRecord:
     open_start: float = 0.0
 
 
-def read_darshan(source: str | Path | IO[str]) -> TraceCollection:
+def read_darshan(source: str | Path | IO[str], *,
+                 errors: ErrorPolicy | str | None = None,
+                 ) -> TraceCollection:
     """Build a synthetic interval trace from darshan-parser output."""
     if isinstance(source, (str, Path)):
         with open(source) as handle:
-            return _read(handle, str(source))
-    return _read(source, getattr(source, "name", "<stream>"))
+            return _read(handle, str(source), errors)
+    return _read(source, getattr(source, "name", "<stream>"), errors)
 
 
-def _read(handle: IO[str], name: str) -> TraceCollection:
+def _read(handle: IO[str], name: str,
+          errors: ErrorPolicy | str | None) -> TraceCollection:
+    session = SalvageSession(errors, name)
     records: dict[tuple[int, str], _FileRecord] = {}
     for line_number, line in enumerate(handle, start=1):
         stripped = line.strip()
@@ -77,9 +82,10 @@ def _read(handle: IO[str], name: str) -> TraceCollection:
             rank = int(fields[1])
             value = float(fields[4])
         except ValueError as exc:
-            raise TraceFormatError(
-                f"{name}:{line_number}: bad POSIX counter line: {exc}"
-            ) from exc
+            session.bad(line_number,
+                        f"bad POSIX counter line: {exc}", line)
+            continue
+        session.kept()
         file_name = fields[5]
         pid = max(rank, 0)  # rank -1 = shared record → pid 0
         record = records.setdefault((pid, file_name), _FileRecord())
@@ -102,23 +108,29 @@ def _read(handle: IO[str], name: str) -> TraceCollection:
     for (pid, file_name), record in sorted(records.items()):
         _emit(trace, pid, file_name, "read", record.reads,
               record.bytes_read, record.read_time, record.open_start,
-              name)
+              name, session)
         _emit(trace, pid, file_name, "write", record.writes,
               record.bytes_written, record.write_time,
-              record.open_start + record.read_time, name)
+              record.open_start + record.read_time, name, session)
+    session.finish()
     if len(trace) == 0:
         raise TraceFormatError(
-            f"{name}: no POSIX I/O records found in darshan output"
+            f"{name}: no POSIX I/O records found in darshan output "
+            f"({session.report.lines_seen} counter line(s) examined)"
         )
     return trace
 
 
 def _emit(trace: TraceCollection, pid: int, file_name: str, op: str,
           ops: int, total_bytes: int, busy_time: float, start: float,
-          name: str) -> None:
+          name: str, session: SalvageSession) -> None:
     if ops <= 0:
         return
     if total_bytes < 0 or busy_time < 0:
+        if session.salvage:
+            session.bad(0, f"negative counter for {file_name!r} "
+                           f"({op} stream skipped)")
+            return
         raise TraceFormatError(
             f"{name}: negative counter for {file_name!r}"
         )

@@ -26,12 +26,22 @@ from typing import IO
 
 from repro.core.records import IORecord, TraceCollection
 from repro.errors import TraceFormatError
+from repro.trace_io.policy import ErrorPolicy, SalvageSession
 
 _DIRECTIONS = ("read", "write")
 
 
-def read_fio_json(source: str | Path | IO[str]) -> TraceCollection:
-    """Build a synthetic interval trace from a fio JSON result."""
+def read_fio_json(source: str | Path | IO[str], *,
+                  errors: ErrorPolicy | str | None = None,
+                  ) -> TraceCollection:
+    """Build a synthetic interval trace from a fio JSON result.
+
+    fio output is one JSON document, so the salvage unit is the *job*:
+    ``errors="salvage"`` quarantines jobs with inconsistent counters
+    (I/O reported against zero runtime) instead of raising.  A document
+    that does not parse at all always raises — there is no healthy
+    subset to keep.
+    """
     if isinstance(source, (str, Path)):
         with open(source) as handle:
             text = handle.read()
@@ -39,6 +49,7 @@ def read_fio_json(source: str | Path | IO[str]) -> TraceCollection:
     else:
         text = source.read()
         name = getattr(source, "name", "<stream>")
+    session = SalvageSession(errors, name)
     try:
         doc = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -48,9 +59,12 @@ def read_fio_json(source: str | Path | IO[str]) -> TraceCollection:
         raise TraceFormatError(f"{name}: no jobs in fio output")
     trace = TraceCollection()
     for job_index, job in enumerate(jobs):
-        _add_job(trace, job, job_index, name)
+        _add_job(trace, job, job_index, name, session)
+    session.finish()
     if len(trace) == 0:
-        raise TraceFormatError(f"{name}: fio output contains no I/O")
+        raise TraceFormatError(
+            f"{name}: fio output contains no I/O "
+            f"({len(jobs)} job(s) examined)")
     return trace
 
 
@@ -65,21 +79,37 @@ def _mean_latency_s(direction: dict) -> float:
 
 
 def _add_job(trace: TraceCollection, job: dict, job_index: int,
-             name: str) -> None:
+             name: str, session: SalvageSession) -> None:
     job_name = job.get("jobname", f"job{job_index}")
     for op in _DIRECTIONS:
         direction = job.get(op)
         if not isinstance(direction, dict):
             continue
-        total_ios = int(direction.get("total_ios", 0))
-        io_bytes = int(direction.get("io_bytes", 0))
-        runtime_s = float(direction.get("runtime", 0)) / 1000.0  # ms
+        try:
+            total_ios = int(direction.get("total_ios", 0))
+            io_bytes = int(direction.get("io_bytes", 0))
+            runtime_s = float(direction.get("runtime", 0)) / 1000.0  # ms
+        except (TypeError, ValueError) as exc:
+            if session.salvage:
+                session.bad(job_index,
+                            f"job {job_name!r} has non-numeric "
+                            f"{op} counters: {exc}")
+                continue
+            raise TraceFormatError(
+                f"{name}: job {job_name!r} has non-numeric {op} "
+                f"counters: {exc}") from exc
         if total_ios <= 0 or io_bytes <= 0:
             continue
         if runtime_s <= 0:
+            if session.salvage:
+                session.bad(job_index,
+                            f"job {job_name!r} has I/O but zero "
+                            f"runtime ({op} stream skipped)")
+                continue
             raise TraceFormatError(
                 f"{name}: job {job_name!r} has I/O but zero runtime"
             )
+        session.kept()
         latency_s = _mean_latency_s(direction)
         if latency_s <= 0 or latency_s > runtime_s:
             latency_s = runtime_s / total_ios

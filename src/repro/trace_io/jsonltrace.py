@@ -3,6 +3,10 @@
 Required keys per line: ``pid``, ``op``, ``nbytes``, ``start``, ``end``.
 Optional: ``file``, ``offset``, ``success``, ``layer``, ``retries``.
 Unknown keys are ignored (forward compatibility with richer tracers).
+
+``errors="salvage"`` (or an :class:`~repro.trace_io.policy.ErrorPolicy`)
+skips malformed lines into a quarantine report instead of raising; see
+:mod:`repro.trace_io.policy`.
 """
 
 from __future__ import annotations
@@ -12,41 +16,45 @@ from pathlib import Path
 from typing import IO
 
 from repro.core.records import IORecord, LAYER_APP, TraceCollection
-from repro.errors import TraceFormatError
+from repro.errors import AnalysisError, TraceFormatError
+from repro.trace_io.policy import ErrorPolicy, SalvageSession
 
 _REQUIRED = ("pid", "op", "nbytes", "start", "end")
 
 
-def read_jsonl_trace(source: str | Path | IO[str]) -> TraceCollection:
+def read_jsonl_trace(source: str | Path | IO[str], *,
+                     errors: ErrorPolicy | str | None = None,
+                     ) -> TraceCollection:
     """Read a JSONL trace from a path or open text stream."""
     if isinstance(source, (str, Path)):
         with open(source) as handle:
-            return _read(handle, name=str(source))
-    return _read(source, name=getattr(source, "name", "<stream>"))
+            return _read(handle, name=str(source), errors=errors)
+    return _read(source, name=getattr(source, "name", "<stream>"),
+                 errors=errors)
 
 
-def _read(handle: IO[str], name: str) -> TraceCollection:
+def _read(handle: IO[str], name: str,
+          errors: ErrorPolicy | str | None) -> TraceCollection:
+    session = SalvageSession(errors, name)
     trace = TraceCollection()
-    for line_number, line in enumerate(handle, start=1):
-        line = line.strip()
+    for line_number, raw in enumerate(handle, start=1):
+        line = raw.strip()
         if not line or line.startswith("#"):
             continue
         try:
             obj = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise TraceFormatError(
-                f"{name}:{line_number}: invalid JSON: {exc}"
-            ) from exc
+            session.bad(line_number, f"invalid JSON: {exc}", raw)
+            continue
         if not isinstance(obj, dict):
-            raise TraceFormatError(
-                f"{name}:{line_number}: expected an object, got "
-                f"{type(obj).__name__}"
-            )
+            session.bad(line_number,
+                        f"expected an object, got {type(obj).__name__}",
+                        raw)
+            continue
         missing = [k for k in _REQUIRED if k not in obj]
         if missing:
-            raise TraceFormatError(
-                f"{name}:{line_number}: missing keys {missing}"
-            )
+            session.bad(line_number, f"missing keys {missing}", raw)
+            continue
         try:
             record = IORecord(
                 pid=int(obj["pid"]),
@@ -60,13 +68,16 @@ def _read(handle: IO[str], name: str) -> TraceCollection:
                 layer=str(obj.get("layer", LAYER_APP)),
                 retries=int(obj.get("retries", 0)),
             )
-        except (TypeError, ValueError) as exc:
-            raise TraceFormatError(
-                f"{name}:{line_number}: bad record: {exc}"
-            ) from exc
+        except (TypeError, ValueError, AnalysisError) as exc:
+            session.bad(line_number, f"bad record: {exc}", raw)
+            continue
         trace.add(record)
+        session.kept()
+    session.finish()
     if len(trace) == 0:
-        raise TraceFormatError(f"{name}: trace contains no records")
+        raise TraceFormatError(
+            f"{name}: trace contains no records "
+            f"({session.report.lines_seen} data line(s) examined)")
     return trace
 
 

@@ -105,9 +105,21 @@ class TestParallelSweep:
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "zero")
         with pytest.raises(ExperimentError):
             resolve_workers()
-        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
+
+    def test_env_nonpositive_clamps_with_warning(self, monkeypatch):
+        # A bad site-wide env var degrades to serial, never aborts.
+        from repro.experiments.runner import resolve_workers
+        for bad in ("0", "-4"):
+            monkeypatch.setenv("REPRO_SWEEP_WORKERS", bad)
+            with pytest.warns(RuntimeWarning, match="clamping to 1"):
+                assert resolve_workers() == 1
+
+    def test_explicit_nonpositive_workers_still_raises(self):
+        from repro.experiments.runner import resolve_workers
         with pytest.raises(ExperimentError):
-            resolve_workers()
+            resolve_workers(0)
+        with pytest.raises(ExperimentError):
+            resolve_workers(-2)
 
     def test_env_workers_one_disables_parallelism(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")

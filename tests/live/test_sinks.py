@@ -1,18 +1,22 @@
-"""Telemetry sinks: memory, JSONL event stream, Prometheus exposition."""
+"""Telemetry sinks: memory, JSONL, Prometheus, fail-safe wrapping."""
 
 import io
 import json
+import warnings
 
 import pytest
 
-from repro.core.records import IORecord
+from repro.core.metrics import compute_metrics
+from repro.core.records import IORecord, TraceCollection
 from repro.errors import LiveStreamError
 from repro.live import (
     BpsAnomalyDetector,
+    FailSafeSink,
     JsonlSink,
     MemorySink,
     MetricStream,
     PrometheusSink,
+    apply_sink_policy,
 )
 
 
@@ -103,3 +107,128 @@ class TestPrometheusSink:
                     .split()[0])
         assert count >= 1
         assert count == sink.anomaly_count
+
+
+class _AlwaysFails:
+    """A sink whose every emit/close raises (dead scrape target)."""
+
+    def __init__(self):
+        self.attempts = 0
+
+    def emit(self, event):
+        self.attempts += 1
+        raise OSError("no space left on device")
+
+    def close(self):
+        raise OSError("close failed too")
+
+
+class TestFailSafeSink:
+    def test_policy_validation(self):
+        with pytest.raises(LiveStreamError):
+            FailSafeSink(MemorySink(), policy="ignore")
+        with pytest.raises(LiveStreamError):
+            FailSafeSink(MemorySink(), policy="disable", max_failures=0)
+
+    def test_raise_policy_is_transparent(self):
+        wrapped = FailSafeSink(_AlwaysFails(), policy="raise")
+        with pytest.raises(OSError):
+            wrapped.emit({"type": "window"})
+
+    def test_warn_policy_drops_and_keeps_trying(self):
+        inner = _AlwaysFails()
+        wrapped = FailSafeSink(inner, policy="warn")
+        with pytest.warns(RuntimeWarning, match="event dropped"):
+            for _ in range(8):
+                wrapped.emit({"type": "window"})
+        assert inner.attempts == 8  # never disabled
+        assert wrapped.dropped_events == 8
+        assert not wrapped.disabled
+
+    def test_disable_policy_stops_after_consecutive_failures(self):
+        inner = _AlwaysFails()
+        wrapped = FailSafeSink(inner, policy="disable", max_failures=3)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(10):
+                wrapped.emit({"type": "window"})
+        assert any("disabled after 3" in str(w.message) for w in caught)
+        assert inner.attempts == 3
+        assert wrapped.disabled
+        assert wrapped.dropped_events == 10
+        assert isinstance(wrapped.last_error, OSError)
+
+    def test_success_resets_the_consecutive_counter(self):
+        class Flaky:
+            def __init__(self):
+                self.n = 0
+
+            def emit(self, event):
+                self.n += 1
+                if self.n % 2:  # every odd attempt fails
+                    raise OSError("flaky")
+
+        wrapped = FailSafeSink(Flaky(), policy="disable", max_failures=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for _ in range(12):
+                wrapped.emit({"type": "window"})
+        assert not wrapped.disabled  # failures never run consecutively
+
+    def test_close_failure_follows_policy(self):
+        wrapped = FailSafeSink(_AlwaysFails(), policy="warn")
+        with pytest.warns(RuntimeWarning, match="during close"):
+            wrapped.close()
+
+    def test_apply_sink_policy(self):
+        sinks = [MemorySink(), FailSafeSink(MemorySink())]
+        assert apply_sink_policy(sinks, None) == sinks
+        assert apply_sink_policy(sinks, "raise") == sinks
+        wrapped = apply_sink_policy(sinks, "warn")
+        assert isinstance(wrapped[0], FailSafeSink)
+        assert wrapped[1] is sinks[1]  # already wrapped: left alone
+
+
+class TestStreamWithFailingSinks:
+    def test_streamed_equals_batch_with_every_sink_failing(self):
+        records = [IORecord(0, "read", 4096, i * 0.02, i * 0.02 + 0.015)
+                   for i in range(40)]
+        stream = MetricStream(
+            window=0.1, block_size=512,
+            sinks=[_AlwaysFails(), _AlwaysFails()],
+            sink_errors="warn")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for record in records:
+                stream.ingest(record)
+            result = stream.finalize()
+        batch = compute_metrics(TraceCollection(records),
+                                exec_time=result.metrics.exec_time,
+                                block_size=512)
+        assert result.metrics.bps == batch.bps
+        assert result.metrics.iops == batch.iops
+        assert result.metrics.bandwidth == batch.bandwidth
+        assert result.metrics.union_io_time == batch.union_io_time
+        assert result.metrics.app_blocks == batch.app_blocks
+
+    def test_default_policy_still_raises(self):
+        stream = MetricStream(window=0.1, block_size=512,
+                              sinks=[_AlwaysFails()])
+        with pytest.raises(OSError):
+            stream.ingest(IORecord(0, "read", 4096, 0.0, 0.2))
+            stream.finalize()
+
+    def test_healthy_sink_unaffected_by_failing_neighbour(self):
+        healthy = MemorySink()
+        stream = MetricStream(
+            window=0.1, block_size=512,
+            sinks=[_AlwaysFails(), healthy],
+            sink_errors="disable")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for i in range(20):
+                stream.ingest(IORecord(0, "read", 4096, i * 0.02,
+                                       i * 0.02 + 0.015))
+            stream.finalize()
+        assert healthy.of_type("window")
+        assert len(healthy.of_type("final")) == 1
