@@ -157,12 +157,13 @@ def best_of(runs, fn):
 
 # -- benches --------------------------------------------------------------
 
-def test_columnar_compute_metrics_speedup(artifact):
+def test_columnar_compute_metrics_speedup(artifact, artifact_json):
     table = TextTable(["records", "seed compute_metrics (s)",
                        "columnar compute_metrics (s)", "speedup",
                        "seed 4 metrics (s)", "columnar 4 metrics (s)",
                        "speedup (memoised)"])
     headline_speedup = None
+    scales_out = []
     for n in SCALES:
         cols = synthesize_columns(n)
         seed_trace = build_seed(cols)
@@ -203,6 +204,11 @@ def test_columnar_compute_metrics_speedup(artifact):
         speedup = seed_time / col_time
         speedup4 = seed4_time / col4_time
         headline_speedup = speedup
+        scales_out.append({
+            "records": n, "seed_s": seed_time, "columnar_s": col_time,
+            "speedup": speedup, "seed4_s": seed4_time,
+            "columnar4_s": col4_time, "speedup_memoised": speedup4,
+        })
         table.add_row([f"{n:.0e}", f"{seed_time:.4f}", f"{col_time:.4f}",
                        f"{speedup:.1f}x", f"{seed4_time:.4f}",
                        f"{col4_time:.4f}", f"{speedup4:.1f}x"])
@@ -211,6 +217,13 @@ def test_columnar_compute_metrics_speedup(artifact):
     text = (f"columnar metric pipeline vs seed list-of-dataclass "
             f"({mode} mode)\n" + table.render())
     artifact("perf_trace_scale", text)
+    artifact_json("perf_trace_scale", {
+        "bench": "columnar_compute_metrics_speedup",
+        "mode": mode,
+        "scales": scales_out,
+        "headline": scales_out[-1],
+        "floors": {"speedup": REQUIRED_SPEEDUP},
+    })
     assert headline_speedup >= REQUIRED_SPEEDUP, (
         f"compute_metrics speedup {headline_speedup:.1f}x at "
         f"{SCALES[-1]:.0e} records is below the required "

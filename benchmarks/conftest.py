@@ -9,6 +9,7 @@ text survives pytest's output capture.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -33,6 +34,24 @@ def artifact():
         path.write_text(text + "\n")
         # Also print for -s runs / the tee'd bench log.
         print(f"\n=== {name} ===\n{text}")
+
+    return write
+
+
+@pytest.fixture
+def artifact_json():
+    """Writer: artifact_json('perf_x', payload) → output/perf_x.json.
+
+    The machine-readable twin of ``artifact``: perf benches publish
+    their measured figures (and the floors they assert) as JSON so CI's
+    regression gate can re-check thresholds without parsing tables.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, payload: dict) -> None:
+        path = OUTPUT_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
 
     return write
 

@@ -411,6 +411,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         bins=args.bins,
         block_size=args.block_size,
         speed=args.speed,
+        chunk_size=args.chunk_size or None,
+        workers=args.workers,
         sinks=sinks,
         sink_errors=args.sink_errors,
         sink_max_failures=args.sink_max_failures,
@@ -629,6 +631,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FACTOR|max",
                        help="pacing: 1 = real time, 10 = 10x faster, "
                             "max = no pacing (default max)")
+    watch.add_argument("--chunk-size", type=int, default=0,
+                       help="deliver records as columnar chunks of this "
+                            "many rows (vectorised ingest, ~10x the "
+                            "per-record rate); 0 = per-record")
+    watch.add_argument("--workers", type=int, default=0,
+                       help="shard chunked ingest across N worker "
+                            "processes (implies --chunk-size 4096 "
+                            "unless set); 0 or 1 = in-process")
     watch.add_argument("--block-size", type=int, default=512,
                        help="BPS block unit in bytes (default 512)")
     watch.add_argument("--exec-time", type=float, default=None,

@@ -579,6 +579,28 @@ class TraceCollection:
             "failed_records",
             lambda: int(np.count_nonzero(~self._col("success"))))
 
+    def column_array(self, name: str) -> np.ndarray:
+        """One consolidated column as a NumPy array.
+
+        Numeric columns come back as the stored arrays (treat as
+        read-only); categorical columns (``op``/``file``/``layer``) come
+        back *decoded* to their string values — the layout
+        :class:`~repro.live.chunk.RecordChunk` consumes, so the chunked
+        streaming path never materialises row objects.
+        """
+        if name not in _COLUMN_DTYPES:
+            known = ", ".join(sorted(_COLUMN_DTYPES))
+            raise AnalysisError(
+                f"unknown column {name!r}; known: {known}")
+        column = self._col(name)
+        if name not in ("op", "file", "layer") or name in self._raw_cats:
+            return column
+        values = self._interner_for(name).values
+        if not values:
+            return np.empty(0, dtype=object)
+        table = np.asarray(values, dtype=object)
+        return table[column]
+
     def to_columns(self) -> dict[str, list]:
         """Plain-Python columns, the JSON-able inverse of
         :meth:`from_arrays`.

@@ -47,6 +47,15 @@ from multiprocessing.connection import wait as _wait_connections
 from typing import Callable, Sequence
 
 from repro.errors import SupervisionError
+from repro.exec.duplex import DuplexWorker, fork_available
+
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "SupervisionReport",
+    "SupervisorPolicy",
+    "fork_available",  # re-exported; the mechanism lives in exec.duplex
+    "run_supervised",
+]
 
 #: Exit code used by the chaos hook's ``exit`` mode (recognisable in
 #: supervisor error messages and CI logs).
@@ -181,20 +190,15 @@ def _worker_main(conn, fn: Callable) -> None:
             conn.send(("done", index, payload))
 
 
-class _Worker:
-    __slots__ = ("process", "conn", "job", "deadline")
+class _Worker(DuplexWorker):
+    """A pool worker: the shared duplex transport plus job bookkeeping."""
 
-    def __init__(self, process, conn) -> None:
-        self.process = process
-        self.conn = conn
+    __slots__ = ("job", "deadline")
+
+    def __init__(self, fn: Callable, ctx) -> None:
+        super().__init__(_worker_main, (fn,), ctx=ctx)
         self.job: int | None = None
         self.deadline: float | None = None
-
-
-def fork_available() -> bool:
-    """Whether the supervised pool can run at all on this platform."""
-    import multiprocessing
-    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def run_supervised(
@@ -247,22 +251,11 @@ def run_supervised(
     remaining = len(jobs)
 
     def spawn_worker() -> _Worker:
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        process = ctx.Process(target=_worker_main,
-                              args=(child_conn, fn), daemon=True)
-        process.start()
-        child_conn.close()
-        return _Worker(process, parent_conn)
+        return _Worker(fn, ctx)
 
     def retire(worker: _Worker, *, terminate: bool) -> None:
         pool.remove(worker)
-        if terminate and worker.process.is_alive():
-            worker.process.terminate()
-        worker.process.join(timeout=5.0)
-        if worker.process.is_alive():  # pragma: no cover - last resort
-            worker.process.kill()
-            worker.process.join(timeout=5.0)
-        worker.conn.close()
+        worker.retire(terminate=terminate)
 
     def shutdown() -> None:
         for worker in list(pool):

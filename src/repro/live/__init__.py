@@ -16,6 +16,12 @@ sweep, paper §III.B/Fig. 3) becomes an online pipeline:
   JSONL event stream, Prometheus-style text exposition) plus
   :class:`FailSafeSink`, the error-policy wrapper that keeps a dying
   sink from corrupting the metric stream;
+- :mod:`repro.live.chunk` — :class:`RecordChunk`, the columnar wire
+  format behind :meth:`MetricStream.push_chunk`, the vectorised bulk
+  ingest path (~10x the per-record rate);
+- :mod:`repro.live.shard` — :class:`ShardedMetricStream`, chunked
+  ingest fanned out over N forked worker processes and re-merged at
+  the watermark, bit-identical to batch at any shard count;
 - :mod:`repro.live.tap` — :class:`LiveTap`, completion-callback feed
   from a running simulation;
 - :mod:`repro.live.replay` — :func:`watch_trace`, the paced trace
@@ -23,7 +29,9 @@ sweep, paper §III.B/Fig. 3) becomes an online pipeline:
 """
 
 from repro.live.anomaly import Anomaly, BpsAnomalyDetector
+from repro.live.chunk import RecordChunk, chunk_trace
 from repro.live.replay import completion_order, watch_trace
+from repro.live.shard import ShardedMetricStream
 from repro.live.sinks import (
     FailSafeSink,
     JsonlSink,
@@ -44,6 +52,9 @@ from repro.live.union import StreamingUnion
 __all__ = [
     "StreamingUnion",
     "MetricStream",
+    "RecordChunk",
+    "chunk_trace",
+    "ShardedMetricStream",
     "WindowStats",
     "GroupStats",
     "LiveSnapshot",

@@ -37,7 +37,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.core.intervals import union_time
+from repro.core.intervals import merge_intervals, union_time
 from repro.core.metrics import MetricSet
 from repro.core.records import IORecord
 from repro.errors import LiveStreamError
@@ -125,15 +125,34 @@ class LiveResult:
 
 class _WindowAgg:
     __slots__ = ("ops", "blocks", "bytes", "dur_sum", "intervals",
-                 "emitted")
+                 "interval_arrays", "emitted")
 
     def __init__(self) -> None:
         self.ops = 0
         self.blocks = 0.0
         self.bytes = 0.0
         self.dur_sum = 0.0
+        #: Clipped intervals from per-record ingest (tuples)...
         self.intervals: list[tuple[float, float]] = []
+        #: ...and from chunked ingest ((k, 2) arrays, one per chunk).
+        #: The window union is order-independent, so the split storage
+        #: never changes the closed window's I/O time.
+        self.interval_arrays: list[np.ndarray] = []
         self.emitted = False
+
+    def combined_intervals(self) -> np.ndarray | None:
+        """Every clipped interval of this window as one (n, 2) array."""
+        parts: list[np.ndarray] = []
+        if self.intervals:
+            parts.append(np.asarray(self.intervals, dtype=float))
+        parts.extend(self.interval_arrays)
+        if not parts:
+            return None
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def is_empty(self) -> bool:
+        return (self.ops == 0 and not self.intervals
+                and not self.interval_arrays and self.blocks == 0.0)
 
 
 class _GroupAgg:
@@ -146,6 +165,16 @@ class _GroupAgg:
         self.union = StreamingUnion()
 
 
+def _row_key_from_columns(fn) -> Callable[[IORecord], str]:
+    """Row-level key for a group that only has a columnar key fn."""
+    from repro.live.chunk import RecordChunk
+
+    def key_of(record: IORecord) -> str:
+        return str(fn(RecordChunk.from_records([record]))[0])
+
+    return key_of
+
+
 class MetricStream:
     """Online BPS/IOPS/bandwidth/ARPT over a stream of I/O records."""
 
@@ -156,6 +185,7 @@ class MetricStream:
         block_size: int = BLOCK_SIZE,
         origin: float | None = None,
         reorder_capacity: int = 4096,
+        max_pending: int | None = None,
         watermark_lag: float = 0.0,
         late_policy: str = "merge",
         sinks: Iterable = (),
@@ -163,6 +193,7 @@ class MetricStream:
         sink_max_failures: int = 5,
         detector=None,
         group_by: dict[str, Callable[[IORecord], str]] | None = None,
+        group_columns: dict[str, Callable] | None = None,
     ) -> None:
         if not (window > 0) or math.isnan(window):
             raise LiveStreamError(f"window width must be > 0, got {window}")
@@ -177,6 +208,17 @@ class MetricStream:
         self.sinks = apply_sink_policy(sinks, sink_errors,
                                        sink_max_failures)
         self.detector = detector
+        # ``max_pending`` is the explicit memory bound on the reorder
+        # heap (the preferred spelling; ``reorder_capacity`` remains as
+        # the historical alias).  When the heap would exceed it, the
+        # watermark is *forced* forward past the oldest pending start —
+        # a documented degradation: cumulative metrics stay exact (the
+        # insertion path is order-independent), but records arriving
+        # under the forced watermark count as late and their windows
+        # are only corrected at finalize.  Trips are counted in
+        # :attr:`forced_watermarks`.
+        if max_pending is not None:
+            reorder_capacity = max_pending
         self._union = StreamingUnion(reorder_capacity=reorder_capacity,
                                      watermark_lag=watermark_lag,
                                      late_policy=late_policy)
@@ -205,8 +247,17 @@ class MetricStream:
         }
         keyed.update(group_by or {})
         self._group_keys = keyed
+        #: Names whose row-level key fn was caller-supplied: the chunked
+        #: path may not substitute its builtin columnar pid/op keys.
+        self._custom_groups = set(group_by or {})
+        #: name -> fn(RecordChunk) -> per-row key array; the columnar
+        #: counterpart of ``group_by`` for the chunked ingest path.
+        self._group_columns = dict(group_columns or {})
+        for name in self._group_columns:
+            self._group_keys.setdefault(
+                name, _row_key_from_columns(self._group_columns[name]))
         self._groups: dict[str, dict[str, _GroupAgg]] = {
-            name: {} for name in keyed
+            name: {} for name in self._group_keys
         }
         self.anomalies: list = []
         self._finalized = False
@@ -239,6 +290,48 @@ class MetricStream:
             agg.bytes += record.nbytes
             agg.union.add(record.start, record.end)
         self._spread_into_windows(record, blocks)
+        self._close_settled_windows()
+
+    def push_chunk(self, chunk) -> None:
+        """Fold one columnar :class:`~repro.live.chunk.RecordChunk` in.
+
+        The vectorised ingest path: windows, breakdowns, and the union
+        update with array ops — no per-record Python.  Equivalent to
+        calling :meth:`ingest` on every row in row order, with two
+        documented deviations (see :mod:`repro.live.chunk`): per-window
+        float masses and the ARPT duration sum agree only to float
+        re-association, and watermark/lateness accounting is chunk-
+        granular (rows inside one chunk are never late relative to each
+        other, and window events close at chunk boundaries — finalize
+        settles the same exact series either way).
+
+        The chunk is trusted: validation happens in
+        :meth:`RecordChunk.build` / :meth:`RecordChunk.from_columns`.
+        """
+        if self._finalized:
+            raise LiveStreamError("push_chunk() after finalize()")
+        n = len(chunk)
+        if n == 0:
+            return
+        if self.origin is None:
+            self.origin = float(chunk.start[0])
+        self._union.add_batch(chunk.intervals())
+        blocks = -(-chunk.nbytes // self.block_size)
+        duration = chunk.end - chunk.start
+        self._ops += n
+        self._blocks += int(blocks.sum())
+        self._bytes += int(chunk.nbytes.sum())
+        self._dur_sum += float(duration.sum())
+        self._failed += int(np.count_nonzero(~chunk.success))
+        self._retries += int(chunk.retries.sum())
+        first_start = float(chunk.start.min())
+        last_end = float(chunk.end.max())
+        if first_start < self._first_start:
+            self._first_start = first_start
+        if last_end > self._last_end:
+            self._last_end = last_end
+        self._spread_chunk_groups(chunk, blocks)
+        self._spread_chunk_windows(chunk, blocks, duration)
         self._close_settled_windows()
 
     def advance_watermark(self, to: float) -> None:
@@ -292,6 +385,136 @@ class MetricStream:
         if self._max_index is None or last_index > self._max_index:
             self._max_index = last_index
 
+    def _spread_chunk_windows(self, chunk, blocks: np.ndarray,
+                              duration: np.ndarray) -> None:
+        """Vectorised twin of :meth:`_spread_into_windows`.
+
+        Expands each record into its (record, window) overlap pairs with
+        a repeat/arange trick, computes clip bounds and overlap
+        fractions elementwise (the exact scalar expressions, so clipped
+        endpoints are bit-identical), then accumulates per-window mass
+        with ``bincount`` — which sums in pair order, i.e. record order.
+        """
+        origin = self.origin
+        window = self.window
+        start, end = chunk.start, chunk.end
+        n = start.shape[0]
+        first = np.floor((start - origin) / window).astype(np.int64)
+        last = np.floor((end - origin) / window).astype(np.int64)
+        # A record ending exactly on a window edge contributes nothing
+        # to that window: clip to [start, end) — the scalar rule.
+        edge = (last > first) & (end == origin + last * window)
+        last = last - edge
+        zero = duration == 0.0
+        last = np.where(zero, first, last)
+
+        counts = last - first + 1
+        total = int(counts.sum())
+        rec_of = np.repeat(np.arange(n), counts)
+        offsets = np.arange(total) - np.repeat(
+            np.cumsum(counts) - counts, counts)
+        widx = first[rec_of] + offsets
+        w0 = origin + widx * window
+        w1 = origin + (widx + 1) * window
+        lo = np.maximum(start[rec_of], w0)
+        hi = np.minimum(end[rec_of], w1)
+        dur_pairs = duration[rec_of]
+        frac = np.divide(np.maximum(hi - lo, 0.0), dur_pairs,
+                         out=np.zeros(total), where=dur_pairs > 0.0)
+        is_first = offsets == 0
+        # Zero-duration records put their whole mass in the start window.
+        contrib = np.where(zero[rec_of], 1.0, frac)
+
+        uniq, inv = np.unique(widx, return_inverse=True)
+        nuniq = uniq.shape[0]
+        blocks_mass = np.bincount(inv, weights=blocks[rec_of] * contrib,
+                                  minlength=nuniq)
+        bytes_mass = np.bincount(inv, weights=chunk.nbytes[rec_of] * contrib,
+                                 minlength=nuniq)
+        first_inv = inv[is_first]  # one pair per record, in record order
+        ops_add = np.bincount(first_inv, minlength=nuniq)
+        dur_add = np.bincount(first_inv, weights=duration,
+                              minlength=nuniq)
+        if self._next_emit is not None:
+            relevant = is_first | (hi > lo)
+            self.late_window_updates += int(np.count_nonzero(
+                relevant & (widx < self._next_emit)))
+
+        windows = self._windows
+        for j, index in enumerate(uniq.tolist()):
+            agg = windows.get(index)
+            if agg is None:
+                agg = windows[index] = _WindowAgg()
+            agg.ops += int(ops_add[j])
+            agg.blocks += float(blocks_mass[j])
+            agg.bytes += float(bytes_mass[j])
+            agg.dur_sum += float(dur_add[j])
+
+        imask = hi > lo
+        if np.any(imask):
+            owner = widx[imask]
+            clipped = np.column_stack((lo[imask], hi[imask]))
+            order = np.argsort(owner, kind="stable")
+            owner = owner[order]
+            clipped = clipped[order]
+            cuts = np.flatnonzero(np.diff(owner)) + 1
+            heads = np.concatenate(([0], cuts))
+            for head, part in zip(heads, np.split(clipped, cuts)):
+                windows[int(owner[head])].interval_arrays.append(part)
+
+        fmin = int(first.min())
+        lmax = int(last.max())
+        if self._min_index is None or fmin < self._min_index:
+            self._min_index = fmin
+        if self._max_index is None or lmax > self._max_index:
+            self._max_index = lmax
+
+    def _chunk_groups(self, name: str, chunk) -> tuple[list[str], np.ndarray]:
+        """(labels, per-row inverse) of group ``name`` over a chunk."""
+        fn = self._group_columns.get(name)
+        if fn is not None:
+            uniq, inv = np.unique(np.asarray(fn(chunk)),
+                                  return_inverse=True)
+            return [str(v) for v in uniq], inv
+        if name == "pid" and name not in self._custom_groups:
+            uniq, inv = np.unique(chunk.pid, return_inverse=True)
+            return [str(int(v)) for v in uniq], inv
+        if name == "op" and name not in self._custom_groups:
+            uniq, inv = np.unique(np.asarray(chunk.op),
+                                  return_inverse=True)
+            return [str(v) for v in uniq], inv
+        # No columnar key: materialise rows for this group only (the
+        # escape hatch for caller-supplied ``group_by`` callables).
+        key_of = self._group_keys[name]
+        keys = np.array([key_of(r) for r in chunk.records()],
+                        dtype=object)
+        uniq, inv = np.unique(keys, return_inverse=True)
+        return [str(v) for v in uniq], inv
+
+    def _spread_chunk_groups(self, chunk, blocks: np.ndarray) -> None:
+        intervals = chunk.intervals()
+        nbytes = chunk.nbytes
+        for name in self._group_keys:
+            labels, inv = self._chunk_groups(name, chunk)
+            groups = self._groups[name]
+            nuniq = len(labels)
+            ops_counts = np.bincount(inv, minlength=nuniq)
+            # float64 sums of int64 are exact below 2**53 — far beyond
+            # any real chunk's block/byte totals.
+            blocks_sums = np.bincount(inv, weights=blocks,
+                                      minlength=nuniq)
+            bytes_sums = np.bincount(inv, weights=nbytes,
+                                     minlength=nuniq)
+            for g, key in enumerate(labels):
+                agg = groups.get(key)
+                if agg is None:
+                    agg = groups[key] = _GroupAgg()
+                agg.ops += int(ops_counts[g])
+                agg.blocks += int(blocks_sums[g])
+                agg.bytes += int(bytes_sums[g])
+                agg.union.add_batch(
+                    intervals if nuniq == 1 else intervals[inv == g])
+
     def _close_settled_windows(self) -> None:
         if self._min_index is None:
             return
@@ -318,13 +541,12 @@ class MetricStream:
     def _window_stats(self, index: int) -> WindowStats:
         w0, w1 = self._window_bounds(index)
         agg = self._windows.get(index)
-        if agg is None or (agg.ops == 0 and not agg.intervals
-                           and agg.blocks == 0.0):
+        if agg is None or agg.is_empty():
             return WindowStats(index=index, start=w0, end=w1, ops=0,
                                blocks=0.0, bytes=0.0, io_time=0.0,
                                bps=0.0, iops=0.0, bandwidth=0.0, arpt=0.0)
-        io_time = (union_time(np.asarray(agg.intervals, dtype=float))
-                   if agg.intervals else 0.0)
+        combined = agg.combined_intervals()
+        io_time = union_time(combined) if combined is not None else 0.0
         if io_time > 0.0:
             bps = agg.blocks / io_time
             iops = agg.ops / io_time
@@ -367,6 +589,26 @@ class MetricStream:
     def late_records(self) -> int:
         return self._union.late_records
 
+    @property
+    def watermark(self) -> float:
+        """The union's settled-start watermark (-inf before data)."""
+        return self._union.watermark
+
+    @property
+    def pending_records(self) -> int:
+        """Intervals currently held in the bounded reorder heap."""
+        return self._union.pending_records
+
+    @property
+    def max_pending(self) -> int:
+        """The reorder heap's explicit memory bound."""
+        return self._union.reorder_capacity
+
+    @property
+    def forced_watermarks(self) -> int:
+        """Times the heap bound forced the watermark forward."""
+        return self._union.forced_watermarks
+
     def union_io_time(self) -> float:
         """Streaming union time of everything ingested so far."""
         return self._union.union_time()
@@ -406,6 +648,117 @@ class MetricStream:
                 key=key, ops=agg.ops, blocks=agg.blocks, bytes=agg.bytes,
                 io_time=t, bps=agg.blocks / t if t > 0 else 0.0))
         return tuple(out)
+
+    # -- shard export ------------------------------------------------------
+
+    def partial_state(self, *, compact: bool = False) -> dict:
+        """Everything a shard must hand over for an exact global merge.
+
+        Interval unions over disjoint segment lists merge associatively,
+        so per-window interval sets and the cumulative union are
+        exported as *canonical segments*: the parent re-merges the
+        shards' segment lists and lands on the same canonical union —
+        hence the same bit-exact union times — as a single stream fed
+        every record.  Integer totals add exactly; float masses add to
+        re-association precision.  The dict is picklable (NumPy arrays
+        and scalars only) and doubles as the shard respawn snapshot
+        consumed by :meth:`restore_state`.
+        """
+        windows = {}
+        for index, agg in self._windows.items():
+            combined = agg.combined_intervals()
+            segments = (np.empty((0, 2)) if combined is None
+                        else merge_intervals(combined))
+            if compact:
+                # Replace the accumulated clip lists with their merged
+                # segments (union-of-unions: no information lost) so
+                # repeated snapshots stay O(open windows), not O(run).
+                agg.intervals = []
+                agg.interval_arrays = (
+                    [segments] if len(segments) else [])
+            windows[int(index)] = {
+                "ops": agg.ops, "blocks": agg.blocks,
+                "bytes": agg.bytes, "dur_sum": agg.dur_sum,
+                "segments": segments,
+            }
+        groups = {}
+        for name, keyed in self._groups.items():
+            groups[name] = {
+                key: {"ops": agg.ops, "blocks": agg.blocks,
+                      "bytes": agg.bytes,
+                      "segments": agg.union.segments()}
+                for key, agg in keyed.items()
+            }
+        return {
+            "origin": self.origin,
+            "ops": self._ops, "blocks": self._blocks,
+            "bytes": self._bytes, "dur_sum": self._dur_sum,
+            "failed": self._failed, "retries": self._retries,
+            "first_start": self._first_start,
+            "last_end": self._last_end,
+            "union_segments": self._union.segments(),
+            "union_watermark": self._union.watermark,
+            "late_records": self.late_records,
+            "late_window_updates": self.late_window_updates,
+            "forced_watermarks": self.forced_watermarks,
+            "min_index": self._min_index,
+            "max_index": self._max_index,
+            "next_emit": self._next_emit,
+        } | {"windows": windows, "groups": groups}
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild from a :meth:`partial_state` snapshot (shard respawn).
+
+        Only valid on a freshly constructed stream.  Segments re-enter
+        through the same canonical-union insertion the live path uses,
+        so a restored shard is indistinguishable from one that never
+        died — the crash test replays the buffered chunks afterwards and
+        asserts the merged result is still bit-identical to batch.
+        """
+        if self._finalized or self._ops:
+            raise LiveStreamError("restore_state() on a used stream")
+        self.origin = state["origin"]
+        self._ops = state["ops"]
+        self._blocks = state["blocks"]
+        self._bytes = state["bytes"]
+        self._dur_sum = state["dur_sum"]
+        self._failed = state["failed"]
+        self._retries = state["retries"]
+        self._first_start = state["first_start"]
+        self._last_end = state["last_end"]
+        segments = state["union_segments"]
+        if len(segments):
+            self._union.add_batch(segments)
+        self._union.advance_watermark(state["union_watermark"])
+        self._union.records_seen = state["ops"]
+        self._union.late_records = state["late_records"]
+        self._union.forced_watermarks = state["forced_watermarks"]
+        self.late_window_updates = state["late_window_updates"]
+        self._min_index = state["min_index"]
+        self._max_index = state["max_index"]
+        self._next_emit = state["next_emit"]
+        for index, win in state["windows"].items():
+            agg = _WindowAgg()
+            agg.ops = win["ops"]
+            agg.blocks = win["blocks"]
+            agg.bytes = win["bytes"]
+            agg.dur_sum = win["dur_sum"]
+            if len(win["segments"]):
+                agg.interval_arrays.append(
+                    np.asarray(win["segments"], dtype=float))
+            agg.emitted = (self._next_emit is not None
+                           and index < self._next_emit)
+            self._windows[int(index)] = agg
+        for name, keyed in state["groups"].items():
+            groups = self._groups.setdefault(name, {})
+            for key, grp in keyed.items():
+                agg = _GroupAgg()
+                agg.ops = grp["ops"]
+                agg.blocks = grp["blocks"]
+                agg.bytes = grp["bytes"]
+                if len(grp["segments"]):
+                    agg.union.add_batch(grp["segments"])
+                groups[key] = agg
 
     # -- settle ------------------------------------------------------------
 
@@ -457,6 +810,7 @@ class MetricStream:
                 "total_retries": self._retries,
                 "late_records": self.late_records,
                 "late_window_updates": self.late_window_updates,
+                "forced_watermarks": self.forced_watermarks,
             },
         )
         result = LiveResult(

@@ -90,6 +90,11 @@ class StreamingUnion:
         self._watermark = -math.inf
         self.records_seen = 0
         self.late_records = 0
+        #: Times the capacity bound forced the watermark past the
+        #: oldest pending start — the explicit memory-bound degradation
+        #: path (exactness is never at stake; windows settled under a
+        #: forced watermark may need late corrections at finalize).
+        self.forced_watermarks = 0
         self._finalized = False
 
     # -- ingest ------------------------------------------------------------
@@ -121,7 +126,9 @@ class StreamingUnion:
         # bounded, so the oldest pending start becomes settled.
         while len(self._pending) > self.reorder_capacity:
             oldest_start, oldest_end = heapq.heappop(self._pending)
-            self._watermark = max(self._watermark, oldest_start)
+            if oldest_start > self._watermark:
+                self._watermark = oldest_start
+                self.forced_watermarks += 1
             self._merge_one(oldest_start, oldest_end)
         self._drain()
 
