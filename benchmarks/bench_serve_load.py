@@ -1,0 +1,160 @@
+"""Perf bench: the ``bps serve`` daemon under concurrent tenant load.
+
+Measures the two service-level figures the daemon advertises
+(DESIGN.md §13):
+
+1. **Sustained ingest** — N concurrent TCP tenants streaming JSONL
+   records flat-out; the figure is total records/second through decode
+   + budget + MetricStream, with every tenant's finalized totals
+   asserted exact (ops == records sent).
+2. **Scrape latency under load** — GET ``/metrics`` is hammered while
+   every tenant streams; the figure is the p50/p99 wall latency of the
+   aggregated Prometheus exposition, which must stay bounded while
+   ingest saturates a core.
+
+The JSON artifact (``benchmarks/output/perf_serve_load.json``) carries
+the measured figures and the floors, and CI's perf-regression gate
+re-checks them from there.  Floors are deliberately conservative —
+they exist to catch order-of-magnitude regressions (an accidental
+per-record fsync, an O(n) scrape), not to race the hardware.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized variant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.serve.registry import ServeConfig
+from repro.serve.server import BpsServer
+from repro.util.tables import TextTable
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+
+N_STREAMS = 4
+RECORDS_PER_STREAM = 5_000 if SMOKE else 10_000
+#: Floor on total sustained ingest across all tenants (records/s).
+REQUIRED_RPS = 2_000.0 if SMOKE else 4_000.0
+#: Floor on scrape latency under full ingest load (seconds).
+REQUIRED_SCRAPE_P99 = 2.0
+
+
+def _record_line(i: int, pid: int) -> bytes:
+    return (json.dumps({
+        "pid": pid, "op": "read" if i % 2 else "write",
+        "nbytes": 4096, "start": i * 0.0005,
+        "end": i * 0.0005 + 0.002,
+    }) + "\n").encode()
+
+
+async def _stream_tenant(server, name, n_records):
+    host, port = server.addresses["tcp"]
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(json.dumps({"type": "hello", "tenant": name})
+                 .encode() + b"\n")
+    await writer.drain()
+    await reader.readline()  # welcome
+    pid = hash(name) % 64
+    for i in range(n_records):
+        writer.write(_record_line(i, pid))
+        if i % 512 == 0:
+            await writer.drain()
+    writer.write(b'{"type": "end"}\n')
+    await writer.drain()
+    while True:  # acks precede the result line
+        line = await reader.readline()
+        obj = json.loads(line)
+        if obj["type"] != "ack":
+            break
+    writer.close()
+    return obj
+
+
+async def _scrape_until(server, stop: asyncio.Event):
+    host, port = server.addresses["http"]
+    latencies = []
+    while not stop.is_set():
+        t0 = time.perf_counter()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        latencies.append(time.perf_counter() - t0)
+        assert raw.startswith(b"HTTP/1.1 200"), raw[:60]
+        await asyncio.sleep(0.02)
+    return latencies
+
+
+async def _scenario():
+    server = BpsServer(ServeConfig(window=0.05),
+                       tcp="127.0.0.1:0", http="127.0.0.1:0")
+    await server.start()
+    try:
+        stop = asyncio.Event()
+        scraper = asyncio.create_task(_scrape_until(server, stop))
+        t0 = time.perf_counter()
+        results = await asyncio.gather(*(
+            _stream_tenant(server, f"bench-{i}", RECORDS_PER_STREAM)
+            for i in range(N_STREAMS)))
+        elapsed = time.perf_counter() - t0
+        stop.set()
+        latencies = await scraper
+        return results, elapsed, latencies
+    finally:
+        await server.drain("bench done")
+
+
+def test_serve_sustained_ingest_and_scrape(artifact, artifact_json):
+    results, elapsed, latencies = asyncio.run(
+        asyncio.wait_for(_scenario(), 300))
+
+    # Exactness is the point of the daemon; the speed is only
+    # interesting because every tenant's totals stay exact under load.
+    for result in results:
+        assert result["type"] == "result", result
+        assert result["final"]["ops"] == RECORDS_PER_STREAM, result
+
+    total = N_STREAMS * RECORDS_PER_STREAM
+    rps = total / elapsed
+    lat = np.asarray(latencies if latencies else [float("nan")])
+    p50 = float(np.percentile(lat, 50))
+    p99 = float(np.percentile(lat, 99))
+
+    table = TextTable(["tenants", "records/tenant", "sustained rec/s",
+                       "scrapes", "scrape p50", "scrape p99"])
+    table.add_row([str(N_STREAMS), f"{RECORDS_PER_STREAM:,}",
+                   f"{rps:,.0f}", str(len(latencies)),
+                   f"{p50 * 1e3:.1f}ms", f"{p99 * 1e3:.1f}ms"])
+    mode = "smoke" if SMOKE else "full"
+    artifact("perf_serve_load",
+             f"bps serve load ({mode} mode, {N_STREAMS} tenants)\n"
+             + table.render())
+    artifact_json("perf_serve_load", {
+        "bench": "serve_sustained_ingest_and_scrape",
+        "mode": mode,
+        "tenants": N_STREAMS,
+        "records_per_tenant": RECORDS_PER_STREAM,
+        "sustained_rps": rps,
+        "elapsed_s": elapsed,
+        "scrapes": len(latencies),
+        "scrape_p50_s": p50,
+        "scrape_p99_s": p99,
+        "floors": {
+            "sustained_rps": REQUIRED_RPS,
+            "scrape_p99_s": REQUIRED_SCRAPE_P99,
+        },
+    })
+
+    assert len(latencies) >= 1, "the scraper never completed a scrape"
+    assert rps >= REQUIRED_RPS, (
+        f"sustained serve ingest {rps:,.0f} rec/s across {N_STREAMS} "
+        f"tenants is below the {REQUIRED_RPS:,.0f} rec/s floor")
+    assert p99 <= REQUIRED_SCRAPE_P99, (
+        f"scrape p99 {p99:.3f}s under load is above the "
+        f"{REQUIRED_SCRAPE_P99}s floor")

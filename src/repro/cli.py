@@ -13,6 +13,10 @@ Subcommands:
 - ``watch`` — stream a trace through the live metrics engine
   (:mod:`repro.live`): per-window BPS as records "complete", anomaly
   flags, optional JSONL / Prometheus telemetry sinks.
+- ``serve`` — the always-on multi-tenant daemon (:mod:`repro.serve`):
+  concurrent JSONL trace streams over TCP / unix socket / HTTP, one
+  isolated metric stream per tenant, budgets with load shedding, one
+  aggregated Prometheus scrape plus a JSON query API.
 
 ``analyze``, ``replay``, and ``watch`` accept ``-`` as the trace path
 to read JSONL records from standard input.
@@ -25,7 +29,7 @@ import sys
 
 from repro.core.correlation import METRIC_ORDER
 from repro.core.metrics import MetricSet, compute_metrics
-from repro.errors import ReproError
+from repro.errors import ReproError, SalvageError
 from repro.experiments.figures import FIGURES, regenerate
 from repro.experiments.registry import EXPERIMENT_SETS
 from repro.experiments.runner import ExperimentScale
@@ -365,7 +369,14 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         watch_trace,
     )
     policy = _error_policy(args)
-    trace = read_trace(args.trace, fmt=args.format, errors=policy)
+    try:
+        trace = read_trace(args.trace, fmt=args.format, errors=policy)
+    except SalvageError as exc:
+        # Salvage budget exhausted mid-stream: the quarantine summary
+        # is the diagnosis, so print it before bowing out non-zero.
+        _print_salvage_report(policy)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     _print_salvage_report(policy)
     # Wrap here (not just inside watch_trace) so the summary lines
     # below can tell a healthy sink from one that dropped everything.
@@ -447,6 +458,51 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     if args.prom_out:
         sink_status("prom_out", "wrote Prometheus exposition to")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        BpsServer,
+        ServeConfig,
+        TenantBudget,
+        resolve_serve_ingest,
+        run_server,
+    )
+    tcp, unix, http = args.tcp, args.unix, args.http
+    if not (tcp or unix or http):
+        tcp = "127.0.0.1:4040"
+    chunk_size, workers = resolve_serve_ingest(
+        args.chunk_size, args.workers)
+    max_bytes = parse_size(args.max_bytes_per_sec) \
+        if args.max_bytes_per_sec else None
+    budget = TenantBudget(
+        max_bytes_per_sec=max_bytes,
+        max_records_per_sec=args.max_records_per_sec or None,
+        max_pending=args.max_pending,
+        burst_seconds=args.burst_seconds,
+        shed_factor=args.shed_factor,
+        evict_after_sheds=args.evict_after_sheds or None,
+    )
+    config = ServeConfig(
+        window=args.window,
+        block_size=args.block_size,
+        budget=budget,
+        error_mode=args.on_error,
+        max_error_ratio=args.max_error_ratio,
+        chunk_size=chunk_size,
+        workers=workers,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        max_tenants=args.max_tenants,
+        out_dir=args.out_dir or None,
+        prom_out=args.prom_out or None,
+        sink_errors=args.sink_errors,
+        drop_factor=0.0 if args.no_detector else args.drop_factor,
+        baseline_history=args.baseline_history,
+        write_timeout=args.write_timeout,
+    )
+    server = BpsServer(config, tcp=tcp or None, unix=unix or None,
+                       http=http or None)
+    return run_server(server)
 
 
 def _add_trace_error_options(parser: argparse.ArgumentParser) -> None:
@@ -669,6 +725,91 @@ def build_parser() -> argparse.ArgumentParser:
                             "turns a sink off (default 5)")
     _add_trace_error_options(watch)
     watch.set_defaults(func=_cmd_watch)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant streaming daemon: "
+                      "concurrent JSONL trace streams in, one "
+                      "aggregated Prometheus scrape + JSON API out")
+    serve.add_argument("--tcp", default="", metavar="HOST:PORT",
+                       help="JSONL stream listener (default "
+                            "127.0.0.1:4040 when no listener is given; "
+                            "port 0 = ephemeral)")
+    serve.add_argument("--unix", default="", metavar="PATH",
+                       help="JSONL stream listener on a unix socket")
+    serve.add_argument("--http", default="", metavar="HOST:PORT",
+                       help="HTTP listener: GET /metrics (Prometheus), "
+                            "GET /tenants[/NAME] (JSON), POST "
+                            "/ingest/NAME, POST /tenants/NAME/end")
+    serve.add_argument("--window", type=float, default=1.0,
+                       help="metric window width in trace seconds "
+                            "(default 1.0)")
+    serve.add_argument("--block-size", type=int, default=512,
+                       help="BPS block unit in bytes (default 512)")
+    serve.add_argument("--max-bytes-per-sec", default="",
+                       metavar="SIZE",
+                       help="per-tenant ingest budget in trace bytes/s "
+                            "(accepts 64MiB-style suffixes; default "
+                            "unlimited)")
+    serve.add_argument("--max-records-per-sec", type=float, default=0,
+                       help="per-tenant ingest budget in records/s "
+                            "(default unlimited)")
+    serve.add_argument("--max-pending", type=int, default=4096,
+                       help="per-tenant reorder-heap bound; overflow "
+                            "forces the watermark (exact totals, "
+                            "degraded lateness tolerance; default 4096)")
+    serve.add_argument("--burst-seconds", type=float, default=1.0,
+                       help="token-bucket depth in seconds of budget "
+                            "(default 1.0)")
+    serve.add_argument("--shed-factor", type=float, default=4.0,
+                       help="shed (drop-with-accounting) once throttle "
+                            "arrears exceed this many bucket depths "
+                            "(default 4.0)")
+    serve.add_argument("--evict-after-sheds", type=int, default=0,
+                       help="evict a tenant after this many shed "
+                            "records (0 = never)")
+    serve.add_argument("--idle-timeout", type=float, default=300.0,
+                       help="evict tenants idle this many seconds, "
+                            "flushing a final snapshot (0 = never; "
+                            "default 300)")
+    serve.add_argument("--max-tenants", type=int, default=1024,
+                       help="refuse new tenants past this many active "
+                            "(default 1024)")
+    serve.add_argument("--out-dir", default="",
+                       help="write per-tenant JSONL event files here")
+    serve.add_argument("--prom-out", default="",
+                       help="also maintain the aggregated Prometheus "
+                            "exposition as a textfile at this path")
+    serve.add_argument("--chunk-size", type=int, default=None,
+                       help="buffer each tenant's records into columnar "
+                            "chunks of this many rows (vectorised "
+                            "ingest); 0 = per-record; bad values are "
+                            "clamped with a warning (env "
+                            "REPRO_SERVE_CHUNK_SIZE)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="shard each tenant's chunked ingest across "
+                            "N worker processes; 0/1 = in-process; "
+                            "clamped to the machine's cores with a "
+                            "warning (env REPRO_SERVE_WORKERS)")
+    serve.add_argument("--write-timeout", type=float, default=10.0,
+                       help="disconnect a client that cannot drain an "
+                            "ack/response write within this many "
+                            "seconds (default 10)")
+    serve.add_argument("--no-detector", action="store_true",
+                       help="disable the per-tenant BPS anomaly "
+                            "detector")
+    serve.add_argument("--drop-factor", type=float, default=3.0,
+                       help="flag windows whose BPS falls below "
+                            "baseline/FACTOR (default 3.0)")
+    serve.add_argument("--baseline-history", type=int, default=8,
+                       help="rolling-baseline window count (default 8)")
+    serve.add_argument("--sink-errors",
+                       choices=("raise", "warn", "disable"),
+                       default="disable",
+                       help="per-tenant telemetry sink failure policy "
+                            "(default disable: a dead sink degrades "
+                            "telemetry, never the stream)")
+    _add_trace_error_options(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

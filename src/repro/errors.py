@@ -80,6 +80,12 @@ class CheckpointError(ExperimentError):
     resumed, or corrupted beyond the tolerated torn tail."""
 
 
+class ServeError(ReproError):
+    """The multi-tenant streaming daemon was misconfigured or asked
+    something impossible (bad budget, invalid tenant name, duplicate
+    listener, ...)."""
+
+
 class SalvageError(TraceFormatError):
     """Salvage-mode ingestion gave up: the malformed-line ratio exceeded
     the policy's error budget (the file is garbage, not merely dented)."""

@@ -38,6 +38,7 @@ from repro.live.sinks import (
     MemorySink,
     PrometheusSink,
     apply_sink_policy,
+    format_prometheus,
 )
 from repro.live.stream import (
     GroupStats,
@@ -66,6 +67,7 @@ __all__ = [
     "PrometheusSink",
     "FailSafeSink",
     "apply_sink_policy",
+    "format_prometheus",
     "LiveTap",
     "watch_trace",
     "completion_order",

@@ -58,6 +58,7 @@ from repro.live.sinks import apply_sink_policy
 from repro.live.stream import (
     GroupStats,
     LiveResult,
+    LiveSnapshot,
     MetricStream,
     WindowStats,
 )
@@ -201,6 +202,10 @@ class ShardedMetricStream:
         self._next_emit: int | None = None
         self._respawns = 0
         self._finalized = False
+        #: Parent-side exact tallies (maintained at push_chunk, so the
+        #: monitoring surface never blocks on a worker round-trip).
+        self._ops_pushed = 0
+        self._bytes_pushed = 0
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -282,6 +287,8 @@ class ShardedMetricStream:
             return
         if not self._started:
             self._start_workers(chunk)
+        self._ops_pushed += len(chunk)
+        self._bytes_pushed += int(np.sum(chunk.nbytes))
         keys = self._partition_keys(chunk)
         for index, shard in enumerate(self._shards):
             sub = chunk.select(keys == index)
@@ -406,6 +413,105 @@ class ShardedMetricStream:
     def _emit(self, event: dict) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+    # -- snapshot hooks ----------------------------------------------------
+    # The monitoring surface `bps serve` (and anything else holding a
+    # long-lived sharded stream) reads between chunks.  Counters are
+    # parent-side and exact; heap/lateness figures come from the last
+    # shard checkpoints, i.e. they are sync-granular by design.
+
+    @property
+    def ops(self) -> int:
+        """Records accepted so far (parent-side, exact)."""
+        if self._inline is not None:
+            return self._inline.ops
+        return self._ops_pushed
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes accepted so far (parent-side, exact)."""
+        if self._inline is not None:
+            return self._inline.nbytes
+        return self._bytes_pushed
+
+    @property
+    def late_records(self) -> int:
+        """Late arrivals across shards, as of the last checkpoints."""
+        if self._inline is not None:
+            return self._inline.late_records
+        return sum(s["late_records"] for s in self._states())
+
+    @property
+    def forced_watermarks(self) -> int:
+        """Heap-bound forced watermarks, as of the last checkpoints."""
+        if self._inline is not None:
+            return self._inline.forced_watermarks
+        return sum(s["forced_watermarks"] for s in self._states())
+
+    @property
+    def max_pending(self) -> int:
+        """Per-shard reorder-heap bound (each shard holds its own heap)."""
+        if self._inline is not None:
+            return self._inline.max_pending
+        configured = self._stream_kwargs["max_pending"]
+        return 4096 if configured is None else configured
+
+    @property
+    def pending_records(self) -> int:
+        """Records sent to shards but not yet checkpointed.
+
+        The parent cannot see inside a worker's reorder heap without a
+        round-trip, so "pending" is reported at its own granularity:
+        everything pushed since the shards' last snapshots.
+        """
+        if self._inline is not None:
+            return self._inline.pending_records
+        return self._ops_pushed - sum(s["ops"] for s in self._states())
+
+    def snapshot(self, *, emit: bool = False) -> LiveSnapshot:
+        """Exact cumulative metrics at this instant.
+
+        The sharded path checkpoints every worker first (one sync
+        round-trip per shard) and merges their canonical union
+        segments, so the figures are bit-identical to a single stream
+        fed the same chunks — the same associative-merge argument
+        :meth:`finalize` rests on.
+        """
+        if self._inline is not None:
+            return self._inline.snapshot(emit=emit)
+        self.sync()
+        states = self._states()
+        ops = sum(s["ops"] for s in states)
+        blocks = sum(s["blocks"] for s in states)
+        nbytes = sum(s["bytes"] for s in states)
+        dur_sum = sum(s["dur_sum"] for s in states)
+        seg_parts = [s["union_segments"] for s in states
+                     if len(s["union_segments"])]
+        t = 0.0
+        if seg_parts:
+            starts, ends = merge_sweep(
+                seg_parts[0] if len(seg_parts) == 1
+                else np.concatenate(seg_parts))
+            t = float(np.sum(ends - starts))
+        min_index = min((s["min_index"] for s in states
+                         if s["min_index"] is not None), default=None)
+        windows_closed = (0 if self._next_emit is None
+                          or min_index is None
+                          else self._next_emit - min_index)
+        last_end = max((s["last_end"] for s in states), default=0.0)
+        snap = LiveSnapshot(
+            time=last_end if ops else 0.0,
+            ops=ops, blocks=blocks, bytes=nbytes, io_time=t,
+            bps=blocks / t if t > 0 else 0.0,
+            iops=ops / t if t > 0 else 0.0,
+            bandwidth=nbytes / t if t > 0 else 0.0,
+            arpt=dur_sum / ops if ops else 0.0,
+            windows_closed=windows_closed,
+            late_records=sum(s["late_records"] for s in states),
+        )
+        if emit:
+            self._emit(snap.as_event())
+        return snap
 
     # -- settle ------------------------------------------------------------
 

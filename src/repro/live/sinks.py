@@ -49,6 +49,73 @@ _PROM_GAUGES = (
 )
 
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Durable atomic file replace: write temp, fsync, rename.
+
+    The textfile-collector contract: a reader must never observe a
+    torn or stale exposition.  The fsync *before* the rename matters —
+    without it a crash between write and rename can leave the rename
+    durable while the data is not, i.e. a stale scrape file.
+    """
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _format_prom_value(value) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _format_prom_labels(labels: dict) -> str:
+    return ",".join(f'{k}="{v}"' for k, v in labels.items())
+
+
+def format_prometheus(states, *, prefix_help: bool = True) -> str:
+    """Render Prometheus text exposition for one or more metric states.
+
+    ``states`` is an iterable of ``(labels, latest, latest_window,
+    anomaly_count)`` tuples — one per exported stream (a single run for
+    :class:`PrometheusSink`, one per tenant for the ``bps serve``
+    scrape endpoint).  ``labels`` is a dict of extra label pairs (e.g.
+    ``{"tenant": "a"}``) merged before the ``scope`` label.  The file
+    sink and the HTTP endpoint both call this, so the two expositions
+    are identical by construction.
+    """
+    states = list(states)
+    lines: list[str] = []
+    for field, name, help_text in _PROM_GAUGES:
+        wrote_help = False
+        for labels, latest, latest_window, _count in states:
+            for scope, event in (("cumulative", latest),
+                                 ("window", latest_window)):
+                if field not in event:
+                    continue
+                if not wrote_help:
+                    if prefix_help:
+                        lines.append(f"# HELP {name} {help_text}")
+                        lines.append(f"# TYPE {name} gauge")
+                    wrote_help = True
+                pairs = _format_prom_labels(
+                    {**labels, "scope": scope})
+                lines.append(f"{name}{{{pairs}}} "
+                             f"{_format_prom_value(event[field])}")
+    if prefix_help:
+        lines.append("# HELP repro_live_anomalies_total "
+                     "Windows flagged by the BPS anomaly detector")
+        lines.append("# TYPE repro_live_anomalies_total counter")
+    for labels, _latest, _latest_window, count in states:
+        pairs = _format_prom_labels(labels)
+        suffix = f"{{{pairs}}}" if pairs else ""
+        lines.append(f"repro_live_anomalies_total{suffix} {count}")
+    return "\n".join(lines) + "\n"
+
+
 class FailSafeSink:
     """Error-policy wrapper around any sink.
 
@@ -195,8 +262,10 @@ class PrometheusSink:
     ``repro_live_anomalies_total``.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path,
+                 labels: dict | None = None) -> None:
         self.path = Path(path)
+        self.labels = dict(labels or {})
         self._latest: dict = {}
         self._latest_window: dict = {}
         self.anomaly_count = 0
@@ -214,31 +283,10 @@ class PrometheusSink:
     def close(self) -> None:
         self._rewrite()
 
-    def _format(self, value) -> str:
-        value = float(value)
-        if math.isinf(value):
-            return "+Inf" if value > 0 else "-Inf"
-        return repr(value)
+    def state(self) -> tuple[dict, dict, dict, int]:
+        """This sink's :func:`format_prometheus` state tuple."""
+        return (self.labels, self._latest, self._latest_window,
+                self.anomaly_count)
 
     def _rewrite(self) -> None:
-        lines: list[str] = []
-        for field, name, help_text in _PROM_GAUGES:
-            wrote_help = False
-            for scope, event in (("cumulative", self._latest),
-                                 ("window", self._latest_window)):
-                if field not in event:
-                    continue
-                if not wrote_help:
-                    lines.append(f"# HELP {name} {help_text}")
-                    lines.append(f"# TYPE {name} gauge")
-                    wrote_help = True
-                lines.append(
-                    f'{name}{{scope="{scope}"}} '
-                    f"{self._format(event[field])}")
-        lines.append("# HELP repro_live_anomalies_total "
-                     "Windows flagged by the BPS anomaly detector")
-        lines.append("# TYPE repro_live_anomalies_total counter")
-        lines.append(f"repro_live_anomalies_total {self.anomaly_count}")
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text("\n".join(lines) + "\n")
-        os.replace(tmp, self.path)
+        atomic_write_text(self.path, format_prometheus([self.state()]))

@@ -1,0 +1,186 @@
+"""Wire protocol of the ``bps serve`` daemon.
+
+Socket streams (TCP and unix) speak **JSONL**: each line is either an
+I/O record — decoded by the *same* :func:`~repro.trace_io.decode_jsonl_line`
+path the file readers use, so a line means exactly the same thing on
+disk and on the wire — or a **control** object distinguished by a
+``type`` key:
+
+- ``{"type": "hello", "tenant": "jobA"}`` — optional first line
+  binding the connection to a named tenant (reconnects resume the same
+  stream); without it the connection gets a fresh ``conn-<n>`` tenant;
+- ``{"type": "end"}`` — finalize the tenant now; the server answers
+  with one ``{"type": "result", ...}`` line carrying the settled
+  cumulative metrics.
+
+Server-to-client lines are JSON objects too (``ack`` / ``result`` /
+``error``), so both directions stay line-structured and tail-able.
+
+HTTP ingest reuses the same line decode over the request body.  The
+HTTP layer itself is a deliberately minimal hand-rolled parser (no
+external dependencies in this toolkit): request line + headers +
+``Content-Length`` body, one request per connection.  That is enough
+for ``curl`` and any Prometheus scraper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+
+from repro.core.records import IORecord
+from repro.errors import ServeError, TraceFormatError
+from repro.trace_io.jsonltrace import record_from_object
+
+#: Control line types a client may send.
+CONTROL_TYPES = ("hello", "end")
+
+#: Tenant names: printable, bounded, path/label-safe (they become file
+#: stems and Prometheus label values).
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.:-]{0,63}$")
+
+#: Hard per-line bound — a single unbounded line must not balloon the
+#: reader buffer of one connection past the fleet's budget.
+MAX_LINE_BYTES = 1 << 20
+
+
+def validate_tenant_name(name) -> str:
+    """A safe tenant name, or :class:`~repro.errors.ServeError`."""
+    if not isinstance(name, str) or not _TENANT_RE.match(name):
+        raise ServeError(
+            f"invalid tenant name {name!r} (want 1-64 chars of "
+            f"[A-Za-z0-9_.:-], starting alphanumeric)")
+    return name
+
+
+def decode_stream_line(line: str):
+    """Decode one socket line: ``(kind, payload)`` or None.
+
+    - ``("record", IORecord)`` for a trace record;
+    - ``("control", dict)`` for a hello/end control object;
+    - ``None`` for blanks and ``#`` comments.
+
+    Malformed input raises :class:`~repro.errors.TraceFormatError`
+    with the reason only — the tenant's salvage session owns location
+    context, exactly like the file readers.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    try:
+        obj = json.loads(stripped)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"invalid JSON: {exc}") from exc
+    if isinstance(obj, dict) and obj.get("type") in CONTROL_TYPES:
+        return ("control", obj)
+    return ("record", record_from_object(obj))
+
+
+def control_line(kind: str, **fields) -> bytes:
+    """One server-to-client control line, newline-terminated."""
+    return (json.dumps({"type": kind, **fields}, sort_keys=True)
+            + "\n").encode()
+
+
+def record_line(record: IORecord) -> bytes:
+    """One record as a wire line (load generators / tests)."""
+    return (json.dumps({
+        "pid": record.pid, "op": record.op, "nbytes": record.nbytes,
+        "start": record.start, "end": record.end,
+        "success": record.success, "retries": record.retries,
+    }) + "\n").encode()
+
+
+# -- minimal HTTP ---------------------------------------------------------
+
+#: Bound on header block size and body size accepted by the daemon.
+MAX_HTTP_HEADER_BYTES = 16 << 10
+MAX_HTTP_BODY_BYTES = 64 << 20
+
+_STATUS_TEXT = {
+    200: "OK", 204: "No Content", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 410: "Gone", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ServeError):
+    """A malformed or oversized HTTP request (maps to a 4xx)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class HttpRequest:
+    """One parsed request: method, path, headers (lower-cased), body."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str, headers: dict,
+                 body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+
+async def read_http_request(reader: asyncio.StreamReader,
+                            ) -> HttpRequest | None:
+    """Parse one HTTP/1.x request; None on a clean EOF before any data."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated HTTP request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "HTTP header block too large") from exc
+    if len(head) > MAX_HTTP_HEADER_BYTES:
+        raise HttpError(413, "HTTP header block too large")
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, path, _version = request_line.split(" ", 2)
+    except ValueError as exc:
+        raise HttpError(400, "malformed HTTP request line") from exc
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed HTTP header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError as exc:
+            raise HttpError(400, "bad Content-Length") from exc
+        if n < 0 or n > MAX_HTTP_BODY_BYTES:
+            raise HttpError(413, f"body of {n} bytes exceeds limit")
+        body = await reader.readexactly(n)
+    return HttpRequest(method.upper(), path, headers, body)
+
+
+def http_response(status: int, body: str | bytes = b"", *,
+                  content_type: str = "application/json") -> bytes:
+    """A complete one-shot HTTP/1.1 response (connection: close)."""
+    if isinstance(body, str):
+        body = body.encode()
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload: dict) -> bytes:
+    """A JSON-bodied :func:`http_response`."""
+    return http_response(
+        status, json.dumps(payload, sort_keys=True) + "\n")

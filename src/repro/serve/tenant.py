@@ -1,0 +1,330 @@
+"""One tenant of the ``bps serve`` daemon: stream, budget, lifecycle.
+
+A tenant is the unit of fault isolation.  It owns an independent
+watermarked :class:`~repro.live.stream.MetricStream`, a
+:class:`~repro.live.anomaly.BpsAnomalyDetector`, an
+:class:`~repro.serve.budget.IngestMeter`, and its *own*
+:class:`~repro.trace_io.policy.ErrorPolicy`-driven salvage session —
+nothing is shared with other tenants, so nothing one tenant does
+(flood, garbage, crash, stall) can reach another tenant's numbers.
+
+Lifecycle::
+
+    ACTIVE --(salvage budget exhausted / internal crash)--> QUARANTINED
+    ACTIVE --(shed budget exhausted)---------------------->  EVICTED
+    ACTIVE --(end control / idle timeout / drain)--------->  DRAINED
+
+Every terminal transition finalizes the stream (when it holds records)
+and flushes the tenant's sinks with a last ``final`` event, so a
+tenant's exact totals survive its own demise.  All verdicts are
+returned as plain :class:`Outcome` values — the tenant never sleeps,
+never touches a socket, and never raises across the feed boundary,
+which is what keeps a misbehaving connection from poisoning the event
+loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SalvageError, TraceFormatError
+from repro.live.anomaly import BpsAnomalyDetector
+from repro.live.chunk import RecordChunk
+from repro.live.shard import ShardedMetricStream
+from repro.live.stream import LiveResult, MetricStream
+from repro.serve.budget import Admission, IngestMeter, TenantBudget
+from repro.serve.protocol import decode_stream_line
+from repro.trace_io.policy import ErrorPolicy, SalvageSession
+
+ACTIVE = "active"
+QUARANTINED = "quarantined"
+EVICTED = "evicted"
+DRAINED = "drained"
+
+
+class Outcome:
+    """One feed verdict handed back to the connection handler."""
+
+    __slots__ = ("kind", "admission", "control", "reason")
+
+    def __init__(self, kind: str, *, admission: Admission | None = None,
+                 control: dict | None = None, reason: str = "") -> None:
+        #: ``ok`` | ``shed`` | ``evicted`` | ``bad-line`` |
+        #: ``quarantined`` | ``control`` | ``closed``.
+        self.kind = kind
+        self.admission = admission
+        self.control = control
+        self.reason = reason
+
+    @property
+    def delay(self) -> float:
+        return self.admission.delay if self.admission else 0.0
+
+
+class _PromCapture:
+    """In-memory sink capturing the scrape-endpoint state per tenant."""
+
+    def __init__(self) -> None:
+        self.latest: dict = {}
+        self.latest_window: dict = {}
+        self.anomaly_count = 0
+
+    def emit(self, event: dict) -> None:
+        kind = event.get("type")
+        if kind == "anomaly":
+            self.anomaly_count += 1
+        elif kind == "window":
+            self.latest_window = event
+        elif kind in ("snapshot", "final"):
+            self.latest = event
+
+
+class Tenant:
+    """One isolated stream with budgets, salvage, and a lifecycle."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        window: float,
+        block_size: int = 512,
+        origin: float | None = None,
+        budget: TenantBudget | None = None,
+        error_mode: str = "salvage",
+        max_error_ratio: float = 0.25,
+        detector: BpsAnomalyDetector | None = None,
+        sinks=(),
+        sink_errors: str | None = "disable",
+        chunk_size: int = 0,
+        workers: int = 0,
+        clock: Callable[[], float] = None,
+    ) -> None:
+        if clock is None:
+            import time
+            clock = time.monotonic
+        self.name = name
+        self.clock = clock
+        self.state = ACTIVE
+        self.state_reason = ""
+        self.created_at = clock()
+        self.last_activity = self.created_at
+        self.budget = budget or TenantBudget()
+        self.meter = IngestMeter(self.budget, clock=clock)
+        self.prom = _PromCapture()
+        self._session = SalvageSession(
+            ErrorPolicy(error_mode, max_error_ratio=max_error_ratio),
+            f"tenant:{name}")
+        self._line_number = 0
+        if workers >= 2 and chunk_size <= 0:
+            # The sharded engine is chunk-only; never silently drop to
+            # the (nonexistent) per-record path.
+            chunk_size = 4096
+        self.chunk_size = chunk_size
+        self.workers = workers
+        self._chunk_buffer: list = []
+        self._max_duration = 0.0
+        self._last_end = float("-inf")
+        if workers >= 2:
+            self.stream = ShardedMetricStream(
+                window=window, shards=workers, block_size=block_size,
+                origin=origin, max_pending=self.budget.max_pending,
+                late_policy="merge", sinks=[self.prom, *sinks],
+                sink_errors=sink_errors, detector=detector)
+        else:
+            self.stream = MetricStream(
+                window=window, block_size=block_size, origin=origin,
+                max_pending=self.budget.max_pending, late_policy="merge",
+                sinks=[self.prom, *sinks], sink_errors=sink_errors,
+                detector=detector)
+        self.result: LiveResult | None = None
+        self.crash_error: str = ""
+
+    # -- feed --------------------------------------------------------------
+
+    def touch(self) -> None:
+        self.last_activity = self.clock()
+
+    @property
+    def idle_seconds(self) -> float:
+        return self.clock() - self.last_activity
+
+    def feed_line(self, line: str) -> Outcome | None:
+        """Fold one wire line in; returns the verdict (None = blank).
+
+        Never raises: decode failures go through the tenant's salvage
+        budget, unexpected internal failures quarantine the tenant —
+        in both cases the verdict says so and the caller closes or
+        keeps the connection, but the daemon and every other tenant
+        keep running.
+        """
+        if self.state != ACTIVE:
+            return Outcome("closed", reason=self.state_reason
+                           or self.state)
+        self.touch()
+        self._line_number += 1
+        try:
+            decoded = decode_stream_line(line)
+        except TraceFormatError as exc:
+            return self._bad_line(str(exc), line)
+        if decoded is None:
+            return None
+        kind, payload = decoded
+        if kind == "control":
+            return Outcome("control", control=payload)
+        return self.feed_record(payload)
+
+    def feed_record(self, record) -> Outcome:
+        """Budget-check and ingest one already-decoded record."""
+        if self.state != ACTIVE:
+            return Outcome("closed", reason=self.state_reason
+                           or self.state)
+        admission = self.meter.admit(record.nbytes)
+        if admission.action == "shed":
+            return Outcome("shed", admission=admission)
+        if admission.action == "evict":
+            self._terminate(EVICTED,
+                            f"shed budget exhausted "
+                            f"({self.meter.records_shed} records shed)")
+            return Outcome("evicted", admission=admission,
+                           reason=self.state_reason)
+        try:
+            self._ingest(record)
+        except Exception as exc:  # noqa: BLE001 — crash isolation
+            return self._crashed(exc)
+        self._session.kept()
+        return Outcome("ok", admission=admission)
+
+    def _ingest(self, record) -> None:
+        if record.duration > self._max_duration:
+            self._max_duration = record.duration
+        if record.end > self._last_end:
+            self._last_end = record.end
+        if self.chunk_size > 0:
+            self._chunk_buffer.append(record)
+            if len(self._chunk_buffer) >= self.chunk_size:
+                self.flush_chunks()
+            return
+        self.stream.ingest(record)
+        self.stream.advance_watermark(
+            self._last_end - self._max_duration)
+
+    def flush_chunks(self) -> None:
+        """Push any buffered records through the vectorised path."""
+        if not self._chunk_buffer:
+            return
+        chunk = RecordChunk.from_records(self._chunk_buffer)
+        self._chunk_buffer = []
+        self.stream.push_chunk(chunk)
+        self.stream.advance_watermark(
+            self._last_end - self._max_duration)
+
+    def _bad_line(self, reason: str, text: str) -> Outcome:
+        try:
+            self._session.bad(self._line_number, reason, text)
+        except SalvageError as exc:
+            self._terminate(QUARANTINED, str(exc))
+            return Outcome("quarantined", reason=str(exc))
+        except TraceFormatError as exc:
+            # Strict mode: the first malformed line quarantines.
+            self._terminate(QUARANTINED, str(exc))
+            return Outcome("quarantined", reason=str(exc))
+        return Outcome("bad-line", reason=reason)
+
+    def _crashed(self, exc: Exception) -> Outcome:
+        self.crash_error = f"{type(exc).__name__}: {exc}"
+        self._terminate(QUARANTINED,
+                        f"internal failure: {self.crash_error}")
+        return Outcome("quarantined", reason=self.state_reason)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def end(self, reason: str = "end of stream") -> LiveResult | None:
+        """Client-requested or drain-time finalize (state DRAINED)."""
+        self._terminate(DRAINED, reason)
+        return self.result
+
+    def _terminate(self, state: str, reason: str) -> None:
+        """Settle the stream, flush sinks, park in a terminal state."""
+        if self.state != ACTIVE:
+            return
+        self.state = state
+        self.state_reason = reason
+        try:
+            self.flush_chunks()
+            if self.stream.ops > 0:
+                self.result = self.stream.finalize(
+                    label=f"serve:{self.name}")
+            else:
+                # Nothing ingested: still close the sinks so files
+                # exist and FailSafe counters settle.
+                for sink in self.stream.sinks:
+                    close = getattr(sink, "close", None)
+                    if close is not None:
+                        close()
+        except Exception as exc:  # noqa: BLE001 — never cross the wall
+            self.crash_error = self.crash_error or \
+                f"{type(exc).__name__}: {exc}"
+            self.result = None
+            close = getattr(self.stream, "close", None)
+            if close is not None:  # kill any shard workers left behind
+                try:
+                    close()
+                except Exception:
+                    pass
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def quarantine_report(self):
+        return self._session.report
+
+    def refresh_snapshot(self) -> None:
+        """Fold buffered chunks in and refresh the scrape-state gauges."""
+        if self.state == ACTIVE and self.stream.ops == 0 \
+                and not self._chunk_buffer:
+            return
+        if self.state == ACTIVE:
+            try:
+                self.flush_chunks()
+                self.prom.emit(self.stream.snapshot().as_event())
+            except Exception as exc:  # noqa: BLE001
+                self._crashed(exc)
+
+    def prom_state(self) -> tuple[dict, dict, dict, int]:
+        """This tenant's :func:`~repro.live.sinks.format_prometheus` row."""
+        return ({"tenant": self.name}, self.prom.latest,
+                self.prom.latest_window, self.prom.anomaly_count)
+
+    def status(self) -> dict:
+        """The JSON-API view of this tenant (exact counters only)."""
+        report = self._session.report
+        payload = {
+            "tenant": self.name,
+            "state": self.state,
+            "state_reason": self.state_reason,
+            "records": self.stream.ops + len(self._chunk_buffer),
+            "bytes": self.stream.nbytes,
+            "late_records": self.stream.late_records,
+            "forced_watermarks": self.stream.forced_watermarks,
+            "max_pending": self.stream.max_pending,
+            "pending_records": self.stream.pending_records,
+            "quarantined_lines": report.skipped,
+            "error_ratio": report.error_ratio,
+            "idle_seconds": self.idle_seconds,
+            "budget": self.meter.counters(),
+        }
+        if self.crash_error:
+            payload["crash_error"] = self.crash_error
+        if self.result is not None:
+            m = self.result.metrics
+            payload["final"] = {
+                "bps": m.bps, "iops": m.iops,
+                "bandwidth": m.bandwidth, "arpt": m.arpt,
+                "union_io_time": m.union_io_time,
+                "exec_time": m.exec_time,
+                "ops": m.app_ops, "blocks": m.app_blocks,
+                "bytes": m.app_bytes,
+                "windows": len(self.result.windows),
+                "anomalies": len(self.result.anomalies),
+            }
+        return payload

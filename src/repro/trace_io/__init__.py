@@ -35,7 +35,12 @@ from repro.trace_io.policy import (
     QuarantineReport,
 )
 from repro.trace_io.csvtrace import read_csv_trace, write_csv_trace
-from repro.trace_io.jsonltrace import read_jsonl_trace, write_jsonl_trace
+from repro.trace_io.jsonltrace import (
+    decode_jsonl_line,
+    read_jsonl_trace,
+    record_from_object,
+    write_jsonl_trace,
+)
 from repro.trace_io.blkparse import read_blkparse
 from repro.trace_io.fiojson import read_fio_json
 from repro.trace_io.darshan import read_darshan
@@ -95,6 +100,8 @@ __all__ = [
     "write_csv_trace",
     "read_jsonl_trace",
     "write_jsonl_trace",
+    "decode_jsonl_line",
+    "record_from_object",
     "read_blkparse",
     "read_fio_json",
     "read_darshan",

@@ -22,6 +22,56 @@ from repro.trace_io.policy import ErrorPolicy, SalvageSession
 _REQUIRED = ("pid", "op", "nbytes", "start", "end")
 
 
+def record_from_object(obj) -> IORecord:
+    """Build an :class:`IORecord` from one decoded JSONL object.
+
+    Raises :class:`~repro.errors.TraceFormatError` with the *reason*
+    only (no file:line prefix — the caller owns location context).
+    Shared by the file reader below and the ``bps serve`` wire
+    protocol, so a line means exactly the same thing on disk and on
+    the socket.
+    """
+    if not isinstance(obj, dict):
+        raise TraceFormatError(
+            f"expected an object, got {type(obj).__name__}")
+    missing = [k for k in _REQUIRED if k not in obj]
+    if missing:
+        raise TraceFormatError(f"missing keys {missing}")
+    try:
+        return IORecord(
+            pid=int(obj["pid"]),
+            op=str(obj["op"]),
+            nbytes=int(obj["nbytes"]),
+            start=float(obj["start"]),
+            end=float(obj["end"]),
+            file=str(obj.get("file", "")),
+            offset=int(obj.get("offset", -1)),
+            success=bool(obj.get("success", True)),
+            layer=str(obj.get("layer", LAYER_APP)),
+            retries=int(obj.get("retries", 0)),
+        )
+    except (TypeError, ValueError, AnalysisError) as exc:
+        raise TraceFormatError(f"bad record: {exc}") from exc
+
+
+def decode_jsonl_line(line: str) -> IORecord | None:
+    """Decode one JSONL trace line into a record.
+
+    Returns None for blank lines and ``#`` comments.  Raises
+    :class:`~repro.errors.TraceFormatError` (reason only) on malformed
+    input — the single line-decode path shared by file ingestion and
+    the streaming daemon.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    try:
+        obj = json.loads(stripped)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"invalid JSON: {exc}") from exc
+    return record_from_object(obj)
+
+
 def read_jsonl_trace(source: str | Path | IO[str], *,
                      errors: ErrorPolicy | str | None = None,
                      ) -> TraceCollection:
@@ -38,38 +88,12 @@ def _read(handle: IO[str], name: str,
     session = SalvageSession(errors, name)
     trace = TraceCollection()
     for line_number, raw in enumerate(handle, start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
         try:
-            obj = json.loads(line)
-        except json.JSONDecodeError as exc:
-            session.bad(line_number, f"invalid JSON: {exc}", raw)
+            record = decode_jsonl_line(raw)
+        except TraceFormatError as exc:
+            session.bad(line_number, str(exc), raw)
             continue
-        if not isinstance(obj, dict):
-            session.bad(line_number,
-                        f"expected an object, got {type(obj).__name__}",
-                        raw)
-            continue
-        missing = [k for k in _REQUIRED if k not in obj]
-        if missing:
-            session.bad(line_number, f"missing keys {missing}", raw)
-            continue
-        try:
-            record = IORecord(
-                pid=int(obj["pid"]),
-                op=str(obj["op"]),
-                nbytes=int(obj["nbytes"]),
-                start=float(obj["start"]),
-                end=float(obj["end"]),
-                file=str(obj.get("file", "")),
-                offset=int(obj.get("offset", -1)),
-                success=bool(obj.get("success", True)),
-                layer=str(obj.get("layer", LAYER_APP)),
-                retries=int(obj.get("retries", 0)),
-            )
-        except (TypeError, ValueError, AnalysisError) as exc:
-            session.bad(line_number, f"bad record: {exc}", raw)
+        if record is None:
             continue
         trace.add(record)
         session.kept()

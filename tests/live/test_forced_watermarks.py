@@ -1,0 +1,135 @@
+"""Forced-watermark degradation under the ``max_pending`` heap bound.
+
+Rung 2 of the serve load-shedding ladder (DESIGN.md §13): when the
+reorder heap would exceed ``max_pending``, the watermark is forced past
+the oldest pending start.  These tests pin the contract down exactly:
+
+- ``forced_watermarks`` accounting is deterministic — with a lag wide
+  enough that nothing drains naturally, every record past the bound
+  forces exactly one trip;
+- cumulative totals stay bit-identical to the batch pipeline under
+  adversarial arrival lag, because the union insertion path is
+  order-independent;
+- the chunked ingest path (``push_chunk``) merges each batch directly
+  into the sealed union without touching the heap, so it *structurally
+  cannot* force watermarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.core.records import IORecord, TraceCollection
+from repro.live import MetricStream, chunk_trace
+
+
+def steady_records(n=200, gap=0.005, dur=0.012, nbytes=4096):
+    return [
+        IORecord(pid=i % 3, op="read" if i % 2 else "write",
+                 nbytes=nbytes, start=i * gap, end=i * gap + dur)
+        for i in range(n)
+    ]
+
+
+def adversarial_order(records, seed=7):
+    """A worst-case arrival order: uniformly shuffled completion lag."""
+    rng = np.random.default_rng(seed)
+    shuffled = list(records)
+    rng.shuffle(shuffled)
+    return shuffled
+
+
+class TestPerRecordAccounting:
+    def test_forced_count_is_exact_when_nothing_drains(self):
+        # A lag wider than the whole trace keeps the watermark below
+        # every start, so the only way out of the heap is the bound:
+        # each record past max_pending forces exactly one trip.
+        n, capacity = 200, 16
+        records = steady_records(n=n)
+        stream = MetricStream(window=0.1, max_pending=capacity,
+                              watermark_lag=1e9)
+        for i, record in enumerate(records):
+            stream.ingest(record)
+            assert stream.forced_watermarks == max(0, i + 1 - capacity)
+        assert stream.forced_watermarks == n - capacity
+
+    def test_totals_bit_identical_despite_forcing(self):
+        records = steady_records(n=300)
+        stream = MetricStream(window=0.1, max_pending=8,
+                              watermark_lag=1e9)
+        for record in adversarial_order(records):
+            stream.ingest(record)
+        result = stream.finalize()
+        assert result.metrics.extras["forced_watermarks"] == \
+            stream.forced_watermarks
+        assert stream.forced_watermarks > 0
+        batch = compute_metrics(TraceCollection(records),
+                                exec_time=result.metrics.exec_time)
+        assert result.metrics.bps == batch.bps
+        assert result.metrics.union_io_time == batch.union_io_time
+        assert result.metrics.app_ops == batch.app_ops
+        assert result.metrics.app_blocks == batch.app_blocks
+
+    def test_no_forcing_within_capacity(self):
+        records = steady_records(n=64)
+        stream = MetricStream(window=0.1, max_pending=64,
+                              watermark_lag=1e9)
+        for record in records:
+            stream.ingest(record)
+        assert stream.forced_watermarks == 0
+
+    def test_windows_settled_under_forced_watermark_are_corrected(self):
+        # Forcing may settle windows early; finalize reconciles them so
+        # the window series still sums to the exact cumulative union.
+        records = steady_records(n=150)
+        stream = MetricStream(window=0.1, max_pending=4,
+                              watermark_lag=1e9)
+        for record in adversarial_order(records):
+            stream.ingest(record)
+        result = stream.finalize()
+        assert stream.forced_watermarks > 0
+        total = sum(w.io_time for w in result.windows)
+        assert total == pytest.approx(result.metrics.union_io_time,
+                                      rel=1e-12)
+
+
+class TestChunkPathAccounting:
+    @pytest.mark.parametrize("chunk_size", [7, 64])
+    def test_chunked_ingest_cannot_force_watermarks(self, chunk_size):
+        # add_batch folds each chunk straight into the sealed union via
+        # a vectorised merge sweep — the reorder heap is never touched,
+        # so even a tiny max_pending cannot trip rung 2.
+        records = steady_records(n=200)
+        stream = MetricStream(window=0.1, max_pending=2)
+        trace = TraceCollection(adversarial_order(records))
+        for chunk in chunk_trace(trace, chunk_size=chunk_size):
+            stream.push_chunk(chunk)
+        assert stream.forced_watermarks == 0
+        result = stream.finalize()
+        assert result.metrics.extras["forced_watermarks"] == 0
+        batch = compute_metrics(TraceCollection(records),
+                                exec_time=result.metrics.exec_time)
+        assert result.metrics.bps == batch.bps
+        assert result.metrics.union_io_time == batch.union_io_time
+        assert result.metrics.app_ops == batch.app_ops
+
+    def test_mixed_paths_account_separately(self):
+        # Per-record ingest before a chunk push: only the per-record
+        # half can force; totals still land exactly.
+        records = steady_records(n=120)
+        half = len(records) // 2
+        stream = MetricStream(window=0.1, max_pending=8,
+                              watermark_lag=1e9)
+        for record in records[:half]:
+            stream.ingest(record)
+        forced_before = stream.forced_watermarks
+        assert forced_before == half - 8
+        for chunk in chunk_trace(TraceCollection(records[half:]),
+                                 chunk_size=16):
+            stream.push_chunk(chunk)
+        assert stream.forced_watermarks == forced_before
+        result = stream.finalize()
+        batch = compute_metrics(TraceCollection(records),
+                                exec_time=result.metrics.exec_time)
+        assert result.metrics.bps == batch.bps
+        assert result.metrics.union_io_time == batch.union_io_time

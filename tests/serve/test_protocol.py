@@ -1,0 +1,138 @@
+"""Wire protocol: JSONL stream lines and the minimal HTTP layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.records import IORecord
+from repro.errors import ServeError, TraceFormatError
+from repro.serve.protocol import (
+    MAX_HTTP_BODY_BYTES,
+    HttpError,
+    control_line,
+    decode_stream_line,
+    http_response,
+    json_response,
+    read_http_request,
+    record_line,
+    validate_tenant_name,
+)
+
+
+class TestStreamLines:
+    def test_record_line_round_trips(self):
+        record = IORecord(pid=3, op="write", nbytes=8192, start=1.5,
+                          end=1.75)
+        kind, decoded = decode_stream_line(
+            record_line(record).decode())
+        assert kind == "record"
+        assert (decoded.pid, decoded.op, decoded.nbytes) == \
+            (3, "write", 8192)
+        assert (decoded.start, decoded.end) == (1.5, 1.75)
+
+    def test_control_lines(self):
+        kind, payload = decode_stream_line(
+            '{"type": "hello", "tenant": "a"}')
+        assert kind == "control" and payload["tenant"] == "a"
+        kind, payload = decode_stream_line('{"type": "end"}')
+        assert kind == "control"
+
+    def test_blanks_and_comments_are_none(self):
+        assert decode_stream_line("") is None
+        assert decode_stream_line("   \n") is None
+        assert decode_stream_line("# comment\n") is None
+
+    def test_malformed_json_raises_format_error(self):
+        with pytest.raises(TraceFormatError, match="invalid JSON"):
+            decode_stream_line("{nope")
+
+    def test_missing_keys_raise_format_error(self):
+        with pytest.raises(TraceFormatError, match="missing keys"):
+            decode_stream_line('{"pid": 1}')
+
+    def test_unknown_control_type_is_a_bad_record(self):
+        # Only hello/end are control words; anything else must hold
+        # record keys or be rejected.
+        with pytest.raises(TraceFormatError):
+            decode_stream_line('{"type": "restart"}')
+
+    def test_server_control_line_shape(self):
+        line = control_line("ack", tenant="a", records=7)
+        obj = json.loads(line.decode())
+        assert obj == {"type": "ack", "tenant": "a", "records": 7}
+        assert line.endswith(b"\n")
+
+
+class TestTenantNames:
+    @pytest.mark.parametrize("name", ["a", "job-1", "ns:rank0",
+                                      "A.b_c-9", "x" * 64])
+    def test_valid(self, name):
+        assert validate_tenant_name(name) == name
+
+    @pytest.mark.parametrize("name", ["", "..", "../etc", "a/b",
+                                      "a b", "-lead", ".hidden",
+                                      "x" * 65, 7, None])
+    def test_invalid(self, name):
+        with pytest.raises(ServeError, match="invalid tenant name"):
+            validate_tenant_name(name)
+
+
+def parse(payload: bytes):
+    """Feed raw bytes to a StreamReader and parse one request."""
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(payload)
+        reader.feed_eof()
+        return await read_http_request(reader)
+    return asyncio.run(run())
+
+
+class TestHttp:
+    def test_get_round_trip(self):
+        request = parse(b"GET /metrics HTTP/1.1\r\n"
+                        b"Host: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/metrics"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_post_body_via_content_length(self):
+        body = b'{"pid": 1}\n'
+        request = parse(b"POST /ingest/a HTTP/1.1\r\n"
+                        b"Content-Length: %d\r\n\r\n%s"
+                        % (len(body), body))
+        assert request.method == "POST"
+        assert request.body == body
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_request_raises_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET /metrics HTTP/1.1\r\n")
+        assert err.value.status == 400
+
+    def test_bad_request_line_raises_400(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_oversize_body_raises_413(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST /ingest/a HTTP/1.1\r\n"
+                  b"Content-Length: %d\r\n\r\n"
+                  % (MAX_HTTP_BODY_BYTES + 1))
+        assert err.value.status == 413
+
+    def test_response_shape(self):
+        raw = http_response(200, "ok", content_type="text/plain")
+        assert raw.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 2\r\n" in raw
+        assert b"Connection: close\r\n" in raw
+        assert raw.endswith(b"\r\n\r\nok")
+
+    def test_json_response_parses_back(self):
+        raw = json_response(404, {"error": "nope"})
+        body = raw.split(b"\r\n\r\n", 1)[1]
+        assert json.loads(body) == {"error": "nope"}
