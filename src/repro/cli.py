@@ -17,6 +17,8 @@ Subcommands:
   concurrent JSONL trace streams over TCP / unix socket / HTTP, one
   isolated metric stream per tenant, budgets with load shedding, one
   aggregated Prometheus scrape plus a JSON query API.
+- ``grid-worker`` — one host's sweep worker daemon for distributed
+  sweeps (``bps sweep --backend socket``; :mod:`repro.exec.gridworker`).
 
 ``analyze``, ``replay``, and ``watch`` accept ``-`` as the trace path
 to read JSONL records from standard input.
@@ -229,6 +231,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.exec import SupervisorPolicy
         run_kwargs["policy"] = SupervisorPolicy(
             job_timeout=args.job_timeout)
+    if args.backend:
+        run_kwargs["backend"] = args.backend
+    if args.grid_workers:
+        run_kwargs["grid_workers"] = args.grid_workers
     sweep = _SWEEPS[args.sweep](scale, **run_kwargs)
     supervision = getattr(sweep, "supervision", None)
     if supervision is not None and (
@@ -263,6 +269,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             handle.write(sweep.to_csv())
         print(f"\nwrote per-point series to {args.csv}")
     return 0
+
+
+def _cmd_grid_worker(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.exec import serve_grid_worker
+    token = args.token or os.environ.get("REPRO_GRID_TOKEN") or None
+    return serve_grid_worker(
+        args.listen,
+        token=token,
+        once=args.once,
+        exit_after_jobs=args.exit_after_jobs,
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -613,7 +632,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--job-timeout", type=float, default=None,
                        help="kill and retry any sweep job running "
                             "longer than this many seconds")
+    sweep.add_argument("--backend", choices=("fork", "async", "socket"),
+                       default="",
+                       help="executor backend: 'fork' supervised local "
+                            "pool (default), 'async' in-process serial, "
+                            "'socket' multi-host dispatch to bps "
+                            "grid-worker daemons (env "
+                            "REPRO_SWEEP_BACKEND)")
+    sweep.add_argument("--grid-workers", default="", metavar="ADDRS",
+                       help="socket backend: comma-separated "
+                            "host:port list of bps grid-worker daemons")
     sweep.set_defaults(func=_cmd_sweep)
+
+    grid_worker = sub.add_parser(
+        "grid-worker", help="run one host's sweep worker daemon for "
+                            "the socket backend (bps sweep "
+                            "--backend socket)")
+    grid_worker.add_argument("--listen", default="127.0.0.1:0",
+                             metavar="HOST:PORT",
+                             help="TCP listen address; port 0 binds an "
+                                  "ephemeral port (printed on the "
+                                  "first output line; default "
+                                  "127.0.0.1:0)")
+    grid_worker.add_argument("--token", default="",
+                             help="shared auth token dispatchers must "
+                                  "present (default: REPRO_GRID_TOKEN "
+                                  "env var). The wire protocol is "
+                                  "pickle: trusted networks only")
+    grid_worker.add_argument("--once", action="store_true",
+                             help="exit after the first dispatcher "
+                                  "session")
+    grid_worker.add_argument("--exit-after-jobs", type=int, default=0,
+                             metavar="N",
+                             help="exit after completing N cells "
+                                  "(chaos/rolling-restart testing)")
+    grid_worker.set_defaults(func=_cmd_grid_worker)
 
     simulate = sub.add_parser(
         "simulate", help="run one workload on a simulated platform")

@@ -75,6 +75,12 @@ class SupervisionError(ExperimentError):
     repeated in-job exception) and the sweep cannot complete."""
 
 
+class GridError(ExperimentError):
+    """The distributed-sweep grid was misconfigured or its wire
+    protocol was violated (bad worker address, handshake rejected,
+    oversized frame, unresolvable grid task, no live workers)."""
+
+
 class CheckpointError(ExperimentError):
     """A checkpoint journal is unusable: wrong tag for the sweep being
     resumed, or corrupted beyond the tolerated torn tail."""

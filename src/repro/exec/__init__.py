@@ -1,21 +1,42 @@
-"""Resilient execution layer: supervised pools and checkpoint journals.
+"""Resilient execution layer: backends, supervision, checkpoints.
 
 The measurement pipeline has to survive its own failures, not just the
-simulated ones (DESIGN.md §10).  This package provides the two halves:
+simulated ones (DESIGN.md §10, §14).  This package provides the
+pieces:
 
-- :mod:`repro.exec.supervisor` — a supervised fork-worker pool with
-  per-job timeouts, bounded retry of crashed/failed jobs, and automatic
-  serial fallback when workers keep dying;
+- :mod:`repro.exec.backends` — pluggable executor backends behind one
+  submit/collect/cancel interface: the supervised fork pool, an
+  in-process serial backend for smoke grids, and a multi-host socket
+  dispatcher feeding ``bps grid-worker`` daemons;
+- :mod:`repro.exec.supervisor` — the supervision policy/report types
+  and :func:`~repro.exec.supervisor.run_supervised`, the classic
+  fork-pool entry point (per-job timeouts, bounded retry, automatic
+  serial fallback);
 - :mod:`repro.exec.checkpoint` — a crash-safe JSONL journal of
-  completed jobs, so interrupted sweeps resume instead of restarting.
+  completed jobs, so interrupted sweeps resume instead of restarting
+  (and never lose an acknowledged cell, SIGINT included);
+- :mod:`repro.exec.gridworker` — the worker daemon behind
+  ``bps grid-worker``.
 
-:func:`repro.experiments.runner.run_sweep` wires both into the sweep
-grid; the primitives are workload-agnostic and usable on their own.
+:func:`repro.experiments.runner.run_sweep` wires everything into the
+sweep grid; the primitives are workload-agnostic and usable on their
+own.
 """
 
 from __future__ import annotations
 
+from repro.exec.backends import (
+    AsyncBackend,
+    ExecBackend,
+    ForkBackend,
+    GridTask,
+    JobOutcome,
+    SocketBackend,
+    resolve_backend,
+    run_jobs,
+)
 from repro.exec.checkpoint import CheckpointJournal
+from repro.exec.gridworker import serve_grid_worker
 from repro.exec.supervisor import (
     SupervisionReport,
     SupervisorPolicy,
@@ -23,8 +44,17 @@ from repro.exec.supervisor import (
 )
 
 __all__ = [
+    "AsyncBackend",
     "CheckpointJournal",
+    "ExecBackend",
+    "ForkBackend",
+    "GridTask",
+    "JobOutcome",
+    "SocketBackend",
     "SupervisionReport",
     "SupervisorPolicy",
+    "resolve_backend",
+    "run_jobs",
     "run_supervised",
+    "serve_grid_worker",
 ]

@@ -1,0 +1,111 @@
+"""In-process backend: serial execution for smoke grids and 1-core CI.
+
+The cheapest possible executor — no forks, no sockets, no pickling.
+Jobs run one at a time in the driver's own process, in submission
+order, so the output is the serial reference that every other backend
+is measured against.  What it still honors from the shared contract:
+
+- an exception inside ``fn(job)`` becomes an ``"error"`` outcome and
+  consumes retry budget exactly like a remote failure (so retry-path
+  tests run without fork support);
+- ``SupervisorPolicy.job_timeout`` is enforced by running the job in a
+  daemon thread and abandoning it past the deadline — a ``"timeout"``
+  outcome, same as a reaped fork worker.  An abandoned thread cannot
+  be killed, so a hot-spinning job keeps burning its core until the
+  process exits; that is the documented price of in-process timeouts
+  (use the fork backend when jobs may wedge the CPU).  Without a
+  ``job_timeout`` the thread is skipped entirely and the job runs
+  inline.
+
+The chaos hook (``REPRO_TEST_KILL_JOB``) applies here too, except that
+``exit`` mode would take the whole driver down — it is remapped to an
+in-process ``raise`` so chaos specs stay runnable on any backend.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exec.backends.base import ExecBackend, JobOutcome
+
+__all__ = ["AsyncBackend"]
+
+
+class AsyncBackend(ExecBackend):
+    """Serial in-process executor behind the backend interface."""
+
+    name = "async"
+
+    def __init__(self) -> None:
+        self._fn = None
+        self._policy = None
+        self._queued: tuple[int, int, object] | None = None
+
+    def start(self, fn, policy, report, n_jobs: int) -> None:
+        self._fn = fn
+        self._policy = policy
+
+    def healthy(self) -> bool:
+        return True
+
+    def slots(self) -> int:
+        # One at a time: submission order *is* execution order.
+        return 0 if self._queued is not None else 1
+
+    def submit(self, index: int, attempt: int, job) -> bool:
+        self._queued = (index, attempt, job)
+        return True
+
+    def collect(self) -> list[JobOutcome]:
+        if self._queued is None:
+            return []
+        index, attempt, job = self._queued
+        self._queued = None
+        if self._policy.job_timeout is None:
+            try:
+                self._maybe_sabotage(index, attempt)
+                payload = self._fn(job)
+            except Exception as exc:
+                return [JobOutcome("error", index, attempt,
+                                   f"{type(exc).__name__}: {exc}")]
+            return [JobOutcome("done", index, attempt, payload)]
+        return [self._run_with_deadline(index, attempt, job)]
+
+    @staticmethod
+    def _maybe_sabotage(index: int, attempt: int) -> None:
+        """Chaos hook, with ``exit`` remapped to a survivable raise."""
+        from repro.exec.supervisor import _chaos_spec, _maybe_sabotage
+        if _chaos_spec().get(index) == "exit" and attempt == 0:
+            raise RuntimeError(
+                f"chaos: injected in-process crash for job {index} "
+                f"('exit' would kill the driver itself)")
+        _maybe_sabotage(index, attempt)
+
+    def _run_with_deadline(self, index: int, attempt: int,
+                           job) -> JobOutcome:
+        box: dict = {}
+
+        def target() -> None:
+            try:
+                self._maybe_sabotage(index, attempt)
+                box["payload"] = self._fn(job)
+            except BaseException as exc:  # noqa: BLE001
+                box["error"] = f"{type(exc).__name__}: {exc}"
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        thread.join(self._policy.job_timeout)
+        if thread.is_alive():
+            return JobOutcome(
+                "timeout", index, attempt,
+                f"timed out after {self._policy.job_timeout:.3g}s "
+                f"(thread abandoned)")
+        if "error" in box:
+            return JobOutcome("error", index, attempt, box["error"])
+        return JobOutcome("done", index, attempt, box["payload"])
+
+    def finish(self) -> None:
+        self._queued = None
+
+    def cancel(self) -> None:
+        self._queued = None

@@ -1,0 +1,389 @@
+"""Multi-host socket dispatcher: grid cells over TCP worker daemons.
+
+The dispatcher side of the ``bps grid-worker`` protocol
+(:mod:`repro.exec.backends.wire`).  One :class:`SocketBackend` connects
+to a fleet of worker daemons, hands each one cell at a time (exactly
+the fork pool's discipline, so the shared driver's retry/ordering
+contract applies unchanged), and supervises the fleet:
+
+- **liveness** — a worker that has said nothing for
+  ``heartbeat_interval`` seconds is pinged; one that stays silent for
+  ``liveness_timeout`` after the ping is declared dead, its socket
+  closed, its in-flight cell re-queued (one retry unit, like a fork
+  crash), and a reconnect attempted against the same address under the
+  pool-wide respawn budget;
+- **worker death** — EOF or a send error is the same signal as a pipe
+  EOF in the fork pool and takes the same path;
+- **hung cells** — ``SupervisorPolicy.job_timeout`` sends ``abort``
+  (the worker kills its job child and survives) and re-queues;
+- **stragglers** — with ``straggler_factor > 0``, a cell running
+  longer than ``factor × median completed-cell time`` is speculatively
+  re-dispatched to an idle worker when no fresh work is pending; the
+  first copy to finish wins (the driver ignores the rest) and the
+  loser is aborted.  Duplicates never consume retry budget, and a
+  dying worker whose cell still runs elsewhere is not a job failure.
+
+Results are bit-identical to serial for any fleet size and any
+death/retry schedule because cells carry their seeds and the driver
+reassembles by index — the transport can only lose time, not change
+numbers.
+"""
+
+from __future__ import annotations
+
+import select
+import time
+import warnings
+from statistics import median
+from typing import Sequence
+
+from repro.errors import GridError
+from repro.exec.backends.base import ExecBackend, JobOutcome
+from repro.exec.backends.task import GridTask
+from repro.exec.backends.wire import (
+    PROTOCOL_VERSION,
+    connect,
+    parse_hostport,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["SocketBackend", "parse_worker_addrs"]
+
+#: Default liveness clocks (seconds).
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+DEFAULT_LIVENESS_TIMEOUT = 10.0
+DEFAULT_CONNECT_TIMEOUT = 10.0
+#: Straggler re-dispatch floor — below this a "straggler" is noise.
+DEFAULT_STRAGGLER_MIN_SECONDS = 1.0
+#: Completed-cell samples needed before the median is trusted.
+_STRAGGLER_MIN_SAMPLES = 3
+
+
+def parse_worker_addrs(spec: str | Sequence) -> list[tuple[str, int]]:
+    """``"host:port,host:port"`` (or an iterable of them) → addresses."""
+    if isinstance(spec, str):
+        parts = [p for p in spec.split(",") if p.strip()]
+    else:
+        parts = [p for p in spec if str(p).strip()]
+    if not parts:
+        raise GridError("no grid worker addresses given")
+    return [parse_hostport(str(p)) for p in parts]
+
+
+class _Link:
+    """One connected grid worker."""
+
+    __slots__ = ("sock", "addr", "label", "job", "attempt", "payload",
+                 "assigned_at", "deadline", "last_seen", "ping_sent")
+
+    def __init__(self, sock, addr: tuple[str, int]) -> None:
+        self.sock = sock
+        self.addr = addr
+        self.label = f"{addr[0]}:{addr[1]}"
+        self.job: int | None = None
+        self.attempt = 0
+        self.payload = None
+        self.assigned_at = 0.0
+        self.deadline: float | None = None
+        self.last_seen = time.monotonic()
+        self.ping_sent: float | None = None
+
+    def clear(self) -> None:
+        self.job = None
+        self.payload = None
+        self.deadline = None
+
+
+class SocketBackend(ExecBackend):
+    """Dispatcher over ``bps grid-worker`` daemons."""
+
+    name = "socket"
+
+    def __init__(self, workers: str | Sequence, task: GridTask, *,
+                 token: str | None = None,
+                 connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 liveness_timeout: float = DEFAULT_LIVENESS_TIMEOUT,
+                 straggler_factor: float = 0.0,
+                 straggler_min_seconds: float =
+                 DEFAULT_STRAGGLER_MIN_SECONDS) -> None:
+        if heartbeat_interval <= 0 or liveness_timeout <= 0:
+            raise GridError("liveness clocks must be > 0")
+        if straggler_factor < 0:
+            raise GridError(
+                f"straggler_factor must be >= 0, got {straggler_factor}")
+        self.addresses = parse_worker_addrs(workers)
+        self.task = task
+        self.token = token
+        self.connect_timeout = connect_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.liveness_timeout = liveness_timeout
+        self.straggler_factor = straggler_factor
+        self.straggler_min_seconds = straggler_min_seconds
+        self._links: list[_Link] = []
+        self._durations: list[float] = []
+        self._policy = None
+        self._report = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, fn, policy, report, n_jobs: int) -> None:
+        self._policy = policy
+        self._report = report
+        failures: list[str] = []
+        for addr in self.addresses:
+            try:
+                self._links.append(self._open_link(addr))
+            except (OSError, EOFError, GridError) as exc:
+                failures.append(f"{addr[0]}:{addr[1]}: {exc}")
+        if not self._links:
+            raise GridError(
+                "no grid workers reachable: " + "; ".join(failures))
+        if failures:
+            warnings.warn(
+                f"{len(failures)} grid worker(s) unreachable at start "
+                f"({'; '.join(failures)}); continuing with "
+                f"{len(self._links)}", RuntimeWarning, stacklevel=2)
+
+    def _open_link(self, addr: tuple[str, int]) -> _Link:
+        sock = connect(addr, timeout=self.connect_timeout)
+        try:
+            send_frame(sock, ("hello", {
+                "version": PROTOCOL_VERSION,
+                "token": self.token,
+                "task": self.task,
+            }))
+            reply = recv_frame(sock)
+            if not (isinstance(reply, tuple) and reply):
+                raise GridError(f"malformed handshake reply {reply!r}")
+            if reply[0] == "reject":
+                raise GridError(f"worker rejected hello: {reply[1]}")
+            if reply[0] != "welcome":
+                raise GridError(f"unexpected handshake reply {reply!r}")
+        except BaseException:
+            sock.close()
+            raise
+        # After the handshake the liveness machinery owns the clock; a
+        # worker that stalls mid-frame is reaped by the read timeout.
+        sock.settimeout(self.liveness_timeout)
+        return _Link(sock, addr)
+
+    def finish(self) -> None:
+        self._close_all(abort=False)
+
+    def cancel(self) -> None:
+        self._close_all(abort=True)
+
+    def _close_all(self, *, abort: bool) -> None:
+        for link in self._links:
+            try:
+                if abort and link.job is not None:
+                    send_frame(link.sock, ("abort", link.job))
+                send_frame(link.sock, ("bye",))
+            except OSError:
+                pass
+            link.sock.close()
+        self._links.clear()
+
+    # -- placement ---------------------------------------------------------
+
+    def healthy(self) -> bool:
+        return bool(self._links)
+
+    def slots(self) -> int:
+        return sum(1 for link in self._links if link.job is None)
+
+    def submit(self, index: int, attempt: int, job) -> bool:
+        link = next(l for l in self._links if l.job is None)
+        return self._place(link, index, attempt, job)
+
+    def _place(self, link: _Link, index: int, attempt: int,
+               job) -> bool:
+        try:
+            send_frame(link.sock, ("job", index, attempt, job))
+        except OSError as exc:
+            # The job was never placed — only the fleet pays.
+            self._bury(link, f"send failed: {exc}", requeue_held=False)
+            return False
+        now = time.monotonic()
+        link.job = index
+        link.attempt = attempt
+        link.payload = job
+        link.assigned_at = now
+        link.last_seen = now
+        if self._policy.job_timeout is not None:
+            link.deadline = now + self._policy.job_timeout
+        return True
+
+    def _holders(self, index: int) -> list[_Link]:
+        return [l for l in self._links if l.job == index]
+
+    def _bury(self, link: _Link, reason: str, *,
+              requeue_held: bool) -> JobOutcome | None:
+        """Retire a dead link; maybe reconnect; maybe emit the loss."""
+        self._links.remove(link)
+        link.sock.close()
+        self._report.worker_respawns += 1
+        if self._report.worker_respawns <= \
+                self._policy.max_worker_respawns:
+            try:
+                self._links.append(self._open_link(link.addr))
+            except (OSError, EOFError, GridError):
+                pass  # the address stays lost; the fleet shrinks
+        if link.job is None or not requeue_held:
+            return None
+        if self._holders(link.job):
+            # A speculative copy still runs elsewhere; not a job loss.
+            return None
+        return JobOutcome(
+            "crash", link.job, link.attempt,
+            f"grid worker {link.label} died ({reason})")
+
+    # -- collection --------------------------------------------------------
+
+    def collect(self) -> list[JobOutcome]:
+        outcomes: list[JobOutcome] = []
+        now = time.monotonic()
+        timeout = self._policy.poll_interval
+        for link in self._links:
+            if link.deadline is not None:
+                timeout = min(timeout, max(link.deadline - now, 0.0))
+            if link.ping_sent is not None:
+                due = link.ping_sent + self.liveness_timeout - now
+            else:
+                due = link.last_seen + self.heartbeat_interval - now
+            timeout = min(timeout, max(due, 0.0))
+        try:
+            ready, _, _ = select.select(
+                [l.sock for l in self._links], [], [], timeout)
+        except OSError:
+            ready = []
+        ready_fds = {s.fileno() for s in ready}
+        for link in list(self._links):
+            if link.sock.fileno() in ready_fds:
+                outcome = self._drain(link)
+                if outcome is not None:
+                    outcomes.append(outcome)
+        outcomes.extend(self._reap_deadlines())
+        outcomes.extend(self._check_liveness())
+        self._redispatch_stragglers()
+        return outcomes
+
+    def _drain(self, link: _Link) -> JobOutcome | None:
+        try:
+            frame = recv_frame(link.sock)
+        except (EOFError, OSError, GridError, ValueError) as exc:
+            return self._bury(link, f"read failed: {exc}",
+                              requeue_held=True)
+        link.last_seen = time.monotonic()
+        link.ping_sent = None  # any frame proves the worker is alive
+        kind = frame[0] if isinstance(frame, tuple) and frame else None
+        if kind == "done":
+            _, index, attempt, payload = frame
+            if link.job == index:
+                self._durations.append(
+                    time.monotonic() - link.assigned_at)
+                link.clear()
+            self._abort_other_copies(index, link)
+            return JobOutcome("done", index, attempt, payload)
+        if kind == "failed":
+            _, index, attempt, failure_kind, reason = frame
+            if link.job == index:
+                link.clear()
+            if self._holders(index):
+                return None  # a speculative copy still runs
+            return JobOutcome(failure_kind, index, attempt,
+                              f"on {link.label}: {reason}")
+        if kind == "pong":
+            link.ping_sent = None
+            return None
+        if kind == "aborted":
+            if link.job == frame[1]:
+                link.clear()
+            return None
+        return self._bury(link,
+                          f"sent unknown frame {kind!r}",
+                          requeue_held=True)
+
+    def _abort_other_copies(self, index: int, winner: _Link) -> None:
+        for link in list(self._links):
+            if link is winner or link.job != index:
+                continue
+            try:
+                send_frame(link.sock, ("abort", index))
+            except OSError as exc:
+                self._bury(link, f"send failed: {exc}",
+                           requeue_held=False)
+                continue
+            link.clear()
+
+    def _reap_deadlines(self) -> list[JobOutcome]:
+        if self._policy.job_timeout is None:
+            return []
+        now = time.monotonic()
+        outcomes = []
+        for link in list(self._links):
+            if link.job is None or link.deadline is None or \
+                    now < link.deadline:
+                continue
+            index, attempt = link.job, link.attempt
+            try:
+                send_frame(link.sock, ("abort", index))
+                link.clear()
+            except OSError as exc:
+                self._bury(link, f"send failed: {exc}",
+                           requeue_held=False)
+            if not self._holders(index):
+                outcomes.append(JobOutcome(
+                    "timeout", index, attempt,
+                    f"timed out after "
+                    f"{self._policy.job_timeout:.3g}s on {link.label}"))
+        return outcomes
+
+    def _check_liveness(self) -> list[JobOutcome]:
+        now = time.monotonic()
+        outcomes = []
+        for link in list(self._links):
+            silent = now - link.last_seen
+            if link.ping_sent is not None and \
+                    now - link.ping_sent >= self.liveness_timeout:
+                outcome = self._bury(
+                    link,
+                    f"no heartbeat for {silent:.1f}s",
+                    requeue_held=True)
+                if outcome is not None:
+                    outcomes.append(outcome)
+            elif link.ping_sent is None and \
+                    silent >= self.heartbeat_interval:
+                try:
+                    send_frame(link.sock, ("ping",))
+                    link.ping_sent = now
+                except OSError as exc:
+                    outcome = self._bury(link, f"send failed: {exc}",
+                                         requeue_held=True)
+                    if outcome is not None:
+                        outcomes.append(outcome)
+        return outcomes
+
+    def _redispatch_stragglers(self) -> None:
+        if not self.straggler_factor or \
+                len(self._durations) < _STRAGGLER_MIN_SAMPLES:
+            return
+        idle = [l for l in self._links if l.job is None]
+        if not idle:
+            return
+        threshold = max(self.straggler_min_seconds,
+                        self.straggler_factor * median(self._durations))
+        now = time.monotonic()
+        busy = sorted((l for l in self._links if l.job is not None),
+                      key=lambda l: l.assigned_at)
+        for link in busy:
+            if not idle:
+                return
+            if now - link.assigned_at < threshold:
+                return  # sorted oldest-first: the rest are younger
+            if len(self._holders(link.job)) > 1:
+                continue  # already speculated
+            copy = idle.pop()
+            self._place(copy, link.job, link.attempt, link.payload)

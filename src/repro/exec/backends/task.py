@@ -1,0 +1,79 @@
+"""Grid tasks: how a remote worker learns *what* to execute.
+
+The fork pool inherits its job function through ``fork()`` — closures
+and all.  A worker daemon on another host inherits nothing, so the
+socket backend ships a :class:`GridTask` instead: the import path of a
+**factory** plus pickled arguments.  The worker imports the factory,
+calls it once per dispatcher session, and uses the returned callable
+as its job function for every cell that follows.
+
+For sweeps the factory is
+:func:`repro.experiments.runner._cells_from_builder`, whose arguments
+name an importable spec *builder* (``"repro.experiments.set1:build_sweep"``)
+and its inputs (device name, :class:`~repro.experiments.runner.ExperimentScale`).
+Because the builder re-runs on the worker from the same inputs, the
+worker holds the exact spec the dispatcher holds, and the grid cells —
+``(point_index, seed)`` pairs — mean the same thing on every host.
+That is what keeps distributed sweeps bit-identical to serial: the
+task pins *code identity*, the cell pins *randomness*.
+
+Arbitrary closures therefore cannot ride the socket backend — the
+factory must be importable on the worker (same repo checkout).  The
+error message says so instead of failing deep inside pickle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Callable
+
+from repro.errors import GridError
+
+__all__ = ["GridTask", "import_ref"]
+
+
+def import_ref(ref: str) -> Callable:
+    """Resolve ``"package.module:attr"`` to the named callable."""
+    module_name, sep, attr = ref.partition(":")
+    if not sep or not module_name or not attr:
+        raise GridError(
+            f"import ref {ref!r} is not 'package.module:attr'")
+    try:
+        module = import_module(module_name)
+    except ImportError as exc:
+        raise GridError(f"cannot import {module_name!r}: {exc}") from exc
+    target = module
+    for part in attr.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            raise GridError(f"{module_name!r} has no attribute {attr!r}")
+    if not callable(target):
+        raise GridError(f"{ref!r} resolved to a non-callable")
+    return target
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """An importable factory + arguments resolving to a job function.
+
+    ``resolve()`` runs on the worker: it imports ``factory`` and calls
+    it with ``args``/``kwargs``; the return value is the callable that
+    executes each grid cell.  Everything in ``args``/``kwargs`` must
+    pickle (they cross the wire inside the hello frame).
+    """
+
+    factory: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def resolve(self) -> Callable:
+        fn = import_ref(self.factory)(*self.args, **self.kwargs)
+        if not callable(fn):
+            raise GridError(
+                f"grid task factory {self.factory!r} returned a "
+                f"non-callable job function")
+        return fn
+
+    def __str__(self) -> str:
+        return f"{self.factory}(*{len(self.args)} args)"

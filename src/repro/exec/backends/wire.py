@@ -1,0 +1,126 @@
+"""Grid wire protocol: DuplexWorker's pipe framing, generalised to TCP.
+
+The fork pool's transport is ``multiprocessing.Pipe`` — length-prefixed
+pickled messages with EOF as the death signal.  This module is the same
+idea over a socket so the *identical* message discipline (one job
+outstanding per worker, results echo ``(index, attempt)``, EOF means
+the executor is gone) works across hosts:
+
+- every frame is a 4-byte big-endian length followed by a pickled
+  payload, bounded by :data:`MAX_FRAME_BYTES` so a corrupt or hostile
+  length prefix cannot balloon the reader;
+- the dispatcher opens the conversation with a ``hello`` carrying the
+  protocol version, an optional shared token, and the
+  :class:`~repro.exec.backends.task.GridTask` the worker should
+  resolve; the worker answers ``welcome`` (or ``reject`` and hangs
+  up);
+- after the handshake: ``job`` / ``done`` / ``failed`` for work,
+  ``ping`` / ``pong`` for liveness, ``abort`` / ``aborted`` to reap a
+  hung or straggling cell, ``bye`` to part cleanly.
+
+Frames are **pickle**, exactly like the pipe transport, because grid
+cells and their results (sweep specs, ``RunMeasurement`` with columnar
+traces) round-trip bit-identically through pickle and nothing else in
+the stdlib does.  Pickle over a socket executes what it is sent — this
+protocol is for a cluster you own, not the open internet: bind workers
+to private interfaces and set ``REPRO_GRID_TOKEN`` on both ends (the
+token is compared constant-time and checked *before* the task is
+resolved; the hello frame that carries it is still a pickle, so the
+token narrows the honest-mistake window — wrong cluster, stale
+dispatcher — rather than making the port safe to expose).
+"""
+
+from __future__ import annotations
+
+import hmac
+import pickle
+import socket
+import struct
+
+from repro.errors import GridError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "connect",
+    "parse_hostport",
+    "recv_frame",
+    "send_frame",
+    "tokens_match",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Hard per-frame bound.  Sweep results carry columnar traces — MBs at
+#: corpus scale — but a GB-sized frame means a corrupt length prefix.
+MAX_FRAME_BYTES = 1 << 30
+
+_LEN = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, obj) -> None:
+    """Pickle ``obj`` and send it length-prefixed."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise GridError(
+            f"frame of {len(data)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise EOFError("peer closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket):
+    """Receive one frame; raises EOFError on a clean peer close.
+
+    A partial frame followed by silence stalls until the socket
+    timeout fires (``socket.timeout``/``TimeoutError``) — the caller's
+    liveness machinery owns that clock.
+    """
+    length = _LEN.unpack(_recv_exact(sock, _LEN.size))[0]
+    if length > MAX_FRAME_BYTES:
+        raise GridError(
+            f"incoming frame of {length} bytes exceeds "
+            f"{MAX_FRAME_BYTES} (corrupt length prefix?)")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def tokens_match(expected: str | None, presented) -> bool:
+    """Constant-time shared-token check; both-absent passes."""
+    if not expected and not presented:
+        return True
+    if not expected or not isinstance(presented, str):
+        return False
+    return hmac.compare_digest(expected, presented)
+
+
+def parse_hostport(text: str) -> tuple[str, int]:
+    """``host:port`` → ``(host, port)``; bare ``:port`` means localhost."""
+    host, sep, port_text = text.strip().rpartition(":")
+    if not sep:
+        raise GridError(
+            f"worker address {text!r} is not host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise GridError(
+            f"worker address {text!r} has a non-numeric port") from None
+    if not 0 <= port <= 65535:
+        raise GridError(f"worker address {text!r} port out of range")
+    return (host or "127.0.0.1", port)
+
+
+def connect(address: tuple[str, int], *,
+            timeout: float) -> socket.socket:
+    """A connected TCP socket with TCP_NODELAY (frames are small)."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock

@@ -16,6 +16,13 @@ plain JSON-lines file with one entry per completed job:
   stays off the sweep's critical path (per-entry fsync costs ~10 ms on
   cloud disks, several times a small job's own runtime).  Pass
   ``fsync_interval=0`` to force the classic fsync-per-entry discipline;
+- SIGINT force-syncs the group commit: while a journal is open on the
+  main thread it hooks SIGINT, fsyncs any pending entries *before* the
+  ``KeyboardInterrupt`` propagates, and defers a signal that lands
+  mid-append until that append's write+flush completed — so a sweep
+  interrupted with Ctrl-C (even double-tapped during teardown, even
+  powered off right after) never loses a cell it already acknowledged.
+  The previous handler is chained afterwards and restored on close;
 - a ``final`` line marks a run that completed; resuming a finalized
   journal is a pure replay (no jobs re-run);
 - on load, a torn trailing line (the signature of a crash mid-append)
@@ -37,6 +44,8 @@ from __future__ import annotations
 
 import json
 import os
+import signal
+import threading
 import time
 from pathlib import Path
 from typing import IO
@@ -78,10 +87,16 @@ class CheckpointJournal:
         self._entries: dict[str, dict] = {}
         self._handle: IO[str] | None = None
         self._last_fsync = 0.0
+        self._pending_sync = False
+        self._in_append = False
+        self._sync_requested = False
+        self._prev_sigint = None
+        self._sigint_hooked = False
         if resume and self.path.exists():
             self._load()
         else:
             self._start_fresh()
+        self._hook_sigint()
 
     # -- load / create -----------------------------------------------------
 
@@ -126,18 +141,81 @@ class CheckpointJournal:
                 self.finalized = True
         self._handle = open(self.path, "a")
 
+    # -- SIGINT: force the group commit before interrupting ----------------
+
+    def _hook_sigint(self) -> None:
+        """Arm the Ctrl-C fsync hook (main thread only; best effort)."""
+        if threading.current_thread() is not threading.main_thread():
+            return
+        try:
+            self._prev_sigint = signal.getsignal(signal.SIGINT)
+            signal.signal(signal.SIGINT, self._on_sigint)
+            self._sigint_hooked = True
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            self._prev_sigint = None
+
+    def _unhook_sigint(self) -> None:
+        if not self._sigint_hooked:
+            return
+        self._sigint_hooked = False
+        try:
+            # Restore only if nobody re-hooked over us in the meantime.
+            if signal.getsignal(signal.SIGINT) == self._on_sigint:
+                signal.signal(signal.SIGINT,
+                              self._prev_sigint or signal.default_int_handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            pass
+
+    def _on_sigint(self, signum, frame) -> None:
+        """Sync acknowledged entries, then let the interrupt proceed.
+
+        A signal that lands *inside* an append cannot safely touch the
+        file object (Python buffered IO is not reentrant); it sets a
+        flag and the append's own ``finally`` performs the fsync while
+        the ``KeyboardInterrupt`` unwinds through it.
+        """
+        if self._handle is not None:
+            if self._in_append:
+                self._sync_requested = True
+            elif self._pending_sync:
+                self._sync_now()
+        prev = self._prev_sigint
+        if callable(prev):
+            prev(signum, frame)
+        else:  # pragma: no cover - SIG_IGN/SIG_DFL previous handler
+            raise KeyboardInterrupt
+
+    def _sync_now(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._last_fsync = time.monotonic()
+        self._pending_sync = False
+
     # -- write -------------------------------------------------------------
 
     def _append(self, record: dict, *, sync: bool = False) -> None:
         assert self._handle is not None
-        self._handle.write(
-            json.dumps(record, default=_json_safe) + "\n")
-        self._handle.flush()
-        now = time.monotonic()
-        if sync or self.fsync_interval == 0 or \
-                now - self._last_fsync >= self.fsync_interval:
-            os.fsync(self._handle.fileno())
-            self._last_fsync = now
+        self._in_append = True
+        try:
+            self._handle.write(
+                json.dumps(record, default=_json_safe) + "\n")
+            self._handle.flush()
+            now = time.monotonic()
+            if sync or self.fsync_interval == 0 or \
+                    now - self._last_fsync >= self.fsync_interval:
+                os.fsync(self._handle.fileno())
+                self._last_fsync = now
+                self._pending_sync = False
+            else:
+                self._pending_sync = True
+        finally:
+            self._in_append = False
+            if self._sync_requested:
+                # A SIGINT landed mid-append: honor it now that the
+                # file object is consistent again.
+                self._sync_requested = False
+                if self._pending_sync:
+                    self._sync_now()
 
     def record(self, key: str, payload: dict) -> None:
         """Append one completed job (flushed; fsync group-committed)."""
@@ -156,6 +234,7 @@ class CheckpointJournal:
         self.close()
 
     def close(self) -> None:
+        self._unhook_sigint()
         if self._handle is not None:
             self._handle.flush()
             os.fsync(self._handle.fileno())

@@ -1,0 +1,292 @@
+"""``bps grid-worker``: one host's share of a distributed sweep.
+
+The worker daemon is the remote half of the socket backend
+(:mod:`repro.exec.backends.sockets`).  It listens on TCP, serves one
+dispatcher connection at a time, and keeps the fork pool's crash
+isolation on its own host: every grid cell runs in a **forked job
+child** (the same :class:`~repro.exec.duplex.DuplexWorker` transport
+the local pools use), so
+
+- a cell that segfaults or ``os._exit``\\ s kills only the child; the
+  daemon reports ``failed/crash`` to the dispatcher and forks a fresh
+  child for the next cell;
+- an ``abort`` frame (dispatcher-side timeout or straggler
+  re-dispatch) terminates the child mid-cell and acknowledges;
+- ``ping`` is answered immediately even while a cell is running,
+  because the daemon's loop waits on the socket and the child pipe
+  together — that is what makes dispatcher-side liveness meaningful.
+
+The job function comes from the handshake's
+:class:`~repro.exec.backends.task.GridTask` (an importable factory —
+for sweeps, the spec builder re-run from the same inputs), so the
+daemon needs nothing but the same repo checkout.  The child is forked
+*after* the task resolves and inherits the resolved function; on
+platforms without ``fork`` cells run inline in the daemon (no abort,
+heartbeats only between cells).
+
+Chaos hooks, both driven by CI: ``REPRO_TEST_KILL_JOB`` sabotages
+named cell indexes inside the job child exactly as in the local fork
+pool, and ``--exit-after-jobs N`` makes the whole daemon exit after
+completing N cells — a deterministic "worker dies mid-sweep" for
+re-queue/identity tests.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+from multiprocessing.connection import wait as _wait
+from typing import Callable, IO
+
+from repro.errors import GridError
+from repro.exec.backends.task import GridTask
+from repro.exec.backends.wire import (
+    PROTOCOL_VERSION,
+    parse_hostport,
+    recv_frame,
+    send_frame,
+    tokens_match,
+)
+from repro.exec.duplex import DuplexWorker, fork_available
+
+__all__ = ["serve_grid_worker"]
+
+#: Exit code when --exit-after-jobs fires (recognisable in CI logs).
+PLANNED_EXIT_CODE = 0
+
+
+def _child_main(conn, fn: Callable) -> None:
+    """Job-child loop: run cells until told to stop.
+
+    The dispatcher's ``(index, attempt)`` is echoed back so late
+    results of aborted attempts stay attributable.
+    """
+    from repro.exec.supervisor import _maybe_sabotage
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            conn.close()
+            return
+        index, attempt, job = message
+        try:
+            _maybe_sabotage(index, attempt)
+            payload = fn(job)
+        except BaseException as exc:  # noqa: BLE001 — isolate everything
+            conn.send(("failed", index, attempt, "error",
+                       f"{type(exc).__name__}: {exc}"))
+        else:
+            conn.send(("done", index, attempt, payload))
+
+
+class _Session:
+    """One dispatcher connection: handshake, then the job loop."""
+
+    def __init__(self, sock: socket.socket, *, token: str | None,
+                 exit_after_jobs: int, log: Callable[[str], None]) -> None:
+        self.sock = sock
+        self.token = token
+        self.exit_after_jobs = exit_after_jobs
+        self.log = log
+        self.child: DuplexWorker | None = None
+        self.fn: Callable | None = None
+        self.running: int | None = None  # index of the in-flight cell
+        self.attempt = 0
+        self.jobs_done = 0
+
+    # -- handshake ---------------------------------------------------------
+
+    def handshake(self) -> bool:
+        try:
+            frame = recv_frame(self.sock)
+        except (EOFError, OSError, GridError):
+            return False
+        if not (isinstance(frame, tuple) and len(frame) == 2
+                and frame[0] == "hello" and isinstance(frame[1], dict)):
+            self._reject("expected a hello frame")
+            return False
+        hello = frame[1]
+        if hello.get("version") != PROTOCOL_VERSION:
+            self._reject(f"protocol version {hello.get('version')!r} "
+                         f"!= {PROTOCOL_VERSION}")
+            return False
+        if not tokens_match(self.token, hello.get("token")):
+            self._reject("bad token")
+            return False
+        task = hello.get("task")
+        if not isinstance(task, GridTask):
+            self._reject("hello carries no GridTask")
+            return False
+        try:
+            self.fn = task.resolve()
+        except Exception as exc:
+            self._reject(f"cannot resolve task {task}: "
+                         f"{type(exc).__name__}: {exc}")
+            return False
+        send_frame(self.sock, ("welcome", {
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        }))
+        self.log(f"dispatcher connected, task {task}")
+        return True
+
+    def _reject(self, reason: str) -> None:
+        self.log(f"rejected dispatcher: {reason}")
+        try:
+            send_frame(self.sock, ("reject", reason))
+        except OSError:
+            pass
+
+    # -- job loop ----------------------------------------------------------
+
+    def run(self) -> bool:
+        """Serve frames until the dispatcher leaves.
+
+        Returns False when the daemon should exit (--exit-after-jobs).
+        """
+        try:
+            while True:
+                waitables = [self.sock]
+                if self.child is not None and self.running is not None:
+                    waitables.append(self.child.conn)
+                ready = _wait(waitables)
+                if self.child is not None and self.child.conn in ready:
+                    if not self._forward_child_result():
+                        return False
+                if self.sock in ready:
+                    if not self._handle_frame():
+                        return True
+        finally:
+            self._kill_child()
+
+    def _ensure_child(self) -> None:
+        if self.child is None and fork_available():
+            self.child = DuplexWorker(_child_main, (self.fn,))
+
+    def _kill_child(self) -> None:
+        if self.child is not None:
+            self.child.retire(terminate=True)
+            self.child = None
+
+    def _forward_child_result(self) -> bool:
+        try:
+            result = self.child.recv()
+        except (EOFError, OSError):
+            # The cell took the child down: report, fork a fresh one.
+            exitcode = self.child.exitcode
+            self._kill_child()
+            if self.running is not None:
+                send_frame(self.sock, (
+                    "failed", self.running, self.attempt, "crash",
+                    f"job child crashed (exitcode {exitcode})"))
+                self.running = None
+            return True
+        self.running = None
+        send_frame(self.sock, result)
+        if result[0] == "done":
+            self.jobs_done += 1
+            if self.exit_after_jobs and \
+                    self.jobs_done >= self.exit_after_jobs:
+                self.log(f"exiting after {self.jobs_done} job(s) "
+                         f"(--exit-after-jobs)")
+                return False
+        return True
+
+    def _handle_frame(self) -> bool:
+        try:
+            frame = recv_frame(self.sock)
+        except (EOFError, OSError, GridError):
+            self.log("dispatcher disconnected")
+            return False
+        kind = frame[0] if isinstance(frame, tuple) and frame else None
+        if kind == "job":
+            _, index, attempt, job = frame
+            self.running, self.attempt = index, attempt
+            self._ensure_child()
+            if self.child is not None:
+                self.child.send((index, attempt, job))
+            else:
+                self._run_inline(index, attempt, job)
+            return True
+        if kind == "ping":
+            send_frame(self.sock, ("pong",))
+            return True
+        if kind == "abort":
+            index = frame[1]
+            if self.running == index:
+                # Kill the cell, not the daemon; next job forks fresh.
+                self._kill_child()
+                self.running = None
+            send_frame(self.sock, ("aborted", index))
+            return True
+        if kind == "bye":
+            self.log("dispatcher said bye")
+            return False
+        self.log(f"unknown frame {kind!r}; dropping dispatcher")
+        return False
+
+    def _run_inline(self, index: int, attempt: int, job) -> None:
+        """No-fork fallback: the cell runs in the daemon itself."""
+        from repro.exec.supervisor import _maybe_sabotage
+        try:
+            _maybe_sabotage(index, attempt)
+            payload = self.fn(job)
+        except Exception as exc:
+            send_frame(self.sock, ("failed", index, attempt, "error",
+                                   f"{type(exc).__name__}: {exc}"))
+        else:
+            send_frame(self.sock, ("done", index, attempt, payload))
+            self.jobs_done += 1
+        self.running = None
+
+
+def serve_grid_worker(listen: str = "127.0.0.1:0", *,
+                      token: str | None = None,
+                      once: bool = False,
+                      exit_after_jobs: int = 0,
+                      out: IO[str] | None = None) -> int:
+    """Run the worker daemon; blocks until told to exit.
+
+    Prints ``grid-worker listening on HOST:PORT`` as its first line
+    (port 0 binds an ephemeral port), so launchers can parse the
+    address.  ``once`` exits after the first dispatcher session;
+    ``exit_after_jobs`` exits mid-session after that many completed
+    cells (chaos/rolling-restart testing).
+    """
+    out = out if out is not None else sys.stdout
+    host, port = parse_hostport(listen)
+
+    def log(message: str) -> None:
+        print(f"grid-worker: {message}", file=out, flush=True)
+
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        server.bind((host, port))
+        server.listen(8)
+        bound_host, bound_port = server.getsockname()[:2]
+        print(f"grid-worker listening on {bound_host}:{bound_port}",
+              file=out, flush=True)
+        while True:
+            sock, peer = server.accept()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            session = _Session(sock, token=token,
+                               exit_after_jobs=exit_after_jobs, log=log)
+            try:
+                if session.handshake():
+                    if not session.run():
+                        return PLANNED_EXIT_CODE
+            except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+                log(f"session ended abruptly: {exc}")
+            finally:
+                sock.close()
+            if once:
+                return 0
+    except KeyboardInterrupt:
+        log("interrupted; exiting")
+        return 0
+    finally:
+        server.close()

@@ -1,33 +1,24 @@
-"""Supervised fork-worker pool: crash isolation, timeouts, bounded retry.
+"""Supervised execution: policy, report, and the classic fork-pool entry.
 
 ``ProcessPoolExecutor`` treats one dead worker as fatal: the whole pool
 raises ``BrokenProcessPool`` and every in-flight result is lost.  For a
 sweep whose jobs are independent, deterministic simulations that is the
-wrong failure mode — the lost job should simply run again.  This module
-implements the supervision loop directly on ``multiprocessing``
-primitives so the supervisor can see *which* worker died, re-queue
-exactly the job it was running, and keep the rest of the pool working:
+wrong failure mode — the lost job should simply run again.  The
+supervision machinery that fixes this now lives in two layers under
+:mod:`repro.exec.backends`:
 
-- each worker is a forked process with a dedicated duplex pipe; jobs are
-  handed out one at a time, so the supervisor always knows the worker's
-  current job;
-- a worker that exits (segfault, ``os._exit``, OOM-kill) surfaces as
-  EOF on its pipe: its job is re-queued and a replacement is forked;
-- a job that runs past ``SupervisorPolicy.job_timeout`` gets its worker
-  terminated and is re-queued the same way;
-- a job that raises sends the error back over the pipe (the worker
-  survives and takes the next job);
-- every re-queue consumes one unit of the job's bounded retry budget —
-  a job that keeps failing raises :class:`~repro.errors.SupervisionError`
-  instead of looping forever;
-- worker deaths consume a pool-wide respawn budget; once it is spent the
-  supervisor stops forking and finishes the remaining jobs **serially in
-  its own process** (a machine where forks keep dying should degrade to
-  the slow-but-safe path, not thrash).
+- the **driver** (:func:`repro.exec.backends.base.run_jobs`) owns retry
+  budgets, submission-order results, checkpoint hooks, and the serial
+  fallback — once, for every backend;
+- the **fork transport** (:class:`repro.exec.backends.fork.ForkBackend`)
+  owns pipes, worker deadlines, EOF-as-crash, and the respawn budget.
 
-Results are returned in submission order, so callers that rely on
-deterministic job→result mapping (the sweep grid's per-repetition
-seeds) see output bit-identical to a serial run regardless of retries.
+:func:`run_supervised` is the stable entry point gluing the two
+together for local fork pools, with the original semantics: results in
+submission order bit-identical to a serial run, crashed/hung/raising
+jobs re-queued under a bounded retry budget, and serial in-process
+completion once the respawn budget is spent.  This module also keeps
+the policy/report types and the chaos hook shared by every backend.
 
 Chaos hook: when ``REPRO_TEST_KILL_JOB`` is set (e.g. ``"2:exit"``,
 ``"0:hang,3:raise"``), the *first* attempt of the named job indexes is
@@ -40,14 +31,11 @@ from __future__ import annotations
 
 import os
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from multiprocessing import get_context
-from multiprocessing.connection import wait as _wait_connections
 from typing import Callable, Sequence
 
 from repro.errors import SupervisionError
-from repro.exec.duplex import DuplexWorker, fork_available
+from repro.exec.duplex import fork_available
 
 __all__ = [
     "CHAOS_EXIT_CODE",
@@ -71,8 +59,9 @@ class SupervisorPolicy:
     ``max_retries`` bounds *re-runs per job* (a job may execute at most
     ``1 + max_retries`` times); ``max_worker_respawns`` bounds forks
     spent replacing dead or timed-out workers across the whole run
-    before the serial fallback engages.  ``job_timeout`` is wall-clock
-    seconds per attempt; ``None`` disables the watchdog.
+    before the serial fallback engages (for the socket backend it
+    bounds reconnect attempts the same way).  ``job_timeout`` is
+    wall-clock seconds per attempt; ``None`` disables the watchdog.
     """
 
     job_timeout: float | None = None
@@ -102,13 +91,16 @@ class SupervisionReport:
     """What the supervisor had to do to finish the run."""
 
     jobs: int = 0
-    #: Jobs that ran in a pool worker (the rest ran serially).
+    #: Jobs that ran in a backend executor (the rest ran serially).
     pooled: int = 0
     crashes: int = 0
     timeouts: int = 0
     job_errors: int = 0
     worker_respawns: int = 0
     serial_fallback: bool = False
+    #: Which backend executed the run ("fork", "async", "socket", or
+    #: "serial" when no backend was engaged at all).
+    backend: str = "serial"
     #: job index -> number of extra attempts it needed.
     retried_jobs: dict[int, int] = field(default_factory=dict)
 
@@ -119,6 +111,8 @@ class SupervisionReport:
     def summary(self) -> str:
         """One-line human rendering (the CLI prints it when nonzero)."""
         parts = [f"{self.jobs} job(s)"]
+        if self.backend != "serial":
+            parts.append(f"{self.backend} backend")
         if self.crashes:
             parts.append(f"{self.crashes} worker crash(es)")
         if self.timeouts:
@@ -164,43 +158,6 @@ def _maybe_sabotage(index: int, attempt: int) -> None:
         raise RuntimeError(f"chaos: injected failure for job {index}")
 
 
-def _worker_main(conn, fn: Callable) -> None:
-    """Worker loop: receive (index, attempt, job), send back the result.
-
-    Runs in a forked child; ``fn`` and everything it closes over are
-    inherited, never pickled.  Exceptions are stringified before the
-    send so an unpicklable exception cannot take the pipe down.
-    """
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            return
-        if message is None:
-            conn.close()
-            return
-        index, attempt, job = message
-        try:
-            _maybe_sabotage(index, attempt)
-            payload = fn(job)
-        except BaseException as exc:  # noqa: BLE001 — isolate *everything*
-            conn.send(("error", index,
-                       f"{type(exc).__name__}: {exc}"))
-        else:
-            conn.send(("done", index, payload))
-
-
-class _Worker(DuplexWorker):
-    """A pool worker: the shared duplex transport plus job bookkeeping."""
-
-    __slots__ = ("job", "deadline")
-
-    def __init__(self, fn: Callable, ctx) -> None:
-        super().__init__(_worker_main, (fn,), ctx=ctx)
-        self.job: int | None = None
-        self.deadline: float | None = None
-
-
 def run_supervised(
     jobs: Sequence,
     fn: Callable,
@@ -209,7 +166,7 @@ def run_supervised(
     policy: SupervisorPolicy | None = None,
     on_result: Callable[[int, object], None] | None = None,
 ) -> tuple[list, SupervisionReport]:
-    """Run ``fn(job)`` for every job under supervision.
+    """Run ``fn(job)`` for every job under fork-pool supervision.
 
     Returns ``(results, report)`` with ``results[i] == fn(jobs[i])`` in
     submission order.  ``on_result(index, payload)`` fires in the
@@ -223,148 +180,27 @@ def run_supervised(
     reap), which is also the behaviour after the respawn budget is
     spent mid-run.
     """
+    from repro.exec.backends.base import run_jobs
+    from repro.exec.backends.fork import ForkBackend
+
     policy = policy or SupervisorPolicy()
     report = SupervisionReport(jobs=len(jobs))
-    results: list = [None] * len(jobs)
-    done = [False] * len(jobs)
-    attempts = [0] * len(jobs)
 
-    def run_serially(indexes) -> None:
-        for index in indexes:
+    if workers <= 1 or len(jobs) <= 1 or not fork_available():
+        results: list = [None] * len(jobs)
+        for index in range(len(jobs)):
             try:
                 results[index] = fn(jobs[index])
             except Exception as exc:
                 raise SupervisionError(
                     f"job {index} failed in serial execution: "
                     f"{type(exc).__name__}: {exc}") from exc
-            done[index] = True
             if on_result is not None:
                 on_result(index, results[index])
-
-    if workers <= 1 or len(jobs) <= 1 or not fork_available():
-        run_serially(range(len(jobs)))
         return results, report
 
-    ctx = get_context("fork")
-    pending: deque[int] = deque(range(len(jobs)))
-    pool: list[_Worker] = []
-    remaining = len(jobs)
-
-    def spawn_worker() -> _Worker:
-        return _Worker(fn, ctx)
-
-    def retire(worker: _Worker, *, terminate: bool) -> None:
-        pool.remove(worker)
-        worker.retire(terminate=terminate)
-
-    def shutdown() -> None:
-        for worker in list(pool):
-            retire(worker, terminate=True)
-
-    def count_failure(index: int, reason: str) -> None:
-        """One failed attempt: re-queue or give up."""
-        attempts[index] += 1
-        report.retried_jobs[index] = \
-            report.retried_jobs.get(index, 0) + 1
-        if attempts[index] > policy.max_retries:
-            shutdown()
-            raise SupervisionError(
-                f"job {index} failed after {attempts[index]} attempt(s): "
-                f"{reason}")
-        pending.append(index)
-
-    def respawn_budget_ok() -> bool:
-        report.worker_respawns += 1
-        return report.worker_respawns <= policy.max_worker_respawns
-
-    try:
-        for _ in range(min(workers, len(jobs))):
-            pool.append(spawn_worker())
-        while remaining:
-            if not pool:
-                # Respawn budget spent: finish everything left serially.
-                report.serial_fallback = True
-                run_serially([i for i in range(len(jobs)) if not done[i]])
-                return results, report
-            # Hand out work to idle workers.
-            for worker in list(pool):
-                if worker.job is None and pending:
-                    index = pending.popleft()
-                    try:
-                        worker.conn.send(
-                            (index, attempts[index], jobs[index]))
-                    except (BrokenPipeError, OSError):
-                        # The idle worker died between jobs.
-                        pending.appendleft(index)
-                        retire(worker, terminate=True)
-                        report.crashes += 1
-                        if respawn_budget_ok():
-                            pool.append(spawn_worker())
-                        continue
-                    worker.job = index
-                    if policy.job_timeout is not None:
-                        worker.deadline = (time.monotonic()
-                                           + policy.job_timeout)
-            busy = [w for w in pool if w.job is not None]
-            if not busy:
-                continue
-            timeout = policy.poll_interval
-            now = time.monotonic()
-            for worker in busy:
-                if worker.deadline is not None:
-                    timeout = min(timeout, max(worker.deadline - now, 0.0))
-            ready = _wait_connections([w.conn for w in busy],
-                                      timeout=timeout)
-            by_conn = {w.conn: w for w in busy}
-            for conn in ready:
-                worker = by_conn[conn]
-                try:
-                    kind, index, payload = conn.recv()
-                except (EOFError, OSError):
-                    # Worker died mid-job; its pipe reads EOF.
-                    index = worker.job
-                    exitcode = worker.process.exitcode
-                    retire(worker, terminate=True)
-                    report.crashes += 1
-                    if respawn_budget_ok():
-                        pool.append(spawn_worker())
-                    count_failure(
-                        index,
-                        f"worker crashed (exitcode {exitcode})")
-                    continue
-                worker.job = None
-                worker.deadline = None
-                if kind == "done":
-                    if not done[index]:
-                        results[index] = payload
-                        done[index] = True
-                        remaining -= 1
-                        report.pooled += 1
-                        if on_result is not None:
-                            on_result(index, payload)
-                else:
-                    report.job_errors += 1
-                    count_failure(index, str(payload))
-            # Reap workers stuck past their deadline.
-            now = time.monotonic()
-            for worker in list(pool):
-                if worker.job is None or worker.deadline is None or \
-                        now < worker.deadline:
-                    continue
-                index = worker.job
-                retire(worker, terminate=True)
-                report.timeouts += 1
-                if respawn_budget_ok():
-                    pool.append(spawn_worker())
-                count_failure(
-                    index,
-                    f"timed out after {policy.job_timeout:.3g}s")
-    finally:
-        for worker in pool:
-            if worker.job is None:
-                try:
-                    worker.conn.send(None)
-                except (BrokenPipeError, OSError):
-                    pass
-        shutdown()
+    report.backend = "fork"
+    results = run_jobs(ForkBackend(workers), jobs, fn,
+                       policy=policy, report=report,
+                       on_result=on_result)
     return results, report

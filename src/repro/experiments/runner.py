@@ -17,6 +17,9 @@ reassembled in (point, repetition) order with the exact per-rep seeds
 of the serial path, so the analysis is bit-identical either way — with
 or without failures along the way.  Control knobs:
 
+- ``backend=`` / ``REPRO_SWEEP_BACKEND`` env var — which executor
+  backend runs the grid (``fork`` pool, in-process ``async``, or the
+  multi-host ``socket`` dispatcher; see :mod:`repro.exec.backends`);
 - ``parallel=False`` — force the serial path (the escape hatch);
 - ``workers=N`` — explicit pool size;
 - ``REPRO_SWEEP_WORKERS`` env var — site-wide default pool size
@@ -43,6 +46,14 @@ from typing import Callable, Sequence
 
 from repro.core.analysis import RunMeasurement, SweepAnalysis
 from repro.errors import ExperimentError
+from repro.exec.backends import (
+    AsyncBackend,
+    GridTask,
+    SocketBackend,
+    import_ref,
+    resolve_backend,
+    run_jobs,
+)
 from repro.exec.checkpoint import (
     CheckpointJournal,
     measurement_from_payload,
@@ -120,6 +131,37 @@ def _pool_job(job: tuple[int, int]) -> RunMeasurement:
     return _run_job(_WORKER_SPEC, job)
 
 
+def _cells_from_builder(builder: str, args: tuple = (),
+                        kwargs: dict | None = None) -> Callable:
+    """:class:`GridTask` factory: rebuild a spec, return its cell runner.
+
+    Runs on a grid worker: imports the named sweep *builder*
+    (``"repro.experiments.set1:build_sweep"``), calls it with the
+    dispatcher's own inputs, and serves cells out of the resulting
+    spec.  Same code + same inputs = same spec on every host, which
+    (with the seed carried inside each cell) is what makes distributed
+    sweeps bit-identical to serial.
+    """
+    spec = import_ref(builder)(*args, **(kwargs or {}))
+
+    def run_cell(job: tuple[int, int]) -> RunMeasurement:
+        return _run_job(spec, job)
+
+    return run_cell
+
+
+def spec_cell_task(builder: str, *args, **kwargs) -> GridTask:
+    """The grid task for a sweep whose spec builder is importable.
+
+    ``builder`` is a ``"package.module:attr"`` reference; ``args`` /
+    ``kwargs`` are its inputs (device names, the
+    :class:`ExperimentScale`) and must pickle — they ride the socket
+    handshake to every worker.
+    """
+    return GridTask(factory=f"{__name__}:_cells_from_builder",
+                    args=(builder, tuple(args), dict(kwargs)))
+
+
 def resolve_workers(workers: int | None = None) -> int:
     """Pool size: explicit argument > REPRO_SWEEP_WORKERS > cpu count.
 
@@ -177,17 +219,35 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
               workers: int | None = None,
               policy: SupervisorPolicy | None = None,
               checkpoint: str | Path | None = None,
-              resume: bool = True) -> SweepAnalysis:
+              resume: bool = True,
+              backend: str | None = None,
+              grid_workers: str | Sequence | None = None,
+              grid_task: GridTask | None = None,
+              grid_token: str | None = None) -> SweepAnalysis:
     """Run every point ``scale.repetitions`` times; return the analysis.
 
-    ``parallel=None`` (default) parallelises across points ×
-    repetitions whenever more than one worker is available and the
-    platform supports forked pools; ``parallel=False`` forces the
-    serial path; ``parallel=True`` requires it (serial fallback only if
-    fork is unavailable).  Either way the per-repetition seeds and the
-    result order are identical, so the returned analysis matches the
-    serial path exactly — crashes, retries, and resumed checkpoints
-    included.
+    ``backend`` selects where the grid executes (explicit argument >
+    ``REPRO_SWEEP_BACKEND`` env var > ``"fork"``):
+
+    - ``"fork"`` — the supervised local fork pool.  ``parallel=None``
+      (default) engages it whenever more than one worker is available
+      and the platform supports forked pools; ``parallel=False``
+      forces the serial path; ``parallel=True`` requires the pool
+      (serial fallback only if fork is unavailable);
+    - ``"async"`` — in-process serial execution through the same
+      driver (retry/timeout semantics intact, no forks) — smoke grids
+      and single-core CI;
+    - ``"socket"`` — the multi-host dispatcher: ``grid_workers`` names
+      the ``bps grid-worker`` daemons (``"host:port,host:port"``) and
+      ``grid_task`` the importable spec builder each worker re-runs
+      (:func:`spec_cell_task`; the ``run_setN`` entry points supply it
+      automatically).  ``grid_token`` (default: ``REPRO_GRID_TOKEN``
+      env var) must match the daemons' token.
+
+    Whatever the backend, worker count, or crash schedule, the
+    per-repetition seeds and the result order are identical, so the
+    returned analysis matches the serial path bit-for-bit — crashes,
+    retries, and resumed checkpoints included.
 
     ``checkpoint`` journals every completed job durably; with
     ``resume=True`` an existing journal's completed jobs are reloaded
@@ -196,6 +256,17 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
     (:class:`~repro.exec.supervisor.SupervisionReport`).
     """
     global _WORKER_SPEC
+    backend_name = resolve_backend(backend)
+    if backend_name == "socket":
+        if grid_workers is None:
+            raise ExperimentError(
+                "socket backend needs grid worker addresses "
+                "(grid_workers=\"host:port,host:port\")")
+        if grid_task is None:
+            raise ExperimentError(
+                "socket backend needs a grid task naming an importable "
+                "spec builder (see spec_cell_task); the run_setN entry "
+                "points supply one automatically")
     pool_size = resolve_workers(workers)
     jobs = _sweep_jobs(spec, scale)
 
@@ -222,12 +293,20 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
             journal.record(_job_key(jobs[index]),
                            measurement_to_payload(payload))
 
-    use_pool = (parallel if parallel is not None else pool_size > 1) \
-        and pool_size > 1 and len(todo) > 1 and fork_available()
+    if backend_name == "fork":
+        engage = (parallel if parallel is not None else pool_size > 1) \
+            and pool_size > 1 and fork_available()
+    else:
+        # async/socket run through the driver unless serial is forced.
+        engage = parallel is not False
+    engage = engage and len(todo) > 1
     report = SupervisionReport(jobs=len(todo))
     try:
         if todo:
-            if use_pool:
+            if not engage:
+                for position, index in enumerate(todo):
+                    on_result(position, _run_job(spec, jobs[index]))
+            elif backend_name == "fork":
                 _WORKER_SPEC = spec
                 try:
                     _results, report = run_supervised(
@@ -237,8 +316,21 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
                 finally:
                     _WORKER_SPEC = None
             else:
-                for position, index in enumerate(todo):
-                    on_result(position, _run_job(spec, jobs[index]))
+                if backend_name == "socket":
+                    token = grid_token if grid_token is not None \
+                        else os.environ.get("REPRO_GRID_TOKEN") or None
+                    exec_backend = SocketBackend(
+                        grid_workers, grid_task, token=token)
+                else:
+                    exec_backend = AsyncBackend()
+                report.backend = backend_name
+
+                def local_cell(job: tuple[int, int]) -> RunMeasurement:
+                    return _run_job(spec, job)
+
+                run_jobs(exec_backend, [jobs[i] for i in todo],
+                         local_cell, policy=policy or SupervisorPolicy(),
+                         report=report, on_result=on_result)
         if journal is not None:
             journal.finalize()
     finally:

@@ -13,7 +13,12 @@ compares configurations, so only relative timing matters).
 from __future__ import annotations
 
 from repro.core.analysis import SweepAnalysis
-from repro.experiments.runner import ExperimentScale, SweepSpec, run_sweep
+from repro.experiments.runner import (
+    ExperimentScale,
+    SweepSpec,
+    run_sweep,
+    spec_cell_task,
+)
 from repro.system import SystemConfig
 from repro.util.units import MiB
 from repro.workloads.iozone import IOzoneWorkload
@@ -66,4 +71,6 @@ def run_set1(scale: ExperimentScale | None = None,
     through to :func:`~repro.experiments.runner.run_sweep`.
     """
     scale = scale or ExperimentScale()
+    run_kwargs.setdefault("grid_task", spec_cell_task(
+        f"{__name__}:build_sweep", scale))
     return run_sweep(build_sweep(scale), scale, **run_kwargs)

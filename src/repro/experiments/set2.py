@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from repro.core.analysis import SweepAnalysis
 from repro.errors import ExperimentError
-from repro.experiments.runner import ExperimentScale, SweepSpec, run_sweep
+from repro.experiments.runner import (
+    ExperimentScale,
+    SweepSpec,
+    run_sweep,
+    spec_cell_task,
+)
 from repro.system import SystemConfig
 from repro.util.units import KiB, MiB, format_size
 from repro.workloads.iozone import IOzoneWorkload
@@ -65,6 +70,8 @@ def run_set2(device: str = "hdd",
     :func:`~repro.experiments.runner.run_sweep`.
     """
     scale = scale or ExperimentScale()
+    run_kwargs.setdefault("grid_task", spec_cell_task(
+        f"{__name__}:build_sweep", device, scale))
     return run_sweep(build_sweep(device, scale), scale, **run_kwargs)
 
 

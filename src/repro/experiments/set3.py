@@ -29,7 +29,12 @@ from __future__ import annotations
 
 from repro.core.analysis import SweepAnalysis
 from repro.errors import ExperimentError
-from repro.experiments.runner import ExperimentScale, SweepSpec, run_sweep
+from repro.experiments.runner import (
+    ExperimentScale,
+    SweepSpec,
+    run_sweep,
+    spec_cell_task,
+)
 from repro.system import SystemConfig
 from repro.util.units import KiB, MiB
 from repro.workloads.ior import IORWorkload
@@ -98,6 +103,8 @@ def run_set3_pure(scale: ExperimentScale | None = None,
                   **run_kwargs) -> SweepAnalysis:
     """Run the pure-concurrency sweep; its CC table is Fig. 9."""
     scale = scale or ExperimentScale()
+    run_kwargs.setdefault("grid_task", spec_cell_task(
+        f"{__name__}:build_pure_sweep", scale))
     return run_sweep(build_pure_sweep(scale), scale, **run_kwargs)
 
 
@@ -105,6 +112,8 @@ def run_set3_ior(scale: ExperimentScale | None = None,
                  **run_kwargs) -> SweepAnalysis:
     """Run the IOR sweep; its CC table is Fig. 11."""
     scale = scale or ExperimentScale()
+    run_kwargs.setdefault("grid_task", spec_cell_task(
+        f"{__name__}:build_ior_sweep", scale))
     return run_sweep(build_ior_sweep(scale), scale, **run_kwargs)
 
 

@@ -22,7 +22,12 @@ is scale-free).
 from __future__ import annotations
 
 from repro.core.analysis import SweepAnalysis
-from repro.experiments.runner import ExperimentScale, SweepSpec, run_sweep
+from repro.experiments.runner import (
+    ExperimentScale,
+    SweepSpec,
+    run_sweep,
+    spec_cell_task,
+)
 from repro.middleware.sieving import SievingConfig
 from repro.system import SystemConfig
 from repro.util.units import KiB, MiB
@@ -67,5 +72,8 @@ def run_set4(scale: ExperimentScale | None = None, *,
              **run_kwargs) -> SweepAnalysis:
     """Run the Set 4 sweep; its CC table is Fig. 12."""
     scale = scale or ExperimentScale()
+    run_kwargs.setdefault("grid_task", spec_cell_task(
+        f"{__name__}:build_sweep", scale,
+        sieving_enabled=sieving_enabled))
     return run_sweep(build_sweep(scale, sieving_enabled=sieving_enabled),
                      scale, **run_kwargs)

@@ -21,7 +21,12 @@ Expected shape (and why):
 from __future__ import annotations
 
 from repro.core.analysis import SweepAnalysis
-from repro.experiments.runner import ExperimentScale, SweepSpec, run_sweep
+from repro.experiments.runner import (
+    ExperimentScale,
+    SweepSpec,
+    run_sweep,
+    spec_cell_task,
+)
 from repro.system import SystemConfig
 from repro.util.units import KiB, MiB
 from repro.workloads.aio import AsyncReadWorkload
@@ -56,4 +61,6 @@ def run_set5(scale: ExperimentScale | None = None,
              **run_kwargs) -> SweepAnalysis:
     """Run the queue-depth sweep (extension figure 'ext1')."""
     scale = scale or ExperimentScale()
+    run_kwargs.setdefault("grid_task", spec_cell_task(
+        f"{__name__}:build_sweep", scale))
     return run_sweep(build_sweep(scale), scale, **run_kwargs)

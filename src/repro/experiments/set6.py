@@ -42,7 +42,12 @@ findings, with ARPT's direction flip along for the ride.
 from __future__ import annotations
 
 from repro.core.analysis import SweepAnalysis
-from repro.experiments.runner import ExperimentScale, SweepSpec, run_sweep
+from repro.experiments.runner import (
+    ExperimentScale,
+    SweepSpec,
+    run_sweep,
+    spec_cell_task,
+)
 from repro.faults.plan import (
     DEVICE_DEGRADE,
     LINK_LATENCY,
@@ -172,6 +177,8 @@ def run_set6(scale: ExperimentScale | None = None,
     if smoke:
         scale = ExperimentScale(factor=0.25, repetitions=2)
     scale = scale or ExperimentScale()
+    run_kwargs.setdefault("grid_task", spec_cell_task(
+        f"{__name__}:build_sweep", scale))
     return run_sweep(build_sweep(scale), scale, **run_kwargs)
 
 
