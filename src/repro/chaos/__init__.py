@@ -1,0 +1,68 @@
+"""Network chaos harness for the distributed layer.
+
+Seeded, replayable wire-level fault injection
+(:class:`~repro.chaos.schedule.ChaosSchedule` through the
+:class:`~repro.chaos.proxy.ChaosProxy` TCP interposer) plus the
+``bps chaos`` invariant runner that proves the hardened protocols keep
+results bit-identical under it.  See DESIGN.md §15.
+"""
+
+from repro.chaos.proxy import ChaosProxy
+from repro.chaos.runner import (
+    default_grid_schedule,
+    default_serve_schedule,
+    run_chaos,
+    run_grid_check,
+    run_serve_check,
+    synthetic_records,
+)
+from repro.chaos.schedule import (
+    BANDWIDTH,
+    CHAOS_KINDS,
+    CORRUPT,
+    ChaosCursor,
+    ChaosEvent,
+    ChaosSchedule,
+    DUPLICATE,
+    FRAME_KINDS,
+    HALF_OPEN,
+    LATENCY,
+    PARTITION,
+    REORDER,
+    RESET,
+    SLOW_LORIS,
+    TIMING_KINDS,
+    TRUNCATE,
+    random_chaos_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "BANDWIDTH",
+    "CHAOS_KINDS",
+    "CORRUPT",
+    "ChaosCursor",
+    "ChaosEvent",
+    "ChaosProxy",
+    "ChaosSchedule",
+    "DUPLICATE",
+    "FRAME_KINDS",
+    "HALF_OPEN",
+    "LATENCY",
+    "PARTITION",
+    "REORDER",
+    "RESET",
+    "SLOW_LORIS",
+    "TIMING_KINDS",
+    "TRUNCATE",
+    "default_grid_schedule",
+    "default_serve_schedule",
+    "random_chaos_schedule",
+    "run_chaos",
+    "run_grid_check",
+    "run_serve_check",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "synthetic_records",
+]

@@ -1,0 +1,397 @@
+"""``bps chaos-proxy``: a seeded TCP interposer for the wire layer.
+
+The proxy sits between the distributed runtime's peers —
+``SocketBackend`` ↔ ``bps grid-worker``, or serve clients ↔
+``bps serve`` — and applies a :class:`~repro.chaos.schedule.ChaosSchedule`
+to the bytes it forwards.  It is **protocol-aware** so that chaos is
+replayable: instead of mangling raw TCP segments (whose boundaries are
+timing-dependent), it reassembles the stream into protocol units —
+whole grid wire frames (``mode="frames"``) or newline-delimited serve
+lines (``mode="lines"``) — and lets the schedule rule on each unit by
+its per-connection, per-direction index.  Two identical runs therefore
+corrupt, duplicate, reorder, truncate, and reset exactly the same
+frames.
+
+Corruption flips one payload byte (never the frame header), so the
+receiver's framing stays aligned and its CRC — not luck — is what
+catches the damage.  Truncation forwards a partial frame and then
+resets, modelling a send cut off mid-flight.  Half-open silently
+discards everything after the trigger while keeping the socket
+established — the failure TCP keepalive never saves you from.  Timing
+faults (partition, latency, bandwidth caps, slow-loris) only ever
+delay bytes; the hardened protocols are timing-insensitive, so these
+can stretch wall-clock but never change results.
+
+Every connection gets two daemon pump threads (one per direction);
+``stats()`` snapshots what the schedule actually did, which the chaos
+runner cross-checks against the dispatcher/serve degradation
+accounting.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+from repro.chaos.schedule import (
+    BANDWIDTH,
+    CORRUPT,
+    DUPLICATE,
+    HALF_OPEN,
+    LATENCY,
+    REORDER,
+    RESET,
+    SLOW_LORIS,
+    TRUNCATE,
+    ChaosCursor,
+    ChaosSchedule,
+)
+from repro.errors import ChaosError
+from repro.exec.backends.wire import parse_hostport
+
+__all__ = ["ChaosProxy"]
+
+_HEADER = struct.Struct(">II")
+#: A frame length beyond this means the proxy lost protocol sync.
+_SYNC_LIMIT = 1 << 30
+_POLL_S = 0.2
+
+
+class _ChunkReader:
+    """Reassemble one direction of a stream into protocol units."""
+
+    def __init__(self, sock: socket.socket, mode: str) -> None:
+        self._sock = sock
+        self._mode = mode
+        self._buf = b""
+
+    def _fill(self, stop: threading.Event) -> bool:
+        """Grow the buffer by one recv; False on EOF or stop."""
+        while not stop.is_set():
+            try:
+                data = self._sock.recv(1 << 16)
+            except (TimeoutError, socket.timeout):
+                continue
+            except OSError:
+                return False
+            if not data:
+                return False
+            self._buf += data
+            return True
+        return False
+
+    def next_chunk(self, stop: threading.Event) -> bytes | None:
+        """One frame/line (bytes, as sent), or None at EOF/stop.
+
+        In ``lines`` mode a final unterminated fragment is returned
+        as-is so a peer that dies mid-line still has its bytes
+        forwarded (the receiver's salvage layer rules on them).
+        """
+        if self._mode == "frames":
+            while len(self._buf) < _HEADER.size:
+                if not self._fill(stop):
+                    return None
+            length = _HEADER.unpack_from(self._buf)[0]
+            if length > _SYNC_LIMIT:
+                raise ChaosError(
+                    f"proxy lost frame sync (length {length})")
+            total = _HEADER.size + length
+            while len(self._buf) < total:
+                if not self._fill(stop):
+                    return None
+            chunk, self._buf = self._buf[:total], self._buf[total:]
+            return chunk
+        while b"\n" not in self._buf:
+            if not self._fill(stop):
+                if self._buf:
+                    chunk, self._buf = self._buf, b""
+                    return chunk
+                return None
+        end = self._buf.index(b"\n") + 1
+        chunk, self._buf = self._buf[:end], self._buf[end:]
+        return chunk
+
+
+class _Conn:
+    """One proxied connection (client socket + upstream socket)."""
+
+    def __init__(self, index: int, client: socket.socket,
+                 upstream: socket.socket) -> None:
+        self.index = index
+        self.client = client
+        self.upstream = upstream
+        self.dead = threading.Event()
+        self.half_open = {"c2s": False, "s2c": False}
+
+    def hard_reset(self) -> None:
+        """RST both sockets (SO_LINGER 0 makes close send a reset)."""
+        self.dead.set()
+        for sock in (self.client, self.upstream):
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self.dead.set()
+        for sock in (self.client, self.upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ChaosProxy:
+    """Apply a :class:`ChaosSchedule` between a client and an upstream.
+
+    >>> proxy = ChaosProxy("127.0.0.1:9100", schedule)
+    >>> host, port = proxy.start()   # point the dispatcher/client here
+    ...
+    >>> proxy.stop()
+    >>> proxy.stats()["corrupted"]
+    3
+    """
+
+    def __init__(self, upstream: str | tuple[str, int],
+                 schedule: ChaosSchedule, *,
+                 listen: str = "127.0.0.1:0",
+                 connect_timeout: float = 10.0) -> None:
+        self.upstream = (parse_hostport(upstream)
+                         if isinstance(upstream, str) else upstream)
+        self.schedule = schedule
+        self.listen_spec = listen
+        self.connect_timeout = connect_timeout
+        self.address: tuple[str, int] | None = None
+        self._server: socket.socket | None = None
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._conns: list[_Conn] = []
+        self._lock = threading.Lock()
+        self._t0 = 0.0
+        self._stats = {
+            "connections": 0, "rejected": 0, "forwarded": 0,
+            "corrupted": 0, "duplicated": 0, "reordered": 0,
+            "truncated": 0, "resets": 0, "dropped": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, start accepting, and return the listen address."""
+        if self._server is not None:
+            raise ChaosError("proxy already started")
+        host, port = parse_hostport(self.listen_spec)
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((host, port))
+        server.listen(16)
+        server.settimeout(_POLL_S)
+        self._server = server
+        self.address = server.getsockname()[:2]
+        self._t0 = time.monotonic()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stats(self) -> dict:
+        """Snapshot of what the schedule did to the traffic so far."""
+        with self._lock:
+            return dict(self._stats)
+
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._stats[key] += n
+
+    def _elapsed(self) -> float:
+        return time.monotonic() - self._t0
+
+    # -- accept ------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        index = 0
+        while not self._stop.is_set():
+            try:
+                client, _peer = self._server.accept()
+            except (TimeoutError, socket.timeout):
+                continue
+            except OSError:
+                return
+            if self.schedule.partition_until(self._elapsed()) is not None:
+                # Mid-partition the proxy is unreachable: refuse.
+                self._count("rejected")
+                client.close()
+                continue
+            try:
+                upstream = socket.create_connection(
+                    self.upstream, timeout=self.connect_timeout)
+            except OSError:
+                client.close()
+                continue
+            for sock in (client, upstream):
+                sock.setsockopt(socket.IPPROTO_TCP,
+                                socket.TCP_NODELAY, 1)
+                sock.settimeout(_POLL_S)
+            conn = _Conn(index, client, upstream)
+            with self._lock:
+                self._conns.append(conn)
+                self._stats["connections"] += 1
+            for direction, src, dst in (("c2s", client, upstream),
+                                        ("s2c", upstream, client)):
+                threading.Thread(
+                    target=self._pump,
+                    args=(conn, direction, src, dst),
+                    name=f"chaos-pump-{index}-{direction}",
+                    daemon=True).start()
+            index += 1
+
+    # -- forwarding --------------------------------------------------------
+
+    def _pump(self, conn: _Conn, direction: str,
+              src: socket.socket, dst: socket.socket) -> None:
+        cursor = self.schedule.cursor(conn.index, direction)
+        reader = _ChunkReader(src, self.schedule.mode)
+        held: bytes | None = None  # a reordered chunk awaiting release
+        try:
+            while not self._stop.is_set() and not conn.dead.is_set():
+                try:
+                    chunk = reader.next_chunk(self._stop)
+                except ChaosError:
+                    break  # lost sync: drop the connection
+                if chunk is None:
+                    if held is not None and \
+                            not conn.half_open[direction]:
+                        self._send(dst, held, cursor)
+                    break
+                self._delay(conn, cursor, len(chunk))
+                if conn.dead.is_set():
+                    break
+                actions = cursor.decide()
+                if RESET in actions:
+                    self._count("resets")
+                    conn.hard_reset()
+                    return
+                if HALF_OPEN in actions:
+                    conn.half_open[direction] = True
+                if conn.half_open[direction]:
+                    # Keep draining src so the sender never blocks;
+                    # its bytes just vanish, like a true half-open.
+                    self._count("dropped")
+                    continue
+                if TRUNCATE in actions:
+                    self._count("truncated")
+                    self._send(dst, chunk[:max(1, len(chunk) // 2)],
+                               cursor)
+                    self._count("resets")
+                    conn.hard_reset()
+                    return
+                if CORRUPT in actions:
+                    chunk = self._corrupt(chunk, cursor)
+                    self._count("corrupted")
+                if REORDER in actions and held is None:
+                    held = chunk
+                    self._count("reordered")
+                    continue
+                self._send(dst, chunk, cursor)
+                self._count("forwarded")
+                if held is not None:
+                    self._send(dst, held, cursor)
+                    self._count("forwarded")
+                    held = None
+                if DUPLICATE in actions:
+                    self._send(dst, chunk, cursor)
+                    self._count("duplicated")
+        except OSError:
+            pass
+        finally:
+            # Half-close the write side we feed; the twin pump owns
+            # the other direction.
+            try:
+                dst.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+    def _corrupt(self, chunk: bytes, cursor: ChaosCursor) -> bytes:
+        """Flip one byte of the payload, leaving headers intact."""
+        if self.schedule.mode == "frames":
+            start = min(_HEADER.size, len(chunk) - 1)
+            span = len(chunk) - start
+        else:
+            start = 0
+            span = max(1, len(chunk) - 1)  # spare the newline
+        offset = start + cursor.corrupt_offset(span)
+        flipped = chunk[offset] ^ 0xFF
+        return chunk[:offset] + bytes((flipped,)) + chunk[offset + 1:]
+
+    def _delay(self, conn: _Conn, cursor: ChaosCursor,
+               nbytes: int) -> None:
+        """Apply the timing-domain faults active right now."""
+        until = self.schedule.partition_until(self._elapsed())
+        while until is not None and not self._stop.is_set() and \
+                not conn.dead.is_set():
+            time.sleep(min(_POLL_S, max(0.0, until - self._elapsed())))
+            until = self.schedule.partition_until(self._elapsed())
+        pause = 0.0
+        for event in self.schedule.timing_events(
+                conn.index, cursor.direction, self._elapsed()):
+            if event.kind == LATENCY:
+                pause += event.latency_s + cursor.jitter(event.jitter_s)
+            elif event.kind == BANDWIDTH:
+                pause += nbytes / event.bytes_per_s
+        if pause > 0.0:
+            time.sleep(pause)
+
+    def _sendall(self, dst: socket.socket, data: bytes) -> None:
+        """sendall that treats the poll timeout as "try again", so a
+        briefly-full buffer never counts as a dead connection."""
+        view = memoryview(data)
+        while view and not self._stop.is_set():
+            try:
+                sent = dst.send(view)
+            except (TimeoutError, socket.timeout):
+                continue
+            view = view[sent:]
+
+    def _send(self, dst: socket.socket, chunk: bytes,
+              cursor: ChaosCursor) -> None:
+        loris = next(
+            (e for e in self.schedule.timing_events(
+                cursor.conn_index, cursor.direction, self._elapsed())
+             if e.kind == SLOW_LORIS), None)
+        if loris is None:
+            self._sendall(dst, chunk)
+            return
+        for start in range(0, len(chunk), loris.chunk_bytes):
+            if self._stop.is_set():
+                return
+            self._sendall(dst, chunk[start:start + loris.chunk_bytes])
+            time.sleep(loris.delay_s)

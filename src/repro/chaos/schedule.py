@@ -1,0 +1,456 @@
+"""Declarative, replayable network-fault schedules.
+
+The wire-level analogue of :class:`repro.faults.plan.FaultPlan`: where
+a fault plan degrades the *simulated* stack (devices, servers, links),
+a :class:`ChaosSchedule` degrades the *real* transport between the
+distributed runtime's processes — the ``SocketBackend`` ↔
+``bps grid-worker`` grid protocol and the client ↔ ``bps serve``
+stream protocol — through the :class:`~repro.chaos.proxy.ChaosProxy`
+TCP interposer.
+
+Ten fault kinds in two windowing domains:
+
+====================  ==========  =====================================
+kind                  domain      effect
+====================  ==========  =====================================
+``corrupt``           frames      flip a payload byte (CRC must catch)
+``duplicate``         frames      forward the frame twice
+``reorder``           frames      hold the frame; emit after the next
+``truncate``          frames      forward a partial frame, then reset
+``reset``             frames      hard TCP reset of the connection
+``half-open``         frames      stop forwarding; keep the socket up
+``partition``         seconds     stall traffic, refuse new connections
+``latency``           seconds     delay every chunk (+ seeded jitter)
+``bandwidth``         seconds     cap throughput at ``bytes_per_s``
+``slow-loris``        seconds     dribble writes in tiny paced chunks
+====================  ==========  =====================================
+
+**Determinism contract.**  Integrity kinds (the frame domain) are
+windowed in per-connection, per-direction *frame indexes* — the
+``frames`` proxy mode counts whole grid wire frames, the ``lines``
+mode counts newline-delimited serve protocol lines — and every
+probabilistic decision is drawn from an RNG stream derived purely from
+``(schedule.seed, connection index, direction)``.  Replaying the same
+schedule against the same traffic therefore corrupts/duplicates/
+reorders exactly the same frames, bit-identically.  Timing kinds (the
+seconds domain, measured from proxy start) draw their jitter from a
+*separate* stream, so they can only change **when** bytes move, never
+**which** decisions the integrity stream makes — and since the
+hardened protocols are timing-insensitive by construction, timing
+faults can never change results, only wall-clock.
+
+Connection indexes are assigned in accept order; schedules meant to be
+replayed bit-identically should drive connections sequentially (one
+dispatcher, one client) or target ``connections=None`` (all).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.errors import ChaosError
+from repro.util.rng import RngStream
+
+__all__ = [
+    "BANDWIDTH",
+    "CHAOS_KINDS",
+    "CORRUPT",
+    "ChaosCursor",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "DUPLICATE",
+    "FRAME_KINDS",
+    "HALF_OPEN",
+    "LATENCY",
+    "PARTITION",
+    "REORDER",
+    "RESET",
+    "SLOW_LORIS",
+    "TIMING_KINDS",
+    "TRUNCATE",
+    "random_chaos_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]
+
+CORRUPT = "corrupt"
+DUPLICATE = "duplicate"
+REORDER = "reorder"
+TRUNCATE = "truncate"
+RESET = "reset"
+HALF_OPEN = "half-open"
+PARTITION = "partition"
+LATENCY = "latency"
+BANDWIDTH = "bandwidth"
+SLOW_LORIS = "slow-loris"
+
+#: Frame-indexed (deterministic) kinds.
+FRAME_KINDS = frozenset((CORRUPT, DUPLICATE, REORDER, TRUNCATE, RESET,
+                         HALF_OPEN))
+#: Wall-clock windowed (timing-only) kinds.
+TIMING_KINDS = frozenset((PARTITION, LATENCY, BANDWIDTH, SLOW_LORIS))
+CHAOS_KINDS = FRAME_KINDS | TIMING_KINDS
+
+#: Kinds that fire at most once per connection+direction (their effect
+#: ends the stream or is idempotent).
+_ONE_SHOT_KINDS = frozenset((TRUNCATE, RESET, HALF_OPEN))
+
+_DIRECTIONS = ("c2s", "s2c", "both")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One fault window against the proxied byte stream.
+
+    Frame-domain kinds use ``frame_at``/``frame_count`` (a window of
+    per-connection frame indexes; ``frame_count=None`` means "to the
+    end of the connection") and, for the repeatable kinds
+    (``corrupt``/``duplicate``/``reorder``), a per-frame
+    ``probability``.  Timing kinds use ``at``/``duration`` in seconds
+    since proxy start.  ``direction`` restricts the fault to one
+    forwarding path (``"c2s"`` client→server, ``"s2c"``
+    server→client); ``connections`` restricts it to specific
+    connection indexes (``None`` = all).
+    """
+
+    kind: str
+    direction: str = "both"
+    connections: tuple[int, ...] | None = None
+    # -- frame domain --
+    frame_at: int = 0
+    frame_count: int | None = None
+    probability: float = 1.0
+    # -- timing domain --
+    at: float = 0.0
+    duration: float = math.inf
+    latency_s: float = 0.0
+    jitter_s: float = 0.0
+    bytes_per_s: float = 0.0
+    chunk_bytes: int = 512
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            known = ", ".join(sorted(CHAOS_KINDS))
+            raise ChaosError(
+                f"unknown chaos kind {self.kind!r}; known kinds: {known}")
+        if self.direction not in _DIRECTIONS:
+            raise ChaosError(
+                f"direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}")
+        if self.connections is not None:
+            if not self.connections or \
+                    any(c < 0 for c in self.connections):
+                raise ChaosError(
+                    f"bad connection indexes {self.connections!r}")
+        if self.kind in FRAME_KINDS:
+            if self.frame_at < 0:
+                raise ChaosError(f"bad frame_at {self.frame_at}")
+            if self.frame_count is not None and self.frame_count < 1:
+                raise ChaosError(f"bad frame_count {self.frame_count}")
+            if not 0.0 < self.probability <= 1.0:
+                raise ChaosError(
+                    f"probability out of (0, 1]: {self.probability}")
+        else:
+            if self.at < 0 or math.isnan(self.at):
+                raise ChaosError(f"bad window start {self.at}")
+            if self.duration <= 0 or math.isnan(self.duration):
+                raise ChaosError(f"bad duration {self.duration}")
+            if self.kind == PARTITION and math.isinf(self.duration):
+                raise ChaosError(
+                    "partition must have a finite duration: a network "
+                    "that never heals stalls the run forever")
+            if self.kind == LATENCY and (
+                    self.latency_s < 0 or self.jitter_s < 0):
+                raise ChaosError(
+                    f"bad latency {self.latency_s}/{self.jitter_s}")
+            if self.kind == BANDWIDTH and self.bytes_per_s <= 0:
+                raise ChaosError(
+                    f"bandwidth needs bytes_per_s > 0, "
+                    f"got {self.bytes_per_s}")
+            if self.kind == SLOW_LORIS and (
+                    self.chunk_bytes < 1 or self.delay_s < 0):
+                raise ChaosError(
+                    f"bad slow-loris {self.chunk_bytes}B/{self.delay_s}s")
+
+    # -- applicability -----------------------------------------------------
+
+    def applies_to(self, conn_index: int, direction: str) -> bool:
+        if self.connections is not None and \
+                conn_index not in self.connections:
+            return False
+        return self.direction == "both" or self.direction == direction
+
+    def frame_in_window(self, frame_index: int) -> bool:
+        if frame_index < self.frame_at:
+            return False
+        if self.frame_count is None:
+            return True
+        return frame_index < self.frame_at + self.frame_count
+
+    def time_in_window(self, elapsed: float) -> bool:
+        return self.at <= elapsed < self.at + self.duration
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        where = self.direction
+        if self.connections is not None:
+            where += f" conn{list(self.connections)}"
+        if self.kind in FRAME_KINDS:
+            until = ("end" if self.frame_count is None
+                     else self.frame_at + self.frame_count)
+            prob = (f" p={self.probability:g}"
+                    if self.kind not in _ONE_SHOT_KINDS else "")
+            return (f"frames [{self.frame_at}, {until}): "
+                    f"{self.kind}{prob} on {where}")
+        until = ("forever" if math.isinf(self.duration)
+                 else f"until t={self.at + self.duration:.6g}")
+        detail = ""
+        if self.kind == LATENCY:
+            detail = f" +{self.latency_s:g}s±{self.jitter_s:g}"
+        elif self.kind == BANDWIDTH:
+            detail = f" {self.bytes_per_s:g} B/s"
+        elif self.kind == SLOW_LORIS:
+            detail = f" {self.chunk_bytes}B/{self.delay_s:g}s"
+        return (f"t={self.at:.6g}: {self.kind}{detail} on "
+                f"{where} {until}")
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seeded set of chaos events plus the proxy's framing mode.
+
+    ``mode`` tells the proxy what a "frame" is: ``"frames"`` parses
+    the 8-byte-header grid wire protocol, ``"lines"`` forwards
+    newline-delimited serve protocol lines.  Events keep their
+    authored order — that order is part of the deterministic draw
+    sequence.
+    """
+
+    seed: int
+    events: tuple[ChaosEvent, ...] = field(default_factory=tuple)
+    mode: str = "frames"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ChaosError(
+                f"schedule seed must be a non-negative int, "
+                f"got {self.seed!r}")
+        if self.mode not in ("frames", "lines"):
+            raise ChaosError(
+                f"mode must be 'frames' or 'lines', got {self.mode!r}")
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> str:
+        """Multi-line summary of the whole schedule."""
+        if not self.events:
+            return "(empty chaos schedule)"
+        header = f"seed={self.seed} mode={self.mode}"
+        return "\n".join([header] + [e.describe() for e in self.events])
+
+    def cursor(self, conn_index: int, direction: str) -> "ChaosCursor":
+        """The deterministic decision stream for one forwarding path."""
+        return ChaosCursor(self, conn_index, direction)
+
+    def timing_events(self, conn_index: int, direction: str,
+                      elapsed: float) -> list[ChaosEvent]:
+        """The timing-domain events active on this path right now."""
+        return [e for e in self.events
+                if e.kind in TIMING_KINDS
+                and e.applies_to(conn_index, direction)
+                and e.time_in_window(elapsed)]
+
+    def partition_until(self, elapsed: float) -> float | None:
+        """End of the partition window covering ``elapsed`` (if any)."""
+        for event in self.events:
+            if event.kind == PARTITION and event.time_in_window(elapsed):
+                return event.at + event.duration
+        return None
+
+
+class ChaosCursor:
+    """Per-(connection, direction) deterministic decision stream.
+
+    ``decide()`` consumes one frame index and returns the frame-domain
+    actions to apply to that frame.  The draw sequence is a pure
+    function of ``(schedule, conn_index, direction)`` — the underlying
+    RNG is keyed on those alone, never spawned from shared state, so
+    accept-order races between *other* connections cannot perturb this
+    one's stream.  One-shot kinds (reset, truncate, half-open) fire at
+    the first frame inside their window and never again.
+    """
+
+    __slots__ = ("schedule", "conn_index", "direction", "_decide_rng",
+                 "_timing_rng", "_frame", "_fired")
+
+    def __init__(self, schedule: ChaosSchedule, conn_index: int,
+                 direction: str) -> None:
+        if direction not in ("c2s", "s2c"):
+            raise ChaosError(f"cursor direction must be c2s or s2c, "
+                             f"got {direction!r}")
+        self.schedule = schedule
+        self.conn_index = conn_index
+        self.direction = direction
+        code = 0 if direction == "c2s" else 1
+        # Keyed streams (not spawn()ed): independent of accept order.
+        self._decide_rng = RngStream(
+            f"chaos/conn{conn_index}/{direction}/decide",
+            np.random.SeedSequence((schedule.seed, conn_index, code, 0)))
+        self._timing_rng = RngStream(
+            f"chaos/conn{conn_index}/{direction}/timing",
+            np.random.SeedSequence((schedule.seed, conn_index, code, 1)))
+        self._frame = 0
+        self._fired: set[int] = set()
+
+    @property
+    def frame_index(self) -> int:
+        """Index the next ``decide()`` call will rule on."""
+        return self._frame
+
+    def decide(self) -> list[str]:
+        """Frame-domain actions for the next frame, in event order."""
+        index = self._frame
+        self._frame += 1
+        actions: list[str] = []
+        for pos, event in enumerate(self.schedule.events):
+            if event.kind not in FRAME_KINDS:
+                continue
+            if not event.applies_to(self.conn_index, self.direction):
+                continue
+            if not event.frame_in_window(index):
+                continue
+            if event.kind in _ONE_SHOT_KINDS:
+                if pos in self._fired:
+                    continue
+                self._fired.add(pos)
+                actions.append(event.kind)
+            elif event.probability >= 1.0 or \
+                    self._decide_rng.uniform() < event.probability:
+                actions.append(event.kind)
+        return actions
+
+    def corrupt_offset(self, size: int) -> int:
+        """Deterministic byte offset to flip inside a corrupt frame."""
+        if size <= 0:
+            return 0
+        return self._decide_rng.integers(0, size)
+
+    def jitter(self, jitter_s: float) -> float:
+        """A timing-only jitter draw (never perturbs ``decide()``)."""
+        if jitter_s <= 0:
+            return 0.0
+        return self._timing_rng.uniform(0.0, jitter_s)
+
+
+def schedule_to_dict(schedule: ChaosSchedule) -> dict:
+    """A JSON-safe rendering (``duration: null`` means forever)."""
+    events = []
+    for event in schedule.events:
+        payload = {}
+        for spec in fields(ChaosEvent):
+            value = getattr(event, spec.name)
+            if value == spec.default:
+                continue
+            if spec.name == "duration" and math.isinf(value):
+                continue  # the default; never reached, kept for safety
+            payload[spec.name] = (list(value)
+                                  if isinstance(value, tuple) else value)
+        events.append(payload)
+    return {"seed": schedule.seed, "mode": schedule.mode,
+            "events": events}
+
+
+def schedule_from_dict(obj: dict) -> ChaosSchedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output.
+
+    Unknown keys are an error (a typoed fault kind or field must not
+    silently become a no-op schedule).
+    """
+    if not isinstance(obj, dict):
+        raise ChaosError(
+            f"schedule must be a JSON object, got {type(obj).__name__}")
+    known = {spec.name for spec in fields(ChaosEvent)}
+    extra = set(obj) - {"seed", "mode", "events"}
+    if extra:
+        raise ChaosError(f"unknown schedule keys {sorted(extra)}")
+    events = []
+    for index, payload in enumerate(obj.get("events", ())):
+        if not isinstance(payload, dict):
+            raise ChaosError(f"event {index} must be an object")
+        unknown = set(payload) - known
+        if unknown:
+            raise ChaosError(
+                f"event {index} has unknown keys {sorted(unknown)}")
+        if isinstance(payload.get("connections"), list):
+            payload = dict(payload,
+                           connections=tuple(payload["connections"]))
+        events.append(ChaosEvent(**payload))
+    return ChaosSchedule(seed=obj.get("seed", 0),
+                         events=tuple(events),
+                         mode=obj.get("mode", "frames"))
+
+
+def random_chaos_schedule(
+    rng: RngStream,
+    *,
+    mode: str = "frames",
+    horizon_s: float = 10.0,
+    horizon_frames: int = 200,
+    severity: float = 1.0,
+    partitions: int = 1,
+    resets: int = 1,
+) -> ChaosSchedule:
+    """Draw a seeded combined-fault schedule.
+
+    The standard adversarial mix the invariant runner uses: a
+    corruption window, a duplication window, a reorder window (each
+    with severity-scaled probabilities), ``resets`` hard connection
+    resets at random frame indexes, and ``partitions`` short network
+    partitions inside the horizon.  All draws come from ``rng`` in a
+    fixed order, so the schedule is a pure function of the stream.
+    """
+    if horizon_s <= 0 or horizon_frames < 10:
+        raise ChaosError(
+            f"bad horizon {horizon_s}s/{horizon_frames} frames")
+    if severity <= 0:
+        raise ChaosError(f"severity must be > 0, got {severity}")
+
+    def frame_window() -> tuple[int, int]:
+        start = rng.integers(0, max(1, horizon_frames // 3))
+        count = rng.integers(horizon_frames // 4, horizon_frames)
+        return start, count
+
+    def prob(base: float) -> float:
+        return max(0.005, min(0.5, base * severity * rng.uniform(0.5, 1.5)))
+
+    events: list[ChaosEvent] = []
+    at, count = frame_window()
+    events.append(ChaosEvent(CORRUPT, frame_at=at, frame_count=count,
+                             probability=prob(0.05)))
+    at, count = frame_window()
+    events.append(ChaosEvent(DUPLICATE, frame_at=at, frame_count=count,
+                             probability=prob(0.10)))
+    at, count = frame_window()
+    events.append(ChaosEvent(REORDER, frame_at=at, frame_count=count,
+                             probability=prob(0.10)))
+    for index in range(resets):
+        events.append(ChaosEvent(
+            RESET, connections=(index,),
+            frame_at=rng.integers(2, max(3, horizon_frames // 2))))
+    for _ in range(partitions):
+        at_s = rng.uniform(0.05 * horizon_s, 0.6 * horizon_s)
+        events.append(ChaosEvent(
+            PARTITION, at=at_s,
+            duration=rng.uniform(0.02 * horizon_s, 0.1 * horizon_s)))
+    return ChaosSchedule(seed=rng.integers(0, 2 ** 31),
+                         events=tuple(events), mode=mode)

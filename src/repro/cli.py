@@ -19,6 +19,11 @@ Subcommands:
   aggregated Prometheus scrape plus a JSON query API.
 - ``grid-worker`` — one host's sweep worker daemon for distributed
   sweeps (``bps sweep --backend socket``; :mod:`repro.exec.gridworker`).
+- ``chaos`` — the network-chaos invariant runner (:mod:`repro.chaos`):
+  real daemons behind a seeded fault-injecting proxy, results required
+  bit-identical to the undisturbed paths.
+- ``chaos-proxy`` — the seeded TCP interposer on its own, for putting
+  chaos in front of any dispatcher/daemon pair by hand.
 
 ``analyze``, ``replay``, and ``watch`` accept ``-`` as the trace path
 to read JSONL records from standard input.
@@ -235,6 +240,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         run_kwargs["backend"] = args.backend
     if args.grid_workers:
         run_kwargs["grid_workers"] = args.grid_workers
+    if args.worker_heartbeat is not None:
+        run_kwargs["grid_heartbeat"] = args.worker_heartbeat
+    if args.worker_liveness is not None:
+        run_kwargs["grid_liveness"] = args.worker_liveness
     sweep = _SWEEPS[args.sweep](scale, **run_kwargs)
     supervision = getattr(sweep, "supervision", None)
     if supervision is not None and (
@@ -281,7 +290,88 @@ def _cmd_grid_worker(args: argparse.Namespace) -> int:
         token=token,
         once=args.once,
         exit_after_jobs=args.exit_after_jobs,
+        heartbeat=args.heartbeat,
+        liveness=args.liveness,
     )
+
+
+def _load_schedule(args: argparse.Namespace, mode: str):
+    """Build the chaos schedule a chaos subcommand was asked for."""
+    import json as _json
+
+    from repro.chaos import random_chaos_schedule, schedule_from_dict
+    from repro.util.rng import RngStream
+    if getattr(args, "schedule", ""):
+        with open(args.schedule) as handle:
+            return schedule_from_dict(_json.load(handle))
+    return random_chaos_schedule(
+        RngStream.from_seed(args.seed, "chaos-cli"),
+        mode=mode, severity=args.severity,
+        partitions=args.partitions, resets=args.resets)
+
+
+def _cmd_chaos_proxy(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.chaos import ChaosProxy, schedule_to_dict
+    schedule = _load_schedule(args, args.mode)
+    proxy = ChaosProxy(args.upstream, schedule, listen=args.listen)
+    host, port = proxy.start()
+    print(f"chaos-proxy listening on {host}:{port} -> {args.upstream}",
+          flush=True)
+    print(schedule.describe(), flush=True)
+    try:
+        while True:
+            _time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.stop()
+        print(_json.dumps({"schedule": schedule_to_dict(schedule),
+                           "stats": proxy.stats()}, sort_keys=True))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.chaos import random_chaos_schedule, run_chaos
+    from repro.util.rng import RngStream
+    checks = ("grid", "serve") if args.check == "all" else (args.check,)
+    scale = ExperimentScale(factor=args.scale, repetitions=args.reps)
+    grid_schedule = serve_schedule = None
+    if args.schedule:
+        # An explicit schedule applies to the check matching its mode;
+        # the other check (if also selected) keeps its built-in mix.
+        loaded = _load_schedule(args, "frames")
+        if loaded.mode == "frames":
+            grid_schedule = loaded
+        else:
+            serve_schedule = loaded
+    elif (args.severity != 1.0 or args.partitions != 1
+            or args.resets != 1):
+        rng = RngStream.from_seed(args.seed, "chaos-cli")
+        grid_schedule = random_chaos_schedule(
+            rng, mode="frames", severity=args.severity,
+            partitions=args.partitions, resets=args.resets)
+        serve_schedule = random_chaos_schedule(
+            rng, mode="lines", severity=args.severity,
+            partitions=args.partitions, resets=args.resets)
+    report = run_chaos(
+        seed=args.seed, checks=checks, workers=args.workers,
+        scale=scale, records=args.records, timeout=args.timeout,
+        grid_schedule=grid_schedule, serve_schedule=serve_schedule)
+    text = _json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote chaos report to {args.json}", file=sys.stderr)
+    for check in report["checks"]:
+        verdict = "identical" if check["passed"] else "DIVERGED"
+        print(f"chaos {check['check']}: {verdict}", file=sys.stderr)
+    return 0 if report["passed"] else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -518,6 +608,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drop_factor=0.0 if args.no_detector else args.drop_factor,
         baseline_history=args.baseline_history,
         write_timeout=args.write_timeout,
+        **({"max_body_bytes": parse_size(args.max_body_bytes)}
+           if args.max_body_bytes else {}),
     )
     server = BpsServer(config, tcp=tcp or None, unix=unix or None,
                        http=http or None)
@@ -642,6 +734,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--grid-workers", default="", metavar="ADDRS",
                        help="socket backend: comma-separated "
                             "host:port list of bps grid-worker daemons")
+    sweep.add_argument("--worker-heartbeat", type=float, default=None,
+                       metavar="SECONDS",
+                       help="socket backend: ping a silent worker "
+                            "after this long (env "
+                            "REPRO_GRID_HEARTBEAT; default 2.0; "
+                            "non-positive values are clamped with a "
+                            "warning)")
+    sweep.add_argument("--worker-liveness", type=float, default=None,
+                       metavar="SECONDS",
+                       help="socket backend: declare an unresponsive "
+                            "worker dead and requeue its cell after "
+                            "this long (env REPRO_GRID_LIVENESS; "
+                            "default 10.0; clamped to > heartbeat "
+                            "with a warning)")
     sweep.set_defaults(func=_cmd_sweep)
 
     grid_worker = sub.add_parser(
@@ -666,6 +772,17 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="N",
                              help="exit after completing N cells "
                                   "(chaos/rolling-restart testing)")
+    grid_worker.add_argument("--heartbeat", type=float, default=None,
+                             metavar="SECONDS",
+                             help="ping a silent dispatcher after "
+                                  "this long (env "
+                                  "REPRO_GRID_HEARTBEAT; default 2.0)")
+    grid_worker.add_argument("--liveness", type=float, default=None,
+                             metavar="SECONDS",
+                             help="drop a session whose dispatcher "
+                                  "stays unresponsive this long — the "
+                                  "half-open-connection guard (env "
+                                  "REPRO_GRID_LIVENESS; default 10.0)")
     grid_worker.set_defaults(func=_cmd_grid_worker)
 
     simulate = sub.add_parser(
@@ -843,6 +960,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "N worker processes; 0/1 = in-process; "
                             "clamped to the machine's cores with a "
                             "warning (env REPRO_SERVE_WORKERS)")
+    serve.add_argument("--max-body-bytes", default="", metavar="SIZE",
+                       help="cap one HTTP ingest body (413 past it; "
+                            "accepts 64MiB-style suffixes; default "
+                            "64MiB)")
     serve.add_argument("--write-timeout", type=float, default=10.0,
                        help="disconnect a client that cannot drain an "
                             "ack/response write within this many "
@@ -863,6 +984,75 @@ def build_parser() -> argparse.ArgumentParser:
                             "telemetry, never the stream)")
     _add_trace_error_options(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    def _add_schedule_options(sub_parser) -> None:
+        sub_parser.add_argument(
+            "--seed", type=int, default=20130520,
+            help="chaos schedule seed (default 20130520)")
+        sub_parser.add_argument(
+            "--schedule", default="", metavar="PATH",
+            help="JSON chaos schedule to replay (overrides the "
+                 "seeded random one)")
+        sub_parser.add_argument(
+            "--severity", type=float, default=1.0,
+            help="scale the random schedule's fault probabilities "
+                 "(default 1.0)")
+        sub_parser.add_argument(
+            "--partitions", type=int, default=1,
+            help="random schedule: short network partitions to "
+                 "inject (default 1)")
+        sub_parser.add_argument(
+            "--resets", type=int, default=1,
+            help="random schedule: hard connection resets to inject "
+                 "(default 1)")
+
+    chaos = sub.add_parser(
+        "chaos", help="run the network-chaos invariant checks: real "
+                      "daemons behind a seeded fault proxy, results "
+                      "must be bit-identical to the clean paths")
+    chaos.add_argument("--check", choices=("grid", "serve", "all"),
+                       default="all",
+                       help="which invariant to check (default all)")
+    _add_schedule_options(chaos)
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="grid check: worker daemons to spawn "
+                            "(default 2)")
+    chaos.add_argument("--records", type=int, default=400,
+                       help="serve check: records to stream "
+                            "(default 400)")
+    chaos.add_argument("--scale", type=float, default=0.25,
+                       help="grid check: sweep scale factor "
+                            "(default 0.25)")
+    chaos.add_argument("--reps", type=int, default=2,
+                       help="grid check: repetitions per point "
+                            "(default 2)")
+    chaos.add_argument("--timeout", type=float, default=300.0,
+                       help="serve check: hard deadline in seconds "
+                            "(default 300)")
+    chaos.add_argument("--json", default="", metavar="PATH",
+                       help="also write the chaos report here")
+    chaos.set_defaults(func=_cmd_chaos)
+
+    chaos_proxy = sub.add_parser(
+        "chaos-proxy", help="run the seeded fault-injecting TCP "
+                            "interposer standalone (Ctrl-C stops it "
+                            "and prints the stats)")
+    chaos_proxy.add_argument("--upstream", required=True,
+                             metavar="HOST:PORT",
+                             help="the real daemon to sit in front of")
+    chaos_proxy.add_argument("--listen", default="127.0.0.1:0",
+                             metavar="HOST:PORT",
+                             help="where clients should connect "
+                                  "(default 127.0.0.1:0, printed on "
+                                  "the first output line)")
+    chaos_proxy.add_argument("--mode", choices=("frames", "lines"),
+                             default="frames",
+                             help="protocol framing: 'frames' for the "
+                                  "grid wire protocol, 'lines' for "
+                                  "serve JSONL streams (default "
+                                  "frames)")
+    _add_schedule_options(chaos_proxy)
+    chaos_proxy.set_defaults(func=_cmd_chaos_proxy)
 
     return parser
 

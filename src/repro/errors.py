@@ -81,6 +81,13 @@ class GridError(ExperimentError):
     oversized frame, unresolvable grid task, no live workers)."""
 
 
+class FrameCorruptionError(GridError):
+    """A wire frame failed its CRC32 integrity check (or could not be
+    unpickled despite an intact checksum).  The payload is never
+    interpreted; the receiver quarantines the frame and treats the
+    connection as desynchronised."""
+
+
 class CheckpointError(ExperimentError):
     """A checkpoint journal is unusable: wrong tag for the sweep being
     resumed, or corrupted beyond the tolerated torn tail."""
@@ -90,6 +97,12 @@ class ServeError(ReproError):
     """The multi-tenant streaming daemon was misconfigured or asked
     something impossible (bad budget, invalid tenant name, duplicate
     listener, ...)."""
+
+
+class ChaosError(ReproError):
+    """A network-chaos schedule or proxy was misconfigured (unknown
+    fault kind, overlapping windows, bad upstream address), or a chaos
+    run's invariant check failed."""
 
 
 class SalvageError(TraceFormatError):

@@ -10,21 +10,39 @@ contract applies unchanged), and supervises the fleet:
   ``heartbeat_interval`` seconds is pinged; one that stays silent for
   ``liveness_timeout`` after the ping is declared dead, its socket
   closed, its in-flight cell re-queued (one retry unit, like a fork
-  crash), and a reconnect attempted against the same address under the
-  pool-wide respawn budget;
+  crash), and its address handed to the reconnect circuit;
 - **worker death** — EOF or a send error is the same signal as a pipe
   EOF in the fork pool and takes the same path;
+- **frame corruption** — a frame that fails its CRC32 (or arrives with
+  an impossible length prefix) is quarantined, counted in
+  ``report.quarantined_frames``, and the link is dropped: after a bad
+  frame the stream offset cannot be trusted, so the connection is the
+  quarantine unit, not the frame;
+- **duplicate delivery** — every completed cell index is remembered,
+  so a duplicated ``done`` frame (chaos, a speculative copy finishing
+  late, a worker resending across a reconnect) is dropped and counted
+  in ``report.duplicate_results`` instead of reaching the driver
+  twice.  A stale ``failed`` for an already-completed cell is equally
+  inert;
+- **reconnects** — each address has a circuit: the first retry after a
+  death is immediate (a blip should not shrink the fleet), further
+  failures back off exponentially (0.5 s doubling, capped), and after
+  ``circuit_break_after`` consecutive failures the circuit breaks
+  permanently (``report.broken_circuits``) so a dead host stops
+  consuming poll cycles.  Successful reconnects are counted in
+  ``report.reconnects``;
 - **hung cells** — ``SupervisorPolicy.job_timeout`` sends ``abort``
   (the worker kills its job child and survives) and re-queues;
 - **stragglers** — with ``straggler_factor > 0``, a cell running
   longer than ``factor × median completed-cell time`` is speculatively
   re-dispatched to an idle worker when no fresh work is pending; the
-  first copy to finish wins (the driver ignores the rest) and the
-  loser is aborted.  Duplicates never consume retry budget, and a
-  dying worker whose cell still runs elsewhere is not a job failure.
+  first copy to finish wins and the loser is aborted.  Duplicates
+  never consume retry budget, and a dying worker whose cell still runs
+  elsewhere is not a job failure.
 
 Results are bit-identical to serial for any fleet size and any
-death/retry schedule because cells carry their seeds and the driver
+death/retry/duplication schedule because cells carry their seeds, the
+index dedup admits each cell's result exactly once, and the driver
 reassembles by index — the transport can only lose time, not change
 numbers.
 """
@@ -37,10 +55,12 @@ import warnings
 from statistics import median
 from typing import Sequence
 
-from repro.errors import GridError
+from repro.errors import FrameCorruptionError, GridError
 from repro.exec.backends.base import ExecBackend, JobOutcome
 from repro.exec.backends.task import GridTask
 from repro.exec.backends.wire import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_LIVENESS_TIMEOUT,
     PROTOCOL_VERSION,
     connect,
     parse_hostport,
@@ -50,14 +70,16 @@ from repro.exec.backends.wire import (
 
 __all__ = ["SocketBackend", "parse_worker_addrs"]
 
-#: Default liveness clocks (seconds).
-DEFAULT_HEARTBEAT_INTERVAL = 2.0
-DEFAULT_LIVENESS_TIMEOUT = 10.0
 DEFAULT_CONNECT_TIMEOUT = 10.0
 #: Straggler re-dispatch floor — below this a "straggler" is noise.
 DEFAULT_STRAGGLER_MIN_SECONDS = 1.0
 #: Completed-cell samples needed before the median is trusted.
 _STRAGGLER_MIN_SAMPLES = 3
+#: Reconnect backoff: first retry immediate, then base·2^k, capped.
+RECONNECT_BACKOFF_BASE = 0.5
+RECONNECT_BACKOFF_CAP = 30.0
+#: Consecutive reconnect failures before an address's circuit breaks.
+DEFAULT_CIRCUIT_BREAK_AFTER = 6
 
 
 def parse_worker_addrs(spec: str | Sequence) -> list[tuple[str, int]]:
@@ -95,6 +117,50 @@ class _Link:
         self.deadline = None
 
 
+class _Circuit:
+    """Reconnect state for one worker address.
+
+    CLOSED (a link is up) → OPEN-pending (backing off between retry
+    attempts) → either CLOSED again on a successful reconnect (the
+    failure streak resets) or BROKEN after ``break_after`` consecutive
+    failures — permanent for the sweep, so a host that is gone stays
+    gone instead of eating a 30 s probe every poll.
+    """
+
+    __slots__ = ("addr", "failures", "next_attempt", "pending", "broken")
+
+    def __init__(self, addr: tuple[str, int]) -> None:
+        self.addr = addr
+        self.failures = 0
+        self.next_attempt = 0.0
+        self.pending = False
+        self.broken = False
+
+    def trip(self, now: float) -> None:
+        """The address's link died: arm an immediate first retry."""
+        self.pending = True
+        self.next_attempt = now if self.failures == 0 else (
+            now + min(RECONNECT_BACKOFF_CAP,
+                      RECONNECT_BACKOFF_BASE * 2.0 ** (self.failures - 1)))
+
+    def record_failure(self, now: float, break_after: int) -> bool:
+        """One more failed attempt; returns True if the circuit broke."""
+        self.failures += 1
+        if self.failures >= break_after:
+            self.pending = False
+            self.broken = True
+            return True
+        self.next_attempt = now + min(
+            RECONNECT_BACKOFF_CAP,
+            RECONNECT_BACKOFF_BASE * 2.0 ** (self.failures - 1))
+        return False
+
+    def close(self) -> None:
+        """Reconnected: the streak resets."""
+        self.failures = 0
+        self.pending = False
+
+
 class SocketBackend(ExecBackend):
     """Dispatcher over ``bps grid-worker`` daemons."""
 
@@ -107,12 +173,18 @@ class SocketBackend(ExecBackend):
                  liveness_timeout: float = DEFAULT_LIVENESS_TIMEOUT,
                  straggler_factor: float = 0.0,
                  straggler_min_seconds: float =
-                 DEFAULT_STRAGGLER_MIN_SECONDS) -> None:
+                 DEFAULT_STRAGGLER_MIN_SECONDS,
+                 circuit_break_after: int =
+                 DEFAULT_CIRCUIT_BREAK_AFTER) -> None:
         if heartbeat_interval <= 0 or liveness_timeout <= 0:
             raise GridError("liveness clocks must be > 0")
         if straggler_factor < 0:
             raise GridError(
                 f"straggler_factor must be >= 0, got {straggler_factor}")
+        if circuit_break_after < 1:
+            raise GridError(
+                f"circuit_break_after must be >= 1, "
+                f"got {circuit_break_after}")
         self.addresses = parse_worker_addrs(workers)
         self.task = task
         self.token = token
@@ -121,7 +193,10 @@ class SocketBackend(ExecBackend):
         self.liveness_timeout = liveness_timeout
         self.straggler_factor = straggler_factor
         self.straggler_min_seconds = straggler_min_seconds
+        self.circuit_break_after = circuit_break_after
         self._links: list[_Link] = []
+        self._circuits: dict[tuple[str, int], _Circuit] = {}
+        self._done_indexes: set[int] = set()
         self._durations: list[float] = []
         self._policy = None
         self._report = None
@@ -133,10 +208,12 @@ class SocketBackend(ExecBackend):
         self._report = report
         failures: list[str] = []
         for addr in self.addresses:
+            self._circuits[addr] = _Circuit(addr)
             try:
                 self._links.append(self._open_link(addr))
             except (OSError, EOFError, GridError) as exc:
                 failures.append(f"{addr[0]}:{addr[1]}: {exc}")
+                self._circuits[addr].trip(time.monotonic())
         if not self._links:
             raise GridError(
                 "no grid workers reachable: " + "; ".join(failures))
@@ -185,11 +262,23 @@ class SocketBackend(ExecBackend):
                 pass
             link.sock.close()
         self._links.clear()
+        for circuit in self._circuits.values():
+            circuit.pending = False
 
     # -- placement ---------------------------------------------------------
 
     def healthy(self) -> bool:
-        return bool(self._links)
+        if self._links:
+            return True
+        # No live links — but a pending (not yet broken) circuit within
+        # the respawn budget may still bring a worker back; falling to
+        # serial now would abandon a recoverable fleet.
+        if self._report is None or self._policy is None:
+            return False
+        if self._report.worker_respawns > self._policy.max_worker_respawns:
+            return False
+        return any(c.pending and not c.broken
+                   for c in self._circuits.values())
 
     def slots(self) -> int:
         return sum(1 for link in self._links if link.job is None)
@@ -221,17 +310,18 @@ class SocketBackend(ExecBackend):
 
     def _bury(self, link: _Link, reason: str, *,
               requeue_held: bool) -> JobOutcome | None:
-        """Retire a dead link; maybe reconnect; maybe emit the loss."""
+        """Retire a dead link; arm its circuit; maybe emit the loss."""
         self._links.remove(link)
         link.sock.close()
         self._report.worker_respawns += 1
-        if self._report.worker_respawns <= \
+        circuit = self._circuits.setdefault(link.addr, _Circuit(link.addr))
+        if not circuit.broken and self._report.worker_respawns <= \
                 self._policy.max_worker_respawns:
-            try:
-                self._links.append(self._open_link(link.addr))
-            except (OSError, EOFError, GridError):
-                pass  # the address stays lost; the fleet shrinks
+            circuit.trip(time.monotonic())
         if link.job is None or not requeue_held:
+            return None
+        if link.job in self._done_indexes:
+            # The cell already completed elsewhere; nothing was lost.
             return None
         if self._holders(link.job):
             # A speculative copy still runs elsewhere; not a job loss.
@@ -239,6 +329,28 @@ class SocketBackend(ExecBackend):
         return JobOutcome(
             "crash", link.job, link.attempt,
             f"grid worker {link.label} died ({reason})")
+
+    def _attempt_reconnects(self) -> None:
+        now = time.monotonic()
+        for circuit in self._circuits.values():
+            if not circuit.pending or circuit.broken or \
+                    now < circuit.next_attempt:
+                continue
+            try:
+                link = self._open_link(circuit.addr)
+            except (OSError, EOFError, GridError):
+                if circuit.record_failure(time.monotonic(),
+                                          self.circuit_break_after):
+                    self._report.broken_circuits += 1
+                    warnings.warn(
+                        f"grid worker {circuit.addr[0]}:"
+                        f"{circuit.addr[1]} circuit broken after "
+                        f"{circuit.failures} consecutive reconnect "
+                        f"failures", RuntimeWarning, stacklevel=3)
+                continue
+            circuit.close()
+            self._links.append(link)
+            self._report.reconnects += 1
 
     # -- collection --------------------------------------------------------
 
@@ -254,25 +366,39 @@ class SocketBackend(ExecBackend):
             else:
                 due = link.last_seen + self.heartbeat_interval - now
             timeout = min(timeout, max(due, 0.0))
+        for circuit in self._circuits.values():
+            if circuit.pending and not circuit.broken:
+                timeout = min(timeout,
+                              max(circuit.next_attempt - now, 0.0))
         try:
+            # With zero live links this degenerates to a plain sleep
+            # until the next circuit retry is due.
             ready, _, _ = select.select(
                 [l.sock for l in self._links], [], [], timeout)
         except OSError:
             ready = []
         ready_fds = {s.fileno() for s in ready}
         for link in list(self._links):
-            if link.sock.fileno() in ready_fds:
+            if link in self._links and link.sock.fileno() in ready_fds:
                 outcome = self._drain(link)
                 if outcome is not None:
                     outcomes.append(outcome)
         outcomes.extend(self._reap_deadlines())
         outcomes.extend(self._check_liveness())
+        self._attempt_reconnects()
         self._redispatch_stragglers()
         return outcomes
 
     def _drain(self, link: _Link) -> JobOutcome | None:
         try:
             frame = recv_frame(link.sock)
+        except FrameCorruptionError as exc:
+            # The frame is poison and the stream offset after it is
+            # unknowable: quarantine by dropping the whole connection.
+            # The held cell re-queues; the circuit will reconnect.
+            self._report.quarantined_frames += 1
+            return self._bury(link, f"corrupt frame quarantined: {exc}",
+                              requeue_held=True)
         except (EOFError, OSError, GridError, ValueError) as exc:
             return self._bury(link, f"read failed: {exc}",
                               requeue_held=True)
@@ -286,15 +412,35 @@ class SocketBackend(ExecBackend):
                     time.monotonic() - link.assigned_at)
                 link.clear()
             self._abort_other_copies(index, link)
+            if index in self._done_indexes:
+                # Chaos duplication, a late speculative copy, or a
+                # resend across reconnect: the cell already counted.
+                self._report.duplicate_results += 1
+                return None
+            self._done_indexes.add(index)
             return JobOutcome("done", index, attempt, payload)
         if kind == "failed":
             _, index, attempt, failure_kind, reason = frame
             if link.job == index:
                 link.clear()
+            if index in self._done_indexes:
+                # A stale failure for a cell that already succeeded
+                # must not burn retry budget.
+                self._report.duplicate_results += 1
+                return None
             if self._holders(index):
                 return None  # a speculative copy still runs
             return JobOutcome(failure_kind, index, attempt,
                               f"on {link.label}: {reason}")
+        if kind == "ping":
+            # Worker-initiated liveness probe (it suspects a half-open
+            # dispatcher link): answer so it keeps the session.
+            try:
+                send_frame(link.sock, ("pong",))
+            except OSError as exc:
+                return self._bury(link, f"send failed: {exc}",
+                                  requeue_held=True)
+            return None
         if kind == "pong":
             link.ping_sent = None
             return None

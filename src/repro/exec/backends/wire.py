@@ -6,17 +6,23 @@ idea over a socket so the *identical* message discipline (one job
 outstanding per worker, results echo ``(index, attempt)``, EOF means
 the executor is gone) works across hosts:
 
-- every frame is a 4-byte big-endian length followed by a pickled
-  payload, bounded by :data:`MAX_FRAME_BYTES` so a corrupt or hostile
-  length prefix cannot balloon the reader;
+- every frame is an 8-byte header — a 4-byte big-endian payload length
+  followed by the payload's CRC32 — and then the pickled payload.  The
+  length is validated against a configurable bound **before** any
+  payload byte is read, so a corrupt or hostile length prefix cannot
+  balloon the reader; the checksum is validated before the payload is
+  unpickled, so a flaky link that flips bits mid-frame produces a
+  :class:`~repro.errors.FrameCorruptionError` quarantine, never a
+  silently-wrong (or actively dangerous) deserialised object;
 - the dispatcher opens the conversation with a ``hello`` carrying the
   protocol version, an optional shared token, and the
   :class:`~repro.exec.backends.task.GridTask` the worker should
   resolve; the worker answers ``welcome`` (or ``reject`` and hangs
   up);
 - after the handshake: ``job`` / ``done`` / ``failed`` for work,
-  ``ping`` / ``pong`` for liveness, ``abort`` / ``aborted`` to reap a
-  hung or straggling cell, ``bye`` to part cleanly.
+  ``ping`` / ``pong`` for liveness (either side may ping; any frame
+  proves liveness), ``abort`` / ``aborted`` to reap a hung or
+  straggling cell, ``bye`` to part cleanly.
 
 Frames are **pickle**, exactly like the pipe transport, because grid
 cells and their results (sweep specs, ``RunMeasurement`` with columnar
@@ -27,44 +33,108 @@ to private interfaces and set ``REPRO_GRID_TOKEN`` on both ends (the
 token is compared constant-time and checked *before* the task is
 resolved; the hello frame that carries it is still a pickle, so the
 token narrows the honest-mistake window — wrong cluster, stale
-dispatcher — rather than making the port safe to expose).
+dispatcher — rather than making the port safe to expose).  The CRC is
+an integrity check against accidental corruption, not an
+authenticator.
 """
 
 from __future__ import annotations
 
 import hmac
+import os
 import pickle
 import socket
 import struct
+import warnings
+import zlib
 
-from repro.errors import GridError
+from repro.errors import FrameCorruptionError, GridError
 
 __all__ = [
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_LIVENESS_TIMEOUT",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "connect",
+    "max_frame_bytes",
     "parse_hostport",
     "recv_frame",
+    "resolve_liveness",
     "send_frame",
     "tokens_match",
 ]
 
-PROTOCOL_VERSION = 1
+#: v2 added the per-frame CRC32; v1 peers are rejected at handshake.
+PROTOCOL_VERSION = 2
 
-#: Hard per-frame bound.  Sweep results carry columnar traces — MBs at
-#: corpus scale — but a GB-sized frame means a corrupt length prefix.
+#: Default hard per-frame bound.  Sweep results carry columnar traces —
+#: MBs at corpus scale — but a GB-sized frame means a corrupt length
+#: prefix.  Override per call or with ``REPRO_GRID_MAX_FRAME`` (bytes).
 MAX_FRAME_BYTES = 1 << 30
 
-_LEN = struct.Struct(">I")
+_MAX_FRAME_ENV = "REPRO_GRID_MAX_FRAME"
+
+#: Default liveness clocks (seconds), shared by the dispatcher and the
+#: worker daemon so both ends of a half-open socket give up on it.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+DEFAULT_LIVENESS_TIMEOUT = 10.0
+
+_HEADER = struct.Struct(">II")  # payload length, payload CRC32
 
 
-def send_frame(sock: socket.socket, obj) -> None:
-    """Pickle ``obj`` and send it length-prefixed."""
+def max_frame_bytes(limit: int | None = None) -> int:
+    """The effective frame bound: argument > env var > default.
+
+    A non-positive explicit limit is a caller bug and raises; a
+    malformed or non-positive ``REPRO_GRID_MAX_FRAME`` is clamped to
+    the default with a warning (a site-wide env var should degrade,
+    not abort every sweep).
+    """
+    if limit is not None:
+        if limit <= 0:
+            raise GridError(f"frame bound must be > 0, got {limit}")
+        return limit
+    env = os.environ.get(_MAX_FRAME_ENV, "").strip()
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            parsed = -1
+        if parsed <= 0:
+            warnings.warn(
+                f"{_MAX_FRAME_ENV}={env!r} is not a positive byte "
+                f"count; using {MAX_FRAME_BYTES}", RuntimeWarning,
+                stacklevel=2)
+            return MAX_FRAME_BYTES
+        return parsed
+    return MAX_FRAME_BYTES
+
+
+#: Lazily cached env/default bound.  ``max_frame_bytes()`` costs an
+#: ``os.environ`` lookup (~1µs) — per-frame that would dwarf the CRC
+#: itself, so the hot paths resolve it once per process.  Env vars are
+#: fixed at launch; tests that need a fresh read reset this to None.
+_cached_bound: int | None = None
+
+
+def _effective_bound(limit: int | None) -> int:
+    if limit is not None:
+        return max_frame_bytes(limit)
+    global _cached_bound
+    if _cached_bound is None:
+        _cached_bound = max_frame_bytes()
+    return _cached_bound
+
+
+def send_frame(sock: socket.socket, obj, *,
+               limit: int | None = None) -> None:
+    """Pickle ``obj`` and send it length-prefixed and checksummed."""
     data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(data) > MAX_FRAME_BYTES:
+    bound = _effective_bound(limit)
+    if len(data) > bound:
         raise GridError(
-            f"frame of {len(data)} bytes exceeds {MAX_FRAME_BYTES}")
-    sock.sendall(_LEN.pack(len(data)) + data)
+            f"frame of {len(data)} bytes exceeds {bound}")
+    sock.sendall(_HEADER.pack(len(data), zlib.crc32(data)) + data)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -78,19 +148,38 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket):
+def recv_frame(sock: socket.socket, *, limit: int | None = None):
     """Receive one frame; raises EOFError on a clean peer close.
+
+    The length prefix is checked against the frame bound before the
+    payload read begins (a corrupted 4-byte length must not trigger a
+    gigabyte allocation), and the payload CRC is checked before
+    unpickling.  Both failures raise
+    :class:`~repro.errors.FrameCorruptionError` — after either, the
+    stream offset can no longer be trusted, so callers must drop the
+    connection rather than try to read the next frame.
 
     A partial frame followed by silence stalls until the socket
     timeout fires (``socket.timeout``/``TimeoutError``) — the caller's
     liveness machinery owns that clock.
     """
-    length = _LEN.unpack(_recv_exact(sock, _LEN.size))[0]
-    if length > MAX_FRAME_BYTES:
-        raise GridError(
+    length, checksum = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    bound = _effective_bound(limit)
+    if length > bound:
+        raise FrameCorruptionError(
             f"incoming frame of {length} bytes exceeds "
-            f"{MAX_FRAME_BYTES} (corrupt length prefix?)")
-    return pickle.loads(_recv_exact(sock, length))
+            f"{bound} (corrupt length prefix?)")
+    data = _recv_exact(sock, length)
+    if zlib.crc32(data) != checksum:
+        raise FrameCorruptionError(
+            f"frame checksum mismatch over {length} bytes "
+            f"(corrupted in transit)")
+    try:
+        return pickle.loads(data)
+    except Exception as exc:  # noqa: BLE001 — quarantine, not crash
+        raise FrameCorruptionError(
+            f"frame payload would not unpickle despite an intact "
+            f"checksum: {type(exc).__name__}: {exc}") from exc
 
 
 def tokens_match(expected: str | None, presented) -> bool:
@@ -100,6 +189,63 @@ def tokens_match(expected: str | None, presented) -> bool:
     if not expected or not isinstance(presented, str):
         return False
     return hmac.compare_digest(expected, presented)
+
+
+def resolve_liveness(heartbeat: float | None = None,
+                     liveness: float | None = None,
+                     ) -> tuple[float, float]:
+    """Clamp-and-warn resolution of the two liveness clocks.
+
+    Returns ``(heartbeat_interval, liveness_timeout)``.  ``None``
+    falls back to the env vars ``REPRO_GRID_HEARTBEAT`` /
+    ``REPRO_GRID_LIVENESS`` and then the defaults.  Out-of-range
+    values degrade instead of aborting: a non-positive clock is
+    clamped to its default with a warning, and a liveness timeout not
+    strictly greater than the heartbeat interval is clamped to twice
+    the heartbeat (one ping must have a full interval to come back
+    before the silence verdict lands).
+    """
+
+    def from_env(name: str) -> float | None:
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            warnings.warn(
+                f"{name}={raw!r} is not a number; ignoring",
+                RuntimeWarning, stacklevel=3)
+            return None
+
+    if heartbeat is None:
+        heartbeat = from_env("REPRO_GRID_HEARTBEAT")
+    if liveness is None:
+        liveness = from_env("REPRO_GRID_LIVENESS")
+    if heartbeat is None:
+        heartbeat = DEFAULT_HEARTBEAT_INTERVAL
+    elif heartbeat <= 0:
+        warnings.warn(
+            f"heartbeat interval {heartbeat:g}s is not positive; "
+            f"clamping to {DEFAULT_HEARTBEAT_INTERVAL:g}s",
+            RuntimeWarning, stacklevel=2)
+        heartbeat = DEFAULT_HEARTBEAT_INTERVAL
+    if liveness is None:
+        liveness = max(DEFAULT_LIVENESS_TIMEOUT, 2.0 * heartbeat)
+    elif liveness <= 0:
+        warnings.warn(
+            f"liveness timeout {liveness:g}s is not positive; "
+            f"clamping to {DEFAULT_LIVENESS_TIMEOUT:g}s",
+            RuntimeWarning, stacklevel=2)
+        liveness = max(DEFAULT_LIVENESS_TIMEOUT, 2.0 * heartbeat)
+    if liveness <= heartbeat:
+        clamped = 2.0 * heartbeat
+        warnings.warn(
+            f"liveness timeout {liveness:g}s must exceed the "
+            f"heartbeat interval {heartbeat:g}s; clamping to "
+            f"{clamped:g}s", RuntimeWarning, stacklevel=2)
+        liveness = clamped
+    return heartbeat, liveness
 
 
 def parse_hostport(text: str) -> tuple[str, int]:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import os
 import socket
 import sys
+import time
 from multiprocessing.connection import wait as _wait
 from typing import Callable, IO
 
@@ -45,6 +46,7 @@ from repro.exec.backends.wire import (
     PROTOCOL_VERSION,
     parse_hostport,
     recv_frame,
+    resolve_liveness,
     send_frame,
     tokens_match,
 )
@@ -86,16 +88,22 @@ class _Session:
     """One dispatcher connection: handshake, then the job loop."""
 
     def __init__(self, sock: socket.socket, *, token: str | None,
-                 exit_after_jobs: int, log: Callable[[str], None]) -> None:
+                 exit_after_jobs: int, log: Callable[[str], None],
+                 heartbeat: float | None = None,
+                 liveness: float | None = None) -> None:
         self.sock = sock
         self.token = token
         self.exit_after_jobs = exit_after_jobs
         self.log = log
+        self.heartbeat, self.liveness = resolve_liveness(
+            heartbeat, liveness)
         self.child: DuplexWorker | None = None
         self.fn: Callable | None = None
         self.running: int | None = None  # index of the in-flight cell
         self.attempt = 0
         self.jobs_done = 0
+        self.last_heard = time.monotonic()
+        self.ping_sent: float | None = None
 
     # -- handshake ---------------------------------------------------------
 
@@ -143,24 +151,57 @@ class _Session:
     # -- job loop ----------------------------------------------------------
 
     def run(self) -> bool:
-        """Serve frames until the dispatcher leaves.
+        """Serve frames until the dispatcher leaves or goes half-open.
 
         Returns False when the daemon should exit (--exit-after-jobs).
+        A dispatcher silent past ``heartbeat`` seconds is pinged; one
+        still silent ``liveness`` seconds after the ping is presumed
+        half-open (the TCP connection looks up but the peer is gone)
+        and the session is dropped — the daemon survives and returns
+        to the accept loop for the dispatcher's reconnect.
         """
+        self.last_heard = time.monotonic()
+        self.ping_sent = None
         try:
             while True:
+                now = time.monotonic()
+                if self.ping_sent is not None:
+                    due = self.ping_sent + self.liveness - now
+                else:
+                    due = self.last_heard + self.heartbeat - now
                 waitables = [self.sock]
                 if self.child is not None and self.running is not None:
                     waitables.append(self.child.conn)
-                ready = _wait(waitables)
+                ready = _wait(waitables, timeout=max(due, 0.0))
                 if self.child is not None and self.child.conn in ready:
                     if not self._forward_child_result():
                         return False
                 if self.sock in ready:
                     if not self._handle_frame():
                         return True
+                elif not ready and not self._check_liveness():
+                    return True
         finally:
             self._kill_child()
+
+    def _check_liveness(self) -> bool:
+        """Returns False when the session should be dropped."""
+        now = time.monotonic()
+        if self.ping_sent is not None:
+            if now - self.ping_sent >= self.liveness:
+                self.log(
+                    f"dispatcher silent for "
+                    f"{now - self.last_heard:.1f}s; dropping "
+                    f"half-open session")
+                return False
+        elif now - self.last_heard >= self.heartbeat:
+            try:
+                send_frame(self.sock, ("ping",))
+            except OSError:
+                self.log("dispatcher unreachable; dropping session")
+                return False
+            self.ping_sent = now
+        return True
 
     def _ensure_child(self) -> None:
         if self.child is None and fork_available():
@@ -201,6 +242,8 @@ class _Session:
         except (EOFError, OSError, GridError):
             self.log("dispatcher disconnected")
             return False
+        self.last_heard = time.monotonic()
+        self.ping_sent = None  # any frame proves the dispatcher lives
         kind = frame[0] if isinstance(frame, tuple) and frame else None
         if kind == "job":
             _, index, attempt, job = frame
@@ -214,6 +257,8 @@ class _Session:
         if kind == "ping":
             send_frame(self.sock, ("pong",))
             return True
+        if kind == "pong":
+            return True  # reply to our half-open probe
         if kind == "abort":
             index = frame[1]
             if self.running == index:
@@ -247,6 +292,8 @@ def serve_grid_worker(listen: str = "127.0.0.1:0", *,
                       token: str | None = None,
                       once: bool = False,
                       exit_after_jobs: int = 0,
+                      heartbeat: float | None = None,
+                      liveness: float | None = None,
                       out: IO[str] | None = None) -> int:
     """Run the worker daemon; blocks until told to exit.
 
@@ -254,10 +301,14 @@ def serve_grid_worker(listen: str = "127.0.0.1:0", *,
     (port 0 binds an ephemeral port), so launchers can parse the
     address.  ``once`` exits after the first dispatcher session;
     ``exit_after_jobs`` exits mid-session after that many completed
-    cells (chaos/rolling-restart testing).
+    cells (chaos/rolling-restart testing).  ``heartbeat``/``liveness``
+    are the worker-side half-open-session clocks, resolved with
+    clamp-and-warn by :func:`~repro.exec.backends.wire.resolve_liveness`.
     """
     out = out if out is not None else sys.stdout
     host, port = parse_hostport(listen)
+    # Resolve (and clamp-warn) once for the daemon, not per session.
+    heartbeat, liveness = resolve_liveness(heartbeat, liveness)
 
     def log(message: str) -> None:
         print(f"grid-worker: {message}", file=out, flush=True)
@@ -274,7 +325,8 @@ def serve_grid_worker(listen: str = "127.0.0.1:0", *,
             sock, peer = server.accept()
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             session = _Session(sock, token=token,
-                               exit_after_jobs=exit_after_jobs, log=log)
+                               exit_after_jobs=exit_after_jobs, log=log,
+                               heartbeat=heartbeat, liveness=liveness)
             try:
                 if session.handshake():
                     if not session.run():

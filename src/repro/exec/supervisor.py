@@ -97,6 +97,18 @@ class SupervisionReport:
     timeouts: int = 0
     job_errors: int = 0
     worker_respawns: int = 0
+    #: Duplicate ``done``/``failed`` deliveries dropped by the socket
+    #: backend's per-cell dedup (chaos duplication, late speculative
+    #: copies, resends across a reconnect).
+    duplicate_results: int = 0
+    #: Wire frames that failed their CRC32 (or carried an impossible
+    #: length prefix) and were quarantined with their connection.
+    quarantined_frames: int = 0
+    #: Successful worker reconnects through the circuit breaker.
+    reconnects: int = 0
+    #: Worker addresses given up on after consecutive reconnect
+    #: failures (circuit broken for the rest of the run).
+    broken_circuits: int = 0
     serial_fallback: bool = False
     #: Which backend executed the run ("fork", "async", "socket", or
     #: "serial" when no backend was engaged at all).
@@ -123,6 +135,16 @@ class SupervisionReport:
             parts.append(f"{self.total_retries} retry(ies)")
         if self.worker_respawns:
             parts.append(f"{self.worker_respawns} respawn(s)")
+        if self.duplicate_results:
+            parts.append(
+                f"{self.duplicate_results} duplicate result(s) dropped")
+        if self.quarantined_frames:
+            parts.append(
+                f"{self.quarantined_frames} corrupt frame(s) quarantined")
+        if self.reconnects:
+            parts.append(f"{self.reconnects} reconnect(s)")
+        if self.broken_circuits:
+            parts.append(f"{self.broken_circuits} circuit(s) broken")
         if self.serial_fallback:
             parts.append("serial fallback engaged")
         return ", ".join(parts)

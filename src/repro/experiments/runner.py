@@ -54,6 +54,7 @@ from repro.exec.backends import (
     resolve_backend,
     run_jobs,
 )
+from repro.exec.backends.wire import resolve_liveness
 from repro.exec.checkpoint import (
     CheckpointJournal,
     measurement_from_payload,
@@ -223,7 +224,9 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
               backend: str | None = None,
               grid_workers: str | Sequence | None = None,
               grid_task: GridTask | None = None,
-              grid_token: str | None = None) -> SweepAnalysis:
+              grid_token: str | None = None,
+              grid_heartbeat: float | None = None,
+              grid_liveness: float | None = None) -> SweepAnalysis:
     """Run every point ``scale.repetitions`` times; return the analysis.
 
     ``backend`` selects where the grid executes (explicit argument >
@@ -242,7 +245,11 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
       ``grid_task`` the importable spec builder each worker re-runs
       (:func:`spec_cell_task`; the ``run_setN`` entry points supply it
       automatically).  ``grid_token`` (default: ``REPRO_GRID_TOKEN``
-      env var) must match the daemons' token.
+      env var) must match the daemons' token, and
+      ``grid_heartbeat``/``grid_liveness`` set the dispatcher-side
+      liveness clocks (clamp-and-warn via
+      :func:`~repro.exec.backends.wire.resolve_liveness`; env
+      fallbacks ``REPRO_GRID_HEARTBEAT``/``REPRO_GRID_LIVENESS``).
 
     Whatever the backend, worker count, or crash schedule, the
     per-repetition seeds and the result order are identical, so the
@@ -319,8 +326,11 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale, *,
                 if backend_name == "socket":
                     token = grid_token if grid_token is not None \
                         else os.environ.get("REPRO_GRID_TOKEN") or None
+                    hb, lv = resolve_liveness(grid_heartbeat,
+                                              grid_liveness)
                     exec_backend = SocketBackend(
-                        grid_workers, grid_task, token=token)
+                        grid_workers, grid_task, token=token,
+                        heartbeat_interval=hb, liveness_timeout=lv)
                 else:
                     exec_backend = AsyncBackend()
                 report.backend = backend_name

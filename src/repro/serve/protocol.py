@@ -8,13 +8,32 @@ disk and on the wire — or a **control** object distinguished by a
 
 - ``{"type": "hello", "tenant": "jobA"}`` — optional first line
   binding the connection to a named tenant (reconnects resume the same
-  stream); without it the connection gets a fresh ``conn-<n>`` tenant;
+  stream); without it the connection gets a fresh ``conn-<n>`` tenant.
+  A hello may carry ``"resume": "<token>"`` — the resume token from a
+  previous welcome — to prove it continues that tenant's stream;
 - ``{"type": "end"}`` — finalize the tenant now; the server answers
   with one ``{"type": "result", ...}`` line carrying the settled
-  cumulative metrics.
+  cumulative metrics;
+- ``{"type": "sync"}`` — ask for an immediate ack (instead of waiting
+  for the every-1024 cadence); resume-capable clients use it to learn
+  ``records``/``next_seq`` before deciding what to resend.
 
-Server-to-client lines are JSON objects too (``ack`` / ``result`` /
-``error``), so both directions stay line-structured and tail-able.
+Two optional keys harden any line against a hostile network:
+
+- ``"crc"`` — the CRC32 (:func:`line_checksum`) of the object with the
+  ``crc`` key removed, computed over its canonical JSON form
+  (``sort_keys=True``, compact separators).  A line whose checksum
+  does not match is malformed — it goes through the tenant's salvage
+  quarantine exactly like unparseable JSON, and is never interpreted;
+- ``"seq"`` — a client-assigned record sequence number (0, 1, 2, ...).
+  The tenant admits each sequence number exactly once, so duplicated
+  or resent lines (chaos, reconnect replays) can never double-count,
+  and acks report ``next_seq`` — the first sequence number not yet
+  admitted — so a resuming client knows exactly where to rewind to.
+
+Server-to-client lines are JSON objects too (``ack`` / ``welcome`` /
+``result`` / ``error``), so both directions stay line-structured and
+tail-able.
 
 HTTP ingest reuses the same line decode over the request body.  The
 HTTP layer itself is a deliberately minimal hand-rolled parser (no
@@ -28,13 +47,14 @@ from __future__ import annotations
 import asyncio
 import json
 import re
+import zlib
 
 from repro.core.records import IORecord
 from repro.errors import ServeError, TraceFormatError
 from repro.trace_io.jsonltrace import record_from_object
 
 #: Control line types a client may send.
-CONTROL_TYPES = ("hello", "end")
+CONTROL_TYPES = ("hello", "end", "sync")
 
 #: Tenant names: printable, bounded, path/label-safe (they become file
 #: stems and Prometheus label values).
@@ -54,16 +74,47 @@ def validate_tenant_name(name) -> str:
     return name
 
 
-def decode_stream_line(line: str):
-    """Decode one socket line: ``(kind, payload)`` or None.
+def line_checksum(obj: dict) -> int:
+    """CRC32 of a line object's canonical JSON form (sans ``crc``)."""
+    return zlib.crc32(json.dumps(
+        obj, sort_keys=True, separators=(",", ":")).encode())
 
-    - ``("record", IORecord)`` for a trace record;
-    - ``("control", dict)`` for a hello/end control object;
+
+def verify_checksum(obj: dict) -> dict:
+    """Strip and verify an optional ``crc`` key; returns the object.
+
+    Both directions use this: the server on ingest lines (via
+    :func:`decode_wire_line`), and resume-capable clients on the
+    server's control lines — a welcome or ack corrupted in transit
+    must never be *believed* (a flipped ``next_seq`` digit would make
+    a client skip records), so a mismatch raises
+    :class:`~repro.errors.TraceFormatError`.
+    """
+    if "crc" not in obj:
+        return obj
+    claimed = obj.pop("crc")
+    actual = line_checksum(obj)
+    if claimed != actual:
+        raise TraceFormatError(
+            f"line checksum mismatch (claimed {claimed!r}, "
+            f"computed {actual}): corrupted in transit")
+    return obj
+
+
+def decode_wire_line(line: str):
+    """Decode one socket line: ``(kind, payload, seq)`` or None.
+
+    - ``("record", IORecord, seq)`` for a trace record (``seq`` is the
+      client's sequence number, or None when the line carries none);
+    - ``("control", dict, None)`` for a hello/end/sync control object;
     - ``None`` for blanks and ``#`` comments.
 
-    Malformed input raises :class:`~repro.errors.TraceFormatError`
-    with the reason only — the tenant's salvage session owns location
-    context, exactly like the file readers.
+    An optional ``crc`` key is verified (and stripped) *before* the
+    line is interpreted.  Malformed input — bad JSON, a checksum
+    mismatch, a non-integer ``seq`` — raises
+    :class:`~repro.errors.TraceFormatError` with the reason only; the
+    tenant's salvage session owns location context, exactly like the
+    file readers.
     """
     stripped = line.strip()
     if not stripped or stripped.startswith("#"):
@@ -72,24 +123,57 @@ def decode_stream_line(line: str):
         obj = json.loads(stripped)
     except json.JSONDecodeError as exc:
         raise TraceFormatError(f"invalid JSON: {exc}") from exc
-    if isinstance(obj, dict) and obj.get("type") in CONTROL_TYPES:
-        return ("control", obj)
-    return ("record", record_from_object(obj))
+    if isinstance(obj, dict):
+        obj = verify_checksum(obj)
+        if obj.get("type") in CONTROL_TYPES:
+            return ("control", obj, None)
+    seq = obj.get("seq") if isinstance(obj, dict) else None
+    if seq is not None:
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise TraceFormatError(
+                f"seq must be a non-negative integer, got {seq!r}")
+    return ("record", record_from_object(obj), seq)
 
 
-def control_line(kind: str, **fields) -> bytes:
-    """One server-to-client control line, newline-terminated."""
-    return (json.dumps({"type": kind, **fields}, sort_keys=True)
-            + "\n").encode()
+def decode_stream_line(line: str):
+    """:func:`decode_wire_line` without the seq (compat two-tuple)."""
+    decoded = decode_wire_line(line)
+    if decoded is None:
+        return None
+    kind, payload, _seq = decoded
+    return (kind, payload)
 
 
-def record_line(record: IORecord) -> bytes:
-    """One record as a wire line (load generators / tests)."""
-    return (json.dumps({
+def control_line(kind: str, *, checksum: bool = False,
+                 **fields) -> bytes:
+    """One server-to-client control line, newline-terminated.
+
+    ``checksum=True`` appends the ``crc`` integrity key (the daemon
+    sends every line checksummed so clients can reject corruption).
+    """
+    obj = {"type": kind, **fields}
+    if checksum:
+        obj["crc"] = line_checksum(obj)
+    return (json.dumps(obj, sort_keys=True) + "\n").encode()
+
+
+def record_line(record: IORecord, *, seq: int | None = None,
+                checksum: bool = False) -> bytes:
+    """One record as a wire line (load generators / tests).
+
+    ``seq`` numbers the record for exactly-once admission;
+    ``checksum`` appends the ``crc`` integrity key.
+    """
+    obj = {
         "pid": record.pid, "op": record.op, "nbytes": record.nbytes,
         "start": record.start, "end": record.end,
         "success": record.success, "retries": record.retries,
-    }) + "\n").encode()
+    }
+    if seq is not None:
+        obj["seq"] = seq
+    if checksum:
+        obj["crc"] = line_checksum(obj)
+    return (json.dumps(obj) + "\n").encode()
 
 
 # -- minimal HTTP ---------------------------------------------------------
@@ -127,9 +211,16 @@ class HttpRequest:
         self.body = body
 
 
-async def read_http_request(reader: asyncio.StreamReader,
+async def read_http_request(reader: asyncio.StreamReader, *,
+                            max_body_bytes: int = MAX_HTTP_BODY_BYTES,
                             ) -> HttpRequest | None:
-    """Parse one HTTP/1.x request; None on a clean EOF before any data."""
+    """Parse one HTTP/1.x request; None on a clean EOF before any data.
+
+    ``max_body_bytes`` caps the declared ``Content-Length`` — the
+    check happens before any body byte is read, so an oversized (or
+    corrupted) length can cost at most a 413, never an unbounded
+    buffer.
+    """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
     except asyncio.IncompleteReadError as exc:
@@ -161,8 +252,10 @@ async def read_http_request(reader: asyncio.StreamReader,
             n = int(length)
         except ValueError as exc:
             raise HttpError(400, "bad Content-Length") from exc
-        if n < 0 or n > MAX_HTTP_BODY_BYTES:
-            raise HttpError(413, f"body of {n} bytes exceeds limit")
+        if n < 0 or n > max_body_bytes:
+            raise HttpError(
+                413, f"body of {n} bytes exceeds the "
+                     f"{max_body_bytes}-byte limit")
         body = await reader.readexactly(n)
     return HttpRequest(method.upper(), path, headers, body)
 

@@ -31,7 +31,7 @@ from repro.live.sinks import (
     format_prometheus,
 )
 from repro.serve.budget import TenantBudget
-from repro.serve.protocol import validate_tenant_name
+from repro.serve.protocol import MAX_HTTP_BODY_BYTES, validate_tenant_name
 from repro.serve.tenant import ACTIVE, Tenant
 
 
@@ -64,10 +64,17 @@ class ServeConfig:
     baseline_history: int = 8
     #: Slow-consumer bound: seconds a client may stall an ack write.
     write_timeout: float = 10.0
+    #: Cap on one HTTP ingest body (a corrupted or hostile
+    #: Content-Length must not balloon the daemon).
+    max_body_bytes: int = MAX_HTTP_BODY_BYTES
 
     def __post_init__(self) -> None:
         if not (self.window > 0):
             raise ServeError(f"window must be > 0, got {self.window}")
+        if self.max_body_bytes < 1:
+            raise ServeError(
+                f"max_body_bytes must be >= 1, "
+                f"got {self.max_body_bytes}")
         if self.max_tenants < 1:
             raise ServeError(
                 f"max_tenants must be >= 1, got {self.max_tenants}")

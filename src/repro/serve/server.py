@@ -41,12 +41,12 @@ from repro.errors import ServeError, TraceFormatError
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     HttpError,
-    control_line,
     decode_stream_line,
     http_response,
     json_response,
     read_http_request,
 )
+from repro.serve.protocol import control_line as _plain_control_line
 from repro.serve.registry import ServeConfig, TenantRegistry
 from repro.serve.tenant import ACTIVE, Tenant
 
@@ -60,6 +60,13 @@ ACK_EVERY = 1024
 #: Upper bound on how long :meth:`BpsServer.drain` keeps re-cancelling
 #: live connection handlers before settling the tenants anyway.
 DRAIN_GRACE = 10.0
+
+
+def control_line(kind: str, **fields) -> bytes:
+    """Every line this daemon sends carries the ``crc`` integrity key,
+    so a client can refuse to *believe* an ack or welcome corrupted in
+    transit (a flipped ``next_seq`` digit must never skip records)."""
+    return _plain_control_line(kind, checksum=True, **fields)
 
 
 def _parse_endpoint(value: str) -> tuple[str, int]:
@@ -265,17 +272,18 @@ class BpsServer:
             if outcome is None:
                 continue
             kind = outcome.kind
-            if kind == "ok":
+            if kind in ("ok", "duplicate"):
                 if outcome.delay > 0.0:
                     # Rung 1: stop reading; the TCP window throttles
                     # the producer while we sleep off the arrears.
                     await asyncio.sleep(outcome.delay)
+                # Duplicates keep the ack cadence alive so a client
+                # resending a prefix after reconnect still hears
+                # where the server actually is.
                 admitted_since_ack += 1
                 if admitted_since_ack >= ACK_EVERY:
                     admitted_since_ack = 0
-                    await self._send(writer, control_line(
-                        "ack", tenant=tenant.name,
-                        records=tenant.stream.ops))
+                    await self._send(writer, self._ack_line(tenant))
                 continue
             if kind in ("shed", "bad-line"):
                 continue  # accounted in the meter / salvage report
@@ -299,11 +307,27 @@ class BpsServer:
             if not chunk or chunk.endswith(b"\n") or b"\n" in chunk:
                 return
 
+    def _ack_line(self, tenant: Tenant) -> bytes:
+        """An ack carrying the exactly-once bookkeeping a resuming
+        client needs: how many records are in, and the first sequence
+        number the server has not yet admitted."""
+        return control_line(
+            "ack", tenant=tenant.name,
+            records=tenant.records_admitted,
+            next_seq=tenant.next_seq)
+
     async def _bind_tenant(self, line: str, writer):
         """First data line: hello control or auto-named tenant.
 
         Returns ``(tenant, handled)`` — ``handled`` means the line was
         fully consumed (hello or a protocol error already answered).
+
+        A hello carrying ``"resume": <token>`` reattaches to an
+        existing tenant only when the token matches the one issued in
+        that tenant's first welcome — a stale or wrong token is a
+        protocol error, so a confused client can never write into
+        someone else's stream.  Token-less hellos to an existing name
+        keep the legacy attach semantics.
         """
         try:
             decoded = decode_stream_line(line)
@@ -311,7 +335,24 @@ class BpsServer:
             decoded = ("garbage", None)
         if decoded is not None and decoded[0] == "control" \
                 and decoded[1].get("type") == "hello":
-            name = decoded[1].get("tenant", "")
+            hello = decoded[1]
+            name = hello.get("tenant", "")
+            existing = self.registry.get(name) if name else None
+            resume = hello.get("resume")
+            if resume is not None:
+                if existing is None:
+                    self.protocol_errors += 1
+                    await self._send(writer, control_line(
+                        "error", error=f"cannot resume unknown "
+                                       f"tenant {name!r}"))
+                    return None, True
+                if resume != existing.resume_token:
+                    self.protocol_errors += 1
+                    await self._send(writer, control_line(
+                        "error", error=f"bad resume token for "
+                                       f"tenant {name!r}"))
+                    return None, True
+                existing.resumed_sessions += 1
             try:
                 tenant = self.registry.get_or_create(name)
             except ServeError as exc:
@@ -320,7 +361,10 @@ class BpsServer:
                     "error", error=str(exc)))
                 return None, True
             await self._send(writer, control_line(
-                "welcome", tenant=tenant.name, state=tenant.state))
+                "welcome", tenant=tenant.name, state=tenant.state,
+                resume=tenant.resume_token,
+                records=tenant.records_admitted,
+                next_seq=tenant.next_seq))
             return tenant, True
         self._conn_seq += 1
         name = f"conn-{self._conn_seq}"
@@ -342,10 +386,17 @@ class BpsServer:
             self.registry.write_prom_file()
             await self._send(writer, self._result_line(tenant))
             return True
+        if kind == "sync":
+            # Immediate ack on demand: the resume protocol's probe.
+            await self._send(writer, self._ack_line(tenant))
+            return False
         if kind == "hello":
             # Mid-stream hello: harmless no-op, re-ack the binding.
             await self._send(writer, control_line(
-                "welcome", tenant=tenant.name, state=tenant.state))
+                "welcome", tenant=tenant.name, state=tenant.state,
+                resume=tenant.resume_token,
+                records=tenant.records_admitted,
+                next_seq=tenant.next_seq))
         return False
 
     def _result_line(self, tenant: Tenant) -> bytes:
@@ -374,7 +425,9 @@ class BpsServer:
         writer.transport.set_write_buffer_limits(high=WRITE_HIGH_WATER)
         try:
             request = await asyncio.wait_for(
-                read_http_request(reader),
+                read_http_request(
+                    reader,
+                    max_body_bytes=self.config.max_body_bytes),
                 timeout=self.config.write_timeout)
             if request is None:
                 return

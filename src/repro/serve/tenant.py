@@ -25,6 +25,7 @@ loop.
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 from repro.errors import SalvageError, TraceFormatError
@@ -33,7 +34,7 @@ from repro.live.chunk import RecordChunk
 from repro.live.shard import ShardedMetricStream
 from repro.live.stream import LiveResult, MetricStream
 from repro.serve.budget import Admission, IngestMeter, TenantBudget
-from repro.serve.protocol import decode_stream_line
+from repro.serve.protocol import decode_wire_line
 from repro.trace_io.policy import ErrorPolicy, SalvageSession
 
 ACTIVE = "active"
@@ -49,8 +50,8 @@ class Outcome:
 
     def __init__(self, kind: str, *, admission: Admission | None = None,
                  control: dict | None = None, reason: str = "") -> None:
-        #: ``ok`` | ``shed`` | ``evicted`` | ``bad-line`` |
-        #: ``quarantined`` | ``control`` | ``closed``.
+        #: ``ok`` | ``duplicate`` | ``shed`` | ``evicted`` |
+        #: ``bad-line`` | ``quarantined`` | ``control`` | ``closed``.
         self.kind = kind
         self.admission = admission
         self.control = control
@@ -59,6 +60,37 @@ class Outcome:
     @property
     def delay(self) -> float:
         return self.admission.delay if self.admission else 0.0
+
+
+class _SeqTracker:
+    """Exactly-once admission for client-numbered records.
+
+    Tracks the dense prefix as a single integer (``next_seq``: the
+    first sequence number not yet admitted) plus a sparse set of
+    numbers admitted ahead of it, so memory stays bounded by the
+    reorder window, not the stream length.  ``admit`` returns False
+    for anything seen before — duplicated frames, resent prefixes
+    after a reconnect — and advances the prefix over any contiguous
+    ahead-entries it unlocks.
+    """
+
+    __slots__ = ("next_seq", "_ahead")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self._ahead: set[int] = set()
+
+    def admit(self, seq: int) -> bool:
+        if seq < self.next_seq or seq in self._ahead:
+            return False
+        if seq != self.next_seq:
+            self._ahead.add(seq)
+            return True
+        self.next_seq += 1
+        while self.next_seq in self._ahead:
+            self._ahead.remove(self.next_seq)
+            self.next_seq += 1
+        return True
 
 
 class _PromCapture:
@@ -111,6 +143,18 @@ class Tenant:
         self.budget = budget or TenantBudget()
         self.meter = IngestMeter(self.budget, clock=clock)
         self.prom = _PromCapture()
+        #: Proof-of-continuity for session resume: a reconnecting
+        #: client must echo this to reattach (guards against a stray
+        #: client accidentally writing into someone else's stream).
+        self.resume_token = os.urandom(8).hex()
+        self.resumed_sessions = 0
+        #: Records actually folded into the stream (duplicates and
+        #: shed records excluded) — what acks report as ``records``.
+        self.records_admitted = 0
+        #: Seq-numbered lines dropped because their number was already
+        #: admitted (chaos duplication, reconnect replays).
+        self.duplicate_records = 0
+        self._seq = _SeqTracker()
         self._session = SalvageSession(
             ErrorPolicy(error_mode, max_error_ratio=max_error_ratio),
             f"tenant:{name}")
@@ -163,21 +207,35 @@ class Tenant:
         self.touch()
         self._line_number += 1
         try:
-            decoded = decode_stream_line(line)
+            decoded = decode_wire_line(line)
         except TraceFormatError as exc:
             return self._bad_line(str(exc), line)
         if decoded is None:
             return None
-        kind, payload = decoded
+        kind, payload, seq = decoded
         if kind == "control":
             return Outcome("control", control=payload)
-        return self.feed_record(payload)
+        return self.feed_record(payload, seq=seq)
 
-    def feed_record(self, record) -> Outcome:
-        """Budget-check and ingest one already-decoded record."""
+    @property
+    def next_seq(self) -> int:
+        """First sequence number not yet admitted (resume point)."""
+        return self._seq.next_seq
+
+    def feed_record(self, record, *, seq: int | None = None) -> Outcome:
+        """Budget-check and ingest one already-decoded record.
+
+        ``seq`` engages exactly-once admission: a sequence number seen
+        before is dropped (kind ``"duplicate"``) *before* it touches
+        the budget meter or the stream, so replays cost nothing and
+        count nothing.
+        """
         if self.state != ACTIVE:
             return Outcome("closed", reason=self.state_reason
                            or self.state)
+        if seq is not None and not self._seq.admit(seq):
+            self.duplicate_records += 1
+            return Outcome("duplicate")
         admission = self.meter.admit(record.nbytes)
         if admission.action == "shed":
             return Outcome("shed", admission=admission)
@@ -192,6 +250,7 @@ class Tenant:
         except Exception as exc:  # noqa: BLE001 — crash isolation
             return self._crashed(exc)
         self._session.kept()
+        self.records_admitted += 1
         return Outcome("ok", admission=admission)
 
     def _ingest(self, record) -> None:
@@ -303,6 +362,10 @@ class Tenant:
             "state": self.state,
             "state_reason": self.state_reason,
             "records": self.stream.ops + len(self._chunk_buffer),
+            "records_admitted": self.records_admitted,
+            "duplicate_records": self.duplicate_records,
+            "resumed_sessions": self.resumed_sessions,
+            "next_seq": self.next_seq,
             "bytes": self.stream.nbytes,
             "late_records": self.stream.late_records,
             "forced_watermarks": self.stream.forced_watermarks,

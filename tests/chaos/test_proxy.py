@@ -1,0 +1,324 @@
+"""ChaosProxy fault injection against a live TCP collector.
+
+Each test points the proxy at a local collector server speaking the
+real protocols (grid wire frames or serve JSON lines) and checks that
+the injected fault is visible exactly where the hardened receivers
+would see it — a CRC mismatch, a duplicated unit, a reset — and that
+``stats()`` accounts for what the schedule did.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.chaos import (
+    CORRUPT,
+    DUPLICATE,
+    HALF_OPEN,
+    LATENCY,
+    PARTITION,
+    REORDER,
+    RESET,
+    SLOW_LORIS,
+    TRUNCATE,
+    ChaosEvent,
+    ChaosProxy,
+    ChaosSchedule,
+)
+from repro.errors import ChaosError, FrameCorruptionError, TraceFormatError
+from repro.exec.backends.wire import recv_frame, send_frame
+from repro.serve.protocol import line_checksum, verify_checksum
+
+
+def wait_until(predicate, timeout=8.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class Collector:
+    """Accepts proxied connections and records every protocol unit."""
+
+    def __init__(self, mode):
+        self.mode = mode
+        self.units = []       # decoded frames / raw line bytes
+        self.errors = []      # exceptions hit while receiving
+        self._stop = threading.Event()
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET,
+                                socket.SO_REUSEADDR, 1)
+        self._server.bind(("127.0.0.1", 0))
+        self._server.listen(8)
+        self._server.settimeout(0.1)
+        self.address = "{}:{}".format(*self._server.getsockname()[:2])
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        daemon=True)
+        self._thread.start()
+
+    def _accept_loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, _peer = self._server.accept()
+            except (TimeoutError, socket.timeout):
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._serve, args=(conn,),
+                             daemon=True).start()
+
+    def _serve(self, conn):
+        conn.settimeout(10.0)
+        try:
+            if self.mode == "frames":
+                while True:
+                    self.units.append(recv_frame(conn))
+            else:
+                buf = b""
+                while True:
+                    data = conn.recv(1 << 16)
+                    if not data:
+                        return
+                    buf += data
+                    while b"\n" in buf:
+                        end = buf.index(b"\n") + 1
+                        self.units.append(buf[:end])
+                        buf = buf[end:]
+        except EOFError:
+            pass
+        except (FrameCorruptionError, OSError) as exc:
+            self.errors.append(exc)
+        finally:
+            conn.close()
+
+    def close(self):
+        self._stop.set()
+        self._server.close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def connect(proxy):
+    host, port = proxy.address
+    sock = socket.create_connection((host, port), timeout=10.0)
+    sock.settimeout(10.0)
+    return sock
+
+
+class TestFramesMode:
+    def test_empty_schedule_is_a_clean_passthrough(self):
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, ChaosSchedule(seed=0)) as proxy:
+            sock = connect(proxy)
+            payloads = [{"i": i, "blob": "x" * 300} for i in range(5)]
+            for obj in payloads:
+                send_frame(sock, obj)
+            sock.close()
+            assert wait_until(lambda: len(sink.units) == 5)
+            assert sink.units == payloads
+            assert not sink.errors
+        stats = proxy.stats()
+        assert stats["connections"] == 1
+        assert stats["forwarded"] == 5
+        assert stats["corrupted"] == 0
+
+    def test_corruption_is_caught_by_the_frame_crc(self):
+        schedule = ChaosSchedule(seed=1, events=(
+            ChaosEvent(CORRUPT, direction="c2s"),))
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)
+            send_frame(sock, {"poison": "p" * 500})
+            assert wait_until(lambda: sink.errors)
+            sock.close()
+            assert sink.units == []
+            assert isinstance(sink.errors[0], FrameCorruptionError)
+            assert "checksum mismatch" in str(sink.errors[0])
+            assert proxy.stats()["corrupted"] == 1
+
+    def test_duplicate_forwards_the_frame_twice(self):
+        schedule = ChaosSchedule(seed=1, events=(
+            ChaosEvent(DUPLICATE, direction="c2s"),))
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)
+            for i in range(3):
+                send_frame(sock, {"i": i})
+            sock.close()
+            assert wait_until(lambda: len(sink.units) == 6)
+            assert sink.units == [{"i": 0}, {"i": 0}, {"i": 1},
+                                  {"i": 1}, {"i": 2}, {"i": 2}]
+            assert proxy.stats()["duplicated"] == 3
+
+    def test_reorder_holds_a_frame_until_the_next(self):
+        schedule = ChaosSchedule(seed=1, events=(
+            ChaosEvent(REORDER, direction="c2s"),))
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)
+            for i in range(3):
+                send_frame(sock, {"i": i})
+            sock.close()
+            # Frame 0 held until 1 arrives; 2 held, flushed at EOF.
+            assert wait_until(lambda: len(sink.units) == 3)
+            assert sink.units == [{"i": 1}, {"i": 0}, {"i": 2}]
+            assert proxy.stats()["reordered"] == 2
+
+    def test_reset_cuts_the_connection_at_the_indexed_frame(self):
+        schedule = ChaosSchedule(seed=1, events=(
+            ChaosEvent(RESET, direction="c2s", frame_at=2),))
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)
+            with pytest.raises(OSError):
+                for i in range(50):
+                    send_frame(sock, {"i": i, "pad": "x" * 2000})
+                    time.sleep(0.01)
+                # The RST may land after every send succeeded; force
+                # the error surface by reading the dead socket.
+                sock.settimeout(5.0)
+                while True:
+                    if sock.recv(1024) == b"":
+                        raise ConnectionResetError("peer closed")
+            sock.close()
+            assert wait_until(
+                lambda: proxy.stats()["resets"] == 1)
+            assert len(sink.units) <= 2
+
+    def test_half_open_silently_swallows_frames(self):
+        schedule = ChaosSchedule(seed=1, events=(
+            ChaosEvent(HALF_OPEN, direction="c2s", frame_at=1),))
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)
+            for i in range(4):
+                send_frame(sock, {"i": i})  # never raises: socket is up
+            assert wait_until(
+                lambda: proxy.stats()["dropped"] == 3)
+            sock.close()
+            assert sink.units == [{"i": 0}]
+            assert not sink.errors
+
+    def test_truncate_delivers_a_partial_frame_then_resets(self):
+        schedule = ChaosSchedule(seed=1, events=(
+            ChaosEvent(TRUNCATE, direction="c2s"),))
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)
+            send_frame(sock, {"big": "y" * 5000})
+            assert wait_until(lambda: sink.errors)
+            sock.close()
+            assert sink.units == []
+            stats = proxy.stats()
+            assert stats["truncated"] == 1
+            assert stats["resets"] == 1
+
+    def test_timing_faults_never_change_payloads(self):
+        schedule = ChaosSchedule(seed=1, events=(
+            ChaosEvent(LATENCY, at=0.0, duration=60.0,
+                       latency_s=0.01, jitter_s=0.01),
+            ChaosEvent(SLOW_LORIS, at=0.0, duration=60.0,
+                       chunk_bytes=64, delay_s=0.001),))
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)
+            payloads = [{"i": i, "blob": "z" * 400} for i in range(3)]
+            for obj in payloads:
+                send_frame(sock, obj)
+            sock.close()
+            assert wait_until(lambda: len(sink.units) == 3)
+            assert sink.units == payloads
+            assert not sink.errors
+
+
+class TestLinesMode:
+    @staticmethod
+    def checksummed_line(**obj):
+        obj["crc"] = line_checksum(obj)
+        return (json.dumps(obj, sort_keys=True) + "\n").encode()
+
+    def test_line_corruption_fails_the_line_checksum(self):
+        schedule = ChaosSchedule(seed=2, mode="lines", events=(
+            ChaosEvent(CORRUPT, direction="c2s"),))
+        with Collector("lines") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)
+            line = self.checksummed_line(op="read", nbytes=4096,
+                                         start=0.0, end=0.01)
+            sock.sendall(line)
+            sock.close()
+            assert wait_until(lambda: len(sink.units) == 1)
+            received = sink.units[0]
+            assert received != line
+            assert received.endswith(b"\n")  # newline spared: framing intact
+            # However the flipped byte lands — undecodable bytes,
+            # broken JSON, or still-valid JSON with a stale crc — the
+            # line must never be believed.
+            with pytest.raises((TraceFormatError, UnicodeDecodeError,
+                                json.JSONDecodeError)):
+                verify_checksum(json.loads(received))
+            assert proxy.stats()["corrupted"] == 1
+
+    def test_duplicate_and_reorder_operate_on_whole_lines(self):
+        schedule = ChaosSchedule(seed=2, mode="lines", events=(
+            ChaosEvent(DUPLICATE, direction="c2s", frame_at=0,
+                       frame_count=1),
+            ChaosEvent(REORDER, direction="c2s", frame_at=1,
+                       frame_count=1),))
+        with Collector("lines") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)
+            lines = [json.dumps({"seq": i}).encode() + b"\n"
+                     for i in range(3)]
+            for line in lines:
+                sock.sendall(line)
+            sock.close()
+            # line0 duplicated; line1 held and released when line2 lands.
+            assert wait_until(lambda: len(sink.units) == 4)
+            assert sink.units == [lines[0], lines[0],
+                                  lines[2], lines[1]]
+
+
+class TestLifecycle:
+    def test_partition_refuses_then_heals(self):
+        schedule = ChaosSchedule(seed=3, events=(
+            ChaosEvent(PARTITION, at=0.0, duration=0.6),))
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, schedule) as proxy:
+            sock = connect(proxy)  # accepted, then refused mid-partition
+            assert sock.recv(1024) == b""  # proxy closed it
+            sock.close()
+            assert wait_until(
+                lambda: proxy.stats()["rejected"] >= 1)
+            time.sleep(0.7)  # outlive the partition window
+            sock = connect(proxy)
+            send_frame(sock, {"healed": True})
+            sock.close()
+            assert wait_until(lambda: sink.units == [{"healed": True}])
+
+    def test_double_start_is_an_error(self):
+        with Collector("frames") as sink:
+            proxy = ChaosProxy(sink.address, ChaosSchedule(seed=0))
+            proxy.start()
+            try:
+                with pytest.raises(ChaosError, match="already started"):
+                    proxy.start()
+            finally:
+                proxy.stop()
+
+    def test_stats_is_a_snapshot_copy(self):
+        with Collector("frames") as sink, \
+                ChaosProxy(sink.address, ChaosSchedule(seed=0)) as proxy:
+            snapshot = proxy.stats()
+            snapshot["forwarded"] = 999
+            assert proxy.stats()["forwarded"] == 0

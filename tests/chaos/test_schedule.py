@@ -1,0 +1,302 @@
+"""ChaosSchedule / ChaosEvent / ChaosCursor semantics.
+
+The determinism contract is the whole point of the chaos layer: the
+same (seed, connection, direction) key must replay the same fault
+decisions bit-identically, and timing jitter must never perturb them.
+"""
+
+import math
+
+import pytest
+
+from repro.chaos import (
+    BANDWIDTH,
+    CORRUPT,
+    DUPLICATE,
+    HALF_OPEN,
+    LATENCY,
+    PARTITION,
+    REORDER,
+    RESET,
+    SLOW_LORIS,
+    TRUNCATE,
+    ChaosEvent,
+    ChaosSchedule,
+    random_chaos_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.errors import ChaosError
+from repro.util.rng import RngStream
+
+
+class TestEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ChaosError, match="unknown chaos kind"):
+            ChaosEvent("gremlins")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ChaosError, match="direction"):
+            ChaosEvent(CORRUPT, direction="sideways")
+
+    @pytest.mark.parametrize("connections", [(), (-1,), (0, -2)])
+    def test_bad_connections_rejected(self, connections):
+        with pytest.raises(ChaosError, match="connection indexes"):
+            ChaosEvent(RESET, connections=connections)
+
+    @pytest.mark.parametrize("probability", [0.0, -0.5, 1.5])
+    def test_probability_outside_unit_interval(self, probability):
+        with pytest.raises(ChaosError, match="probability"):
+            ChaosEvent(CORRUPT, probability=probability)
+
+    def test_negative_frame_window_rejected(self):
+        with pytest.raises(ChaosError, match="frame_at"):
+            ChaosEvent(CORRUPT, frame_at=-1)
+        with pytest.raises(ChaosError, match="frame_count"):
+            ChaosEvent(CORRUPT, frame_count=0)
+
+    def test_infinite_partition_rejected(self):
+        with pytest.raises(ChaosError, match="finite duration"):
+            ChaosEvent(PARTITION, at=1.0)
+
+    def test_bandwidth_needs_positive_rate(self):
+        with pytest.raises(ChaosError, match="bytes_per_s"):
+            ChaosEvent(BANDWIDTH, at=0.0, duration=1.0)
+
+    def test_latency_rejects_negative_jitter(self):
+        with pytest.raises(ChaosError, match="latency"):
+            ChaosEvent(LATENCY, duration=1.0, latency_s=-0.1)
+
+    def test_slow_loris_needs_sane_pacing(self):
+        with pytest.raises(ChaosError, match="slow-loris"):
+            ChaosEvent(SLOW_LORIS, duration=1.0, chunk_bytes=0)
+
+    def test_timing_windows_reject_nonsense(self):
+        with pytest.raises(ChaosError, match="window start"):
+            ChaosEvent(LATENCY, at=-1.0, duration=1.0)
+        with pytest.raises(ChaosError, match="duration"):
+            ChaosEvent(LATENCY, at=0.0, duration=0.0)
+
+
+class TestScheduleValidation:
+    def test_seed_must_be_nonnegative_int(self):
+        with pytest.raises(ChaosError, match="seed"):
+            ChaosSchedule(seed=-1)
+        with pytest.raises(ChaosError, match="seed"):
+            ChaosSchedule(seed=True)
+
+    def test_mode_must_be_frames_or_lines(self):
+        with pytest.raises(ChaosError, match="mode"):
+            ChaosSchedule(seed=0, mode="packets")
+
+    def test_events_coerced_to_tuple_and_iterable(self):
+        schedule = ChaosSchedule(
+            seed=3, events=[ChaosEvent(CORRUPT, probability=0.5)])
+        assert isinstance(schedule.events, tuple)
+        assert len(schedule) == 1
+        assert [e.kind for e in schedule] == [CORRUPT]
+
+
+class TestWindows:
+    def test_frame_window_bounds(self):
+        event = ChaosEvent(CORRUPT, frame_at=5, frame_count=3,
+                           probability=0.5)
+        hits = [i for i in range(12) if event.frame_in_window(i)]
+        assert hits == [5, 6, 7]
+
+    def test_open_ended_frame_window(self):
+        event = ChaosEvent(DUPLICATE, frame_at=4, probability=0.5)
+        assert not event.frame_in_window(3)
+        assert event.frame_in_window(4)
+        assert event.frame_in_window(10 ** 6)
+
+    def test_time_window_half_open(self):
+        event = ChaosEvent(LATENCY, at=1.0, duration=2.0, latency_s=0.01)
+        assert not event.time_in_window(0.999)
+        assert event.time_in_window(1.0)
+        assert not event.time_in_window(3.0)
+
+    def test_applies_to_direction_and_connection(self):
+        event = ChaosEvent(CORRUPT, direction="c2s", connections=(1, 3),
+                           probability=0.5)
+        assert event.applies_to(1, "c2s")
+        assert not event.applies_to(1, "s2c")
+        assert not event.applies_to(2, "c2s")
+
+    def test_partition_until_reports_window_end(self):
+        schedule = ChaosSchedule(seed=0, events=(
+            ChaosEvent(PARTITION, at=1.0, duration=0.5),))
+        assert schedule.partition_until(0.5) is None
+        assert schedule.partition_until(1.2) == pytest.approx(1.5)
+        assert schedule.partition_until(1.6) is None
+
+    def test_timing_events_filters_domain_and_window(self):
+        schedule = ChaosSchedule(seed=0, events=(
+            ChaosEvent(CORRUPT, probability=0.5),
+            ChaosEvent(LATENCY, at=0.0, duration=1.0, latency_s=0.01),
+            ChaosEvent(BANDWIDTH, at=5.0, duration=1.0,
+                       bytes_per_s=1000.0),))
+        active = schedule.timing_events(0, "c2s", 0.5)
+        assert [e.kind for e in active] == [LATENCY]
+
+
+class TestCursorDeterminism:
+    SCHEDULE = ChaosSchedule(seed=42, events=(
+        ChaosEvent(CORRUPT, probability=0.3),
+        ChaosEvent(DUPLICATE, probability=0.4),
+        ChaosEvent(REORDER, frame_at=5, probability=0.4),))
+
+    def test_same_key_replays_identically(self):
+        cursors = [self.SCHEDULE.cursor(2, "s2c") for _ in range(2)]
+        seqs = [[c.decide() for _ in range(80)] for c in cursors]
+        assert seqs[0] == seqs[1]
+
+    def test_directions_draw_independent_streams(self):
+        c2s = self.SCHEDULE.cursor(0, "c2s")
+        s2c = self.SCHEDULE.cursor(0, "s2c")
+        a = [c2s.decide() for _ in range(80)]
+        b = [s2c.decide() for _ in range(80)]
+        assert a != b  # 80 independent Bernoulli draws; p(equal) ~ 0
+
+    def test_jitter_never_perturbs_decisions(self):
+        quiet = self.SCHEDULE.cursor(1, "c2s")
+        noisy = self.SCHEDULE.cursor(1, "c2s")
+        decisions_quiet, decisions_noisy = [], []
+        for i in range(60):
+            decisions_quiet.append(quiet.decide())
+            noisy.jitter(0.5)  # timing draw between every decision
+            decisions_noisy.append(noisy.decide())
+            assert noisy.jitter(0.25) >= 0.0
+        assert decisions_quiet == decisions_noisy
+
+    def test_one_shot_fires_exactly_once(self):
+        schedule = ChaosSchedule(seed=1, events=(
+            ChaosEvent(RESET, frame_at=3),
+            ChaosEvent(HALF_OPEN, frame_at=6),
+            ChaosEvent(TRUNCATE, frame_at=9),))
+        cursor = schedule.cursor(0, "c2s")
+        actions = [cursor.decide() for _ in range(15)]
+        assert actions[3] == [RESET]
+        assert actions[6] == [HALF_OPEN]
+        assert actions[9] == [TRUNCATE]
+        fired = [a for a in actions if a]
+        assert len(fired) == 3
+
+    def test_probability_one_always_fires(self):
+        schedule = ChaosSchedule(seed=0, events=(
+            ChaosEvent(DUPLICATE, probability=1.0),))
+        cursor = schedule.cursor(0, "s2c")
+        assert all(cursor.decide() == [DUPLICATE] for _ in range(20))
+
+    def test_corrupt_offset_bounded_and_deterministic(self):
+        a = self.SCHEDULE.cursor(0, "c2s")
+        b = self.SCHEDULE.cursor(0, "c2s")
+        offsets = [(a.corrupt_offset(64), b.corrupt_offset(64))
+                   for _ in range(50)]
+        assert all(x == y for x, y in offsets)
+        assert all(0 <= x < 64 for x, _ in offsets)
+        assert a.corrupt_offset(0) == 0
+
+    def test_cursor_rejects_both_direction(self):
+        with pytest.raises(ChaosError, match="c2s or s2c"):
+            self.SCHEDULE.cursor(0, "both")
+
+
+class TestDescribe:
+    def test_event_lines_mention_kind_and_window(self):
+        frame = ChaosEvent(CORRUPT, frame_at=3, frame_count=10,
+                           probability=0.25)
+        assert "corrupt" in frame.describe()
+        assert "[3, 13)" in frame.describe()
+        timing = ChaosEvent(PARTITION, at=1.0, duration=0.5)
+        assert "partition" in timing.describe()
+        assert math.isfinite(1.5)  # window end rendered below
+        assert "1.5" in timing.describe()
+
+    def test_schedule_describe_includes_seed_and_mode(self):
+        schedule = ChaosSchedule(seed=9, mode="lines", events=(
+            ChaosEvent(RESET, frame_at=2),))
+        text = schedule.describe()
+        assert "seed=9" in text
+        assert "mode=lines" in text
+        assert "reset" in text
+        assert ChaosSchedule(seed=0).describe() == \
+            "(empty chaos schedule)"
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_schedule(self):
+        schedule = ChaosSchedule(seed=17, mode="lines", events=(
+            ChaosEvent(CORRUPT, direction="c2s", frame_at=2,
+                       frame_count=50, probability=0.1),
+            ChaosEvent(RESET, connections=(0, 2), frame_at=9),
+            ChaosEvent(PARTITION, at=0.5, duration=0.25),
+            ChaosEvent(LATENCY, at=0.0, duration=2.0,
+                       latency_s=0.01, jitter_s=0.005),))
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt == schedule
+
+    def test_dict_is_json_safe_and_sparse(self):
+        import json
+
+        schedule = ChaosSchedule(seed=1, events=(
+            ChaosEvent(DUPLICATE, probability=0.5),))
+        payload = schedule_to_dict(schedule)
+        json.dumps(payload)  # must not raise
+        # Defaulted fields are omitted, keeping authored files small.
+        assert payload["events"][0] == \
+            {"kind": "duplicate", "probability": 0.5}
+
+    def test_unknown_schedule_key_rejected(self):
+        with pytest.raises(ChaosError, match="unknown schedule keys"):
+            schedule_from_dict({"seed": 0, "evnets": []})
+
+    def test_unknown_event_key_rejected(self):
+        with pytest.raises(ChaosError, match="unknown keys"):
+            schedule_from_dict(
+                {"seed": 0,
+                 "events": [{"kind": "corrupt", "probablity": 0.5}]})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ChaosError, match="JSON object"):
+            schedule_from_dict([1, 2, 3])
+
+    def test_connections_list_becomes_tuple(self):
+        schedule = schedule_from_dict(
+            {"seed": 0,
+             "events": [{"kind": "reset", "connections": [1, 2]}]})
+        assert schedule.events[0].connections == (1, 2)
+
+
+class TestRandomSchedule:
+    def test_same_stream_draws_same_schedule(self):
+        a = random_chaos_schedule(RngStream.from_seed(5, "chaos"))
+        b = random_chaos_schedule(RngStream.from_seed(5, "chaos"))
+        assert a == b
+
+    def test_mode_and_knobs_flow_through(self):
+        schedule = random_chaos_schedule(
+            RngStream.from_seed(1, "chaos"), mode="lines",
+            partitions=2, resets=3)
+        assert schedule.mode == "lines"
+        kinds = [e.kind for e in schedule]
+        assert kinds.count(PARTITION) == 2
+        assert kinds.count(RESET) == 3
+
+    def test_severity_scales_probabilities(self):
+        mild = random_chaos_schedule(
+            RngStream.from_seed(2, "chaos"), severity=0.1)
+        harsh = random_chaos_schedule(
+            RngStream.from_seed(2, "chaos"), severity=5.0)
+        prob = {s: [e.probability for e in s
+                    if e.kind in (CORRUPT, DUPLICATE, REORDER)]
+                for s in (mild, harsh)}
+        assert sum(prob[harsh]) > sum(prob[mild])
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ChaosError, match="severity"):
+            random_chaos_schedule(
+                RngStream.from_seed(0, "chaos"), severity=0.0)
+        with pytest.raises(ChaosError, match="horizon"):
+            random_chaos_schedule(
+                RngStream.from_seed(0, "chaos"), horizon_frames=5)

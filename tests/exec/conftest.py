@@ -1,0 +1,56 @@
+"""Shared fixtures for driving real ``bps grid-worker`` daemons."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+FACTORY_MODULE = """\
+def make(offset=0):
+    def run(job):
+        import time
+        if isinstance(job, (tuple, list)):
+            value, delay = job
+            time.sleep(delay)
+            return value + offset
+        return job + offset
+    return run
+"""
+
+
+@pytest.fixture
+def factory_dir(tmp_path):
+    (tmp_path / "grid_test_factory.py").write_text(FACTORY_MODULE)
+    return tmp_path
+
+
+@pytest.fixture
+def spawn_worker(factory_dir):
+    procs = []
+
+    def spawn(*extra_args, env_extra=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(REPO_SRC), str(factory_dir)])
+        env.update(env_extra or {})
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "grid-worker",
+             "--listen", "127.0.0.1:0", *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        procs.append(proc)
+        banner = proc.stdout.readline().strip()
+        assert "grid-worker listening on" in banner, banner
+        return proc, banner.rsplit(" ", 1)[-1]
+
+    yield spawn
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()

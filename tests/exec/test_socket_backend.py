@@ -6,10 +6,7 @@ under the shared driver — handshake, liveness, worker death, and
 dispatcher-side aborts all exercised over a real TCP socket.
 """
 
-import os
 import signal
-import subprocess
-import sys
 import time
 
 import pytest
@@ -18,56 +15,8 @@ from repro.errors import GridError
 from repro.exec.backends import GridTask, SocketBackend, run_jobs
 from repro.exec.supervisor import SupervisionReport, SupervisorPolicy
 
-REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
-
-FACTORY_MODULE = """\
-def make(offset=0):
-    def run(job):
-        import time
-        if isinstance(job, (tuple, list)):
-            value, delay = job
-            time.sleep(delay)
-            return value + offset
-        return job + offset
-    return run
-"""
-
-
-@pytest.fixture
-def factory_dir(tmp_path):
-    (tmp_path / "grid_test_factory.py").write_text(FACTORY_MODULE)
-    return tmp_path
-
-
-@pytest.fixture
-def spawn_worker(factory_dir):
-    procs = []
-
-    def spawn(*extra_args, env_extra=None):
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.pathsep.join(
-            [os.path.abspath(REPO_SRC), str(factory_dir)])
-        env.update(env_extra or {})
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "grid-worker",
-             "--listen", "127.0.0.1:0", *extra_args],
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-            text=True, env=env)
-        procs.append(proc)
-        banner = proc.stdout.readline().strip()
-        assert "grid-worker listening on" in banner, banner
-        return proc, banner.rsplit(" ", 1)[-1]
-
-    yield spawn
-    for proc in procs:
-        if proc.poll() is None:
-            proc.terminate()
-        try:
-            proc.wait(timeout=10)
-        except subprocess.TimeoutExpired:
-            proc.kill()
-
-
+# The spawn_worker / factory_dir fixtures live in conftest.py, shared
+# with the exactly-once chaos tests.
 TASK = GridTask("grid_test_factory:make", kwargs={"offset": 100})
 
 

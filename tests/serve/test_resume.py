@@ -1,0 +1,262 @@
+"""Session resume, seq-based exactly-once admission, and line CRCs.
+
+The resume protocol's contract: a client that reconnects mid-stream
+with the welcome's resume token and rewinds to the acked ``next_seq``
+loses no records and double-counts none, and every server line carries
+a CRC so a corrupted ack can never be believed.
+"""
+
+import asyncio
+import json
+
+from repro.core.metrics import compute_metrics
+from repro.core.records import TraceCollection
+from repro.serve.protocol import record_line, verify_checksum
+from tests.serve.test_server import (
+    end_stream,
+    open_stream,
+    run_async,
+    start_server,
+    steady_records,
+)
+
+
+async def hello(server, name, resume=None):
+    """Open a stream and bind it; returns (reader, writer, welcome)."""
+    reader, writer = await open_stream(server)
+    obj = {"type": "hello", "tenant": name}
+    if resume is not None:
+        obj["resume"] = resume
+    writer.write(json.dumps(obj).encode() + b"\n")
+    await writer.drain()
+    reply = json.loads(await reader.readline())
+    return reader, writer, reply
+
+
+async def send_seq_records(writer, records, start=0, stop=None):
+    for seq in range(start, len(records) if stop is None else stop):
+        writer.write(record_line(records[seq], seq=seq, checksum=True))
+    await writer.drain()
+
+
+async def sync(reader, writer):
+    writer.write(b'{"type": "sync"}\n')
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+class TestSeqAdmission:
+    def test_resent_prefix_is_deduplicated(self):
+        records = steady_records(40)
+
+        async def scenario():
+            server = await start_server(window=0.1)
+            try:
+                reader, writer, _welcome = await hello(server, "jobA")
+                await send_seq_records(writer, records)
+                # A paranoid client replays the last 15 records.
+                await send_seq_records(writer, records, start=25)
+                return await end_stream(reader, writer)
+            finally:
+                await server.drain()
+
+        result = run_async(scenario())
+        assert result["final"]["ops"] == 40
+        assert result["records_admitted"] == 40
+        assert result["duplicate_records"] == 15
+
+    def test_sync_acks_immediately_with_the_resume_point(self):
+        records = steady_records(7)
+
+        async def scenario():
+            server = await start_server(window=0.1)
+            try:
+                reader, writer, welcome = await hello(server, "jobB")
+                await send_seq_records(writer, records)
+                ack = await sync(reader, writer)
+                await end_stream(reader, writer)
+                return welcome, ack
+            finally:
+                await server.drain()
+
+        welcome, ack = run_async(scenario())
+        assert welcome["next_seq"] == 0
+        assert ack["type"] == "ack"
+        assert ack["records"] == 7
+        assert ack["next_seq"] == 7
+
+    def test_out_of_order_arrival_still_admits_each_once(self):
+        records = steady_records(6)
+
+        async def scenario():
+            server = await start_server(window=0.1)
+            try:
+                reader, writer, _welcome = await hello(server, "jobC")
+                for seq in (0, 2, 1, 4, 5, 3, 2, 0):
+                    writer.write(record_line(records[seq], seq=seq,
+                                             checksum=True))
+                await writer.drain()
+                return await end_stream(reader, writer)
+            finally:
+                await server.drain()
+
+        result = run_async(scenario())
+        assert result["final"]["ops"] == 6
+        assert result["duplicate_records"] == 2
+        assert result["next_seq"] == 6
+
+
+class TestLineChecksums:
+    def test_corrupted_record_line_is_quarantined_not_counted(self):
+        records = steady_records(10)
+
+        async def scenario():
+            server = await start_server(window=0.1)
+            try:
+                reader, writer, _welcome = await hello(server, "jobD")
+                await send_seq_records(writer, records)
+                poisoned = json.loads(
+                    record_line(records[0], seq=99,
+                                checksum=True).decode())
+                poisoned["nbytes"] += 1  # stale crc now lies
+                writer.write(json.dumps(poisoned).encode() + b"\n")
+                await writer.drain()
+                return await end_stream(reader, writer)
+            finally:
+                await server.drain()
+
+        result = run_async(scenario())
+        assert result["final"]["ops"] == 10
+        assert result["quarantined_lines"] == 1
+        assert result["next_seq"] == 10  # seq 99 was never believed
+
+    def test_every_server_line_carries_a_verifiable_crc(self):
+        records = steady_records(5)
+
+        async def scenario():
+            server = await start_server(window=0.1)
+            reader, writer, welcome_obj = await hello(server, "jobE")
+            try:
+                raw_lines = []
+                await send_seq_records(writer, records)
+                writer.write(b'{"type": "sync"}\n')
+                writer.write(b'{"type": "end"}\n')
+                await writer.drain()
+                while True:
+                    line = await reader.readline()
+                    raw_lines.append(json.loads(line))
+                    if raw_lines[-1]["type"] == "result":
+                        return welcome_obj, raw_lines
+            finally:
+                await server.drain()
+
+        welcome_obj, raw_lines = run_async(scenario())
+        for obj in [welcome_obj] + raw_lines:
+            assert "crc" in obj, obj
+            verify_checksum(dict(obj))  # must not raise
+        kinds = [obj["type"] for obj in raw_lines]
+        assert "ack" in kinds and "result" in kinds
+
+
+class TestResumeTokens:
+    def test_reconnect_with_token_resumes_from_next_seq(self):
+        records = steady_records(60)
+
+        async def scenario():
+            server = await start_server(window=0.1)
+            try:
+                reader, writer, welcome = await hello(server, "jobF")
+                token = welcome["resume"]
+                await send_seq_records(writer, records, stop=35)
+                ack = await sync(reader, writer)
+                writer.close()  # simulate a dropped connection
+
+                reader, writer, welcome2 = await hello(
+                    server, "jobF", resume=token)
+                # Rewind a little before the acked point, as a real
+                # client would after losing in-flight acks.
+                resume_from = max(0, welcome2["next_seq"] - 5)
+                await send_seq_records(writer, records,
+                                       start=resume_from)
+                result = await end_stream(reader, writer)
+                return ack, welcome2, result
+            finally:
+                await server.drain()
+
+        ack, welcome2, result = run_async(scenario())
+        assert ack["next_seq"] == 35
+        assert welcome2["next_seq"] == 35
+        assert welcome2["records"] == 35
+        assert result["final"]["ops"] == 60
+        assert result["resumed_sessions"] == 1
+        assert result["duplicate_records"] == 5
+
+    def test_wrong_token_is_a_protocol_error(self):
+        async def scenario():
+            server = await start_server(window=0.1)
+            try:
+                _reader, writer, welcome = await hello(server, "jobG")
+                writer.close()
+                _reader, _writer, reply = await hello(
+                    server, "jobG", resume="0000000000000000")
+                assert welcome["resume"] != "0000000000000000"
+                return reply
+            finally:
+                await server.drain()
+
+        reply = run_async(scenario())
+        assert reply["type"] == "error"
+        assert "bad resume token" in reply["error"]
+
+    def test_resuming_an_unknown_tenant_is_rejected(self):
+        async def scenario():
+            server = await start_server(window=0.1)
+            try:
+                _reader, _writer, reply = await hello(
+                    server, "ghost", resume="deadbeefdeadbeef")
+                return reply
+            finally:
+                await server.drain()
+
+        reply = run_async(scenario())
+        assert reply["type"] == "error"
+        assert "cannot resume unknown tenant" in reply["error"]
+
+    def test_two_reconnects_are_bit_identical_to_batch(self):
+        records = steady_records(150)
+
+        async def scenario():
+            server = await start_server(window=0.1)
+            try:
+                token = None
+                cursor = 0
+                result = None
+                for stop in (55, 110, None):
+                    reader, writer, welcome = await hello(
+                        server, "jobH", resume=token)
+                    token = welcome["resume"]
+                    cursor = welcome["next_seq"]
+                    # Replay a few already-acked records every session.
+                    await send_seq_records(
+                        writer, records,
+                        start=max(0, cursor - 3), stop=stop)
+                    if stop is None:
+                        result = await end_stream(reader, writer)
+                    else:
+                        await sync(reader, writer)
+                        writer.close()
+                return result
+            finally:
+                await server.drain()
+
+        result = run_async(scenario())
+        final = result["final"]
+        assert result["resumed_sessions"] == 2
+        assert result["duplicate_records"] == 6
+        assert final["ops"] == 150
+        batch = compute_metrics(TraceCollection(records),
+                                exec_time=final["exec_time"])
+        assert final["bps"] == batch.bps
+        assert final["iops"] == batch.iops
+        assert final["bandwidth"] == batch.bandwidth
+        assert final["union_io_time"] == batch.union_io_time

@@ -280,3 +280,35 @@ class TestStdinTraces:
             "pid,op,nbytes,start,end\n0,read,4096,0.0,1.0\n"))
         assert main(["analyze", "-", "--format", "csv"]) == 0
         assert "1 records" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_serve_check_with_schedule_file_and_json_artifact(
+            self, tmp_path, capsys):
+        from repro.chaos import ChaosSchedule, schedule_to_dict
+
+        # A quiet lines-mode schedule keeps this CLI test fast; the
+        # adversarial defaults are exercised in tests/chaos/.
+        schedule_path = tmp_path / "schedule.json"
+        schedule_path.write_text(json.dumps(
+            schedule_to_dict(ChaosSchedule(seed=4, mode="lines"))))
+        report_path = tmp_path / "report.json"
+        assert main(["chaos", "--check", "serve", "--records", "60",
+                     "--schedule", str(schedule_path),
+                     "--json", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["passed"] is True
+        assert report["checks"][0]["check"] == "serve"
+        assert "identical" in capsys.readouterr().err
+
+    def test_malformed_schedule_file_is_an_error(self, tmp_path,
+                                                 capsys):
+        schedule_path = tmp_path / "schedule.json"
+        schedule_path.write_text(json.dumps({"seed": 0, "evnets": []}))
+        assert main(["chaos", "--check", "serve",
+                     "--schedule", str(schedule_path)]) == 1
+        assert "unknown schedule keys" in capsys.readouterr().err
+
+    def test_unknown_check_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--check", "saturday"])
