@@ -12,7 +12,11 @@ Subcommands:
   its metric set.
 - ``watch`` — stream a trace through the live metrics engine
   (:mod:`repro.live`): per-window BPS as records "complete", anomaly
-  flags, optional JSONL / Prometheus telemetry sinks.
+  flags, optional JSONL / Prometheus telemetry sinks; ``--attribute``
+  adds ranked root-cause suspects to every flag.
+- ``diagnose`` — post-hoc root-cause attribution over a recorded
+  trace (:mod:`repro.diagnose`): same detector and attributor as
+  ``watch --attribute``, rendered as a report.
 - ``serve`` — the always-on multi-tenant daemon (:mod:`repro.serve`):
   concurrent JSONL trace streams over TCP / unix socket / HTTP, one
   isolated metric stream per tenant, budgets with load shedding, one
@@ -503,6 +507,16 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     if not args.no_detector:
         detector = BpsAnomalyDetector(drop_factor=args.drop_factor,
                                       history=args.baseline_history)
+    attribute = getattr(args, "attribute", False)
+    server_of = None
+    if attribute and args.servers:
+        from repro.diagnose import stripe_server_of
+        server_of = stripe_server_of(args.servers,
+                                     parse_size(args.stripe_size))
+    if attribute and args.no_detector:
+        print("error: --attribute needs the anomaly detector "
+              "(drop --no-detector)", file=sys.stderr)
+        return 2
 
     table = TextTable(["window", "ops", "BPS (blocks/s)", "bandwidth",
                        "flag"])
@@ -516,6 +530,12 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 f"! BPS {event['bps']:,.0f} vs baseline "
                 f"{event['baseline']:,.0f}",
             ])
+            for suspect in event.get("suspects", ()):
+                table.add_row([
+                    "", "", "", "",
+                    f"  -> {suspect['kind']} {suspect['target']}: "
+                    f"{suspect['evidence']}",
+                ])
             return
         table.add_row([
             f"[{event['t0']:.6g}, {event['t1']:.6g})",
@@ -537,6 +557,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         sink_errors=args.sink_errors,
         sink_max_failures=args.sink_max_failures,
         detector=detector,
+        attribute=attribute,
+        server_of=server_of,
         exec_time=args.exec_time,
         on_window=on_event,
     )
@@ -551,6 +573,9 @@ def _cmd_watch(args: argparse.Namespace) -> int:
               f"{anomaly.window_end:.6g}) BPS {anomaly.bps:,.0f} vs "
               f"baseline {anomaly.baseline:,.0f} "
               f"({anomaly.severity:.1f}x drop)")
+        for suspect in anomaly.suspects:
+            print(f"  suspect: {suspect.kind} {suspect.target} "
+                  f"(score {suspect.score:.1f}) — {suspect.evidence}")
     def sink_status(name: str, wrote: str) -> None:
         sink = named_sinks[name]
         dropped = getattr(sink, "dropped_events", 0)
@@ -566,6 +591,63 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         sink_status("jsonl_out", "wrote event stream to")
     if args.prom_out:
         sink_status("prom_out", "wrote Prometheus exposition to")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.diagnose import diagnose_trace, stripe_server_of
+    from repro.live import BpsAnomalyDetector
+
+    policy = _error_policy(args)
+    try:
+        trace = read_trace(args.trace, fmt=args.format, errors=policy)
+    except SalvageError as exc:
+        _print_salvage_report(policy)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_salvage_report(policy)
+    detector = BpsAnomalyDetector(drop_factor=args.drop_factor,
+                                  history=args.baseline_history)
+    server_of = None
+    if args.servers:
+        server_of = stripe_server_of(args.servers,
+                                     parse_size(args.stripe_size))
+    diagnosis = diagnose_trace(
+        trace,
+        window=args.window,
+        bins=args.bins,
+        origin=args.origin,
+        block_size=args.block_size,
+        detector=detector,
+        server_of=server_of,
+    )
+    if args.json:
+        print(json.dumps(diagnosis.as_dict(), sort_keys=True))
+        return 0
+    result = diagnosis.result
+    print(f"diagnosed: {args.trace} ({len(trace)} records, "
+          f"{len(result.windows)} windows, "
+          f"{len(result.anomalies)} anomalies)")
+    if not result.anomalies:
+        print("no anomalies — nothing to attribute")
+        return 0
+    for anomaly in result.anomalies:
+        drop = "stalled" if anomaly.bps == 0 \
+            else f"{anomaly.severity:.1f}x drop"
+        print(f"anomaly: window [{anomaly.window_start:.6g}, "
+              f"{anomaly.window_end:.6g}) BPS {anomaly.bps:,.0f} vs "
+              f"baseline {anomaly.baseline:,.0f} ({drop})")
+        for suspect in anomaly.suspects:
+            print(f"  suspect: {suspect.kind} {suspect.target} "
+                  f"(score {suspect.score:.1f}) — {suspect.evidence}")
+    top = diagnosis.top_suspect
+    if top is None:
+        print("\nno suspects survived the baseline diff "
+              "(warm-up window, or the drop has no concentrated cause)")
+    else:
+        print(f"\ntop suspect: {top.kind} {top.target} — {top.evidence}")
     return 0
 
 
@@ -607,6 +689,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sink_errors=args.sink_errors,
         drop_factor=0.0 if args.no_detector else args.drop_factor,
         baseline_history=args.baseline_history,
+        attribute=args.attribute,
         write_timeout=args.write_timeout,
         **({"max_body_bytes": parse_size(args.max_body_bytes)}
            if args.max_body_bytes else {}),
@@ -893,8 +976,60 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--sink-max-failures", type=int, default=5,
                        help="consecutive failures before 'disable' "
                             "turns a sink off (default 5)")
+    watch.add_argument("--attribute", action="store_true",
+                       help="diff each flagged window's trace graph "
+                            "against a rolling healthy baseline and "
+                            "print ranked root-cause suspects")
+    watch.add_argument("--servers", type=int, default=0,
+                       help="with --attribute: server count for "
+                            "stripe-based offset -> server attribution "
+                            "(0 = no server-level suspects)")
+    watch.add_argument("--stripe-size", default="64KiB",
+                       help="with --servers: stripe width for server "
+                            "attribution (default 64KiB)")
     _add_trace_error_options(watch)
     watch.set_defaults(func=_cmd_watch)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="post-hoc root-cause attribution: find the "
+                         "flagged BPS windows in a recorded trace and "
+                         "rank typed suspects with evidence")
+    diagnose.add_argument("trace",
+                          help="trace file to diagnose ('-' = stdin "
+                               "JSONL)")
+    diagnose.add_argument("--format", choices=sorted(TRACE_READERS),
+                          default=None,
+                          help="trace format (default: sniff from "
+                               "extension/content)")
+    diagnose.add_argument("--window", type=float, default=None,
+                          help="metric window width in trace seconds "
+                               "(default: span / --bins)")
+    diagnose.add_argument("--bins", type=int, default=20,
+                          help="derive the window as span/bins when "
+                               "--window is not given (default 20)")
+    diagnose.add_argument("--origin", type=float, default=None,
+                          help="trace time anchoring window 0 "
+                               "(default: first record start)")
+    diagnose.add_argument("--block-size", type=int, default=512,
+                          help="BPS block unit in bytes (default 512)")
+    diagnose.add_argument("--drop-factor", type=float, default=3.0,
+                          help="flag a window when baseline/BPS "
+                               "exceeds this (default 3.0)")
+    diagnose.add_argument("--baseline-history", type=int, default=8,
+                          help="rolling-baseline window count "
+                               "(default 8)")
+    diagnose.add_argument("--servers", type=int, default=0,
+                          help="server count for stripe-based offset "
+                               "-> server attribution (0 = pid/op "
+                               "suspects only)")
+    diagnose.add_argument("--stripe-size", default="64KiB",
+                          help="stripe width for server attribution "
+                               "(default 64KiB)")
+    diagnose.add_argument("--json", action="store_true",
+                          help="emit the full report as one JSON "
+                               "object instead of text")
+    _add_trace_error_options(diagnose)
+    diagnose.set_defaults(func=_cmd_diagnose)
 
     serve = sub.add_parser(
         "serve", help="run the multi-tenant streaming daemon: "
@@ -908,7 +1043,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL stream listener on a unix socket")
     serve.add_argument("--http", default="", metavar="HOST:PORT",
                        help="HTTP listener: GET /metrics (Prometheus), "
-                            "GET /tenants[/NAME] (JSON), POST "
+                            "GET /tenants[/NAME] (JSON), GET "
+                            "/tenants/NAME/anomalies, POST "
                             "/ingest/NAME, POST /tenants/NAME/end")
     serve.add_argument("--window", type=float, default=1.0,
                        help="metric window width in trace seconds "
@@ -976,6 +1112,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "baseline/FACTOR (default 3.0)")
     serve.add_argument("--baseline-history", type=int, default=8,
                        help="rolling-baseline window count (default 8)")
+    serve.add_argument("--attribute", action="store_true",
+                       help="attach ranked root-cause suspects to "
+                            "every flagged window (queryable via GET "
+                            "/tenants/NAME/anomalies; incompatible "
+                            "with --workers >= 2)")
     serve.add_argument("--sink-errors",
                        choices=("raise", "warn", "disable"),
                        default="disable",

@@ -1,0 +1,65 @@
+"""repro.diagnose — root-cause attribution for BPS anomalies.
+
+The observability layer above detection: the
+:class:`~repro.live.anomaly.BpsAnomalyDetector` says *when* windowed
+BPS collapsed; this package says *why*, by diffing the flagged
+window's causal trace graph against a rolling baseline of healthy
+windows (the directly-follows-graph localization idea applied to the
+paper's per-layer trace decomposition):
+
+- :mod:`repro.diagnose.graph` — :class:`TraceGraph`, the per-window
+  ``pid -> op -> server`` dependency graph with per-server clipped-
+  union occupancy, maintained incrementally as windows close;
+- :mod:`repro.diagnose.attribute` — :class:`Attributor`, the rolling
+  non-flagged baseline plus the diff rules that turn a flagged window
+  into ranked, typed :class:`Suspect` evidence;
+- :mod:`repro.diagnose.offline` — :func:`diagnose_trace`, the
+  post-hoc path (``bps diagnose``), identical by construction to the
+  streaming path (``bps watch --attribute`` / ``LiveTap``).
+"""
+
+from repro.diagnose.attribute import (
+    FAULT_KIND_SUSPECTS,
+    LINK_DEGRADE,
+    RETRY_STORM,
+    SERVER_DEGRADE,
+    SERVER_STALL,
+    STRAGGLER,
+    SUSPECT_KINDS,
+    WINDOW_STALL,
+    Attributor,
+    Suspect,
+    ranked_suspects,
+)
+from repro.diagnose.graph import (
+    DiagnoseError,
+    GraphEdge,
+    TraceGraph,
+    WindowGraph,
+)
+from repro.diagnose.offline import (
+    Diagnosis,
+    diagnose_trace,
+    stripe_server_of,
+)
+
+__all__ = [
+    "TraceGraph",
+    "WindowGraph",
+    "GraphEdge",
+    "DiagnoseError",
+    "Attributor",
+    "Suspect",
+    "ranked_suspects",
+    "Diagnosis",
+    "diagnose_trace",
+    "stripe_server_of",
+    "SUSPECT_KINDS",
+    "SERVER_STALL",
+    "SERVER_DEGRADE",
+    "LINK_DEGRADE",
+    "STRAGGLER",
+    "RETRY_STORM",
+    "WINDOW_STALL",
+    "FAULT_KIND_SUSPECTS",
+]

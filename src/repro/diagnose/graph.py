@@ -1,0 +1,262 @@
+"""Per-window causal trace graphs — the evidence base for attribution.
+
+A :class:`TraceGraph` folds completed I/O records into one bucket per
+metric window, keyed by the **directly-follows chain** of the request
+path: ``pid -> op -> server``.  Each edge carries the counters the
+attributor diffs against its baseline (operations, blocks, response
+time, retries, failures), and each bucket additionally keeps the
+record intervals *clipped to the window* per server, so a window's
+per-server clipped-union occupancy — who owned the window's active
+time — is computable at close.
+
+Two properties are load-bearing:
+
+- **window-of-start bucketing** — a record belongs wholly to the
+  window containing its *start* (its interval clipped to that window's
+  bounds for occupancy).  Every accumulation is commutative, so the
+  closed bucket is independent of arrival order: the streaming feed
+  (completion order, out of start order) and the offline replay build
+  identical graphs, which is what makes streaming and offline
+  attribution agree suspect-for-suspect;
+- **bounded memory** — the attributor pops each bucket as its window
+  closes, so a long-running stream holds O(open windows) of graph
+  state, never O(run).
+
+The ``server`` vertex comes from a caller-supplied key function
+(``server_of``), normally the stripe-layout mapping the live tap uses
+(:func:`repro.live.tap._server_key`); without one every record lands on
+``"?"`` and server-level attribution degrades gracefully to pid/op
+signals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.records import IORecord
+from repro.errors import ReproError
+
+
+class DiagnoseError(ReproError):
+    """Invalid diagnose configuration or use."""
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One ``pid -> op -> server`` chain of a closed window."""
+
+    pid: int
+    op: str
+    server: str
+    ops: int
+    blocks: int
+    dur_sum: float
+    retries: int
+    failures: int
+
+
+@dataclass(frozen=True)
+class WindowGraph:
+    """The settled graph of one closed window."""
+
+    index: int
+    edges: tuple[GraphEdge, ...]
+    #: server -> union of the window-clipped record intervals (the
+    #: share of the window's active time this server owned).
+    occupancy: dict
+    #: server -> latest (unclipped) completion time of any record that
+    #: *started* here — how far this window's requests reached into the
+    #: future.  The attributor's lookback uses it to tell "server went
+    #: idle" from "server's requests are still in flight".
+    max_end: dict = field(default_factory=dict)
+    #: pid -> latest (unclipped) completion time, same contract.
+    pid_max_end: dict = field(default_factory=dict)
+
+    @property
+    def ops(self) -> int:
+        return sum(e.ops for e in self.edges)
+
+    @property
+    def failures(self) -> int:
+        return sum(e.failures for e in self.edges)
+
+    @property
+    def retries(self) -> int:
+        return sum(e.retries for e in self.edges)
+
+    @property
+    def dur_sum(self) -> float:
+        return sum(e.dur_sum for e in self.edges)
+
+    def by_server(self) -> dict:
+        """server -> [ops, dur_sum, retries, failures] over its edges."""
+        out: dict = {}
+        for e in self.edges:
+            row = out.setdefault(e.server, [0, 0.0, 0, 0])
+            row[0] += e.ops
+            row[1] += e.dur_sum
+            row[2] += e.retries
+            row[3] += e.failures
+        return out
+
+    def by_pid(self) -> dict:
+        """pid -> [ops, dur_sum, retries, failures] over its edges."""
+        out: dict = {}
+        for e in self.edges:
+            row = out.setdefault(e.pid, [0, 0.0, 0, 0])
+            row[0] += e.ops
+            row[1] += e.dur_sum
+            row[2] += e.retries
+            row[3] += e.failures
+        return out
+
+
+def _sweep_union(intervals: list) -> float:
+    """Union length of ``[lo, hi)`` tuples (the Fig. 3 merge sweep).
+
+    Semantically :func:`repro.core.intervals.union_time`, but a window
+    bucket holds at most a few hundred intervals per server — at that
+    size the ndarray conversion costs more than the whole sweep, and
+    this runs once per server per closed window on the live path.
+    """
+    intervals.sort()
+    total = 0.0
+    lo, hi = intervals[0]
+    for start, end in intervals:
+        if start > hi:
+            total += hi - lo
+            lo, hi = start, end
+        elif end > hi:
+            hi = end
+    return total + (hi - lo)
+
+
+class _Bucket:
+    """Open-window accumulator (mutable, order-independent sums)."""
+
+    __slots__ = ("edges", "server_intervals", "server_max_end",
+                 "pid_max_end")
+
+    def __init__(self) -> None:
+        #: (pid, op, server) -> [ops, blocks, dur_sum, retries, failures]
+        self.edges: dict[tuple, list] = {}
+        #: server -> clipped [lo, hi) interval tuples.
+        self.server_intervals: dict[str, list] = {}
+        #: server -> max unclipped record end (commutative max).
+        self.server_max_end: dict[str, float] = {}
+        #: pid -> max unclipped record end (commutative max).
+        self.pid_max_end: dict[int, float] = {}
+
+
+class TraceGraph:
+    """Incrementally maintained per-window dependency graph."""
+
+    def __init__(self, *, window: float, origin: float | None = None,
+                 server_of: Callable[[IORecord], str] | None = None,
+                 block_size: int = 512) -> None:
+        if not (window > 0) or math.isnan(window):
+            raise DiagnoseError(f"window width must be > 0, got {window}")
+        if block_size <= 0:
+            raise DiagnoseError(f"bad block size {block_size}")
+        self.window = float(window)
+        self.origin = origin
+        self.block_size = block_size
+        self.server_of = server_of
+        self._buckets: dict[int, _Bucket] = {}
+
+    # -- feed --------------------------------------------------------------
+
+    def add_record(self, record: IORecord) -> None:
+        """Fold one completed record into its start window's bucket.
+
+        This runs once per delivered record on the live path, riding
+        the same ingest loop as the metric stream, so it is written
+        flat: locals over attribute chases, no property calls, one
+        dict probe per structure.  The window index must match
+        :meth:`repro.live.stream.MetricStream._index_of` bit-for-bit
+        (``int(floor(...))``) or a record could land in a different
+        bucket than the window it is judged under.
+        """
+        origin = self.origin
+        if origin is None:
+            origin = self.origin = record.start
+        start = record.start
+        end = record.end
+        pid = record.pid
+        index = int(math.floor((start - origin) / self.window))
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = _Bucket()
+        server = "?" if self.server_of is None else self.server_of(record)
+        edges = bucket.edges
+        key = (pid, record.op, server)
+        edge = edges.get(key)
+        if edge is None:
+            edge = edges[key] = [0, 0, 0.0, 0, 0]
+        edge[0] += 1
+        edge[1] += -(-record.nbytes // self.block_size)
+        edge[2] += end - start
+        edge[3] += record.retries
+        if not record.success:
+            edge[4] += 1
+        hi = origin + (index + 1) * self.window
+        if end < hi:
+            hi = end
+        if hi > start:
+            intervals = bucket.server_intervals.get(server)
+            if intervals is None:
+                intervals = bucket.server_intervals[server] = []
+            intervals.append((start, hi))
+        prev = bucket.server_max_end.get(server)
+        if prev is None or end > prev:
+            bucket.server_max_end[server] = end
+        prev = bucket.pid_max_end.get(pid)
+        if prev is None or end > prev:
+            bucket.pid_max_end[pid] = end
+
+    def add_chunk(self, chunk) -> None:
+        """Fold one columnar chunk in (row order, same scalar sums).
+
+        Deliberately the scalar loop: identical float-addition order to
+        per-record ingest keeps the streaming chunked path and the
+        offline replay building bit-identical buckets.
+        """
+        for record in chunk.records():
+            self.add_record(record)
+
+    # -- close -------------------------------------------------------------
+
+    def window_graph(self, index: int) -> WindowGraph:
+        """The settled graph of window ``index`` (empty if untouched)."""
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            return WindowGraph(index=index, edges=(), occupancy={},
+                               max_end={}, pid_max_end={})
+        edges = tuple(
+            GraphEdge(pid=pid, op=op, server=server, ops=row[0],
+                      blocks=row[1], dur_sum=row[2], retries=row[3],
+                      failures=row[4])
+            for (pid, op, server), row in sorted(bucket.edges.items()))
+        occupancy = {
+            server: _sweep_union(ivals)
+            for server, ivals in sorted(bucket.server_intervals.items())
+        }
+        return WindowGraph(index=index, edges=edges, occupancy=occupancy,
+                           max_end=dict(sorted(
+                               bucket.server_max_end.items())),
+                           pid_max_end=dict(sorted(
+                               bucket.pid_max_end.items())))
+
+    def pop_window(self, index: int) -> WindowGraph:
+        """Settle window ``index`` and release its bucket (the
+        streaming close path — keeps graph memory O(open windows))."""
+        graph = self.window_graph(index)
+        self._buckets.pop(index, None)
+        return graph
+
+    @property
+    def open_windows(self) -> int:
+        """Buckets currently held (diagnostic)."""
+        return len(self._buckets)

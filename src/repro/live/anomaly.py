@@ -16,10 +16,17 @@ bearing for the fault-plan cross-check tests:
 
 This mirrors how LASSi-style tooling derives time-windowed risk metrics
 from live filesystem stats rather than from post-hoc trace analysis.
+
+:meth:`BpsAnomalyDetector.assess` is the side-effect-free half of
+:meth:`~BpsAnomalyDetector.observe`: it applies the flag rule against
+the current baseline without learning from the window.  The stream
+uses it at finalize to re-judge windows whose stats were corrected by
+late records after their provisional close.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -38,15 +45,26 @@ class Anomaly:
     baseline: float
     #: baseline / observed BPS (inf when the window was fully stalled).
     severity: float
+    #: Ranked root-cause candidates (:class:`~repro.diagnose.Suspect`),
+    #: attached when an attributor rides along with the detector.
+    suspects: tuple = ()
 
     def as_event(self) -> dict:
-        return {
+        # A stalled window has severity == inf, which JSON cannot
+        # carry (bare ``Infinity`` is invalid); ship the sentinel pair
+        # ``severity: null, stalled: true`` instead.
+        stalled = math.isinf(self.severity)
+        event = {
             "type": "anomaly", "kind": self.kind,
             "index": self.window_index,
             "t0": self.window_start, "t1": self.window_end,
             "bps": self.bps, "baseline": self.baseline,
-            "severity": self.severity,
+            "severity": None if stalled else self.severity,
+            "stalled": stalled,
         }
+        if self.suspects:
+            event["suspects"] = [s.as_event() for s in self.suspects]
+        return event
 
     def overlaps(self, start: float, end: float) -> bool:
         """Does the flagged window intersect [start, end)?"""
@@ -69,11 +87,44 @@ class BpsAnomalyDetector:
         self._baseline: deque[float] = deque(maxlen=history)
 
     @property
+    def history(self) -> int:
+        """Rolling-baseline capacity (healthy windows remembered)."""
+        return self._baseline.maxlen
+
+    @property
     def baseline(self) -> float:
         """Current rolling-mean BPS (0.0 during warm-up)."""
         if not self._baseline:
             return 0.0
         return sum(self._baseline) / len(self._baseline)
+
+    def assess(self, window, *,
+               baseline: float | None = None) -> Anomaly | None:
+        """Apply the flag rule to a window *without* learning from it.
+
+        The pure judgement: used by :meth:`observe` and, at finalize,
+        by the stream to re-judge windows corrected by late records
+        after their provisional close (re-observing those would double-
+        count them in the baseline).  ``baseline`` overrides the
+        current rolling mean — the finalize path passes the baseline
+        the window was *originally* judged against, so a late
+        correction changes the verdict only if the window itself
+        changed, never because the baseline moved on without it.
+        """
+        if baseline is None:
+            if len(self._baseline) < self.min_history:
+                return None
+            baseline = self.baseline
+        bps = window.bps
+        if bps >= baseline / self.drop_factor:
+            return None
+        severity = (baseline / bps) if bps > 0 else float("inf")
+        return Anomaly(
+            kind="bps-drop",
+            window_index=window.index,
+            window_start=window.start,
+            window_end=window.end,
+            bps=bps, baseline=baseline, severity=severity)
 
     def observe(self, window) -> Anomaly | None:
         """Feed one closed :class:`~repro.live.stream.WindowStats`.
@@ -81,17 +132,7 @@ class BpsAnomalyDetector:
         Returns an :class:`Anomaly` if the window is flagged, else None
         (and the window's BPS joins the baseline).
         """
-        bps = window.bps
-        if len(self._baseline) >= self.min_history:
-            baseline = self.baseline
-            threshold = baseline / self.drop_factor
-            if bps < threshold:
-                severity = (baseline / bps) if bps > 0 else float("inf")
-                return Anomaly(
-                    kind="bps-drop",
-                    window_index=window.index,
-                    window_start=window.start,
-                    window_end=window.end,
-                    bps=bps, baseline=baseline, severity=severity)
-        self._baseline.append(bps)
-        return None
+        anomaly = self.assess(window)
+        if anomaly is None:
+            self._baseline.append(window.bps)
+        return anomaly

@@ -98,14 +98,19 @@ def watch_trace(
     *,
     window: float | None = None,
     bins: int = 20,
+    origin: float | None = None,
     block_size: int = 512,
     speed: float | None = None,
+    watermark_lag: float | None = None,
     chunk_size: int | None = None,
     workers: int = 0,
     sinks: Iterable = (),
     sink_errors: str | None = None,
     sink_max_failures: int = 5,
     detector=None,
+    attribute: bool = False,
+    server_of: Callable | None = None,
+    attributor=None,
     exec_time: float | None = None,
     on_window: Callable[[dict], None] | None = None,
     sleep: Callable[[float], None] = _time.sleep,
@@ -113,10 +118,24 @@ def watch_trace(
     """Stream ``trace`` through the live pipeline and settle it.
 
     ``window`` is the metric-window width in trace seconds; when None
-    it is derived as span / ``bins``.  ``speed`` is the pacing factor
+    it is derived as span / ``bins``.  ``origin`` anchors window 0
+    (default: the trace's first start).  ``speed`` is the pacing factor
     (None = as fast as possible); ``sleep`` is injectable for tests.
+    ``watermark_lag`` replaces the adaptive watermark (delivered end
+    minus the longest duration seen) with a fixed lag — the same
+    contract :class:`~repro.live.tap.LiveTap` runs live, so a replay
+    with the lag a live run used settles windows on identical record
+    sets (the streaming/offline attribution parity tests rely on it).
     ``on_window`` is called with each ``window``/``anomaly`` event dict
     as it closes — the CLI's console renderer.
+
+    ``attribute=True`` attaches an :class:`~repro.diagnose.attribute.
+    Attributor` sized to the detector's baseline (or pass a prebuilt
+    ``attributor``); flagged windows then carry ranked ``suspects``.
+    ``server_of`` maps a record to its server key for server-level
+    suspects (see :func:`repro.diagnose.offline.stripe_server_of`).
+    Attribution needs the full record stream in one process and is
+    rejected with ``workers >= 2``.
 
     ``chunk_size`` selects the vectorised ingest: records are delivered
     as columnar chunks of that many rows (still in completion order)
@@ -130,17 +149,37 @@ def watch_trace(
         raise LiveStreamError("cannot watch an empty trace")
     if speed is not None and speed <= 0:
         raise LiveStreamError(f"speed must be > 0, got {speed}")
+    if watermark_lag is not None and watermark_lag <= 0:
+        raise LiveStreamError(
+            f"watermark lag must be > 0, got {watermark_lag}")
     if chunk_size is not None and chunk_size < 1:
         raise LiveStreamError(f"chunk size must be >= 1, got {chunk_size}")
     if workers < 0:
         raise LiveStreamError(f"worker count must be >= 0, got {workers}")
     first, last = trace.span()
+    if origin is None:
+        origin = first
     if window is None:
         span = last - first
         if span <= 0:
             raise LiveStreamError(
                 "trace has zero wall extent; pass an explicit window")
         window = span / max(1, bins)
+
+    if attribute or attributor is not None:
+        if workers >= 2:
+            raise LiveStreamError(
+                "attribution needs the full record stream in one "
+                "process; it is not supported with workers >= 2")
+        if attributor is None:
+            from repro.diagnose.attribute import Attributor
+            from repro.live.anomaly import BpsAnomalyDetector
+
+            if detector is None:
+                detector = BpsAnomalyDetector()
+            attributor = Attributor.for_detector(
+                detector, window=window, origin=origin,
+                server_of=server_of)
 
     # Apply the fail-safe policy to caller sinks only; the on_window
     # callback is the CLI's own renderer and stays transparent.
@@ -151,17 +190,24 @@ def watch_trace(
                                           ("window", "anomaly")))
     pacer = _Pacer(speed, sleep)
 
+    # With an explicit fixed lag the stream's own start-driven
+    # watermark must honor it too, or it would outrun the promise and
+    # settle windows early (orphaning still-arriving records from
+    # their attribution buckets).
+    stream_lag = 0.0 if watermark_lag is None else watermark_lag
     if workers >= 2 or chunk_size is not None:
         size = chunk_size if chunk_size is not None else 4096
         if workers >= 2:
             stream = ShardedMetricStream(
                 window=window, shards=workers, block_size=block_size,
-                origin=first, sinks=stream_sinks, detector=detector)
+                origin=origin, sinks=stream_sinks, detector=detector,
+                watermark_lag=stream_lag)
         else:
             stream = MetricStream(
-                window=window, block_size=block_size, origin=first,
+                window=window, block_size=block_size, origin=origin,
                 late_policy="merge", sinks=stream_sinks,
-                detector=detector)
+                detector=detector, attributor=attributor,
+                watermark_lag=stream_lag)
         max_duration = 0.0
         for chunk in chunk_trace(trace, chunk_size=size,
                                  order="completion"):
@@ -171,17 +217,21 @@ def watch_trace(
             if top > max_duration:
                 max_duration = top
             stream.push_chunk(chunk)
-            stream.advance_watermark(chunk_last - max_duration)
+            lag = (max_duration if watermark_lag is None
+                   else watermark_lag)
+            stream.advance_watermark(chunk_last - lag)
         return stream.finalize(exec_time=exec_time, label="watch")
 
     stream = MetricStream(
-        window=window, block_size=block_size, origin=first,
-        late_policy="merge", sinks=stream_sinks, detector=detector)
+        window=window, block_size=block_size, origin=origin,
+        late_policy="merge", sinks=stream_sinks, detector=detector,
+        attributor=attributor, watermark_lag=stream_lag)
     max_duration = 0.0
     for record in completion_order(trace):
         pacer.pace(record.end)
         if record.duration > max_duration:
             max_duration = record.duration
         stream.ingest(record)
-        stream.advance_watermark(record.end - max_duration)
+        lag = max_duration if watermark_lag is None else watermark_lag
+        stream.advance_watermark(record.end - lag)
     return stream.finalize(exec_time=exec_time, label="watch")

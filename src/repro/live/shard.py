@@ -593,6 +593,24 @@ class ShardedMetricStream:
             if stats.index >= pending_from:
                 self._emit(stats.as_event())
                 self._observe(stats)
+        # Re-judge already-emitted windows that late records corrected
+        # (the shards track which): the parent detector observed their
+        # provisional merge, and the corrected stats can cross the
+        # drop threshold.  assess() leaves the baseline untouched.
+        if self.detector is not None:
+            dirty = set()
+            for state in states:
+                dirty.update(state.get("dirty_windows", ()))
+            flagged = {a.window_index for a in self.anomalies}
+            for index in sorted(dirty):
+                if index >= pending_from or index in flagged or \
+                        index < min_index:
+                    continue
+                anomaly = self.detector.assess(
+                    self._merged_window_stats(index, states))
+                if anomaly is not None:
+                    self.anomalies.append(anomaly)
+                    self._emit(anomaly.as_event())
 
         breakdowns: dict[str, tuple[GroupStats, ...]] = {}
         names: set[str] = set()

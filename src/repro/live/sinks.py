@@ -76,22 +76,33 @@ def _format_prom_labels(labels: dict) -> str:
     return ",".join(f'{k}="{v}"' for k, v in labels.items())
 
 
+def _normalize_state(state) -> tuple:
+    """Pad a legacy 4-tuple state with ``last_severity=None``."""
+    state = tuple(state)
+    if len(state) == 4:
+        return state + (None,)
+    return state
+
+
 def format_prometheus(states, *, prefix_help: bool = True) -> str:
     """Render Prometheus text exposition for one or more metric states.
 
     ``states`` is an iterable of ``(labels, latest, latest_window,
-    anomaly_count)`` tuples — one per exported stream (a single run for
-    :class:`PrometheusSink`, one per tenant for the ``bps serve``
-    scrape endpoint).  ``labels`` is a dict of extra label pairs (e.g.
-    ``{"tenant": "a"}``) merged before the ``scope`` label.  The file
-    sink and the HTTP endpoint both call this, so the two expositions
-    are identical by construction.
+    anomaly_count, last_severity)`` tuples — one per exported stream (a
+    single run for :class:`PrometheusSink`, one per tenant for the
+    ``bps serve`` scrape endpoint).  ``labels`` is a dict of extra
+    label pairs (e.g. ``{"tenant": "a"}``) merged before the ``scope``
+    label; ``last_severity`` is the most recent anomaly's severity
+    (``math.inf`` for a stalled window, None when nothing has flagged
+    yet — the gauge is omitted).  Legacy 4-tuples without the severity
+    slot are accepted.  The file sink and the HTTP endpoint both call
+    this, so the two expositions are identical by construction.
     """
-    states = list(states)
+    states = [_normalize_state(state) for state in states]
     lines: list[str] = []
     for field, name, help_text in _PROM_GAUGES:
         wrote_help = False
-        for labels, latest, latest_window, _count in states:
+        for labels, latest, latest_window, _count, _sev in states:
             for scope, event in (("cumulative", latest),
                                  ("window", latest_window)):
                 if field not in event:
@@ -105,14 +116,33 @@ def format_prometheus(states, *, prefix_help: bool = True) -> str:
                     {**labels, "scope": scope})
                 lines.append(f"{name}{{{pairs}}} "
                              f"{_format_prom_value(event[field])}")
-    if prefix_help:
-        lines.append("# HELP repro_live_anomalies_total "
-                     "Windows flagged by the BPS anomaly detector")
-        lines.append("# TYPE repro_live_anomalies_total counter")
-    for labels, _latest, _latest_window, count in states:
+    # Anomaly families: the historical repro_live_anomalies_total name,
+    # its dashboard-facing alias repro_anomalies_total, and the latest
+    # flag's severity (+Inf = fully stalled window) so alerting can key
+    # on flags rather than re-deriving drops from raw BPS.
+    for name in ("repro_live_anomalies_total", "repro_anomalies_total"):
+        if prefix_help:
+            lines.append(f"# HELP {name} "
+                         "Windows flagged by the BPS anomaly detector")
+            lines.append(f"# TYPE {name} counter")
+        for labels, _latest, _latest_window, count, _sev in states:
+            pairs = _format_prom_labels(labels)
+            suffix = f"{{{pairs}}}" if pairs else ""
+            lines.append(f"{name}{suffix} {count}")
+    wrote_help = False
+    for labels, _latest, _latest_window, _count, severity in states:
+        if severity is None:
+            continue
+        if not wrote_help and prefix_help:
+            lines.append("# HELP repro_last_anomaly_severity "
+                         "baseline/observed BPS of the most recent "
+                         "flagged window (+Inf = stalled)")
+            lines.append("# TYPE repro_last_anomaly_severity gauge")
+            wrote_help = True
         pairs = _format_prom_labels(labels)
         suffix = f"{{{pairs}}}" if pairs else ""
-        lines.append(f"repro_live_anomalies_total{suffix} {count}")
+        lines.append(f"repro_last_anomaly_severity{suffix} "
+                     f"{_format_prom_value(severity)}")
     return "\n".join(lines) + "\n"
 
 
@@ -259,7 +289,8 @@ class PrometheusSink:
     (write-then-rename, so a scraper never reads a torn exposition)
     with the latest cumulative gauges plus the most recent window's
     figures labelled ``{scope="window"}``.  Anomalies increment
-    ``repro_live_anomalies_total``.
+    ``repro_live_anomalies_total`` (and its ``repro_anomalies_total``
+    alias) and update ``repro_last_anomaly_severity``.
     """
 
     def __init__(self, path: str | Path,
@@ -269,11 +300,18 @@ class PrometheusSink:
         self._latest: dict = {}
         self._latest_window: dict = {}
         self.anomaly_count = 0
+        #: Severity of the most recent anomaly (inf = stalled window,
+        #: None until something flags).
+        self.last_severity: float | None = None
 
     def emit(self, event: dict) -> None:
         kind = event.get("type")
         if kind == "anomaly":
             self.anomaly_count += 1
+            if event.get("stalled"):
+                self.last_severity = math.inf
+            elif event.get("severity") is not None:
+                self.last_severity = float(event["severity"])
         elif kind == "window":
             self._latest_window = event
         elif kind in ("snapshot", "final"):
@@ -283,10 +321,10 @@ class PrometheusSink:
     def close(self) -> None:
         self._rewrite()
 
-    def state(self) -> tuple[dict, dict, dict, int]:
+    def state(self) -> tuple:
         """This sink's :func:`format_prometheus` state tuple."""
         return (self.labels, self._latest, self._latest_window,
-                self.anomaly_count)
+                self.anomaly_count, self.last_severity)
 
     def _rewrite(self) -> None:
         atomic_write_text(self.path, format_prometheus([self.state()]))

@@ -32,7 +32,7 @@ event already emitted is *provisional* in that case, and
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable
 
 import numpy as np
@@ -192,6 +192,7 @@ class MetricStream:
         sink_errors: str | None = None,
         sink_max_failures: int = 5,
         detector=None,
+        attributor=None,
         group_by: dict[str, Callable[[IORecord], str]] | None = None,
         group_columns: dict[str, Callable] | None = None,
     ) -> None:
@@ -199,9 +200,23 @@ class MetricStream:
             raise LiveStreamError(f"window width must be > 0, got {window}")
         if block_size <= 0:
             raise LiveStreamError(f"bad block size {block_size}")
+        if attributor is not None and attributor.window != float(window):
+            raise LiveStreamError(
+                f"attributor window {attributor.window} != stream "
+                f"window {window}")
         self.window = float(window)
         self.block_size = block_size
         self.origin = origin
+        self.attributor = attributor
+        if attributor is not None and attributor.graph.origin is None:
+            # Sync the graph's window grid now if the anchor is known;
+            # otherwise ingest() pins both to the first record's start.
+            attributor.graph.origin = origin
+        # Bound method cache: the attributor feed runs once per
+        # record inside ingest(); skipping two attribute chases there
+        # is measurable at trace scale.
+        self._attr_add = None if attributor is None else \
+            attributor.graph.add_record
         # sink_errors None/'raise' keeps sinks transparent; 'warn' /
         # 'disable' wrap them fail-safe (repro.live.sinks.FailSafeSink)
         # so a dying sink cannot corrupt the metric stream.
@@ -239,7 +254,19 @@ class MetricStream:
         self._next_emit: int | None = None
         self._min_index: int | None = None
         self._max_index: int | None = None
+        #: Highest window index any record *started* in — windows past
+        #: it hold only spillover from earlier starts, so their silence
+        #: is end-of-trace, not a stall (see :meth:`_observe`).
+        self._last_start_index: int | None = None
         self.late_window_updates = 0
+        #: Emitted windows later corrected by late records; re-judged
+        #: against the detector baseline at finalize so a flag earned
+        #: by the corrected stats still reaches the sinks.
+        self._dirty_windows: set[int] = set()
+        #: window index -> the rolling baseline it was judged against
+        #: when first observed (the finalize re-judgement must use the
+        #: same baseline, not the end-of-run one).
+        self._judged_baselines: dict[int, float] = {}
         # Breakdowns.
         keyed: dict[str, Callable[[IORecord], str]] = {
             "pid": lambda r: str(r.pid),
@@ -270,6 +297,8 @@ class MetricStream:
             raise LiveStreamError("ingest() after finalize()")
         if self.origin is None:
             self.origin = record.start
+        if self._attr_add is not None:
+            self._attr_add(record)
         self._union.add(record.start, record.end)
         blocks = bytes_to_blocks(record.nbytes, self.block_size)
         self._ops += 1
@@ -315,6 +344,10 @@ class MetricStream:
             return
         if self.origin is None:
             self.origin = float(chunk.start[0])
+        if self.attributor is not None:
+            if self.attributor.graph.origin is None:
+                self.attributor.graph.origin = self.origin
+            self.attributor.add_chunk(chunk)
         self._union.add_batch(chunk.intervals())
         blocks = -(-chunk.nbytes // self.block_size)
         duration = chunk.end - chunk.start
@@ -355,6 +388,7 @@ class MetricStream:
         agg.dur_sum += record.duration
         if agg.emitted:
             self.late_window_updates += 1
+            self._dirty_windows.add(first)
         last_index = first
         if record.duration == 0.0:
             agg.blocks += blocks
@@ -375,6 +409,7 @@ class MetricStream:
                 part = self._windows.setdefault(index, _WindowAgg())
                 if part.emitted and index != first:
                     self.late_window_updates += 1
+                    self._dirty_windows.add(index)
                 fraction = max(hi - lo, 0.0) / record.duration
                 part.blocks += blocks * fraction
                 part.bytes += record.nbytes * fraction
@@ -384,6 +419,9 @@ class MetricStream:
             self._min_index = first
         if self._max_index is None or last_index > self._max_index:
             self._max_index = last_index
+        if self._last_start_index is None or \
+                first > self._last_start_index:
+            self._last_start_index = first
 
     def _spread_chunk_windows(self, chunk, blocks: np.ndarray,
                               duration: np.ndarray) -> None:
@@ -437,8 +475,11 @@ class MetricStream:
                               minlength=nuniq)
         if self._next_emit is not None:
             relevant = is_first | (hi > lo)
-            self.late_window_updates += int(np.count_nonzero(
-                relevant & (widx < self._next_emit)))
+            late_pairs = relevant & (widx < self._next_emit)
+            self.late_window_updates += int(np.count_nonzero(late_pairs))
+            if np.any(late_pairs):
+                self._dirty_windows.update(
+                    int(i) for i in np.unique(widx[late_pairs]))
 
         windows = self._windows
         for j, index in enumerate(uniq.tolist()):
@@ -463,11 +504,15 @@ class MetricStream:
                 windows[int(owner[head])].interval_arrays.append(part)
 
         fmin = int(first.min())
+        fmax = int(first.max())
         lmax = int(last.max())
         if self._min_index is None or fmin < self._min_index:
             self._min_index = fmin
         if self._max_index is None or lmax > self._max_index:
             self._max_index = lmax
+        if self._last_start_index is None or \
+                fmax > self._last_start_index:
+            self._last_start_index = fmax
 
     def _chunk_groups(self, name: str, chunk) -> tuple[list[str], np.ndarray]:
         """(labels, per-row inverse) of group ``name`` over a chunk."""
@@ -560,12 +605,64 @@ class MetricStream:
                            bandwidth=bandwidth, arpt=arpt)
 
     def _observe(self, stats: WindowStats) -> None:
-        if self.detector is None:
+        if self.detector is None and self.attributor is None:
             return
-        anomaly = self.detector.observe(stats)
+        if stats.ops == 0 and (self._last_start_index is None
+                               or stats.index > self._last_start_index):
+            # No request has *started* here or since: the run is
+            # winding down (only spillover from earlier starts lands
+            # past this point), so the quiet is end-of-trace, not a
+            # stall worth flagging.  A mid-outage window always has a
+            # later start on record by the time its watermark passes.
+            return
+        anomaly = None
+        if self.detector is not None:
+            # Remember the baseline this window is judged against, so
+            # a late-record correction at finalize is re-judged on the
+            # SAME footing (the end-of-run baseline may have drifted —
+            # e.g. been inflated by a fail-fast storm — and would
+            # otherwise flag healthy early windows retroactively).
+            if len(self.detector._baseline) >= self.detector.min_history:
+                self._judged_baselines[stats.index] = \
+                    self.detector.baseline
+            anomaly = self.detector.observe(stats)
+        if self.attributor is not None:
+            # The attributor follows the detector's verdict: healthy
+            # windows feed its rolling baseline, flagged ones are
+            # diffed and the evidence rides on the anomaly itself.
+            suspects = self.attributor.observe_window(stats, anomaly)
+            if anomaly is not None and suspects:
+                anomaly = replace(anomaly, suspects=suspects)
         if anomaly is not None:
             self.anomalies.append(anomaly)
             self._emit(anomaly.as_event())
+
+    def _reassess_dirty_windows(self) -> None:
+        """Re-judge emitted windows that late records corrected.
+
+        The detector observed those windows' *provisional* stats; the
+        corrected stats can cross the drop threshold the provisional
+        ones did not.  ``assess`` applies the flag rule without
+        re-learning, so the baseline is not double-counted; windows the
+        provisional pass already flagged are skipped.  Runs at
+        finalize, before the ``final`` event, so the flag reaches the
+        sinks before they close.  (The attributor's bucket for such a
+        window is long pruned — corrected flags carry no suspects.)
+        """
+        if self.detector is None or not self._dirty_windows:
+            return
+        flagged = {a.window_index for a in self.anomalies}
+        for index in sorted(self._dirty_windows):
+            if index in flagged:
+                continue
+            baseline = self._judged_baselines.get(index)
+            if baseline is None:
+                continue  # window was never judged (warm-up / skipped)
+            anomaly = self.detector.assess(self._window_stats(index),
+                                           baseline=baseline)
+            if anomaly is not None:
+                self.anomalies.append(anomaly)
+                self._emit(anomaly.as_event())
 
     def _emit(self, event: dict) -> None:
         for sink in self.sinks:
@@ -703,7 +800,10 @@ class MetricStream:
             "forced_watermarks": self.forced_watermarks,
             "min_index": self._min_index,
             "max_index": self._max_index,
+            "last_start_index": self._last_start_index,
             "next_emit": self._next_emit,
+            "dirty_windows": sorted(self._dirty_windows),
+            "judged_baselines": sorted(self._judged_baselines.items()),
         } | {"windows": windows, "groups": groups}
 
     def restore_state(self, state: dict) -> None:
@@ -736,7 +836,12 @@ class MetricStream:
         self.late_window_updates = state["late_window_updates"]
         self._min_index = state["min_index"]
         self._max_index = state["max_index"]
+        self._last_start_index = state.get("last_start_index")
         self._next_emit = state["next_emit"]
+        self._dirty_windows = set(state.get("dirty_windows", ()))
+        self._judged_baselines = {
+            int(index): value
+            for index, value in state.get("judged_baselines", ())}
         for index, win in state["windows"].items():
             agg = _WindowAgg()
             agg.ops = win["ops"]
@@ -778,6 +883,7 @@ class MetricStream:
             raise LiveStreamError("finalize() on an empty stream")
         t = self._union.finalize()
         self._close_settled_windows()
+        self._reassess_dirty_windows()
         self._finalized = True
         if t <= 0.0:
             raise LiveStreamError(

@@ -46,6 +46,7 @@ class LiveTap:
         sink_errors: str | None = None,
         sink_max_failures: int = 5,
         detector=None,
+        attribute: bool = False,
         watermark_lag: float | None = None,
         heartbeat_s: float | None = None,
         snapshot_every: int = 0,
@@ -56,9 +57,21 @@ class LiveTap:
         self.watermark_lag = (2.0 * window if watermark_lag is None
                               else watermark_lag)
         group_by = {}
+        server_of = None
         if system.pfs is not None:
             layout = system.pfs.default_layout
-            group_by["server"] = _server_key(layout)
+            server_of = _server_key(layout)
+            group_by["server"] = server_of
+        attributor = None
+        if attribute:
+            from repro.diagnose.attribute import Attributor
+            from repro.live.anomaly import BpsAnomalyDetector
+
+            if detector is None:
+                detector = BpsAnomalyDetector()
+            attributor = Attributor.for_detector(
+                detector, window=window, origin=system.engine.now,
+                server_of=server_of)
         self.stream = MetricStream(
             window=window,
             block_size=block_size,
@@ -69,6 +82,7 @@ class LiveTap:
             sink_errors=sink_errors,
             sink_max_failures=sink_max_failures,
             detector=detector,
+            attributor=attributor,
             group_by=group_by,
         )
         self.system = system

@@ -62,6 +62,9 @@ class ServeConfig:
     #: Anomaly detection per tenant (drop_factor <= 0 disables).
     drop_factor: float = 3.0
     baseline_history: int = 8
+    #: Root-cause attribution: attach ranked suspects to every flagged
+    #: window (needs the detector; incompatible with sharded tenants).
+    attribute: bool = False
     #: Slow-consumer bound: seconds a client may stall an ack write.
     write_timeout: float = 10.0
     #: Cap on one HTTP ingest body (a corrupted or hostile
@@ -81,6 +84,15 @@ class ServeConfig:
         if self.idle_timeout is not None and not (self.idle_timeout > 0):
             raise ServeError(
                 f"idle_timeout must be > 0, got {self.idle_timeout}")
+        if self.attribute and self.workers >= 2:
+            raise ServeError(
+                "attribution needs each tenant's full record stream "
+                "in one process; it is not supported with sharded "
+                "tenants (workers >= 2)")
+        if self.attribute and self.drop_factor <= 1.0:
+            raise ServeError(
+                "attribution needs the anomaly detector; it is "
+                f"disabled at drop_factor={self.drop_factor}")
 
 
 class TenantRegistry:
@@ -150,6 +162,7 @@ class TenantRegistry:
             error_mode=config.error_mode,
             max_error_ratio=config.max_error_ratio,
             detector=detector,
+            attribute=config.attribute,
             sinks=sinks,
             sink_errors=config.sink_errors,
             chunk_size=config.chunk_size,

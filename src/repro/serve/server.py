@@ -478,6 +478,13 @@ class BpsServer:
                         404, {"error": f"unknown tenant {parts[1]!r}"})
                 tenant.refresh_snapshot()
                 return json_response(200, tenant.status())
+            if len(parts) == 3 and parts[0] == "tenants" \
+                    and parts[2] == "anomalies":
+                tenant = self.registry.get(parts[1])
+                if tenant is None:
+                    return json_response(
+                        404, {"error": f"unknown tenant {parts[1]!r}"})
+                return json_response(200, tenant.anomaly_events())
             return json_response(404, {"error": f"no route {path!r}"})
         if request.method == "POST":
             if len(parts) == 2 and parts[0] == "ingest":

@@ -25,7 +25,9 @@ loop.
 
 from __future__ import annotations
 
+import math
 import os
+from collections import deque
 from typing import Callable
 
 from repro.errors import SalvageError, TraceFormatError
@@ -93,6 +95,11 @@ class _SeqTracker:
         return True
 
 
+#: Anomaly events kept per tenant for the ``/anomalies`` query (a
+#: bounded ring — a pathological stream must not grow the heap).
+MAX_KEPT_ANOMALIES = 256
+
+
 class _PromCapture:
     """In-memory sink capturing the scrape-endpoint state per tenant."""
 
@@ -100,11 +107,18 @@ class _PromCapture:
         self.latest: dict = {}
         self.latest_window: dict = {}
         self.anomaly_count = 0
+        self.last_severity: float | None = None
+        self.anomalies: deque = deque(maxlen=MAX_KEPT_ANOMALIES)
 
     def emit(self, event: dict) -> None:
         kind = event.get("type")
         if kind == "anomaly":
             self.anomaly_count += 1
+            if event.get("stalled"):
+                self.last_severity = math.inf
+            elif event.get("severity") is not None:
+                self.last_severity = float(event["severity"])
+            self.anomalies.append(dict(event))
         elif kind == "window":
             self.latest_window = event
         elif kind in ("snapshot", "final"):
@@ -125,6 +139,7 @@ class Tenant:
         error_mode: str = "salvage",
         max_error_ratio: float = 0.25,
         detector: BpsAnomalyDetector | None = None,
+        attribute: bool = False,
         sinks=(),
         sink_errors: str | None = "disable",
         chunk_size: int = 0,
@@ -168,6 +183,12 @@ class Tenant:
         self._chunk_buffer: list = []
         self._max_duration = 0.0
         self._last_end = float("-inf")
+        attributor = None
+        if attribute and detector is not None and workers < 2:
+            from repro.diagnose.attribute import Attributor
+
+            attributor = Attributor.for_detector(
+                detector, window=window, origin=origin)
         if workers >= 2:
             self.stream = ShardedMetricStream(
                 window=window, shards=workers, block_size=block_size,
@@ -179,7 +200,7 @@ class Tenant:
                 window=window, block_size=block_size, origin=origin,
                 max_pending=self.budget.max_pending, late_policy="merge",
                 sinks=[self.prom, *sinks], sink_errors=sink_errors,
-                detector=detector)
+                detector=detector, attributor=attributor)
         self.result: LiveResult | None = None
         self.crash_error: str = ""
 
@@ -349,10 +370,20 @@ class Tenant:
             except Exception as exc:  # noqa: BLE001
                 self._crashed(exc)
 
-    def prom_state(self) -> tuple[dict, dict, dict, int]:
+    def prom_state(self) -> tuple:
         """This tenant's :func:`~repro.live.sinks.format_prometheus` row."""
         return ({"tenant": self.name}, self.prom.latest,
-                self.prom.latest_window, self.prom.anomaly_count)
+                self.prom.latest_window, self.prom.anomaly_count,
+                self.prom.last_severity)
+
+    def anomaly_events(self) -> dict:
+        """The ``/tenants/<name>/anomalies`` JSON payload."""
+        return {
+            "tenant": self.name,
+            "anomaly_count": self.prom.anomaly_count,
+            "kept": len(self.prom.anomalies),
+            "anomalies": list(self.prom.anomalies),
+        }
 
     def status(self) -> dict:
         """The JSON-API view of this tenant (exact counters only)."""

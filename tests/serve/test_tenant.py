@@ -245,9 +245,12 @@ class TestLifecycle:
         for record in steady_records(n=30):
             tenant.feed_record(record)
         tenant.refresh_snapshot()
-        labels, latest, _window, anomalies = tenant.prom_state()
+        labels, latest, _window, anomalies, last_severity = \
+            tenant.prom_state()
         assert labels == {"tenant": "t"}
         assert latest["ops"] == 30
+        assert anomalies == 0
+        assert last_severity is None
         status = tenant.status()
         assert status["state"] == ACTIVE
         assert status["records"] == 30
